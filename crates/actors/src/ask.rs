@@ -1,0 +1,120 @@
+//! The ask pattern: request/response over one-shot promises.
+//!
+//! Sends are fire-and-forget in the Actor model; when the caller needs
+//! an answer it includes a [`Resolver`] in the message and blocks on
+//! the matching [`Promise`]. (This is Scala's `!?` / Akka's `ask`,
+//! reduced to its essentials.)
+
+use crate::system::ActorRef;
+use concur_threads::Monitor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Create a linked promise/resolver pair.
+pub fn promise<T: Send + 'static>() -> (Promise<T>, Resolver<T>) {
+    let slot = Arc::new(Monitor::new(Option::<T>::None));
+    (Promise { slot: Arc::clone(&slot) }, Resolver { slot })
+}
+
+/// The receiving half: blocks until resolved.
+pub struct Promise<T> {
+    slot: Arc<Monitor<Option<T>>>,
+}
+
+impl<T: Send + 'static> Promise<T> {
+    /// Block until the resolver fires.
+    pub fn get(self) -> T {
+        self.slot.when(|s| s.is_some(), |s| s.take().expect("resolved"))
+    }
+
+    /// Block with a deadline; `None` on timeout.
+    pub fn get_timeout(self, timeout: Duration) -> Option<T> {
+        self.slot
+            .when_timeout(|s| s.is_some(), timeout, |s| s.take().expect("resolved"))
+    }
+
+    /// Non-blocking poll.
+    pub fn try_get(&self) -> Option<T> {
+        self.slot.with_quiet(|s| s.take())
+    }
+}
+
+/// The sending half: embed it in a message; the handler calls
+/// [`Resolver::resolve`].
+pub struct Resolver<T> {
+    slot: Arc<Monitor<Option<T>>>,
+}
+
+impl<T: Send + 'static> Resolver<T> {
+    /// Fulfil the promise and wake the asker.
+    pub fn resolve(self, value: T) {
+        self.slot.with(|s| *s = Some(value));
+    }
+}
+
+/// Send a request built around a fresh resolver and wait for the
+/// reply. `None` on timeout.
+///
+/// ```
+/// use concur_actors::{Actor, ActorSystem, Context, ask};
+/// use concur_actors::ask::Resolver;
+/// use std::time::Duration;
+///
+/// struct Doubler;
+/// enum Msg { Double(i64, Resolver<i64>) }
+///
+/// impl Actor for Doubler {
+///     type Msg = Msg;
+///     fn receive(&mut self, msg: Msg, _ctx: &mut Context<'_, Msg>) {
+///         let Msg::Double(n, reply) = msg;
+///         reply.resolve(n * 2);
+///     }
+/// }
+///
+/// let system = ActorSystem::new(1);
+/// let doubler = system.spawn(Doubler);
+/// let answer = ask(&doubler, |r| Msg::Double(21, r), Duration::from_secs(5));
+/// assert_eq!(answer, Some(42));
+/// system.shutdown();
+/// ```
+pub fn ask<M, R>(
+    target: &ActorRef<M>,
+    make_msg: impl FnOnce(Resolver<R>) -> M,
+    timeout: Duration,
+) -> Option<R>
+where
+    M: Send + 'static,
+    R: Send + 'static,
+{
+    let (promise, resolver) = promise::<R>();
+    target.send(make_msg(resolver));
+    promise.get_timeout(timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn promise_resolves_across_threads() {
+        let (p, r) = promise::<u32>();
+        let t = thread::spawn(move || r.resolve(7));
+        assert_eq!(p.get(), 7);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn promise_times_out() {
+        let (p, _r) = promise::<u32>();
+        assert_eq!(p.get_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn try_get_polls() {
+        let (p, r) = promise::<u32>();
+        assert_eq!(p.try_get(), None);
+        r.resolve(3);
+        assert_eq!(p.try_get(), Some(3));
+    }
+}

@@ -1,0 +1,54 @@
+//! # concur-actors
+//!
+//! The message-passing third of the workbench: an Actor-model runtime
+//! in the role Scala Actors play in the course. Actors hold private
+//! state, communicate only by asynchronous messages, and per Hewitt's
+//! definition (quoted in the paper §II.B) can, in response to a
+//! message: **send messages** to actors they know, **create new
+//! actors**, and **designate how to handle the next message**.
+//!
+//! Key pieces:
+//!
+//! * [`Actor`] / [`ActorSystem`] / [`ActorRef`] — typed actors on a
+//!   dispatcher pool; sends never block.
+//! * [`mailbox::DeliveryMode::Chaos`] — a mailbox that delivers queued
+//!   messages in *random* order, making the Actor model's reordering
+//!   guarantee ("two messages sent concurrently can arrive in either
+//!   order") observable. The study crate uses it to realize all four
+//!   sender/receiver reorder scenarios of the paper's misconception
+//!   M5.
+//! * [`ask()`](ask()) — request/response over one-shot promises.
+//! * Supervision — [`OnPanic::Restart`] rebuilds a panicked actor from
+//!   its factory.
+//!
+//! ```
+//! use concur_actors::{Actor, ActorSystem, Context};
+//! use std::sync::mpsc;
+//! use std::time::Duration;
+//!
+//! struct Greeter { out: mpsc::Sender<String> }
+//!
+//! impl Actor for Greeter {
+//!     type Msg = String;
+//!     fn receive(&mut self, name: String, _ctx: &mut Context<'_, String>) {
+//!         self.out.send(format!("hello {name}")).unwrap();
+//!     }
+//! }
+//!
+//! let system = ActorSystem::new(1);
+//! let (tx, rx) = mpsc::channel();
+//! let greeter = system.spawn(Greeter { out: tx });
+//! greeter.send("world".into());
+//! assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "hello world");
+//! system.shutdown();
+//! ```
+
+pub mod ask;
+pub mod mailbox;
+pub mod queue;
+pub mod system;
+
+pub use ask::{ask, promise, Promise, Resolver};
+pub use mailbox::{DeliveryMode, Mailbox};
+pub use queue::UnboundedQueue;
+pub use system::{Actor, ActorRef, ActorSystem, Context, OnPanic, SpawnOptions};

@@ -1,0 +1,114 @@
+//! An unbounded blocking MPMC queue (the dispatcher's run queue),
+//! built on the `concur-threads` monitor.
+
+use concur_threads::Monitor;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Unbounded FIFO; `pop` blocks until an item arrives or the queue is
+/// closed and drained.
+pub struct UnboundedQueue<T> {
+    state: Monitor<QueueState<T>>,
+}
+
+impl<T> Default for UnboundedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> UnboundedQueue<T> {
+    pub fn new() -> Self {
+        UnboundedQueue { state: Monitor::new(QueueState { items: VecDeque::new(), closed: false }) }
+    }
+
+    /// Push; returns `false` if the queue is closed.
+    pub fn push(&self, item: T) -> bool {
+        self.state.with(|s| {
+            if s.closed {
+                false
+            } else {
+                s.items.push_back(item);
+                true
+            }
+        })
+    }
+
+    /// Blocking pop; `None` when closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        self.state.when(|s| !s.items.is_empty() || s.closed, |s| s.items.pop_front())
+    }
+
+    /// Timed pop; `Err(())` on timeout.
+    #[allow(clippy::result_unit_err)] // () is the idiomatic timeout marker here
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, ()> {
+        self.state
+            .when_timeout(
+                |s| !s.items.is_empty() || s.closed,
+                timeout,
+                |s| s.items.pop_front(),
+            )
+            .ok_or(())
+    }
+
+    pub fn close(&self) {
+        self.state.with(|s| s.closed = true);
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.with_quiet(|s| s.items.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = UnboundedQueue::new();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(UnboundedQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(20));
+        q.push(42);
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn close_drains_then_yields_none() {
+        let q = UnboundedQueue::new();
+        q.push(1);
+        q.close();
+        assert!(!q.push(2), "closed queue rejects pushes");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn timed_pop() {
+        let q: UnboundedQueue<u8> = UnboundedQueue::new();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Err(()));
+        q.push(9);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(Some(9)));
+    }
+}

@@ -1,0 +1,485 @@
+//! The actor system: dispatcher, cells, typed references, lifecycle
+//! and supervision.
+//!
+//! An [`ActorSystem`] owns a small pool of dispatcher threads and a
+//! run queue of *cells* (actor + mailbox). Sending to an
+//! [`ActorRef`] enqueues into the target's mailbox and schedules the
+//! cell; a dispatcher thread drains a bounded batch of messages per
+//! scheduling round, so no actor can starve the others. An actor
+//! processes one message at a time (the Actor-model guarantee), can
+//! spawn children, send to any ref it knows, and stop itself —
+//! exactly Hewitt's triad quoted by the paper: *send messages, create
+//! new Actors, designate how to handle the next message*.
+
+use crate::mailbox::{DeliveryMode, Mailbox};
+use crate::queue::UnboundedQueue;
+use concur_threads::{Monitor, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Messages a dispatcher processes per scheduling round before putting
+/// the cell back in line.
+const BATCH: usize = 16;
+
+/// The behaviour of an actor: its state is the implementing struct,
+/// its protocol the associated `Msg` type.
+pub trait Actor: Send + 'static {
+    type Msg: Send + 'static;
+
+    /// Handle one message. Runs exclusively: the system never invokes
+    /// an actor concurrently with itself.
+    fn receive(&mut self, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called once before the first message.
+    fn started(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Called when the actor stops (explicit stop or failure without
+    /// restart budget).
+    fn stopped(&mut self) {}
+}
+
+/// What to do when an actor panics inside `receive`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnPanic {
+    /// Terminate the actor; queued and future messages become dead
+    /// letters.
+    Stop,
+    /// Re-create the actor from its factory, at most this many times.
+    /// Requires spawning via [`ActorSystem::spawn_supervised`].
+    Restart { max_restarts: u32 },
+}
+
+/// Per-actor spawn options.
+#[derive(Debug, Clone, Copy)]
+pub struct SpawnOptions {
+    pub delivery: DeliveryMode,
+    pub on_panic: OnPanic,
+}
+
+impl Default for SpawnOptions {
+    fn default() -> Self {
+        SpawnOptions { delivery: DeliveryMode::Fifo, on_panic: OnPanic::Stop }
+    }
+}
+
+enum Envelope<M> {
+    User(M),
+    Stop,
+}
+
+/// Shared system internals.
+pub(crate) struct SystemShared {
+    run_queue: UnboundedQueue<Arc<dyn Runnable>>,
+    /// User messages enqueued but not yet fully processed.
+    pending: Monitor<usize>,
+    alive: AtomicUsize,
+    dead_letters: AtomicU64,
+    panics: AtomicU64,
+    restarts: AtomicU64,
+    next_name: AtomicUsize,
+}
+
+trait Runnable: Send + Sync {
+    fn run_batch(self: Arc<Self>, shared: &Arc<SystemShared>);
+}
+
+trait RefTarget<M>: Send + Sync {
+    fn send_env(self: Arc<Self>, shared: &Arc<SystemShared>, env: Envelope<M>);
+    fn mailbox_len(&self) -> usize;
+    fn is_alive(&self) -> bool;
+    fn name(&self) -> String;
+}
+
+/// A typed handle to an actor accepting messages of type `M`.
+/// Cloneable and sendable across threads; sending never blocks
+/// (mailboxes are unbounded, per the Actor model's asynchronous
+/// sends).
+pub struct ActorRef<M: Send + 'static> {
+    target: Arc<dyn RefTarget<M>>,
+    shared: Arc<SystemShared>,
+}
+
+impl<M: Send + 'static> Clone for ActorRef<M> {
+    fn clone(&self) -> Self {
+        ActorRef { target: Arc::clone(&self.target), shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<M: Send + 'static> ActorRef<M> {
+    /// Asynchronous send ("tell"). Never blocks; messages to dead
+    /// actors become dead letters.
+    pub fn send(&self, msg: M) {
+        Arc::clone(&self.target).send_env(&self.shared, Envelope::User(msg));
+    }
+
+    /// Ask the actor to stop after the messages already queued.
+    pub fn stop(&self) {
+        Arc::clone(&self.target).send_env(&self.shared, Envelope::Stop);
+    }
+
+    /// Queued message count (racy; diagnostics).
+    pub fn mailbox_len(&self) -> usize {
+        self.target.mailbox_len()
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.target.is_alive()
+    }
+
+    pub fn name(&self) -> String {
+        self.target.name()
+    }
+}
+
+/// Capabilities available to an actor while handling a message.
+pub struct Context<'a, M: Send + 'static> {
+    shared: &'a Arc<SystemShared>,
+    self_ref: ActorRef<M>,
+    stop_requested: bool,
+}
+
+impl<M: Send + 'static> Context<'_, M> {
+    /// This actor's own address (give it to other actors for
+    /// replies).
+    pub fn self_ref(&self) -> ActorRef<M> {
+        self.self_ref.clone()
+    }
+
+    /// Stop after the current message.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Create a new actor (Hewitt: actors can "create new Actors").
+    pub fn spawn<B: Actor>(&self, actor: B) -> ActorRef<B::Msg> {
+        spawn_on(self.shared, CellBody::plain(actor), SpawnOptions::default(), None)
+    }
+
+    /// Create a new actor with explicit options.
+    pub fn spawn_with<B: Actor>(&self, actor: B, options: SpawnOptions) -> ActorRef<B::Msg> {
+        spawn_on(self.shared, CellBody::plain(actor), options, None)
+    }
+}
+
+struct CellBody<A: Actor> {
+    actor: Option<A>,
+    factory: Option<Box<dyn Fn() -> A + Send>>,
+    restarts_left: u32,
+    started: bool,
+}
+
+impl<A: Actor> CellBody<A> {
+    fn plain(actor: A) -> Self {
+        CellBody { actor: Some(actor), factory: None, restarts_left: 0, started: false }
+    }
+}
+
+struct Cell<A: Actor> {
+    mailbox: Mailbox<Envelope<A::Msg>>,
+    body: Mutex<CellBody<A>>,
+    scheduled: AtomicBool,
+    alive: AtomicBool,
+    name: String,
+    on_panic: OnPanic,
+}
+
+impl<A: Actor> Cell<A> {
+    fn make_ref(self: &Arc<Self>, shared: &Arc<SystemShared>) -> ActorRef<A::Msg> {
+        ActorRef {
+            target: Arc::clone(self) as Arc<dyn RefTarget<A::Msg>>,
+            shared: Arc::clone(shared),
+        }
+    }
+
+    fn terminate(&self, shared: &Arc<SystemShared>, body: &mut CellBody<A>) {
+        if let Some(mut actor) = body.actor.take() {
+            actor.stopped();
+        }
+        if self.alive.swap(false, Ordering::SeqCst) {
+            shared.alive.fetch_sub(1, Ordering::SeqCst);
+        }
+        let drained = self.mailbox.kill();
+        let mut user_msgs = 0;
+        for env in &drained {
+            if matches!(env, Envelope::User(_)) {
+                user_msgs += 1;
+            }
+        }
+        if user_msgs > 0 {
+            shared.dead_letters.fetch_add(user_msgs, Ordering::SeqCst);
+            shared.pending.with(|p| *p -= user_msgs as usize);
+        }
+    }
+}
+
+impl<A: Actor> RefTarget<A::Msg> for Cell<A> {
+    fn send_env(self: Arc<Self>, shared: &Arc<SystemShared>, env: Envelope<A::Msg>) {
+        let is_user = matches!(env, Envelope::User(_));
+        if is_user {
+            shared.pending.with(|p| *p += 1);
+        }
+        match self.mailbox.push(env) {
+            Ok(()) => schedule(&self, shared),
+            Err(_rejected) => {
+                if is_user {
+                    shared.dead_letters.fetch_add(1, Ordering::SeqCst);
+                    shared.pending.with(|p| *p -= 1);
+                }
+            }
+        }
+    }
+
+    fn mailbox_len(&self) -> usize {
+        self.mailbox.len()
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+fn schedule<A: Actor>(cell: &Arc<Cell<A>>, shared: &Arc<SystemShared>) {
+    if !cell.scheduled.swap(true, Ordering::SeqCst) {
+        let runnable: Arc<dyn Runnable> = Arc::clone(cell) as Arc<dyn Runnable>;
+        if !shared.run_queue.push(runnable) {
+            // System shut down: undo the flag so nothing looks stuck.
+            cell.scheduled.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+impl<A: Actor> Runnable for Cell<A> {
+    fn run_batch(self: Arc<Self>, shared: &Arc<SystemShared>) {
+        let mut body = self.body.lock();
+        let self_ref = self.make_ref(shared);
+
+        // Lifecycle: run the started hook before the first message.
+        if !body.started {
+            body.started = true;
+            if let Some(actor) = &mut body.actor {
+                let mut ctx = Context {
+                    shared,
+                    self_ref: self_ref.clone(),
+                    stop_requested: false,
+                };
+                actor.started(&mut ctx);
+                if ctx.stop_requested {
+                    self.terminate(shared, &mut body);
+                }
+            }
+        }
+
+        let mut processed = 0;
+        while processed < BATCH && body.actor.is_some() {
+            let Some(env) = self.mailbox.pop() else { break };
+            processed += 1;
+            match env {
+                Envelope::Stop => {
+                    self.terminate(shared, &mut body);
+                }
+                Envelope::User(msg) => {
+                    let mut ctx = Context {
+                        shared,
+                        self_ref: self_ref.clone(),
+                        stop_requested: false,
+                    };
+                    let actor = body.actor.as_mut().expect("alive actor");
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || actor.receive(msg, &mut ctx),
+                    ));
+                    let stop_requested = ctx.stop_requested;
+                    match outcome {
+                        Ok(()) => {
+                            if stop_requested {
+                                self.terminate(shared, &mut body);
+                            }
+                        }
+                        Err(_) => {
+                            shared.panics.fetch_add(1, Ordering::SeqCst);
+                            let restartable = matches!(self.on_panic, OnPanic::Restart { .. })
+                                && body.factory.is_some()
+                                && body.restarts_left > 0;
+                            if restartable {
+                                body.restarts_left -= 1;
+                                shared.restarts.fetch_add(1, Ordering::SeqCst);
+                                let factory =
+                                    body.factory.as_ref().expect("checked restartable");
+                                let mut fresh = factory();
+                                let mut ctx = Context {
+                                    shared,
+                                    self_ref: self_ref.clone(),
+                                    stop_requested: false,
+                                };
+                                fresh.started(&mut ctx);
+                                body.actor = Some(fresh);
+                            } else {
+                                self.terminate(shared, &mut body);
+                            }
+                        }
+                    }
+                    // Decrement only after lifecycle handling, so
+                    // await_quiescence implies panics/stops have fully
+                    // settled (alive flags, dead letters) too.
+                    shared.pending.with(|p| *p -= 1);
+                }
+            }
+        }
+        drop(body);
+
+        // Hand the dispatcher slot back; re-schedule if more arrived.
+        self.scheduled.store(false, Ordering::SeqCst);
+        if !self.mailbox.is_empty() && self.alive.load(Ordering::SeqCst) {
+            schedule(&self, shared);
+        }
+    }
+}
+
+fn spawn_on<A: Actor>(
+    shared: &Arc<SystemShared>,
+    body: CellBody<A>,
+    options: SpawnOptions,
+    name: Option<String>,
+) -> ActorRef<A::Msg> {
+    let id = shared.next_name.fetch_add(1, Ordering::Relaxed);
+    let cell = Arc::new(Cell {
+        mailbox: Mailbox::new(options.delivery),
+        body: Mutex::new(body),
+        scheduled: AtomicBool::new(false),
+        alive: AtomicBool::new(true),
+        name: name.unwrap_or_else(|| format!("actor-{id}")),
+        on_panic: options.on_panic,
+    });
+    shared.alive.fetch_add(1, Ordering::SeqCst);
+    // Schedule once so the started hook runs promptly.
+    schedule(&cell, shared);
+    cell.make_ref(shared)
+}
+
+/// The actor system: dispatcher threads plus bookkeeping. Dropping it
+/// shuts the dispatchers down (after the run queue drains its
+/// currently scheduled cells).
+pub struct ActorSystem {
+    shared: Arc<SystemShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ActorSystem {
+    /// A system with `workers` dispatcher threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "an actor system needs at least one dispatcher");
+        let shared = Arc::new(SystemShared {
+            run_queue: UnboundedQueue::new(),
+            pending: Monitor::new(0),
+            alive: AtomicUsize::new(0),
+            dead_letters: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            next_name: AtomicUsize::new(0),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dispatcher-{i}"))
+                    .spawn(move || {
+                        while let Some(cell) = shared.run_queue.pop() {
+                            cell.run_batch(&shared);
+                        }
+                    })
+                    .expect("spawn dispatcher")
+            })
+            .collect();
+        ActorSystem { shared, workers }
+    }
+
+    /// Spawn an actor with default options (FIFO mailbox, stop on
+    /// panic).
+    pub fn spawn<A: Actor>(&self, actor: A) -> ActorRef<A::Msg> {
+        spawn_on(&self.shared, CellBody::plain(actor), SpawnOptions::default(), None)
+    }
+
+    /// Spawn with explicit options.
+    pub fn spawn_with<A: Actor>(&self, actor: A, options: SpawnOptions) -> ActorRef<A::Msg> {
+        spawn_on(&self.shared, CellBody::plain(actor), options, None)
+    }
+
+    /// Spawn with a name (shows up in diagnostics).
+    pub fn spawn_named<A: Actor>(
+        &self,
+        name: impl Into<String>,
+        actor: A,
+        options: SpawnOptions,
+    ) -> ActorRef<A::Msg> {
+        spawn_on(&self.shared, CellBody::plain(actor), options, Some(name.into()))
+    }
+
+    /// Spawn from a factory so the supervisor can rebuild the actor
+    /// after a panic (`OnPanic::Restart`).
+    pub fn spawn_supervised<A: Actor>(
+        &self,
+        factory: impl Fn() -> A + Send + 'static,
+        options: SpawnOptions,
+    ) -> ActorRef<A::Msg> {
+        let restarts = match options.on_panic {
+            OnPanic::Restart { max_restarts } => max_restarts,
+            OnPanic::Stop => 0,
+        };
+        let body = CellBody {
+            actor: Some(factory()),
+            factory: Some(Box::new(factory)),
+            restarts_left: restarts,
+            started: false,
+        };
+        spawn_on(&self.shared, body, options, None)
+    }
+
+    /// Block until every sent message has been processed (or the
+    /// timeout elapses). Returns whether quiescence was reached.
+    pub fn await_quiescence(&self, timeout: Duration) -> bool {
+        self.shared.pending.when_timeout(|p| *p == 0, timeout, |_| ()).is_some()
+    }
+
+    /// Messages delivered to dead actors.
+    pub fn dead_letter_count(&self) -> u64 {
+        self.shared.dead_letters.load(Ordering::SeqCst)
+    }
+
+    /// Actor panics observed.
+    pub fn panic_count(&self) -> u64 {
+        self.shared.panics.load(Ordering::SeqCst)
+    }
+
+    /// Supervised restarts performed.
+    pub fn restart_count(&self) -> u64 {
+        self.shared.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Live actors.
+    pub fn alive_count(&self) -> usize {
+        self.shared.alive.load(Ordering::SeqCst)
+    }
+
+    /// Stop the dispatchers after the queue drains; actors still
+    /// scheduled finish their current batch.
+    pub fn shutdown(mut self) {
+        self.shared.run_queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ActorSystem {
+    fn drop(&mut self) {
+        self.shared.run_queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

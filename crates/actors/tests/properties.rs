@@ -1,0 +1,162 @@
+//! Property tests for the actor runtime: message conservation,
+//! serialization, and chaos-mode permutation invariants.
+
+use concur_actors::{Actor, ActorSystem, Context, DeliveryMode, SpawnOptions};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+struct Accumulator {
+    sum: u64,
+    count: usize,
+    expect: usize,
+    done: mpsc::Sender<(u64, usize)>,
+}
+
+impl Actor for Accumulator {
+    type Msg = u64;
+    fn receive(&mut self, n: u64, ctx: &mut Context<'_, u64>) {
+        self.sum += n;
+        self.count += 1;
+        if self.count == self.expect {
+            self.done.send((self.sum, self.count)).unwrap();
+            ctx.stop();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every sent message is processed exactly once, whatever the
+    /// values, sender thread count, or mailbox mode.
+    #[test]
+    fn messages_conserve(
+        values in prop::collection::vec(0u64..1000, 1..60),
+        senders in 1usize..4,
+        chaos_seed in prop::option::of(0u64..100),
+    ) {
+        let system = ActorSystem::new(2);
+        let (tx, rx) = mpsc::channel();
+        let delivery = match chaos_seed {
+            Some(seed) => DeliveryMode::Chaos(seed),
+            None => DeliveryMode::Fifo,
+        };
+        let expected_sum: u64 = values.iter().sum();
+        let expected_count = values.len();
+        let acc = system.spawn_with(
+            Accumulator { sum: 0, count: 0, expect: expected_count, done: tx },
+            SpawnOptions { delivery, ..SpawnOptions::default() },
+        );
+        // Shard the values across sender threads.
+        let values = Arc::new(values);
+        let handles: Vec<_> = (0..senders)
+            .map(|s| {
+                let acc = acc.clone();
+                let values = Arc::clone(&values);
+                std::thread::spawn(move || {
+                    for (i, v) in values.iter().enumerate() {
+                        if i % senders == s {
+                            acc.send(*v);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (sum, count) = rx.recv_timeout(Duration::from_secs(20)).expect("actor finishes");
+        prop_assert_eq!(sum, expected_sum);
+        prop_assert_eq!(count, expected_count);
+        system.shutdown();
+    }
+
+    /// The one-message-at-a-time guarantee: a reentrancy detector
+    /// never observes overlap, under any dispatcher width.
+    #[test]
+    fn receives_never_overlap(workers in 1usize..4, messages in 10usize..120) {
+        struct Detector {
+            inside: Arc<AtomicU64>,
+            overlaps: Arc<AtomicU64>,
+            seen: usize,
+            expect: usize,
+            done: mpsc::Sender<()>,
+        }
+        impl Actor for Detector {
+            type Msg = ();
+            fn receive(&mut self, (): (), ctx: &mut Context<'_, ()>) {
+                if self.inside.fetch_add(1, Ordering::SeqCst) != 0 {
+                    self.overlaps.fetch_add(1, Ordering::SeqCst);
+                }
+                std::hint::spin_loop();
+                self.inside.fetch_sub(1, Ordering::SeqCst);
+                self.seen += 1;
+                if self.seen == self.expect {
+                    self.done.send(()).unwrap();
+                    ctx.stop();
+                }
+            }
+        }
+        let system = ActorSystem::new(workers);
+        let (tx, rx) = mpsc::channel();
+        let overlaps = Arc::new(AtomicU64::new(0));
+        let detector = system.spawn(Detector {
+            inside: Arc::new(AtomicU64::new(0)),
+            overlaps: Arc::clone(&overlaps),
+            seen: 0,
+            expect: messages,
+            done: tx,
+        });
+        for _ in 0..messages {
+            detector.send(());
+        }
+        rx.recv_timeout(Duration::from_secs(20)).expect("all processed");
+        prop_assert_eq!(overlaps.load(Ordering::SeqCst), 0);
+        system.shutdown();
+    }
+
+    /// Chaos delivery is a permutation: same multiset, possibly
+    /// different order; and it is deterministic per seed.
+    #[test]
+    fn chaos_is_a_seeded_permutation(seed in 0u64..1000, n in 2usize..40) {
+        let run = || {
+            struct Recorder {
+                got: Vec<u64>,
+                expect: usize,
+                done: mpsc::Sender<Vec<u64>>,
+            }
+            impl Actor for Recorder {
+                type Msg = u64;
+                fn receive(&mut self, v: u64, ctx: &mut Context<'_, u64>) {
+                    self.got.push(v);
+                    if self.got.len() == self.expect {
+                        self.done.send(self.got.clone()).unwrap();
+                        ctx.stop();
+                    }
+                }
+            }
+            // Single dispatcher so enqueue order is deterministic.
+            let system = ActorSystem::new(1);
+            let (tx, rx) = mpsc::channel();
+            let recorder = system.spawn_with(
+                Recorder { got: Vec::new(), expect: n, done: tx },
+                SpawnOptions {
+                    delivery: DeliveryMode::Chaos(seed),
+                    ..SpawnOptions::default()
+                },
+            );
+            for i in 0..n as u64 {
+                recorder.send(i);
+            }
+            let got = rx.recv_timeout(Duration::from_secs(20)).expect("drained");
+            system.shutdown();
+            got
+        };
+        let first = run();
+        let mut sorted = first.clone();
+        sorted.sort();
+        prop_assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,337 @@
+//! End-to-end actor-system tests: lifecycle, messaging guarantees,
+//! supervision, dead letters, and the chaos mailbox.
+
+use concur_actors::ask::Resolver;
+use concur_actors::{
+    ask, Actor, ActorRef, ActorSystem, Context, DeliveryMode, OnPanic, SpawnOptions,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+// --- counting ----------------------------------------------------------
+
+struct Counter {
+    count: u64,
+}
+
+enum CounterMsg {
+    Add(u64),
+    Get(Resolver<u64>),
+}
+
+impl Actor for Counter {
+    type Msg = CounterMsg;
+    fn receive(&mut self, msg: CounterMsg, _ctx: &mut Context<'_, CounterMsg>) {
+        match msg {
+            CounterMsg::Add(n) => self.count += n,
+            CounterMsg::Get(reply) => reply.resolve(self.count),
+        }
+    }
+}
+
+#[test]
+fn one_message_at_a_time_makes_counting_safe() {
+    // Many threads hammer one actor; no locks in user code, yet the
+    // count is exact — the Actor model's serialization guarantee.
+    let system = ActorSystem::new(2);
+    let counter = system.spawn(Counter { count: 0 });
+    let senders: Vec<_> = (0..4)
+        .map(|_| {
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    counter.send(CounterMsg::Add(1));
+                }
+            })
+        })
+        .collect();
+    for s in senders {
+        s.join().unwrap();
+    }
+    assert!(system.await_quiescence(TIMEOUT));
+    let total = ask(&counter, CounterMsg::Get, TIMEOUT).expect("reply");
+    assert_eq!(total, 4_000);
+    system.shutdown();
+}
+
+// --- ping-pong ---------------------------------------------------------
+
+struct Ponger;
+
+enum PingMsg {
+    Ping { n: u64, reply_to: ActorRef<u64> },
+}
+
+impl Actor for Ponger {
+    type Msg = PingMsg;
+    fn receive(&mut self, msg: PingMsg, _ctx: &mut Context<'_, PingMsg>) {
+        let PingMsg::Ping { n, reply_to } = msg;
+        reply_to.send(n + 1);
+    }
+}
+
+struct Pinger {
+    ponger: ActorRef<PingMsg>,
+    remaining: u64,
+    done: mpsc::Sender<u64>,
+    received: u64,
+}
+
+impl Actor for Pinger {
+    type Msg = u64;
+    fn started(&mut self, ctx: &mut Context<'_, u64>) {
+        self.ponger.send(PingMsg::Ping { n: 0, reply_to: ctx.self_ref() });
+    }
+    fn receive(&mut self, n: u64, ctx: &mut Context<'_, u64>) {
+        self.received = n;
+        if self.remaining == 0 {
+            self.done.send(n).unwrap();
+            ctx.stop();
+        } else {
+            self.remaining -= 1;
+            self.ponger.send(PingMsg::Ping { n, reply_to: ctx.self_ref() });
+        }
+    }
+}
+
+#[test]
+fn ping_pong_round_trips() {
+    let system = ActorSystem::new(2);
+    let ponger = system.spawn(Ponger);
+    let (tx, rx) = mpsc::channel();
+    let _pinger = system.spawn(Pinger { ponger, remaining: 99, done: tx, received: 0 });
+    let final_n = rx.recv_timeout(TIMEOUT).expect("pinger finishes");
+    assert_eq!(final_n, 100);
+    system.shutdown();
+}
+
+// --- actors creating actors ---------------------------------------------
+
+struct Root {
+    done: mpsc::Sender<u64>,
+}
+
+enum RootMsg {
+    FanOut(u64),
+    Collected(u64),
+}
+
+struct Leaf {
+    parent: ActorRef<RootMsg>,
+}
+
+impl Actor for Leaf {
+    type Msg = u64;
+    fn receive(&mut self, n: u64, ctx: &mut Context<'_, u64>) {
+        self.parent.send(RootMsg::Collected(n * n));
+        ctx.stop();
+    }
+}
+
+impl Actor for Root {
+    type Msg = RootMsg;
+    fn receive(&mut self, msg: RootMsg, ctx: &mut Context<'_, RootMsg>) {
+        match msg {
+            RootMsg::FanOut(n) => {
+                // Hewitt: "create new Actors".
+                for i in 1..=n {
+                    let leaf = ctx.spawn(Leaf { parent: ctx.self_ref() });
+                    leaf.send(i);
+                }
+            }
+            RootMsg::Collected(sq) => {
+                self.done.send(sq).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn actors_spawn_children_dynamically() {
+    let system = ActorSystem::new(2);
+    let (tx, rx) = mpsc::channel();
+    let root = system.spawn(Root { done: tx });
+    root.send(RootMsg::FanOut(10));
+    let mut total = 0;
+    for _ in 0..10 {
+        total += rx.recv_timeout(TIMEOUT).expect("all leaves report");
+    }
+    assert_eq!(total, (1..=10u64).map(|i| i * i).sum());
+    system.shutdown();
+}
+
+// --- supervision ----------------------------------------------------------
+
+struct Fragile {
+    processed: Arc<AtomicU64>,
+}
+
+impl Actor for Fragile {
+    type Msg = u64;
+    fn receive(&mut self, n: u64, _ctx: &mut Context<'_, u64>) {
+        if n % 10 == 3 {
+            panic!("unlucky message {n}");
+        }
+        self.processed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn supervised_actor_restarts_after_panics() {
+    let system = ActorSystem::new(1);
+    let processed = Arc::new(AtomicU64::new(0));
+    let p2 = Arc::clone(&processed);
+    let fragile = system.spawn_supervised(
+        move || Fragile { processed: Arc::clone(&p2) },
+        SpawnOptions {
+            on_panic: OnPanic::Restart { max_restarts: 10 },
+            ..SpawnOptions::default()
+        },
+    );
+    for n in 0..30 {
+        fragile.send(n);
+    }
+    assert!(system.await_quiescence(TIMEOUT));
+    assert_eq!(system.panic_count(), 3, "messages 3, 13, 23 panic");
+    assert_eq!(system.restart_count(), 3);
+    assert_eq!(processed.load(Ordering::SeqCst), 27);
+    assert!(fragile.is_alive());
+    system.shutdown();
+}
+
+#[test]
+fn unsupervised_panic_stops_the_actor_and_dead_letters_the_rest() {
+    let system = ActorSystem::new(1);
+    let processed = Arc::new(AtomicU64::new(0));
+    let fragile = system.spawn(Fragile { processed: Arc::clone(&processed) });
+    fragile.send(3); // panics, actor stops
+    assert!(system.await_quiescence(TIMEOUT));
+    assert!(!fragile.is_alive());
+    fragile.send(1);
+    fragile.send(2);
+    assert!(system.await_quiescence(TIMEOUT));
+    assert_eq!(processed.load(Ordering::SeqCst), 0);
+    assert_eq!(system.dead_letter_count(), 2);
+    system.shutdown();
+}
+
+// --- stop semantics ---------------------------------------------------------
+
+#[test]
+fn stop_processes_earlier_messages_first() {
+    let system = ActorSystem::new(1);
+    let counter = system.spawn(Counter { count: 0 });
+    for _ in 0..5 {
+        counter.send(CounterMsg::Add(1));
+    }
+    let (promise, resolver) = concur_actors::promise::<u64>();
+    counter.send(CounterMsg::Get(resolver));
+    counter.stop();
+    counter.send(CounterMsg::Add(100)); // after stop: dead letter
+    assert_eq!(promise.get_timeout(TIMEOUT), Some(5));
+    assert!(system.await_quiescence(TIMEOUT));
+    assert!(!counter.is_alive());
+    assert!(system.dead_letter_count() >= 1);
+    system.shutdown();
+}
+
+// --- chaos mailbox ----------------------------------------------------------
+
+struct Recorder {
+    seen: Vec<u64>,
+    report_to: mpsc::Sender<Vec<u64>>,
+    expect: usize,
+}
+
+impl Actor for Recorder {
+    type Msg = u64;
+    fn receive(&mut self, n: u64, _ctx: &mut Context<'_, u64>) {
+        self.seen.push(n);
+        if self.seen.len() == self.expect {
+            self.report_to.send(self.seen.clone()).unwrap();
+        }
+    }
+}
+
+#[test]
+fn chaos_mailbox_reorders_but_loses_nothing() {
+    // One sender, one receiver, messages 0..50 — scenario 4 of the
+    // paper's M5 list: even same-sender/same-receiver order is not
+    // guaranteed by the Actor model.
+    let mut any_reordered = false;
+    for seed in 0..4 {
+        let system = ActorSystem::new(1);
+        let (tx, rx) = mpsc::channel();
+        let recorder = system.spawn_with(
+            Recorder { seen: Vec::new(), report_to: tx, expect: 50 },
+            SpawnOptions { delivery: DeliveryMode::Chaos(seed), ..SpawnOptions::default() },
+        );
+        for n in 0..50 {
+            recorder.send(n);
+        }
+        let seen = rx.recv_timeout(TIMEOUT).expect("all delivered");
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>(), "no loss, no duplication");
+        if seen != sorted {
+            any_reordered = true;
+        }
+        system.shutdown();
+    }
+    assert!(any_reordered, "chaos mode never produced a reordering");
+}
+
+#[test]
+fn fifo_mailbox_preserves_single_sender_order() {
+    let system = ActorSystem::new(1);
+    let (tx, rx) = mpsc::channel();
+    let recorder =
+        system.spawn(Recorder { seen: Vec::new(), report_to: tx, expect: 50 });
+    for n in 0..50 {
+        recorder.send(n);
+    }
+    let seen = rx.recv_timeout(TIMEOUT).expect("all delivered");
+    assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    system.shutdown();
+}
+
+// --- misc -------------------------------------------------------------------
+
+#[test]
+fn ask_times_out_when_actor_never_replies() {
+    struct Silent;
+    impl Actor for Silent {
+        type Msg = Resolver<u8>;
+        fn receive(&mut self, _r: Resolver<u8>, _ctx: &mut Context<'_, Resolver<u8>>) {
+            // Drop the resolver without resolving.
+        }
+    }
+    let system = ActorSystem::new(1);
+    let silent = system.spawn(Silent);
+    assert_eq!(ask(&silent, |r| r, Duration::from_millis(30)), None);
+    system.shutdown();
+}
+
+#[test]
+fn alive_count_tracks_lifecycle() {
+    let system = ActorSystem::new(1);
+    assert_eq!(system.alive_count(), 0);
+    let a = system.spawn(Counter { count: 0 });
+    let b = system.spawn(Counter { count: 0 });
+    assert_eq!(system.alive_count(), 2);
+    a.stop();
+    b.stop();
+    assert!(system.await_quiescence(TIMEOUT));
+    // Stops are not "pending" messages; poll briefly.
+    for _ in 0..200 {
+        if system.alive_count() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(system.alive_count(), 0);
+    system.shutdown();
+}

@@ -1,0 +1,58 @@
+//! Model-checker throughput: exhaustive enumeration of the figure
+//! programs and the Test-1 bridge, plus one full question
+//! verification. These regenerate the Figures 3–5 possibility lists
+//! and a Figure-6 answer, timed.
+
+use concur_exec::explore::{Explorer, Limits};
+use concur_exec::figures::{FIG3_INTERLEAVED, FIG5_MESSAGE_PASSING};
+use concur_exec::Interp;
+use concur_study::bridge::BRIDGE_SHARED_MEMORY;
+use concur_study::questions::{bank, model_check, Section};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_explorer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer");
+    group.sample_size(10);
+
+    let fig3 = Interp::from_source(FIG3_INTERLEAVED).unwrap();
+    group.bench_function("fig3_terminals", |b| {
+        b.iter(|| {
+            let set = Explorer::new(&fig3).terminals().unwrap();
+            assert_eq!(set.outputs().len(), 3);
+        });
+    });
+
+    let fig5 = Interp::from_source(FIG5_MESSAGE_PASSING).unwrap();
+    group.bench_function("fig5_terminals", |b| {
+        b.iter(|| {
+            let set = Explorer::new(&fig5).terminals().unwrap();
+            assert_eq!(set.outputs().len(), 2);
+        });
+    });
+
+    let bridge = Interp::from_source(BRIDGE_SHARED_MEMORY).unwrap();
+    group.bench_function("sm_bridge_full_space", |b| {
+        b.iter(|| {
+            let set = Explorer::new(&bridge).terminals().unwrap();
+            assert!(!set.has_deadlock());
+        });
+    });
+
+    // One representative Test-1 question (Figure 6's sample, SM-m).
+    let sm_m = bank()
+        .into_iter()
+        .find(|q| q.id == "SM-m" && q.section == Section::SharedMemory)
+        .unwrap();
+    let limits = Limits { max_states: 400_000, max_depth: 20_000, max_setup_states: 4096 };
+    group.bench_function("figure6_question_m", |b| {
+        b.iter(|| {
+            let answer = model_check(&sm_m, limits);
+            assert!(matches!(answer, concur_exec::Answer::Yes { .. }));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_explorer);
+criterion_main!(benches);

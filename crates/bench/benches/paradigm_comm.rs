@@ -1,0 +1,77 @@
+//! Communication / hand-off cost across the three models: monitor
+//! ping-pong between two threads, actor ask round-trip, and coroutine
+//! resume/yield transfer. The expected shape (which the course asks
+//! students to discover): coroutine transfers cost far less than actor
+//! messages or monitor hand-offs, because cooperative transfer has no
+//! contended synchronization.
+
+use concur_actors::ask::Resolver;
+use concur_actors::{ask, Actor, ActorSystem, Context};
+use concur_coroutines::{Coroutine, Resume};
+use concur_threads::Monitor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Echo;
+impl Actor for Echo {
+    type Msg = (u64, Resolver<u64>);
+    fn receive(&mut self, (n, reply): (u64, Resolver<u64>), _ctx: &mut Context<'_, Self::Msg>) {
+        reply.resolve(n + 1);
+    }
+}
+
+fn bench_comm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_roundtrip");
+    group.sample_size(20);
+
+    // Threads: two threads alternate via a monitor turn variable; one
+    // iteration = one full hand-off pair.
+    group.bench_function("threads_monitor_handoff", |b| {
+        b.iter_custom(|iters| {
+            let turn = Arc::new(Monitor::new(0u64));
+            let t2 = Arc::clone(&turn);
+            let pong = std::thread::spawn(move || {
+                for i in 0..iters {
+                    t2.when(|t| *t == 2 * i + 1, |t| *t += 1);
+                }
+            });
+            let start = std::time::Instant::now();
+            for i in 0..iters {
+                turn.when(|t| *t == 2 * i, |t| *t += 1);
+            }
+            pong.join().unwrap();
+            start.elapsed()
+        });
+    });
+
+    // Actors: ask round-trip through a dispatcher.
+    let system = ActorSystem::new(1);
+    let echo = system.spawn(Echo);
+    group.bench_function("actors_ask_roundtrip", |b| {
+        b.iter(|| {
+            let r = ask(&echo, |reply| (1, reply), Duration::from_secs(10));
+            assert_eq!(r, Some(2));
+        });
+    });
+
+    // Coroutines: resume/yield pair (two control transfers).
+    let mut counter = Coroutine::new(|y, first: u64| {
+        let mut n = first;
+        loop {
+            n = y.yield_(n + 1);
+        }
+    });
+    group.bench_function("coroutines_resume_yield", |b| {
+        b.iter(|| match counter.resume(1) {
+            Resume::Yield(v) => assert_eq!(v, 2),
+            Resume::Complete(_) => unreachable!(),
+        });
+    });
+
+    group.finish();
+    drop(system);
+}
+
+criterion_group!(benches, bench_comm);
+criterion_main!(benches);

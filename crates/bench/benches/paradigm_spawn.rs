@@ -1,0 +1,50 @@
+//! Task-creation cost across the three models — the first axis of the
+//! course's "investigate the efficiency of these implementations"
+//! exercise (§II): OS thread spawn vs actor spawn vs coroutine
+//! creation.
+
+use concur_actors::{Actor, ActorSystem, Context};
+use concur_coroutines::{Coroutine, Resume};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct Nop;
+impl Actor for Nop {
+    type Msg = ();
+    fn receive(&mut self, (): (), ctx: &mut Context<'_, ()>) {
+        ctx.stop();
+    }
+}
+
+fn bench_spawn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spawn");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("threads", "spawn+join"), |b| {
+        b.iter(|| {
+            std::thread::spawn(|| std::hint::black_box(1 + 1)).join().unwrap();
+        });
+    });
+
+    // Actor spawn + one message + stop, on a long-lived system (as in
+    // real deployments; the dispatcher is shared).
+    let system = ActorSystem::new(1);
+    group.bench_function(BenchmarkId::new("actors", "spawn+msg+stop"), |b| {
+        b.iter(|| {
+            let actor = system.spawn(Nop);
+            actor.send(());
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("coroutines", "create+resume+finish"), |b| {
+        b.iter(|| {
+            let mut co: Coroutine<i32, (), i32> = Coroutine::new(|_, x| x + 1);
+            assert!(matches!(co.resume(1), Resume::Complete(2)));
+        });
+    });
+
+    group.finish();
+    drop(system);
+}
+
+criterion_group!(benches, bench_spawn);
+criterion_main!(benches);

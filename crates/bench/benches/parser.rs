@@ -1,0 +1,35 @@
+//! Pseudocode front-end throughput: lex+parse, lowering, and full
+//! compilation of the Test-1 bridge programs (the largest pseudocode
+//! sources in the repo).
+
+use concur_exec::compile;
+use concur_pseudocode::{lower::lower_program, parse, pretty};
+use concur_study::bridge::{BRIDGE_MESSAGE_PASSING, BRIDGE_SHARED_MEMORY};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    for (name, source) in [
+        ("sm_bridge", BRIDGE_SHARED_MEMORY),
+        ("mp_bridge", BRIDGE_MESSAGE_PASSING),
+    ] {
+        group.throughput(Throughput::Bytes(source.len() as u64));
+        group.bench_function(BenchmarkId::new("parse", name), |b| {
+            b.iter(|| parse(source).expect("parses"));
+        });
+        let parsed = parse(source).unwrap();
+        group.bench_function(BenchmarkId::new("lower", name), |b| {
+            b.iter(|| lower_program(parsed.clone()));
+        });
+        group.bench_function(BenchmarkId::new("compile", name), |b| {
+            b.iter(|| compile(&parsed).expect("compiles"));
+        });
+        group.bench_function(BenchmarkId::new("pretty", name), |b| {
+            b.iter(|| pretty::program(&parsed));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

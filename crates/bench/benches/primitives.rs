@@ -1,0 +1,109 @@
+//! Synchronization-primitive microbenchmarks: our from-scratch locks
+//! against `std` and `parking_lot`, plus the rwlock fairness policies
+//! — the lab where students see that fairness costs throughput.
+
+use concur_threads::{Monitor, Mutex as OurMutex, Policy, RwLock, Semaphore, SpinLock, TicketLock};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn bench_locks_uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_uncontended");
+    let spin = SpinLock::new(0u64);
+    group.bench_function("spinlock", |b| b.iter(|| *spin.lock() += 1));
+    let ticket = TicketLock::new(0u64);
+    group.bench_function("ticketlock", |b| b.iter(|| *ticket.lock() += 1));
+    let ours = OurMutex::new(0u64);
+    group.bench_function("our_mutex", |b| b.iter(|| *ours.lock() += 1));
+    let std_mutex = std::sync::Mutex::new(0u64);
+    group.bench_function("std_mutex", |b| b.iter(|| *std_mutex.lock().unwrap() += 1));
+    let pl = parking_lot::Mutex::new(0u64);
+    group.bench_function("parking_lot_mutex", |b| b.iter(|| *pl.lock() += 1));
+    group.finish();
+}
+
+fn bench_locks_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_contended_2threads");
+    group.sample_size(10);
+
+    fn contend<L: Send + Sync + 'static>(
+        iters: u64,
+        lock: Arc<L>,
+        bump: impl Fn(&L) + Send + Sync + Copy + 'static,
+    ) -> std::time::Duration {
+        let l2 = Arc::clone(&lock);
+        let other = std::thread::spawn(move || {
+            for _ in 0..iters {
+                bump(&l2);
+            }
+        });
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            bump(&lock);
+        }
+        other.join().unwrap();
+        start.elapsed()
+    }
+
+    group.bench_function("our_mutex", |b| {
+        b.iter_custom(|iters| contend(iters, Arc::new(OurMutex::new(0u64)), |l| *l.lock() += 1));
+    });
+    group.bench_function("std_mutex", |b| {
+        b.iter_custom(|iters| {
+            contend(iters, Arc::new(std::sync::Mutex::new(0u64)), |l| {
+                *l.lock().unwrap() += 1
+            })
+        });
+    });
+    group.bench_function("spinlock", |b| {
+        b.iter_custom(|iters| contend(iters, Arc::new(SpinLock::new(0u64)), |l| *l.lock() += 1));
+    });
+    group.finish();
+}
+
+fn bench_monitor_and_semaphore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coordination");
+    let monitor = Monitor::new(0u64);
+    group.bench_function("monitor_with", |b| b.iter(|| monitor.with_quiet(|v| *v += 1)));
+    let semaphore = Semaphore::new(4);
+    group.bench_function("semaphore_permit", |b| {
+        b.iter(|| {
+            let _p = semaphore.permit();
+        })
+    });
+    group.finish();
+}
+
+fn bench_rwlock_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rwlock_read_mostly");
+    group.sample_size(10);
+    for policy in [Policy::ReaderPreference, Policy::WriterPreference, Policy::Fair] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{policy:?}")), |b| {
+            b.iter_custom(|iters| {
+                let lock = Arc::new(RwLock::new(policy, 0u64));
+                let l2 = Arc::clone(&lock);
+                let writer = std::thread::spawn(move || {
+                    for _ in 0..iters / 10 + 1 {
+                        *l2.write() += 1;
+                    }
+                });
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    let _ = *lock.read();
+                }
+                let elapsed = start.elapsed();
+                writer.join().unwrap();
+                elapsed
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_locks_uncontended,
+    bench_locks_contended,
+    bench_monitor_and_semaphore,
+    bench_rwlock_policies
+);
+criterion_main!(benches);

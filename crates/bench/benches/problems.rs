@@ -1,0 +1,44 @@
+//! The classical problems under all three models — the end-to-end
+//! "same problem, three implementations" comparison the course's Test
+//! 2 asks for, measured instead of graded.
+
+use concur_bench::workloads;
+use concur_problems::{
+    bounded_buffer, bridge, dining, party_matching, sleeping_barber, Paradigm,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_problems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("problems");
+    group.sample_size(10);
+
+    for paradigm in Paradigm::ALL {
+        group.bench_function(BenchmarkId::new("bridge", paradigm.to_string()), |b| {
+            b.iter(|| bridge::run(paradigm, workloads::bridge_config()).expect("safe"));
+        });
+        group.bench_function(
+            BenchmarkId::new("bounded_buffer", paradigm.to_string()),
+            |b| {
+                b.iter(|| {
+                    bounded_buffer::run(paradigm, workloads::buffer_config()).expect("safe")
+                });
+            },
+        );
+        group.bench_function(BenchmarkId::new("philosophers", paradigm.to_string()), |b| {
+            b.iter(|| dining::run(paradigm, workloads::dining_config()).expect("safe"));
+        });
+        group.bench_function(BenchmarkId::new("barber", paradigm.to_string()), |b| {
+            b.iter(|| {
+                sleeping_barber::run(paradigm, workloads::barber_config()).expect("safe")
+            });
+        });
+        group.bench_function(BenchmarkId::new("party", paradigm.to_string()), |b| {
+            b.iter(|| party_matching::run(paradigm, workloads::party_config()).expect("safe"));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_problems);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The study pipeline, timed: cohort construction, Test-1
+//! administration/grading (Tables II and III), and the complete
+//! report.
+
+use concur_study::cohort::paper_cohort;
+use concur_study::grading::{administer_test1, DEFAULT_LEARNING_DROP};
+use concur_study::report::{compute_table2, run_study};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study");
+
+    group.bench_function("cohort_construction", |b| {
+        b.iter(|| paper_cohort(42));
+    });
+
+    let cohort = paper_cohort(42);
+    group.bench_function("administer_and_grade_test1", |b| {
+        b.iter(|| administer_test1(&cohort, 42, DEFAULT_LEARNING_DROP));
+    });
+
+    let results = administer_test1(&cohort, 42, DEFAULT_LEARNING_DROP);
+    group.bench_function("table2_statistics", |b| {
+        b.iter(|| compute_table2(&results));
+    });
+
+    group.bench_function("full_study_run", |b| {
+        b.iter(|| {
+            let report = run_study(42);
+            assert!(report.table2.session_p < 0.05);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_study);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! # concur-bench
+//!
+//! The benchmark harness: one Criterion target per evaluation artifact
+//! (see `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md`
+//! for recorded results).
+//!
+//! | Target | What it measures |
+//! |---|---|
+//! | `paradigm_spawn` | task creation: thread vs actor vs coroutine |
+//! | `paradigm_comm` | hand-off: monitor vs ask round-trip vs resume/yield |
+//! | `problems` | the same classical problems under all three models |
+//! | `primitives` | lock implementations, semaphore, rwlock policies |
+//! | `explorer` | model-checker throughput on the figure/bridge programs |
+//! | `parser` | pseudocode parse/compile throughput |
+//! | `study` | the full Table II/III regeneration pipeline |
+//! | `ablations` | stackful vs stackless coroutines; FIFO vs chaos mailboxes |
+//!
+//! Run everything with `cargo bench`, one target with
+//! `cargo bench --bench problems`.
+
+/// Standard small workloads shared by bench targets so numbers are
+/// comparable across runs.
+pub mod workloads {
+    use concur_problems::{bounded_buffer, bridge, dining, party_matching, sleeping_barber};
+
+    pub fn bridge_config() -> bridge::Config {
+        bridge::Config { red_cars: 2, blue_cars: 2, crossings_per_car: 3, fair_batch: Some(2) }
+    }
+
+    pub fn buffer_config() -> bounded_buffer::Config {
+        bounded_buffer::Config { producers: 2, consumers: 2, items_per_producer: 50, capacity: 4 }
+    }
+
+    pub fn dining_config() -> dining::Config {
+        dining::Config { philosophers: 5, meals_per_philosopher: 4 }
+    }
+
+    pub fn barber_config() -> sleeping_barber::Config {
+        sleeping_barber::Config { barbers: 2, chairs: 3, customers: 20 }
+    }
+
+    pub fn party_config() -> party_matching::Config {
+        party_matching::Config { boys: 6, girls: 6 }
+    }
+}

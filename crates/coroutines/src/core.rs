@@ -1,0 +1,422 @@
+//! First-class stackful asymmetric coroutines.
+//!
+//! The paper cites de Moura & Ierusalimschy's three classifying
+//! criteria (§II.C): the control-transfer mechanism (symmetric vs
+//! asymmetric), first-class status, and stackfulness. This
+//! implementation is:
+//!
+//! * **first-class** — a [`Coroutine`] is an ordinary value: store it,
+//!   pass it, collect it;
+//! * **stackful** — the body may suspend from arbitrarily nested
+//!   calls, because each coroutine owns a real stack (a dedicated OS
+//!   thread whose scheduling is *strictly alternated* with its
+//!   resumer: exactly one of the two is ever runnable, preserving
+//!   cooperative semantics);
+//! * **asymmetric** — `resume`/`yield_` transfer control between
+//!   caller and coroutine ([`crate::symmetric`] builds symmetric
+//!   `transfer` on top).
+//!
+//! Values flow both ways: `resume(input) -> Yield(output)` and the
+//! suspended `yield_(output) -> input`, like Python's
+//! `generator.send`.
+//!
+//! ```
+//! use concur_coroutines::{Coroutine, Resume};
+//!
+//! // A running-total coroutine: receives numbers, yields the sum so
+//! // far, returns the count when resumed with a negative number.
+//! let mut totals = Coroutine::new(|y, first: i64| {
+//!     let mut sum = first;
+//!     let mut count = 1;
+//!     loop {
+//!         let next = y.yield_(sum);
+//!         if next < 0 {
+//!             return count;
+//!         }
+//!         sum += next;
+//!         count += 1;
+//!     }
+//! });
+//! assert_eq!(totals.resume(10), Resume::Yield(10));
+//! assert_eq!(totals.resume(5), Resume::Yield(15));
+//! assert_eq!(totals.resume(-1), Resume::Complete(2));
+//! ```
+
+use std::any::Any;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Result of [`Coroutine::resume`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Resume<Out, R> {
+    /// The coroutine suspended at a `yield_`, producing this value.
+    Yield(Out),
+    /// The body returned; the coroutine is finished.
+    Complete(R),
+}
+
+enum Transfer<In, Out, R> {
+    /// Resumer → coroutine.
+    Input(In),
+    /// Coroutine → resumer, suspended.
+    Yielded(Out),
+    /// Coroutine → resumer, finished.
+    Complete(R),
+    /// Coroutine → resumer, body panicked with this payload.
+    Panicked(Box<dyn Any + Send>),
+    /// Resumer → coroutine: unwind and exit (the `Coroutine` was
+    /// dropped while suspended).
+    Cancel,
+}
+
+struct Baton<In, Out, R> {
+    slot: Mutex<Option<Transfer<In, Out, R>>>,
+    cond: Condvar,
+}
+
+impl<In, Out, R> Baton<In, Out, R> {
+    fn put(&self, value: Transfer<In, Out, R>) {
+        let mut slot = self.slot.lock().expect("baton lock");
+        debug_assert!(slot.is_none(), "baton handoff must strictly alternate");
+        *slot = Some(value);
+        self.cond.notify_all();
+    }
+
+    fn take_for_coroutine(&self) -> Transfer<In, Out, R> {
+        let mut slot = self.slot.lock().expect("baton lock");
+        loop {
+            match slot.take() {
+                Some(t @ (Transfer::Input(_) | Transfer::Cancel)) => return t,
+                Some(other) => {
+                    // Not addressed to us; put it back and wait.
+                    *slot = Some(other);
+                    slot = self.cond.wait(slot).expect("baton wait");
+                }
+                None => {
+                    slot = self.cond.wait(slot).expect("baton wait");
+                }
+            }
+        }
+    }
+
+    fn take_for_resumer(&self) -> Transfer<In, Out, R> {
+        let mut slot = self.slot.lock().expect("baton lock");
+        loop {
+            match slot.take() {
+                Some(
+                    t @ (Transfer::Yielded(_) | Transfer::Complete(_) | Transfer::Panicked(_)),
+                ) => return t,
+                Some(other) => {
+                    *slot = Some(other);
+                    slot = self.cond.wait(slot).expect("baton wait");
+                }
+                None => {
+                    slot = self.cond.wait(slot).expect("baton wait");
+                }
+            }
+        }
+    }
+}
+
+/// Private panic payload used to unwind a cancelled coroutine's stack.
+struct CancelToken;
+
+/// The suspend handle passed to the coroutine body.
+pub struct Yielder<In, Out, R> {
+    baton: Arc<Baton<In, Out, R>>,
+}
+
+impl<In, Out, R> Yielder<In, Out, R> {
+    /// Suspend, handing `value` to the resumer; returns the next
+    /// input once resumed. Works from any call depth (stackfulness).
+    pub fn yield_(&mut self, value: Out) -> In {
+        self.baton.put(Transfer::Yielded(value));
+        match self.baton.take_for_coroutine() {
+            Transfer::Input(input) => input,
+            // resume_unwind (not panic!) so the panic hook stays
+            // silent: cancellation is not an error.
+            Transfer::Cancel => std::panic::resume_unwind(Box::new(CancelToken)),
+            _ => unreachable!("resumer sends only Input or Cancel"),
+        }
+    }
+}
+
+/// A first-class stackful coroutine. `In` flows into each `resume`,
+/// `Out` flows out of each `yield_`, `R` is the body's return value.
+pub struct Coroutine<In, Out, R = ()> {
+    baton: Arc<Baton<In, Out, R>>,
+    thread: Option<JoinHandle<()>>,
+    finished: bool,
+}
+
+impl<In, Out, R> Coroutine<In, Out, R>
+where
+    In: Send + 'static,
+    Out: Send + 'static,
+    R: Send + 'static,
+{
+    /// Create a suspended coroutine. The body runs only when resumed;
+    /// `first` is the value passed to the first `resume`.
+    pub fn new(
+        body: impl FnOnce(&mut Yielder<In, Out, R>, In) -> R + Send + 'static,
+    ) -> Self {
+        let baton = Arc::new(Baton { slot: Mutex::new(None), cond: Condvar::new() });
+        let thread_baton = Arc::clone(&baton);
+        let thread = std::thread::Builder::new()
+            .name("coroutine".into())
+            .spawn(move || {
+                let first = match thread_baton.take_for_coroutine() {
+                    Transfer::Input(input) => input,
+                    Transfer::Cancel => return,
+                    _ => unreachable!("resumer sends only Input or Cancel"),
+                };
+                let mut yielder = Yielder { baton: Arc::clone(&thread_baton) };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    body(&mut yielder, first)
+                }));
+                match outcome {
+                    Ok(result) => thread_baton.put(Transfer::Complete(result)),
+                    Err(payload) => {
+                        if payload.is::<CancelToken>() {
+                            // Dropped while suspended: exit silently.
+                            return;
+                        }
+                        thread_baton.put(Transfer::Panicked(payload));
+                    }
+                }
+            })
+            .expect("spawn coroutine carrier thread");
+        Coroutine { baton, thread: Some(thread), finished: false }
+    }
+
+    /// Transfer control into the coroutine until it yields or
+    /// completes.
+    ///
+    /// # Panics
+    /// Panics if the coroutine already completed, and re-raises any
+    /// panic that escapes the coroutine body.
+    pub fn resume(&mut self, input: In) -> Resume<Out, R> {
+        assert!(!self.finished, "resume on a finished coroutine");
+        self.baton.put(Transfer::Input(input));
+        match self.baton.take_for_resumer() {
+            Transfer::Yielded(v) => Resume::Yield(v),
+            Transfer::Complete(r) => {
+                self.finished = true;
+                self.join_thread();
+                Resume::Complete(r)
+            }
+            Transfer::Panicked(payload) => {
+                self.finished = true;
+                self.join_thread();
+                std::panic::resume_unwind(payload);
+            }
+            _ => unreachable!("coroutine sends only Yielded/Complete/Panicked"),
+        }
+    }
+
+    /// Whether the body has returned.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn join_thread(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<In, Out, R> Drop for Coroutine<In, Out, R> {
+    fn drop(&mut self) {
+        if !self.finished {
+            if let Some(t) = self.thread.take() {
+                self.baton.put(Transfer::Cancel);
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+/// A generator: a coroutine that takes no resume input. Iterate it.
+pub type Generator<T, R = ()> = Coroutine<(), T, R>;
+
+impl<T, R> Generator<T, R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+{
+    /// Pull values until completion — the Python-iterator view of a
+    /// coroutine.
+    pub fn iter(&mut self) -> GenIter<'_, T, R> {
+        GenIter { gen: self }
+    }
+}
+
+/// Iterator over a generator's yields.
+pub struct GenIter<'g, T, R> {
+    gen: &'g mut Generator<T, R>,
+}
+
+impl<T, R> Iterator for GenIter<'_, T, R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+{
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        if self.gen.is_finished() {
+            return None;
+        }
+        match self.gen.resume(()) {
+            Resume::Yield(v) => Some(v),
+            Resume::Complete(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_thread_both_ways() {
+        let mut co = Coroutine::new(|y, first: i32| {
+            let a = y.yield_(first + 1);
+            let b = y.yield_(a * 2);
+            b - 1
+        });
+        assert_eq!(co.resume(10), Resume::Yield(11));
+        assert_eq!(co.resume(3), Resume::Yield(6));
+        assert_eq!(co.resume(100), Resume::Complete(99));
+        assert!(co.is_finished());
+    }
+
+    #[test]
+    fn local_state_persists_between_resumes() {
+        // Marlin's first defining property: "the values of data local
+        // to a coroutine persist between successive calls".
+        let mut counter = Coroutine::new(|y, _: ()| {
+            let mut n = 0u64; // local, lives across suspensions
+            loop {
+                n += 1;
+                if n > 3 {
+                    return n;
+                }
+                y.yield_(n);
+            }
+        });
+        assert_eq!(counter.resume(()), Resume::Yield(1));
+        assert_eq!(counter.resume(()), Resume::Yield(2));
+        assert_eq!(counter.resume(()), Resume::Yield(3));
+        assert_eq!(counter.resume(()), Resume::Complete(4));
+    }
+
+    #[test]
+    fn stackful_yield_from_nested_calls() {
+        // Suspend from two levels of ordinary function calls — the
+        // property that distinguishes stackful coroutines from
+        // generators-as-state-machines.
+        fn inner(y: &mut Yielder<(), i32, ()>, base: i32) {
+            y.yield_(base + 1);
+        }
+        fn middle(y: &mut Yielder<(), i32, ()>, base: i32) {
+            y.yield_(base);
+            inner(y, base);
+        }
+        let mut co = Coroutine::new(|y, _: ()| {
+            middle(y, 10);
+            y.yield_(99);
+        });
+        assert_eq!(co.resume(()), Resume::Yield(10));
+        assert_eq!(co.resume(()), Resume::Yield(11));
+        assert_eq!(co.resume(()), Resume::Yield(99));
+        assert_eq!(co.resume(()), Resume::Complete(()));
+    }
+
+    #[test]
+    fn generators_are_iterators() {
+        let mut fib = Coroutine::new(|y, _: ()| {
+            let (mut a, mut b) = (0u64, 1u64);
+            for _ in 0..10 {
+                y.yield_(a);
+                let next = a + b;
+                a = b;
+                b = next;
+            }
+        });
+        let first_ten: Vec<u64> = fib.iter().collect();
+        assert_eq!(first_ten, vec![0, 1, 1, 2, 3, 5, 8, 13, 21, 34]);
+    }
+
+    #[test]
+    fn coroutines_are_first_class() {
+        // Store a heterogeneous batch of coroutines and drive them
+        // round-robin.
+        let mut cos: Vec<Generator<i32>> = (0..3)
+            .map(|k| {
+                Coroutine::new(move |y: &mut Yielder<(), i32, ()>, _: ()| {
+                    y.yield_(k * 10);
+                    y.yield_(k * 10 + 1);
+                })
+            })
+            .collect();
+        let mut order = Vec::new();
+        for _round in 0..2 {
+            for co in cos.iter_mut() {
+                if let Resume::Yield(v) = co.resume(()) {
+                    order.push(v);
+                }
+            }
+        }
+        assert_eq!(order, vec![0, 10, 20, 1, 11, 21]);
+    }
+
+    #[test]
+    fn body_panic_propagates_to_resumer() {
+        let mut co = Coroutine::new(|y, _: ()| {
+            y.yield_(1);
+            panic!("inner failure");
+        });
+        assert_eq!(co.resume(()), Resume::Yield(1));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| co.resume(())));
+        assert!(caught.is_err(), "panic must cross the resume boundary");
+    }
+
+    #[test]
+    fn dropping_a_suspended_coroutine_unwinds_it() {
+        struct DropProbe(std::sync::mpsc::Sender<()>);
+        impl Drop for DropProbe {
+            fn drop(&mut self) {
+                let _ = self.0.send(());
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut co = Coroutine::new(move |y, _: ()| {
+            let _probe = DropProbe(tx); // must run its destructor
+            loop {
+                y.yield_(0);
+            }
+        });
+        assert_eq!(co.resume(()), Resume::Yield(0));
+        drop(co);
+        // The probe's destructor ran during cancellation unwinding.
+        rx.recv_timeout(std::time::Duration::from_secs(5))
+            .expect("coroutine stack was unwound");
+    }
+
+    #[test]
+    fn drop_without_ever_resuming() {
+        let co: Generator<i32> = Coroutine::new(|y, _: ()| {
+            y.yield_(1);
+        });
+        drop(co); // must not hang or leak a stuck thread
+    }
+
+    #[test]
+    #[should_panic(expected = "finished coroutine")]
+    fn resume_after_completion_panics() {
+        let mut co: Coroutine<(), (), i32> = Coroutine::new(|_, _: ()| 5);
+        assert_eq!(co.resume(()), Resume::Complete(5));
+        let _ = co.resume(());
+    }
+}

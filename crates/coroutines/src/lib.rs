@@ -1,0 +1,41 @@
+//! # concur-coroutines
+//!
+//! The cooperative third of the workbench: first-class **stackful**
+//! coroutines (the role Python generators/coroutines play in the
+//! course), a round-robin cooperative [`Scheduler`] with
+//! [`CoChannel`]s, symmetric `transfer` ([`symmetric::SymmetricSet`]),
+//! and a stackless state-machine baseline for the ablation benchmark.
+//!
+//! Marlin's two defining properties (quoted in the paper §II.C) hold
+//! by construction:
+//!
+//! 1. *"The values of data local to a coroutine persist between
+//!    successive calls"* — locals live on the coroutine's own stack.
+//! 2. *"The execution of a coroutine is suspended as control leaves
+//!    it, only to carry on where it left off when control re-enters"*
+//!    — `resume`/`yield_` are strict hand-offs: exactly one of
+//!    (resumer, coroutine) is ever runnable; there is no preemption
+//!    and no parallelism inside a scheduler, which is why coroutine
+//!    code needs no locks between yield points.
+//!
+//! ```
+//! use concur_coroutines::{Coroutine, Resume};
+//!
+//! let mut gen = Coroutine::new(|y, _: ()| {
+//!     for i in 0..3 {
+//!         y.yield_(i * i);
+//!     }
+//! });
+//! let squares: Vec<i32> = gen.iter().collect();
+//! assert_eq!(squares, vec![0, 1, 4]);
+//! ```
+
+pub mod core;
+pub mod sched;
+pub mod stackless;
+pub mod symmetric;
+
+pub use crate::core::{Coroutine, GenIter, Generator, Resume, Yielder};
+pub use sched::{CoChannel, Deadlock, SchedStats, Scheduler, TaskCtx, TaskId};
+pub use stackless::{Step, StepCoroutine, StepIter};
+pub use symmetric::{CoId, SymCtx, SymmetricSet};

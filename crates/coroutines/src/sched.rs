@@ -1,0 +1,390 @@
+//! A cooperative scheduler over stackful coroutines, plus coroutine
+//! channels — the "Python coroutines" programming model of the course:
+//! tasks that run until they *choose* to yield, with no preemption and
+//! therefore no data races between steps.
+
+use crate::core::{Coroutine, Resume, Yielder};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// What a task yields to the scheduler.
+enum Request {
+    /// Give other tasks a turn.
+    Yield,
+    /// Sleep until the predicate reports ready (checked by the
+    /// scheduler between steps).
+    Blocked(Box<dyn FnMut() -> bool + Send>),
+}
+
+type TaskCoroutine = Coroutine<(), Request, ()>;
+type TaskBody = Box<dyn FnOnce(&mut TaskCtx<'_>) + Send>;
+
+/// Identifies a spawned task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(pub usize);
+
+/// Handle passed to every task body: yielding, blocking, spawning,
+/// channel operations.
+pub struct TaskCtx<'y> {
+    yielder: &'y mut Yielder<(), Request, ()>,
+    injector: Arc<Mutex<Vec<TaskBody>>>,
+}
+
+impl TaskCtx<'_> {
+    /// Voluntarily yield the processor (Python's `await
+    /// asyncio.sleep(0)` / a bare `yield`).
+    pub fn yield_now(&mut self) {
+        self.yielder.yield_(Request::Yield);
+    }
+
+    /// Block until `ready` returns true (evaluated by the scheduler).
+    pub fn block_until(&mut self, ready: impl FnMut() -> bool + Send + 'static) {
+        self.yielder.yield_(Request::Blocked(Box::new(ready)));
+    }
+
+    /// Spawn a sibling task; it becomes runnable on the next
+    /// scheduler round.
+    pub fn spawn(&mut self, body: impl FnOnce(&mut TaskCtx<'_>) + Send + 'static) {
+        self.injector.lock().expect("injector lock").push(Box::new(body));
+    }
+
+    /// Blocking send on a coroutine channel.
+    pub fn send<T: Send + 'static>(&mut self, channel: &CoChannel<T>, value: T) {
+        let mut value = Some(value);
+        loop {
+            match channel.try_send(value.take().expect("value present")) {
+                Ok(()) => return,
+                Err(rejected) => {
+                    value = Some(rejected);
+                    let ch = channel.clone();
+                    self.block_until(move || ch.can_send() || ch.is_closed());
+                    if channel.is_closed() {
+                        // Sending on a closed channel drops the value.
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking receive; `None` when the channel is closed and
+    /// drained.
+    pub fn recv<T: Send + 'static>(&mut self, channel: &CoChannel<T>) -> Option<T> {
+        loop {
+            if let Some(v) = channel.try_recv() {
+                return Some(v);
+            }
+            if channel.is_closed() {
+                return None;
+            }
+            let ch = channel.clone();
+            self.block_until(move || ch.can_recv() || ch.is_closed());
+        }
+    }
+}
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO connecting cooperative tasks. Cloning shares the
+/// channel.
+pub struct CoChannel<T> {
+    state: Arc<Mutex<ChanState<T>>>,
+    capacity: usize,
+}
+
+impl<T> Clone for CoChannel<T> {
+    fn clone(&self) -> Self {
+        CoChannel { state: Arc::clone(&self.state), capacity: self.capacity }
+    }
+}
+
+impl<T> CoChannel<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "channel capacity must be >= 1");
+        CoChannel {
+            state: Arc::new(Mutex::new(ChanState { queue: VecDeque::new(), closed: false })),
+            capacity,
+        }
+    }
+
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("channel lock");
+        if s.closed || s.queue.len() >= self.capacity {
+            Err(value)
+        } else {
+            s.queue.push_back(value);
+            Ok(())
+        }
+    }
+
+    pub fn try_recv(&self) -> Option<T> {
+        self.state.lock().expect("channel lock").queue.pop_front()
+    }
+
+    pub fn can_send(&self) -> bool {
+        let s = self.state.lock().expect("channel lock");
+        !s.closed && s.queue.len() < self.capacity
+    }
+
+    pub fn can_recv(&self) -> bool {
+        !self.state.lock().expect("channel lock").queue.is_empty()
+    }
+
+    pub fn close(&self) {
+        self.state.lock().expect("channel lock").closed = true;
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("channel lock").closed
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("channel lock").queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Outcome counters from a scheduler run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Total task steps executed (resume → yield/complete).
+    pub steps: u64,
+    /// Tasks that ran to completion.
+    pub completed: usize,
+}
+
+/// Error: every live task is blocked and none can become ready.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deadlock {
+    pub blocked_tasks: usize,
+}
+
+impl std::fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cooperative deadlock: {} task(s) blocked forever", self.blocked_tasks)
+    }
+}
+
+impl std::error::Error for Deadlock {}
+
+/// A round-robin cooperative scheduler. Exactly one task runs at a
+/// time; switches happen only at `yield_now`/`block_until`/channel
+/// operations — so plain shared state (behind the cheap uncontended
+/// channel mutex) needs no further synchronization, which is the
+/// pedagogical point of the coroutine model.
+pub struct Scheduler {
+    tasks: Vec<Option<TaskCoroutine>>,
+    ready: VecDeque<usize>,
+    blocked: Vec<(usize, Box<dyn FnMut() -> bool + Send>)>,
+    injector: Arc<Mutex<Vec<TaskBody>>>,
+    completed: usize,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    pub fn new() -> Self {
+        Scheduler {
+            tasks: Vec::new(),
+            ready: VecDeque::new(),
+            blocked: Vec::new(),
+            injector: Arc::new(Mutex::new(Vec::new())),
+            completed: 0,
+        }
+    }
+
+    /// Add a task before (or during) a run.
+    pub fn spawn(&mut self, body: impl FnOnce(&mut TaskCtx<'_>) + Send + 'static) -> TaskId {
+        let injector = Arc::clone(&self.injector);
+        let id = self.tasks.len();
+        self.tasks.push(Some(Coroutine::new(move |yielder, ()| {
+            let mut ctx = TaskCtx { yielder, injector };
+            body(&mut ctx);
+        })));
+        self.ready.push_back(id);
+        TaskId(id)
+    }
+
+    /// Run until every task completes. Errs on cooperative deadlock.
+    pub fn run(&mut self) -> Result<SchedStats, Deadlock> {
+        let mut steps = 0u64;
+        loop {
+            // Admit tasks spawned by other tasks.
+            let pending: Vec<TaskBody> =
+                self.injector.lock().expect("injector lock").drain(..).collect();
+            for body in pending {
+                let injector = Arc::clone(&self.injector);
+                let id = self.tasks.len();
+                self.tasks.push(Some(Coroutine::new(move |yielder, ()| {
+                    let mut ctx = TaskCtx { yielder, injector };
+                    body(&mut ctx);
+                })));
+                self.ready.push_back(id);
+            }
+
+            // Wake blocked tasks whose predicate reports ready.
+            let mut still_blocked = Vec::new();
+            for (id, mut pred) in self.blocked.drain(..) {
+                if pred() {
+                    self.ready.push_back(id);
+                } else {
+                    still_blocked.push((id, pred));
+                }
+            }
+            self.blocked = still_blocked;
+
+            let Some(id) = self.ready.pop_front() else {
+                if self.blocked.is_empty() && self.injector.lock().expect("lock").is_empty() {
+                    return Ok(SchedStats { steps, completed: self.completed });
+                }
+                if self.injector.lock().expect("lock").is_empty() {
+                    return Err(Deadlock { blocked_tasks: self.blocked.len() });
+                }
+                continue;
+            };
+
+            let task = self.tasks[id].as_mut().expect("ready task is alive");
+            steps += 1;
+            match task.resume(()) {
+                Resume::Yield(Request::Yield) => self.ready.push_back(id),
+                Resume::Yield(Request::Blocked(pred)) => self.blocked.push((id, pred)),
+                Resume::Complete(()) => {
+                    self.tasks[id] = None;
+                    self.completed += 1;
+                }
+            }
+        }
+    }
+
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_at_yield_points() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sched = Scheduler::new();
+        for name in ["a", "b"] {
+            let log = Arc::clone(&log);
+            sched.spawn(move |ctx| {
+                for i in 0..3 {
+                    log.lock().unwrap().push(format!("{name}{i}"));
+                    ctx.yield_now();
+                }
+            });
+        }
+        let stats = sched.run().unwrap();
+        assert_eq!(stats.completed, 2);
+        let log = log.lock().unwrap().clone();
+        // Strict alternation: a0 b0 a1 b1 a2 b2.
+        assert_eq!(log, vec!["a0", "b0", "a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn no_preemption_between_yields() {
+        // A task that never yields runs to completion before anyone
+        // else — cooperative semantics, the opposite of threads.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sched = Scheduler::new();
+        let l1 = Arc::clone(&log);
+        sched.spawn(move |_ctx| {
+            for i in 0..5 {
+                l1.lock().unwrap().push(i);
+            }
+        });
+        let l2 = Arc::clone(&log);
+        sched.spawn(move |_ctx| {
+            l2.lock().unwrap().push(100);
+        });
+        sched.run().unwrap();
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4, 100]);
+    }
+
+    #[test]
+    fn producer_consumer_over_channel() {
+        let channel = CoChannel::new(2);
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let mut sched = Scheduler::new();
+        let tx = channel.clone();
+        sched.spawn(move |ctx| {
+            for i in 0..10 {
+                ctx.send(&tx, i);
+            }
+            tx.close();
+        });
+        let rx = channel.clone();
+        let sink = Arc::clone(&received);
+        sched.spawn(move |ctx| {
+            while let Some(v) = ctx.recv(&rx) {
+                sink.lock().unwrap().push(v);
+            }
+        });
+        sched.run().unwrap();
+        assert_eq!(*received.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_receiver_with_no_producer_deadlocks() {
+        let channel: CoChannel<u8> = CoChannel::new(1);
+        let mut sched = Scheduler::new();
+        sched.spawn(move |ctx| {
+            let _ = ctx.recv(&channel);
+        });
+        let err = sched.run().unwrap_err();
+        assert_eq!(err.blocked_tasks, 1);
+    }
+
+    #[test]
+    fn tasks_spawn_tasks() {
+        let count = Arc::new(Mutex::new(0));
+        let mut sched = Scheduler::new();
+        let c = Arc::clone(&count);
+        sched.spawn(move |ctx| {
+            for _ in 0..3 {
+                let c = Arc::clone(&c);
+                ctx.spawn(move |_ctx| {
+                    *c.lock().unwrap() += 1;
+                });
+            }
+        });
+        let stats = sched.run().unwrap();
+        assert_eq!(*count.lock().unwrap(), 3);
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn block_until_arbitrary_predicate() {
+        let flag = Arc::new(Mutex::new(false));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut sched = Scheduler::new();
+        let (f1, o1) = (Arc::clone(&flag), Arc::clone(&order));
+        sched.spawn(move |ctx| {
+            let f = Arc::clone(&f1);
+            ctx.block_until(move || *f.lock().unwrap());
+            o1.lock().unwrap().push("waiter");
+        });
+        let (f2, o2) = (Arc::clone(&flag), Arc::clone(&order));
+        sched.spawn(move |ctx| {
+            ctx.yield_now();
+            o2.lock().unwrap().push("setter");
+            *f2.lock().unwrap() = true;
+        });
+        sched.run().unwrap();
+        assert_eq!(*order.lock().unwrap(), vec!["setter", "waiter"]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Stackless coroutines: hand-written state machines.
+//!
+//! The contrast class for the ablation benchmark. A stackless
+//! coroutine keeps its "locals" in an explicit struct and its position
+//! in an explicit state field — resuming is a plain method call (no
+//! stack switch, no parking), so transfers are orders of magnitude
+//! cheaper than the stackful kind, but the body cannot suspend from
+//! nested calls and the control flow must be flattened by hand (or by
+//! a compiler, as Rust's `async` does).
+
+/// A resumable computation that yields `Out` values and finishes with
+/// `R`.
+pub trait StepCoroutine {
+    type Out;
+    type Ret;
+
+    /// Advance to the next suspension point.
+    fn step(&mut self) -> Step<Self::Out, Self::Ret>;
+}
+
+/// Result of a [`StepCoroutine::step`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Step<Out, Ret> {
+    Yield(Out),
+    Done(Ret),
+}
+
+/// Iterator adapter over any stackless coroutine.
+pub struct StepIter<C: StepCoroutine> {
+    co: Option<C>,
+}
+
+impl<C: StepCoroutine> StepIter<C> {
+    pub fn new(co: C) -> Self {
+        StepIter { co: Some(co) }
+    }
+}
+
+impl<C: StepCoroutine> Iterator for StepIter<C> {
+    type Item = C::Out;
+    fn next(&mut self) -> Option<C::Out> {
+        let co = self.co.as_mut()?;
+        match co.step() {
+            Step::Yield(v) => Some(v),
+            Step::Done(_) => {
+                self.co = None;
+                None
+            }
+        }
+    }
+}
+
+/// The Fibonacci generator as a hand-flattened state machine — the
+/// stackless counterpart of the stackful generator in
+/// [`crate::core`]'s tests, used by the `ablation_coroutine` bench.
+pub struct FibMachine {
+    a: u64,
+    b: u64,
+    remaining: u32,
+}
+
+impl FibMachine {
+    pub fn new(count: u32) -> Self {
+        FibMachine { a: 0, b: 1, remaining: count }
+    }
+}
+
+impl StepCoroutine for FibMachine {
+    type Out = u64;
+    type Ret = ();
+
+    fn step(&mut self) -> Step<u64, ()> {
+        if self.remaining == 0 {
+            return Step::Done(());
+        }
+        self.remaining -= 1;
+        let current = self.a;
+        let next = self.a + self.b;
+        self.a = self.b;
+        self.b = next;
+        Step::Yield(current)
+    }
+}
+
+/// A ping-pong transfer pair as state machines: two counters that
+/// alternate via an external driver. Measures pure "transfer" cost
+/// with no stack switch.
+pub struct CounterMachine {
+    pub n: u64,
+    pub limit: u64,
+}
+
+impl StepCoroutine for CounterMachine {
+    type Out = u64;
+    type Ret = u64;
+
+    fn step(&mut self) -> Step<u64, u64> {
+        if self.n >= self.limit {
+            Step::Done(self.n)
+        } else {
+            self.n += 1;
+            Step::Yield(self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fib_machine_matches_stackful_generator() {
+        let stackless: Vec<u64> = StepIter::new(FibMachine::new(10)).collect();
+        let mut stackful = crate::core::Coroutine::new(|y, _: ()| {
+            let (mut a, mut b) = (0u64, 1u64);
+            for _ in 0..10 {
+                y.yield_(a);
+                let next = a + b;
+                a = b;
+                b = next;
+            }
+        });
+        let stackful: Vec<u64> = stackful.iter().collect();
+        assert_eq!(stackless, stackful);
+    }
+
+    #[test]
+    fn counter_machine_completes() {
+        let mut c = CounterMachine { n: 0, limit: 3 };
+        assert_eq!(c.step(), Step::Yield(1));
+        assert_eq!(c.step(), Step::Yield(2));
+        assert_eq!(c.step(), Step::Yield(3));
+        assert_eq!(c.step(), Step::Done(3));
+    }
+
+    #[test]
+    fn step_iter_stops_at_done() {
+        let collected: Vec<u64> = StepIter::new(CounterMachine { n: 0, limit: 4 }).collect();
+        assert_eq!(collected, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Symmetric coroutines: direct `transfer` between peers.
+//!
+//! In de Moura & Ierusalimschy's taxonomy (cited by the paper §II.C),
+//! *symmetric* coroutines pass control directly to a named peer
+//! instead of returning to a resumer. This module builds them on the
+//! asymmetric core: each `transfer` request is yielded to a tiny
+//! trampoline ([`SymmetricSet::run`]) that immediately resumes the
+//! target — preserving the programmer-visible semantics (control goes
+//! from A to B without a visible scheduler hop).
+
+use crate::core::{Coroutine, Resume, Yielder};
+
+/// Identifies a coroutine within a [`SymmetricSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoId(pub usize);
+
+enum SymStep<T> {
+    Transfer { to: CoId, value: T },
+}
+
+type SymCoroutine<T> = Coroutine<T, SymStep<T>, T>;
+
+/// The handle a symmetric coroutine body uses to transfer control.
+pub struct SymCtx<'y, T: Send + 'static> {
+    yielder: &'y mut Yielder<T, SymStep<T>, T>,
+}
+
+impl<T: Send + 'static> SymCtx<'_, T> {
+    /// Hand control (and `value`) to coroutine `to`; returns when some
+    /// peer transfers back to us.
+    pub fn transfer(&mut self, to: CoId, value: T) -> T {
+        self.yielder.yield_(SymStep::Transfer { to, value })
+    }
+}
+
+/// A set of symmetric coroutines that transfer among themselves.
+pub struct SymmetricSet<T: Send + 'static> {
+    cos: Vec<Option<SymCoroutine<T>>>,
+}
+
+impl<T: Send + 'static> Default for SymmetricSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> SymmetricSet<T> {
+    pub fn new() -> Self {
+        SymmetricSet { cos: Vec::new() }
+    }
+
+    /// Add a coroutine. Its body receives the control context and the
+    /// value carried by the first transfer into it; its return value
+    /// ends the whole set's run.
+    pub fn add(
+        &mut self,
+        body: impl FnOnce(&mut SymCtx<'_, T>, T) -> T + Send + 'static,
+    ) -> CoId {
+        let id = CoId(self.cos.len());
+        self.cos.push(Some(Coroutine::new(move |yielder, first| {
+            let mut ctx = SymCtx { yielder };
+            body(&mut ctx, first)
+        })));
+        id
+    }
+
+    /// Start (or continue) control flow at `start`, carrying `value`.
+    /// Returns when some coroutine's body *returns* (rather than
+    /// transfers): the id and return value of that finisher.
+    ///
+    /// # Panics
+    /// Panics on a transfer to an unknown or finished coroutine.
+    pub fn run(&mut self, start: CoId, value: T) -> (CoId, T) {
+        let mut current = start;
+        let mut carried = value;
+        loop {
+            let co = self
+                .cos
+                .get_mut(current.0)
+                .and_then(Option::as_mut)
+                .unwrap_or_else(|| panic!("transfer to dead coroutine {current:?}"));
+            match co.resume(carried) {
+                Resume::Yield(SymStep::Transfer { to, value }) => {
+                    current = to;
+                    carried = value;
+                }
+                Resume::Complete(result) => {
+                    self.cos[current.0] = None;
+                    return (current, result);
+                }
+            }
+        }
+    }
+
+    /// Number of still-live coroutines.
+    pub fn live_count(&self) -> usize {
+        self.cos.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_coroutines_bounce_control() {
+        let mut set = SymmetricSet::new();
+        // Declare ids up front via a small trick: ids are sequential.
+        let ping = CoId(0);
+        let pong = CoId(1);
+        set.add(move |ctx, mut n: i64| {
+            // ping: forwards to pong until the counter runs out.
+            while n > 0 {
+                n = ctx.transfer(pong, n - 1);
+            }
+            n
+        });
+        set.add(move |ctx, mut n: i64| {
+            loop {
+                n = ctx.transfer(ping, n - 1);
+            }
+        });
+        let (finisher, result) = set.run(ping, 10);
+        assert_eq!(finisher, ping);
+        assert!(result <= 0);
+    }
+
+    #[test]
+    fn three_way_round_robin() {
+        // a → b → c → a …, each appending its tag; c finishes after
+        // enough hops.
+        let mut set = SymmetricSet::new();
+        let (a, b, c) = (CoId(0), CoId(1), CoId(2));
+        set.add(move |ctx, s: String| {
+            let s = ctx.transfer(b, s + "a");
+            ctx.transfer(b, s + "a") // never returns here
+        });
+        set.add(move |ctx, s: String| {
+            let s = ctx.transfer(c, s + "b");
+            ctx.transfer(c, s + "b")
+        });
+        set.add(move |ctx, s: String| {
+            let s = ctx.transfer(a, s + "c");
+            s + "c" // finish on the second visit
+        });
+        let (finisher, result) = set.run(a, String::new());
+        assert_eq!(finisher, c);
+        assert_eq!(result, "abcabc");
+    }
+
+    #[test]
+    fn run_can_resume_remaining_coroutines() {
+        let mut set = SymmetricSet::new();
+        let first = CoId(0);
+        let second = CoId(1);
+        set.add(move |_ctx, v: i32| v + 1); // finishes immediately
+        set.add(move |_ctx, v: i32| v + 100);
+        let (f1, r1) = set.run(first, 1);
+        assert_eq!((f1, r1), (first, 2));
+        assert_eq!(set.live_count(), 1);
+        let (f2, r2) = set.run(second, 1);
+        assert_eq!((f2, r2), (second, 101));
+        assert_eq!(set.live_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead coroutine")]
+    fn transfer_to_finished_coroutine_panics() {
+        let mut set = SymmetricSet::new();
+        let only = CoId(0);
+        set.add(|_ctx, v: i32| v);
+        let _ = set.run(only, 1);
+        let _ = set.run(only, 2);
+    }
+}

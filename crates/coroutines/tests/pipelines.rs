@@ -1,0 +1,196 @@
+//! Coroutine integration tests: generator pipelines, scheduler
+//! workloads, and symmetric control transfer used together.
+
+use concur_coroutines::{
+    CoChannel, CoId, Coroutine, Resume, Scheduler, Step, StepCoroutine, StepIter,
+    SymmetricSet,
+};
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn generator_pipeline_composes() {
+    // naturals → filter even → scale ×10, driven by hand.
+    let mut naturals = Coroutine::new(|y, _: ()| {
+        for n in 0..20u64 {
+            y.yield_(n);
+        }
+    });
+    let collected: Vec<u64> =
+        naturals.iter().filter(|n| n % 2 == 0).map(|n| n * 10).collect();
+    assert_eq!(collected, vec![0, 20, 40, 60, 80, 100, 120, 140, 160, 180]);
+}
+
+#[test]
+fn bidirectional_protocol_between_two_coroutines() {
+    // A "server" coroutine that interprets commands sent via resume.
+    enum Cmd {
+        Push(i64),
+        Sum,
+    }
+    let mut server = Coroutine::new(|y, first: Cmd| {
+        let mut stack = Vec::new();
+        let mut cmd = first;
+        loop {
+            let reply = match cmd {
+                Cmd::Push(v) => {
+                    stack.push(v);
+                    0
+                }
+                Cmd::Sum => stack.iter().sum(),
+            };
+            cmd = y.yield_(reply);
+        }
+    });
+    assert_eq!(server.resume(Cmd::Push(3)), Resume::Yield(0));
+    assert_eq!(server.resume(Cmd::Push(4)), Resume::Yield(0));
+    assert_eq!(server.resume(Cmd::Sum), Resume::Yield(7));
+    assert_eq!(server.resume(Cmd::Push(10)), Resume::Yield(0));
+    assert_eq!(server.resume(Cmd::Sum), Resume::Yield(17));
+}
+
+#[test]
+fn scheduler_fan_in_fan_out() {
+    // 3 producers → shared channel → 2 consumers → result channel.
+    let work: CoChannel<u64> = CoChannel::new(4);
+    let results: CoChannel<u64> = CoChannel::new(64);
+    let mut sched = Scheduler::new();
+    let producers_left = Arc::new(Mutex::new(3usize));
+
+    for p in 0..3u64 {
+        let work = work.clone();
+        let left = Arc::clone(&producers_left);
+        sched.spawn(move |ctx| {
+            for i in 0..10 {
+                ctx.send(&work, p * 100 + i);
+            }
+            let mut l = left.lock().unwrap();
+            *l -= 1;
+            if *l == 0 {
+                work.close();
+            }
+        });
+    }
+    for _ in 0..2 {
+        let work = work.clone();
+        let results = results.clone();
+        sched.spawn(move |ctx| {
+            while let Some(v) = ctx.recv(&work) {
+                ctx.send(&results, v);
+            }
+        });
+    }
+    let stats = sched.run().expect("no deadlock");
+    assert_eq!(stats.completed, 5);
+    let mut got = Vec::new();
+    while let Some(v) = results.try_recv() {
+        got.push(v);
+    }
+    got.sort();
+    let mut expected: Vec<u64> =
+        (0..3u64).flat_map(|p| (0..10).map(move |i| p * 100 + i)).collect();
+    expected.sort();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn symmetric_coroutines_model_a_state_machine() {
+    // Traffic-light phases handing control to each other; each phase
+    // appends its name; `stop` finishes after two full cycles.
+    let mut set = SymmetricSet::new();
+    let (green, yellow, red) = (CoId(0), CoId(1), CoId(2));
+    set.add(move |ctx, log: String| {
+        let log = ctx.transfer(yellow, log + "G");
+        ctx.transfer(yellow, log + "G")
+    });
+    set.add(move |ctx, log: String| {
+        let log = ctx.transfer(red, log + "Y");
+        ctx.transfer(red, log + "Y")
+    });
+    set.add(move |ctx, log: String| {
+        let log = ctx.transfer(green, log + "R");
+        log + "R"
+    });
+    let (finisher, log) = set.run(green, String::new());
+    assert_eq!(finisher, red);
+    assert_eq!(log, "GYRGYR");
+}
+
+#[test]
+fn many_coroutines_coexist() {
+    // First-class: hold 100 live coroutines and interleave them.
+    let mut cos: Vec<Coroutine<(), u64, u64>> = (0..100)
+        .map(|k| {
+            Coroutine::new(move |y, _: ()| {
+                let mut acc = 0;
+                for i in 0..3 {
+                    y.yield_(k * 1000 + i);
+                    acc += i;
+                }
+                acc
+            })
+        })
+        .collect();
+    let mut yields = 0;
+    for round in 0..3 {
+        for (k, co) in cos.iter_mut().enumerate() {
+            match co.resume(()) {
+                Resume::Yield(v) => {
+                    assert_eq!(v, k as u64 * 1000 + round);
+                    yields += 1;
+                }
+                Resume::Complete(_) => panic!("too early"),
+            }
+        }
+    }
+    assert_eq!(yields, 300);
+    for co in cos.iter_mut() {
+        assert_eq!(co.resume(()), Resume::Complete(3));
+    }
+}
+
+#[test]
+fn stackless_and_stackful_compose_in_one_driver() {
+    struct Upto(u64, u64);
+    impl StepCoroutine for Upto {
+        type Out = u64;
+        type Ret = ();
+        fn step(&mut self) -> Step<u64, ()> {
+            if self.0 >= self.1 {
+                Step::Done(())
+            } else {
+                self.0 += 1;
+                Step::Yield(self.0)
+            }
+        }
+    }
+    let stackless: Vec<u64> = StepIter::new(Upto(0, 5)).collect();
+    let mut stackful = Coroutine::new(|y, _: ()| {
+        for i in 1..=5u64 {
+            y.yield_(i);
+        }
+    });
+    let stackful: Vec<u64> = stackful.iter().collect();
+    assert_eq!(stackless, stackful);
+}
+
+#[test]
+fn cooperative_starvation_is_impossible_with_yields() {
+    // Every task that yields gets its turns: round-robin gives an
+    // exact interleave even with greedy workloads in between.
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut sched = Scheduler::new();
+    for id in 0..4usize {
+        let log = Arc::clone(&log);
+        sched.spawn(move |ctx| {
+            for _ in 0..5 {
+                log.lock().unwrap().push(id);
+                ctx.yield_now();
+            }
+        });
+    }
+    sched.run().unwrap();
+    let log = log.lock().unwrap();
+    // Perfect round-robin: 0 1 2 3 repeated five times.
+    let expected: Vec<usize> = (0..5).flat_map(|_| 0..4).collect();
+    assert_eq!(*log, expected);
+}

@@ -1,0 +1,449 @@
+//! Exhaustive interleaving exploration (a small explicit-state model
+//! checker).
+//!
+//! The paper's figures describe programs by their *set of possible
+//! outputs* ("possibility 1: hello world / possibility 2: world
+//! hello") and its Test-1 questions ask whether a scenario *could*
+//! happen from a given situation. Both are reachability questions over
+//! the interleaving space; this module answers them by depth-first
+//! search over [`Interp::choices`]/[`Interp::apply`] with state-hash
+//! deduplication.
+
+use crate::event::{Event, EventPattern, StateCond};
+use crate::interp::{Choice, Interp, Outcome};
+use crate::state::State;
+use crate::value::RuntimeError;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// The rustc-style Fx hasher: multiplicative, not HashDoS-resistant —
+/// exactly right for hashing interpreter states into the visited set,
+/// where speed dominates and inputs are not adversarial. Profiling
+/// showed SipHash spending a double-digit share of exploration time on
+/// the larger message-passing state spaces.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Exploration bounds. Exploration is exact when neither bound is hit;
+/// results report whether truncation occurred.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum distinct (state, progress) nodes to visit.
+    pub max_states: usize,
+    /// Maximum path depth in atomic steps.
+    pub max_depth: usize,
+    /// Maximum setup states examined by [`Explorer::can_happen`].
+    pub max_setup_states: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_states: 200_000, max_depth: 10_000, max_setup_states: 4096 }
+    }
+}
+
+/// Statistics from one exploration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    pub states_visited: usize,
+    pub transitions: usize,
+    /// Whether any bound was hit (results are then lower bounds).
+    pub truncated: bool,
+}
+
+/// A terminal state of the program (no enabled transitions).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Terminal {
+    /// Normalized output (see [`crate::state::Output::normalized`]).
+    pub output: String,
+    pub outcome: TerminalKind,
+}
+
+/// Outcome classification for terminals (mirrors
+/// [`crate::interp::Outcome`] but orderable for sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TerminalKind {
+    AllDone,
+    Quiescent,
+    Deadlock,
+}
+
+/// Result of enumerating every terminal.
+#[derive(Debug)]
+pub struct TerminalSet {
+    pub terminals: BTreeSet<Terminal>,
+    pub stats: Stats,
+}
+
+impl TerminalSet {
+    /// The distinct normalized outputs of *successful* terminals
+    /// (AllDone or Quiescent).
+    pub fn outputs(&self) -> Vec<String> {
+        self.terminals
+            .iter()
+            .filter(|t| t.outcome != TerminalKind::Deadlock)
+            .map(|t| t.output.clone())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Whether any interleaving deadlocks.
+    pub fn has_deadlock(&self) -> bool {
+        self.terminals.iter().any(|t| t.outcome == TerminalKind::Deadlock)
+    }
+}
+
+/// Verdict for a "could this happen?" question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// Reachable; `witness` is one event trace (from the setup state)
+    /// realizing the scenario.
+    Yes { witness: Vec<Event> },
+    /// Unreachable. `exhaustive` is true when the full space was
+    /// searched (a definitive NO); false when bounds truncated the
+    /// search.
+    No { exhaustive: bool },
+    /// No reachable state satisfies the setup conditions, so the
+    /// question is vacuous (usually a mistake in the question).
+    SetupUnreachable { exhaustive: bool },
+}
+
+impl Answer {
+    pub fn is_yes(&self) -> bool {
+        matches!(self, Answer::Yes { .. })
+    }
+
+    /// `true` exactly for a definitive NO.
+    pub fn is_definitive_no(&self) -> bool {
+        matches!(self, Answer::No { exhaustive: true })
+    }
+}
+
+/// Callback signature for [`Explorer`]'s DFS: (state, edge events,
+/// enabled choices, query progress) → what to do next.
+type VisitFn<'f> = &'f mut dyn FnMut(&State, &[Event], &[Choice], usize) -> Visit;
+
+/// One DFS node. `progress` is the query-match index (always 0 for
+/// plain exploration).
+struct Node {
+    state: State,
+    choices: Vec<Choice>,
+    next: usize,
+    progress: usize,
+    /// Events of the edge that reached this node (empty for roots).
+    edge_events: Vec<Event>,
+}
+
+enum StepAction {
+    Pop,
+    Expand { choice: Choice, progress: usize },
+}
+
+/// What the visit callback wants the search to do.
+#[derive(PartialEq)]
+pub enum Visit {
+    Continue,
+    /// Record nothing further below this node (its subtree is not
+    /// explored), but keep searching elsewhere.
+    Prune,
+    Stop,
+}
+
+/// The explorer: exhaustive DFS drivers over an [`Interp`].
+pub struct Explorer<'i> {
+    pub interp: &'i Interp,
+    pub limits: Limits,
+}
+
+impl<'i> Explorer<'i> {
+    pub fn new(interp: &'i Interp) -> Self {
+        Explorer { interp, limits: Limits::default() }
+    }
+
+    pub fn with_limits(interp: &'i Interp, limits: Limits) -> Self {
+        Explorer { interp, limits }
+    }
+
+    /// Enumerate every reachable terminal state (distinct outputs +
+    /// outcome kinds). This regenerates the figures' "possibility"
+    /// lists exactly.
+    pub fn terminals(&self) -> Result<TerminalSet, RuntimeError> {
+        let mut terminals = BTreeSet::new();
+        let mut stats = Stats::default();
+        let mut visited = HashSet::new();
+        self.dfs(
+            self.interp.initial_state(),
+            None,
+            &mut visited,
+            &mut stats,
+            &mut |state, _events, choices, _progress| {
+                if choices.is_empty() {
+                    let outcome = match self.interp.classify_stuck(state) {
+                        Outcome::AllDone => TerminalKind::AllDone,
+                        Outcome::Quiescent => TerminalKind::Quiescent,
+                        _ => TerminalKind::Deadlock,
+                    };
+                    terminals.insert(Terminal { output: state.output.normalized(), outcome });
+                }
+                Visit::Continue
+            },
+        )?;
+        Ok(TerminalSet { terminals, stats })
+    }
+
+    /// Collect up to `cap` distinct reachable states satisfying all of
+    /// `setup`. With `frontier_only`, exploration stops *below* each
+    /// matching state: for "could X happen after a setup state?"
+    /// queries this loses nothing, because a scenario reachable from a
+    /// deeper setup state is also reachable (as a subsequence) from
+    /// the setup state above it.
+    pub fn reachable_states(
+        &self,
+        setup: &[StateCond],
+        cap: usize,
+        frontier_only: bool,
+    ) -> Result<(Vec<State>, Stats), RuntimeError> {
+        let mut found: Vec<State> = Vec::new();
+        let mut stats = Stats::default();
+        let mut visited = HashSet::new();
+        let funcs = &self.interp.compiled.funcs;
+        self.dfs(
+            self.interp.initial_state(),
+            None,
+            &mut visited,
+            &mut stats,
+            &mut |state, _events, _choices, _progress| {
+                if setup.iter().all(|c| c.holds(state, funcs)) {
+                    found.push(state.clone());
+                    if found.len() >= cap {
+                        return Visit::Stop;
+                    }
+                    if frontier_only {
+                        return Visit::Prune;
+                    }
+                }
+                Visit::Continue
+            },
+        )?;
+        if found.len() >= cap {
+            stats.truncated = true;
+        }
+        Ok((found, stats))
+    }
+
+    /// Answer a Test-1-style question: from some reachable state where
+    /// every `setup` condition holds, can the `query` event patterns
+    /// occur in order (as a subsequence of the continuation)?
+    pub fn can_happen(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<Answer, RuntimeError> {
+        let (starts, setup_stats) =
+            self.reachable_states(setup, self.limits.max_setup_states, true)?;
+        if starts.is_empty() {
+            return Ok(Answer::SetupUnreachable { exhaustive: !setup_stats.truncated });
+        }
+        if query.is_empty() {
+            return Ok(Answer::Yes { witness: Vec::new() });
+        }
+        // Share the visited set across start states: a (state,
+        // progress) node explored from one start need not be
+        // re-explored from another.
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stats = Stats::default();
+        for start in starts {
+            let mut witness: Option<Vec<Event>> = None;
+            self.dfs(start, Some(query), &mut visited, &mut stats, &mut |_state,
+                                                                          _events,
+                                                                          _choices,
+                                                                          progress| {
+                if progress == query.len() {
+                    Visit::Stop
+                } else {
+                    Visit::Continue
+                }
+            })
+            .map(|w| witness = w)?;
+            if let Some(events) = witness {
+                return Ok(Answer::Yes { witness: events });
+            }
+        }
+        let truncated = setup_stats.truncated || stats.truncated;
+        Ok(Answer::No { exhaustive: !truncated })
+    }
+
+    // --- internals ---------------------------------------------------------
+
+    /// Generic DFS with optional query-progress tracking.
+    ///
+    /// The callback sees each deduplicated node along with the edge
+    /// events that produced it and its enabled choices; returning
+    /// [`Visit::Stop`] aborts the search. When `query` is `Some`, the
+    /// return value carries the event path of the first node whose
+    /// progress reached `query.len()` (the witness).
+    fn dfs(
+        &self,
+        start: State,
+        query: Option<&[EventPattern]>,
+        visited: &mut HashSet<u64>,
+        stats: &mut Stats,
+        visit: VisitFn<'_>,
+    ) -> Result<Option<Vec<Event>>, RuntimeError> {
+        let mut start = start;
+        start.steps = 0;
+        if !visited.insert(hash_node(&start, 0)) {
+            return Ok(None);
+        }
+        stats.states_visited += 1;
+        let choices = self.interp.choices(&start);
+        match visit(&start, &[], &choices, 0) {
+            Visit::Stop | Visit::Prune => return Ok(None),
+            Visit::Continue => {}
+        }
+        let mut stack =
+            vec![Node { state: start, choices, next: 0, progress: 0, edge_events: Vec::new() }];
+
+        loop {
+            let depth = stack.len();
+            if depth == 0 {
+                return Ok(None);
+            }
+            let action = {
+                let node = stack.last_mut().expect("non-empty stack");
+                if node.next >= node.choices.len() {
+                    StepAction::Pop
+                } else if depth >= self.limits.max_depth {
+                    stats.truncated = true;
+                    StepAction::Pop
+                } else {
+                    let choice = node.choices[node.next].clone();
+                    node.next += 1;
+                    StepAction::Expand { choice, progress: node.progress }
+                }
+            };
+            match action {
+                StepAction::Pop => {
+                    stack.pop();
+                }
+                StepAction::Expand { choice, progress: progress_before } => {
+                    let mut next_state =
+                        stack.last().expect("non-empty stack").state.clone();
+                    let events = self.interp.apply(&mut next_state, &choice)?;
+                    // Step counts are path-dependent; freeze them so
+                    // they do not break state dedup.
+                    next_state.steps = 0;
+                    stats.transitions += 1;
+
+                    let mut progress = progress_before;
+                    if let Some(query) = query {
+                        for event in &events {
+                            if progress < query.len()
+                                && query[progress].matches(event, &next_state)
+                            {
+                                progress += 1;
+                            }
+                        }
+                        if progress == query.len() {
+                            let mut path: Vec<Event> = stack
+                                .iter()
+                                .flat_map(|n| n.edge_events.iter().cloned())
+                                .collect();
+                            path.extend(events);
+                            return Ok(Some(path));
+                        }
+                    }
+
+                    if !visited.insert(hash_node(&next_state, progress)) {
+                        continue;
+                    }
+                    stats.states_visited += 1;
+                    if stats.states_visited >= self.limits.max_states {
+                        stats.truncated = true;
+                        return Ok(None);
+                    }
+                    let choices = self.interp.choices(&next_state);
+                    match visit(&next_state, &events, &choices, progress) {
+                        Visit::Stop => return Ok(None),
+                        Visit::Prune => {}
+                        Visit::Continue => {
+                            stack.push(Node {
+                                state: next_state,
+                                choices,
+                                next: 0,
+                                progress,
+                                edge_events: events,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn hash_node(state: &State, progress: usize) -> u64 {
+    let mut hasher = FxHasher::default();
+    state.hash(&mut hasher);
+    progress.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Convenience: enumerate the terminal outputs of a source program.
+pub fn terminal_outputs(source: &str) -> Result<Vec<String>, String> {
+    let interp = Interp::from_source(source)?;
+    let explorer = Explorer::new(&interp);
+    let set = explorer.terminals().map_err(|e| e.to_string())?;
+    Ok(set.outputs())
+}

@@ -1,0 +1,173 @@
+//! The paper's Figure 1–5 example programs, verbatim in the pseudocode
+//! notation, with the outputs the figures list.
+//!
+//! These are the ground-truth corpus for the interpreter: unit tests
+//! assert that the model checker enumerates *exactly* the paper's
+//! possibility lists, and the random-scheduler tests assert that
+//! observed outputs are a subset of them.
+
+/// Figure 1: simple statements are atomic; assignment examples.
+pub const FIG1_ASSIGNMENTS: &str = "\
+total = 0
+name = \"John Smith\"
+condition = TRUE
+height = 3.3
+PRINTLN total
+";
+
+/// Figure 2: conditional chain, `testScore = 88` prints `B`.
+pub const FIG2_CONDITIONAL: &str = "\
+testScore = 88
+IF testScore >= 90 THEN
+    PRINTLN \"A\"
+ELSE IF testScore >= 80 THEN
+    PRINTLN \"B\"
+ELSE IF testScore >= 70 THEN
+    PRINTLN \"C\"
+ELSE
+    PRINTLN \"F\"
+ENDIF
+";
+
+/// Figure 3, part 1: two atomic prints in a `PARA` block can run in
+/// either order. Expected outputs: `hello world` and `world hello`.
+pub const FIG3_TWO_PRINTS: &str = "\
+PARA
+    PRINT \"hello \"
+    PRINT \"world \"
+ENDPARA
+";
+
+/// Figure 3, part 2: statements inside one function body stay
+/// sequential. Expected output: `hi there` only.
+pub const FIG3_SEQUENTIAL_FN: &str = "\
+DEFINE print()
+    PRINT \"hi\"
+    PRINT \"there\"
+ENDDEF
+
+PARA
+    print()
+ENDPARA
+";
+
+/// Figure 3, part 3: a function task interleaves with a simple
+/// statement task. Expected outputs: `world hi there`,
+/// `hi world there`, `hi there world`.
+pub const FIG3_INTERLEAVED: &str = "\
+DEFINE print()
+    PRINT \"hi\"
+    PRINT \"there\"
+ENDDEF
+
+PARA
+    print()
+    PRINT \"world\"
+ENDPARA
+";
+
+/// Figure 4, part 1: `EXC_ACC` makes the read-modify-write atomic, so
+/// the final value is deterministically `9`.
+pub const FIG4_EXC_ACC: &str = "\
+x = 10
+
+DEFINE changeX(diff)
+    EXC_ACC
+        x = x + diff
+    END_EXC_ACC
+ENDDEF
+
+PARA
+    changeX(1)
+    changeX(-2)
+ENDPARA
+
+PRINTLN x
+";
+
+/// Figure 4, part 2: conditional synchronization with `WAIT()` /
+/// `NOTIFY()`. `changeX(-11)` must wait for `changeX(1)`; the final
+/// value is deterministically `0`.
+pub const FIG4_WAIT_NOTIFY: &str = "\
+x = 10
+
+DEFINE changeX(diff)
+    EXC_ACC
+        WHILE x + diff < 0
+            WAIT()
+        ENDWHILE
+        x = x + diff
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+PARA
+    changeX(-11)
+    changeX(1)
+ENDPARA
+
+PRINTLN x
+";
+
+/// The same data race as Figure 4 part 1 but *without* `EXC_ACC` and
+/// with the read and write split into separate atomic statements: the
+/// lost-update outcomes join the correct one. (Not a paper figure; the
+/// control experiment its Figure 4 text implies.)
+pub const FIG4_RACE_CONTROL: &str = "\
+x = 10
+
+DEFINE changeX(diff)
+    t = x
+    x = t + diff
+ENDDEF
+
+PARA
+    changeX(1)
+    changeX(-2)
+ENDPARA
+
+PRINTLN x
+";
+
+/// Figure 5: asynchronous sends to a receiver; the two messages can be
+/// delivered in either order. Expected outputs: `hello world` and
+/// `world hello`.
+pub const FIG5_MESSAGE_PASSING: &str = "\
+CLASS Receiver
+    DEFINE receive()
+        ON_RECEIVING
+            MESSAGE.h(var)
+                PRINT var
+            MESSAGE.w(var)
+                PRINTLN var
+    ENDDEF
+ENDCLASS
+
+m1 = MESSAGE.h(\"hello\")
+m2 = MESSAGE.w(\"world\")
+
+r1 = new Receiver()
+r1.receive()
+
+Send(m1).To(r1)
+Send(m2).To(r1)
+";
+
+/// All figures with their paper-listed possibility sets (normalized
+/// output strings, sorted).
+pub fn figure_expectations() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
+    vec![
+        ("fig1", FIG1_ASSIGNMENTS, vec!["0"]),
+        ("fig2", FIG2_CONDITIONAL, vec!["B"]),
+        ("fig3-two-prints", FIG3_TWO_PRINTS, vec!["hello world", "world hello"]),
+        ("fig3-sequential-fn", FIG3_SEQUENTIAL_FN, vec!["hi there"]),
+        (
+            "fig3-interleaved",
+            FIG3_INTERLEAVED,
+            vec!["hi there world", "hi world there", "world hi there"],
+        ),
+        ("fig4-exc-acc", FIG4_EXC_ACC, vec!["9"]),
+        ("fig4-wait-notify", FIG4_WAIT_NOTIFY, vec!["0"]),
+        ("fig5-message-passing", FIG5_MESSAGE_PASSING, vec!["hello world", "world hello"]),
+    ]
+}

@@ -1,0 +1,700 @@
+//! Compilation of (lowered) pseudocode ASTs into a flat instruction
+//! form the small-step interpreter executes.
+//!
+//! One instruction = one atomic step, which is exactly the granularity
+//! the paper's semantics prescribe (Figure 1: "Simple statements are
+//! executed atomically"). Control flow becomes explicit jumps; `PARA`
+//! tasks and `ON_RECEIVING` arms become separate code units / jump
+//! targets. `ON_RECEIVING` compiles to a *persistent* receive loop:
+//! after an arm body completes, control returns to the receive
+//! instruction — this is what makes Figure 5 print **both** messages
+//! ("Accept the next message…") and matches the Actor model's
+//! "designate how to handle the next message it receives". A receiver
+//! stops by executing `RETURN`.
+
+use crate::value::RuntimeError;
+use concur_pseudocode::analysis::{exc_footprint, FootRef};
+use concur_pseudocode::ast::*;
+use concur_pseudocode::lower::lower_program;
+use concur_pseudocode::{pretty, Span};
+use std::collections::BTreeMap;
+
+/// Index into [`Compiled::funcs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub usize);
+
+/// Index into [`Compiled::code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CodeId(pub usize);
+
+/// A compiled program: immutable, shared by every interpreter state.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub funcs: Vec<FuncInfo>,
+    pub classes: BTreeMap<String, ClassInfo>,
+    pub code: Vec<Vec<Instr>>,
+    /// The synthesized `main` function holding the top-level
+    /// statements.
+    pub main: FuncId,
+}
+
+impl Compiled {
+    pub fn func(&self, id: FuncId) -> &FuncInfo {
+        &self.funcs[id.0]
+    }
+
+    pub fn code(&self, id: CodeId) -> &[Instr] {
+        &self.code[id.0]
+    }
+
+    /// Find a top-level function by name.
+    pub fn toplevel(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.class.is_none() && f.name == name)
+            .map(FuncId)
+    }
+
+    /// Find a method `class.name`.
+    pub fn method(&self, class: &str, name: &str) -> Option<FuncId> {
+        self.classes.get(class).and_then(|c| c.methods.get(name)).copied()
+    }
+
+    /// Total instruction count (all code units).
+    pub fn instr_count(&self) -> usize {
+        self.code.iter().map(Vec::len).sum()
+    }
+}
+
+/// Metadata for one function, method, or synthesized task body.
+#[derive(Debug, Clone)]
+pub struct FuncInfo {
+    /// Bare name (`changeX`, `run`, `main`, or a task label).
+    pub name: String,
+    /// Qualified display name (`Bridge.start`, `changeX`, `main`).
+    pub qualified: String,
+    pub params: Vec<String>,
+    pub code: CodeId,
+    /// Defining class, when this is a method.
+    pub class: Option<String>,
+    /// Whether the body contains `ON_RECEIVING`: calls to such methods
+    /// start a detached receiver task (Figure 5's `r1.receive()`).
+    pub is_receiver: bool,
+}
+
+/// Metadata for one class.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    pub name: String,
+    /// Field initializers in declaration order (call-free by
+    /// validation).
+    pub fields: Vec<(String, Expr)>,
+    pub methods: BTreeMap<String, FuncId>,
+}
+
+/// How a call names its target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalleeRef {
+    /// Resolution order at runtime: sibling method of the current
+    /// receiver, then top-level function, then builtin.
+    Name(String),
+    /// `base.method(...)` — `base` is call-free after lowering.
+    Method(Expr, String),
+}
+
+/// One arm of a compiled receive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmInfo {
+    pub msg_name: String,
+    pub params: Vec<String>,
+    /// Jump target of the arm body.
+    pub target: usize,
+}
+
+/// The interpreter's atomic steps. All embedded expressions are
+/// call-free (guaranteed by lowering), so evaluating them never
+/// suspends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `target = value` with a pure right-hand side.
+    Assign { target: LValue, value: Expr, span: Span },
+    /// `target = f(args)` / bare `f(args)`. Pushes a frame — or spawns
+    /// a detached receiver task when the resolved target is a receiver
+    /// method.
+    CallAssign { target: Option<LValue>, callee: CalleeRef, args: Vec<Expr>, span: Span },
+    /// `target = new C(args)`: allocate, run field initializers, then
+    /// call `init(args)` if the class defines it.
+    New { target: Option<LValue>, class: String, args: Vec<Expr>, span: Span },
+    /// Unconditional jump (compiled control flow).
+    Jump { target: usize },
+    /// Conditional jump; `cond` must evaluate to BOOL.
+    JumpIfFalse { cond: Expr, target: usize, span: Span },
+    Print { value: Expr, newline: bool, span: Span },
+    /// Spawn one task per element and block until all join (Figure 3/4
+    /// semantics: the statement after `ENDPARA` sees every effect).
+    Para { tasks: Vec<(CodeId, String)>, span: Span },
+    /// Acquire the resolved footprint (all cells at once) or block.
+    ExcEnter { footprint: Vec<FootRef>, span: Span },
+    ExcExit { span: Span },
+    Wait { span: Span },
+    Notify { span: Span },
+    Send { msg: Expr, to: Expr, span: Span },
+    /// Accept one in-flight message for this task's receiver object;
+    /// matching arm binds parameters and jumps. Arm bodies jump back
+    /// here (persistent behavior).
+    Receive { arms: Vec<ArmInfo>, span: Span },
+    /// End of a receive arm: restore the frame's function-level
+    /// locals (arm bindings are message-scoped) and return to the
+    /// `Receive` instruction for the next message. Free (skidded over)
+    /// like `Jump`.
+    ArmEnd { receive: usize },
+    /// `SPAWN f(args)`: start the call as a detached task.
+    Spawn { callee: CalleeRef, args: Vec<Expr>, span: Span },
+    Return { value: Option<Expr>, span: Span },
+}
+
+impl Instr {
+    pub fn span(&self) -> Span {
+        match self {
+            Instr::Assign { span, .. }
+            | Instr::CallAssign { span, .. }
+            | Instr::New { span, .. }
+            | Instr::JumpIfFalse { span, .. }
+            | Instr::Print { span, .. }
+            | Instr::Para { span, .. }
+            | Instr::ExcEnter { span, .. }
+            | Instr::ExcExit { span }
+            | Instr::Wait { span }
+            | Instr::Notify { span }
+            | Instr::Send { span, .. }
+            | Instr::Receive { span, .. }
+            | Instr::Spawn { span, .. }
+            | Instr::Return { span, .. } => *span,
+            Instr::Jump { .. } | Instr::ArmEnd { .. } => Span::SYNTH,
+        }
+    }
+}
+
+/// Compile a parsed program. Lowering is applied internally, so any
+/// output of [`concur_pseudocode::parse`] is accepted.
+pub fn compile(program: &Program) -> Result<Compiled, RuntimeError> {
+    let lowered = lower_program(program.clone());
+    let mut c = Compiler::default();
+
+    // Pass 1: assign FuncIds so calls can be resolved lazily by name at
+    // runtime (no forward-reference issues).
+    for item in &lowered.items {
+        match item {
+            Item::Func(f) => {
+                c.declare_func(f, None);
+            }
+            Item::Class(class) => {
+                for m in &class.methods {
+                    c.declare_func(m, Some(class.name.clone()));
+                }
+                c.classes.insert(
+                    class.name.clone(),
+                    ClassInfo {
+                        name: class.name.clone(),
+                        fields: class.fields.clone(),
+                        methods: BTreeMap::new(),
+                    },
+                );
+            }
+            Item::Stmt(_) => {}
+        }
+    }
+
+    // Pass 2: compile bodies.
+    let mut next = 0usize;
+    for item in &lowered.items {
+        match item {
+            Item::Func(f) => {
+                let id = FuncId(next);
+                next += 1;
+                c.compile_func_body(id, f)?;
+            }
+            Item::Class(class) => {
+                for m in &class.methods {
+                    let id = FuncId(next);
+                    next += 1;
+                    c.compile_func_body(id, m)?;
+                    let class_info =
+                        c.classes.get_mut(&class.name).expect("declared in pass 1");
+                    class_info.methods.insert(m.name.clone(), id);
+                }
+            }
+            Item::Stmt(_) => {}
+        }
+    }
+
+    // Synthesized main from the top-level statements.
+    let main_stmts: Vec<Stmt> = lowered
+        .items
+        .iter()
+        .filter_map(|item| match item {
+            Item::Stmt(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    let main_code = c.compile_unit(&main_stmts)?;
+    let main = FuncId(c.funcs.len());
+    c.funcs.push(FuncInfo {
+        name: "main".into(),
+        qualified: "main".into(),
+        params: vec![],
+        code: main_code,
+        class: None,
+        is_receiver: false,
+    });
+
+    Ok(Compiled { funcs: c.funcs, classes: c.classes, code: c.code, main })
+}
+
+/// Convenience: parse + compile a source string.
+pub fn compile_source(source: &str) -> Result<Compiled, String> {
+    let program = concur_pseudocode::parse(source).map_err(|e| e.to_string())?;
+    compile(&program).map_err(|e| e.to_string())
+}
+
+#[derive(Default)]
+struct Compiler {
+    funcs: Vec<FuncInfo>,
+    classes: BTreeMap<String, ClassInfo>,
+    code: Vec<Vec<Instr>>,
+}
+
+struct LoopCtx {
+    /// Indices of `Jump` placeholders to patch to the loop exit.
+    breaks: Vec<usize>,
+    /// Target for `CONTINUE`.
+    continue_target: usize,
+}
+
+impl Compiler {
+    fn declare_func(&mut self, f: &FuncDef, class: Option<String>) {
+        let qualified = match &class {
+            Some(c) => format!("{c}.{}", f.name),
+            None => f.name.clone(),
+        };
+        self.funcs.push(FuncInfo {
+            name: f.name.clone(),
+            qualified,
+            params: f.params.clone(),
+            code: CodeId(usize::MAX), // patched by compile_func_body
+            class,
+            is_receiver: f.contains_receive(),
+        });
+    }
+
+    fn compile_func_body(&mut self, id: FuncId, f: &FuncDef) -> Result<(), RuntimeError> {
+        let code = self.compile_unit(&f.body)?;
+        self.funcs[id.0].code = code;
+        Ok(())
+    }
+
+    /// Compile a block into a fresh code unit.
+    fn compile_unit(&mut self, block: &[Stmt]) -> Result<CodeId, RuntimeError> {
+        let mut code = Vec::new();
+        let mut loops = Vec::new();
+        self.compile_block(block, &mut code, &mut loops)?;
+        debug_assert!(loops.is_empty());
+        let id = CodeId(self.code.len());
+        self.code.push(code);
+        Ok(id)
+    }
+
+    fn compile_block(
+        &mut self,
+        block: &[Stmt],
+        code: &mut Vec<Instr>,
+        loops: &mut Vec<LoopCtx>,
+    ) -> Result<(), RuntimeError> {
+        for stmt in block {
+            self.compile_stmt(stmt, code, loops)?;
+        }
+        Ok(())
+    }
+
+    fn compile_stmt(
+        &mut self,
+        stmt: &Stmt,
+        code: &mut Vec<Instr>,
+        loops: &mut Vec<LoopCtx>,
+    ) -> Result<(), RuntimeError> {
+        let span = stmt.span;
+        match &stmt.kind {
+            StmtKind::Assign { target, value } => match &value.kind {
+                ExprKind::Call { callee, args } => code.push(Instr::CallAssign {
+                    target: Some(target.clone()),
+                    callee: to_callee(callee),
+                    args: args.clone(),
+                    span,
+                }),
+                ExprKind::New { class, args } => code.push(Instr::New {
+                    target: Some(target.clone()),
+                    class: class.clone(),
+                    args: args.clone(),
+                    span,
+                }),
+                _ => code.push(Instr::Assign {
+                    target: target.clone(),
+                    value: value.clone(),
+                    span,
+                }),
+            },
+            StmtKind::ExprStmt(expr) => match &expr.kind {
+                ExprKind::Call { callee, args } => code.push(Instr::CallAssign {
+                    target: None,
+                    callee: to_callee(callee),
+                    args: args.clone(),
+                    span,
+                }),
+                ExprKind::New { class, args } => code.push(Instr::New {
+                    target: None,
+                    class: class.clone(),
+                    args: args.clone(),
+                    span,
+                }),
+                other => {
+                    return Err(RuntimeError::new(
+                        format!("expression statement is not a call: {other:?}"),
+                        span,
+                    ));
+                }
+            },
+            StmtKind::If { arms, else_ } => {
+                // Lowered IF has exactly one arm (ELSE IF chains become
+                // nested IFs), but compile the general shape anyway.
+                let mut end_jumps = Vec::new();
+                let mut last_false_jump: Option<usize> = None;
+                for (cond, body) in arms {
+                    if let Some(idx) = last_false_jump.take() {
+                        patch(code, idx);
+                    }
+                    let false_jump = code.len();
+                    code.push(Instr::JumpIfFalse {
+                        cond: cond.clone(),
+                        target: usize::MAX,
+                        span,
+                    });
+                    self.compile_block(body, code, loops)?;
+                    end_jumps.push(code.len());
+                    code.push(Instr::Jump { target: usize::MAX });
+                    last_false_jump = Some(false_jump);
+                }
+                if let Some(idx) = last_false_jump.take() {
+                    patch(code, idx);
+                }
+                if let Some(body) = else_ {
+                    self.compile_block(body, code, loops)?;
+                }
+                for idx in end_jumps {
+                    patch(code, idx);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let top = code.len();
+                let exit_jump = code.len();
+                code.push(Instr::JumpIfFalse {
+                    cond: cond.clone(),
+                    target: usize::MAX,
+                    span,
+                });
+                loops.push(LoopCtx { breaks: Vec::new(), continue_target: top });
+                self.compile_block(body, code, loops)?;
+                let ctx = loops.pop().expect("loop context pushed above");
+                code.push(Instr::Jump { target: top });
+                patch(code, exit_jump);
+                for b in ctx.breaks {
+                    patch(code, b);
+                }
+            }
+            StmtKind::For { var, from, to, body } => {
+                // var = from; __for<k> = to;
+                // TOP: if !(var <= __for<k>) goto END
+                //   body
+                // CONT: var = var + 1; goto TOP
+                let end_var = format!("__for{}", code.len());
+                code.push(Instr::Assign {
+                    target: LValue::Name(var.clone()),
+                    value: from.clone(),
+                    span,
+                });
+                code.push(Instr::Assign {
+                    target: LValue::Name(end_var.clone()),
+                    value: to.clone(),
+                    span,
+                });
+                let top = code.len();
+                let cond = Expr::new(
+                    ExprKind::Binary(
+                        BinOp::Le,
+                        Box::new(Expr::new(ExprKind::Name(var.clone()), span)),
+                        Box::new(Expr::new(ExprKind::Name(end_var.clone()), span)),
+                    ),
+                    span,
+                );
+                let exit_jump = code.len();
+                code.push(Instr::JumpIfFalse { cond, target: usize::MAX, span });
+                loops.push(LoopCtx { breaks: Vec::new(), continue_target: usize::MAX });
+                let body_start_loops = loops.len();
+                self.compile_block(body, code, loops)?;
+                debug_assert_eq!(loops.len(), body_start_loops);
+                let cont = code.len();
+                // Patch CONTINUEs to the increment.
+                let ctx = loops.pop().expect("loop context pushed above");
+                code.push(Instr::Assign {
+                    target: LValue::Name(var.clone()),
+                    value: Expr::new(
+                        ExprKind::Binary(
+                            BinOp::Add,
+                            Box::new(Expr::new(ExprKind::Name(var.clone()), span)),
+                            Box::new(Expr::new(ExprKind::Int(1), span)),
+                        ),
+                        span,
+                    ),
+                    span,
+                });
+                code.push(Instr::Jump { target: top });
+                patch(code, exit_jump);
+                for b in ctx.breaks {
+                    patch(code, b);
+                }
+                // CONTINUE inside FOR jumps to the increment, which we
+                // only now know; rewrite the sentinels — but only the
+                // ones in *this* loop's body range, because an inner
+                // FOR is compiled (and its sentinels consumed) before
+                // an enclosing FOR reaches this point, while an outer
+                // FOR's sentinels never live inside our range.
+                for instr in &mut code[top..cont] {
+                    if let Instr::Jump { target } = instr {
+                        if *target == usize::MAX - 1 {
+                            *target = cont;
+                        }
+                    }
+                }
+            }
+            StmtKind::Break => {
+                let idx = code.len();
+                code.push(Instr::Jump { target: usize::MAX });
+                let ctx = loops.last_mut().ok_or_else(|| {
+                    RuntimeError::new("BREAK outside of a loop reached the compiler", span)
+                })?;
+                ctx.breaks.push(idx);
+            }
+            StmtKind::Continue => {
+                let ctx = loops.last().ok_or_else(|| {
+                    RuntimeError::new("CONTINUE outside of a loop reached the compiler", span)
+                })?;
+                let target = if ctx.continue_target == usize::MAX {
+                    usize::MAX - 1 // FOR-loop sentinel, patched after the body
+                } else {
+                    ctx.continue_target
+                };
+                code.push(Instr::Jump { target });
+            }
+            StmtKind::Para { tasks } => {
+                let mut compiled_tasks = Vec::new();
+                for task in tasks {
+                    let label = pretty::stmt_to_string(task).trim().to_string();
+                    let label = label.lines().next().unwrap_or("task").to_string();
+                    let unit = self.compile_unit(std::slice::from_ref(task))?;
+                    compiled_tasks.push((unit, label));
+                }
+                code.push(Instr::Para { tasks: compiled_tasks, span });
+            }
+            StmtKind::ExcAcc { body } => {
+                let footprint: Vec<FootRef> = exc_footprint(body).into_iter().collect();
+                code.push(Instr::ExcEnter { footprint, span });
+                self.compile_block(body, code, loops)?;
+                code.push(Instr::ExcExit { span });
+            }
+            StmtKind::Wait => code.push(Instr::Wait { span }),
+            StmtKind::Notify => code.push(Instr::Notify { span }),
+            StmtKind::Print { value, newline } => code.push(Instr::Print {
+                value: value.clone(),
+                newline: *newline,
+                span,
+            }),
+            StmtKind::Send { msg, to } => {
+                code.push(Instr::Send { msg: msg.clone(), to: to.clone(), span })
+            }
+            StmtKind::OnReceiving { arms } => {
+                let receive_pc = code.len();
+                code.push(Instr::Receive { arms: Vec::new(), span });
+                let mut infos = Vec::new();
+                for arm in arms {
+                    let target = code.len();
+                    self.compile_block(&arm.body, code, loops)?;
+                    // Persistent behavior: go handle the next message
+                    // (dropping this message's bindings).
+                    code.push(Instr::ArmEnd { receive: receive_pc });
+                    infos.push(ArmInfo {
+                        msg_name: arm.msg_name.clone(),
+                        params: arm.params.clone(),
+                        target,
+                    });
+                }
+                code[receive_pc] = Instr::Receive { arms: infos, span };
+            }
+            StmtKind::Spawn { call } => match &call.kind {
+                ExprKind::Call { callee, args } => code.push(Instr::Spawn {
+                    callee: to_callee(callee),
+                    args: args.clone(),
+                    span,
+                }),
+                _ => {
+                    return Err(RuntimeError::new("SPAWN expects a call", span));
+                }
+            },
+            StmtKind::Return(value) => {
+                code.push(Instr::Return { value: value.clone(), span })
+            }
+            StmtKind::Seq(block) => self.compile_block(block, code, loops)?,
+        }
+        Ok(())
+    }
+}
+
+fn to_callee(callee: &Callee) -> CalleeRef {
+    match callee {
+        Callee::Name(name) => CalleeRef::Name(name.clone()),
+        Callee::Method(base, method) => CalleeRef::Method((**base).clone(), method.clone()),
+    }
+}
+
+/// Patch the placeholder jump at `idx` to point at the current end of
+/// `code`.
+fn patch(code: &mut [Instr], idx: usize) {
+    let here = code.len();
+    match &mut code[idx] {
+        Instr::Jump { target } | Instr::JumpIfFalse { target, .. } => *target = here,
+        other => unreachable!("patched a non-jump instruction {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concur_pseudocode::parse;
+
+    fn compiled(src: &str) -> Compiled {
+        compile(&parse(src).expect("parses")).expect("compiles")
+    }
+
+    #[test]
+    fn straight_line_assignments() {
+        let c = compiled("x = 1\ny = x + 1\nPRINTLN y\n");
+        let main = c.code(c.func(c.main).code);
+        assert_eq!(main.len(), 3);
+        assert!(matches!(main[0], Instr::Assign { .. }));
+        assert!(matches!(main[2], Instr::Print { newline: true, .. }));
+    }
+
+    #[test]
+    fn while_compiles_to_backward_jump() {
+        let c = compiled("x = 3\nWHILE x > 0\n    x = x - 1\nENDWHILE\nPRINTLN x\n");
+        let main = c.code(c.func(c.main).code);
+        // assign, test, body, jump-back, print
+        assert_eq!(main.len(), 5, "{main:#?}");
+        assert!(matches!(main[1], Instr::JumpIfFalse { target: 4, .. }));
+        assert!(matches!(main[3], Instr::Jump { target: 1 }));
+    }
+
+    #[test]
+    fn for_desugars_to_while_shape() {
+        let c = compiled("s = 0\nFOR i = 1 TO 3\n    s = s + i\nENDFOR\nPRINTLN s\n");
+        let main = c.code(c.func(c.main).code);
+        // s=0, i=1, __for=3, test, body, incr, jump, print
+        assert_eq!(main.len(), 8, "{main:#?}");
+        assert!(matches!(main[3], Instr::JumpIfFalse { target: 7, .. }));
+    }
+
+    #[test]
+    fn if_else_chain_targets() {
+        let c = compiled("IF x > 0 THEN\n    PRINT 1\nELSE\n    PRINT 2\nENDIF\n");
+        let main = c.code(c.func(c.main).code);
+        // test, print1, jump-end, print2
+        assert_eq!(main.len(), 4, "{main:#?}");
+        assert!(matches!(main[0], Instr::JumpIfFalse { target: 3, .. }));
+        assert!(matches!(main[2], Instr::Jump { target: 4 }));
+    }
+
+    #[test]
+    fn para_tasks_become_code_units() {
+        let c = compiled("PARA\n    f()\n    g()\nENDPARA\n");
+        let main = c.code(c.func(c.main).code);
+        let Instr::Para { tasks, .. } = &main[0] else { panic!("{main:#?}") };
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].1, "f()");
+        assert_eq!(c.code(tasks[0].0).len(), 1);
+    }
+
+    #[test]
+    fn exc_acc_brackets_body() {
+        let c = compiled(
+            "x = 0\nDEFINE f()\n    EXC_ACC\n        x = x + 1\n    END_EXC_ACC\nENDDEF\n",
+        );
+        let f = c.toplevel("f").unwrap();
+        let body = c.code(c.func(f).code);
+        assert!(matches!(&body[0], Instr::ExcEnter { footprint, .. } if footprint.len() == 1));
+        assert!(matches!(body[1], Instr::Assign { .. }));
+        assert!(matches!(body[2], Instr::ExcExit { .. }));
+    }
+
+    #[test]
+    fn receive_arms_jump_back() {
+        let c = compiled(
+            "CLASS R\n    DEFINE receive()\n        ON_RECEIVING\n            MESSAGE.a(x)\n                PRINT x\n            MESSAGE.b(y)\n                PRINTLN y\n    ENDDEF\nENDCLASS\n",
+        );
+        let m = c.method("R", "receive").unwrap();
+        assert!(c.func(m).is_receiver);
+        let body = c.code(c.func(m).code);
+        let Instr::Receive { arms, .. } = &body[0] else { panic!("{body:#?}") };
+        assert_eq!(arms.len(), 2);
+        // Each arm body is followed by an arm-end returning to pc 0.
+        for arm in arms {
+            let mut pc = arm.target;
+            while !matches!(body[pc], Instr::ArmEnd { .. }) {
+                pc += 1;
+            }
+            assert!(matches!(body[pc], Instr::ArmEnd { receive: 0 }));
+        }
+    }
+
+    #[test]
+    fn break_and_continue_patching() {
+        let c = compiled(
+            "x = 0\nWHILE TRUE\n    x = x + 1\n    IF x > 2 THEN\n        BREAK\n    ENDIF\n    CONTINUE\nENDWHILE\nPRINTLN x\n",
+        );
+        let main = c.code(c.func(c.main).code);
+        // Every Jump target must be in-bounds (placeholders all patched).
+        for instr in main {
+            if let Instr::Jump { target } | Instr::JumpIfFalse { target, .. } = instr {
+                assert!(*target <= main.len(), "unpatched jump in {main:#?}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_loop_continue_jumps_to_increment() {
+        let c = compiled(
+            "s = 0\nFOR i = 1 TO 4\n    IF i == 2 THEN\n        CONTINUE\n    ENDIF\n    s = s + i\nENDFOR\n",
+        );
+        let main = c.code(c.func(c.main).code);
+        for instr in main {
+            if let Instr::Jump { target } = instr {
+                assert!(*target < main.len(), "unpatched continue: {main:#?}");
+            }
+        }
+    }
+
+    #[test]
+    fn methods_get_qualified_names() {
+        let c = compiled("CLASS A\n    DEFINE go()\n        RETURN 1\n    ENDDEF\nENDCLASS\n");
+        let m = c.method("A", "go").unwrap();
+        assert_eq!(c.func(m).qualified, "A.go");
+        assert!(c.toplevel("go").is_none());
+    }
+}

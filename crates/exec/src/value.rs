@@ -1,0 +1,237 @@
+//! Runtime values for the pseudocode interpreter.
+//!
+//! Every value is `Clone + Eq + Hash` so whole interpreter states can
+//! be snapshotted and deduplicated by the model checker.
+
+use std::fmt;
+
+/// Index of an object in the state's object arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub usize);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// An `f64` with total equality and hashing (by bit pattern), so states
+/// containing floats remain hashable. NaN is rejected at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct FloatVal(f64);
+
+impl FloatVal {
+    /// Wrap a float. Panics on NaN — the language has no operation
+    /// that produces NaN from non-NaN inputs (division by zero is a
+    /// runtime error instead).
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "NaN cannot enter the interpreter");
+        // Normalize -0.0 to 0.0 so equal-comparing states hash equally.
+        FloatVal(if v == 0.0 { 0.0 } else { v })
+    }
+
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for FloatVal {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for FloatVal {}
+impl std::hash::Hash for FloatVal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+impl PartialOrd for FloatVal {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FloatVal {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN by construction")
+    }
+}
+
+/// A message value: `MESSAGE.name(args)` (Figure 5). Messages are
+/// first-class — they can be stored in variables (`m1 = MESSAGE.h(…)`)
+/// and sent later.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageVal {
+    pub name: String,
+    pub args: Vec<Value>,
+}
+
+impl fmt::Display for MessageVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MESSAGE.{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The result of a call with no `RETURN` value.
+    Unit,
+    Int(i64),
+    Float(FloatVal),
+    Str(String),
+    Bool(bool),
+    List(Vec<Value>),
+    /// Reference to an object in the arena.
+    Obj(ObjId),
+    /// A first-class message.
+    Message(MessageVal),
+}
+
+impl Value {
+    pub fn float(v: f64) -> Value {
+        Value::Float(FloatVal::new(v))
+    }
+
+    /// The type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "UNIT",
+            Value::Int(_) => "INT",
+            Value::Float(_) => "FLOAT",
+            Value::Str(_) => "STRING",
+            Value::Bool(_) => "BOOL",
+            Value::List(_) => "LIST",
+            Value::Obj(_) => "OBJECT",
+            Value::Message(_) => "MESSAGE",
+        }
+    }
+
+    /// Truthiness is strict: only booleans may be used as conditions.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected BOOL condition, found {}", other.type_name())),
+        }
+    }
+
+    /// Numeric coercion for arithmetic: INT stays exact, FLOAT wins
+    /// when mixed.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(v.get()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "UNIT"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                let x = v.get();
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Obj(id) => write!(f, "{id}"),
+            Value::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A runtime fault: type errors, undefined variables, division by
+/// zero, arity mismatches. Faults abort the run (the paper's programs
+/// are fault-free; faults indicate a bug in the program under test).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    pub message: String,
+    /// Source location of the failing statement, when known.
+    pub span: concur_pseudocode::Span,
+}
+
+impl RuntimeError {
+    pub fn new(message: impl Into<String>, span: concur_pseudocode::Span) -> Self {
+        RuntimeError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_conventions() {
+        assert_eq!(Value::Int(9).to_string(), "9");
+        assert_eq!(Value::float(3.3).to_string(), "3.3");
+        assert_eq!(Value::float(3.0).to_string(), "3.0");
+        assert_eq!(Value::Str("hello".into()).to_string(), "hello");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(
+            Value::Message(MessageVal { name: "h".into(), args: vec![Value::Str("hi".into())] })
+                .to_string(),
+            "MESSAGE.h(hi)"
+        );
+    }
+
+    #[test]
+    fn float_zero_normalization() {
+        assert_eq!(Value::float(-0.0), Value::float(0.0));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |v: &Value| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&Value::float(-0.0)), hash(&Value::float(0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = FloatVal::new(f64::NAN);
+    }
+
+    #[test]
+    fn strict_conditions() {
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert!(Value::Int(1).as_bool().is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Ground-truth tests: the model checker must enumerate *exactly* the
+//! possibility lists printed in the paper's Figures 1–5, and the
+//! random scheduler must never produce an output outside them.
+
+use concur_exec::explore::{terminal_outputs, Explorer, TerminalKind};
+use concur_exec::figures::*;
+use concur_exec::{output_set, Interp};
+
+#[test]
+fn every_figure_matches_its_possibility_list() {
+    for (name, source, expected) in figure_expectations() {
+        let outputs = terminal_outputs(source)
+            .unwrap_or_else(|e| panic!("{name} failed to run: {e}"));
+        let mut expected: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
+        expected.sort();
+        assert_eq!(outputs, expected, "possibility list mismatch for {name}");
+    }
+}
+
+#[test]
+fn random_runs_stay_inside_the_possibility_set() {
+    for (name, source, expected) in figure_expectations() {
+        let observed = output_set(source, 60, 100_000)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        for output in &observed {
+            assert!(
+                expected.contains(&output.as_str()),
+                "{name}: random scheduler produced {output:?}, outside {expected:?}"
+            );
+        }
+        // With 60 seeds, the two-element possibility sets should be
+        // fully covered (each branch has probability ≥ ~1/3 per run).
+        if expected.len() <= 2 {
+            assert_eq!(
+                observed.len(),
+                expected.len(),
+                "{name}: random runs failed to cover the possibility set"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_exclusive_access_is_deterministic_but_race_control_is_not() {
+    let safe = terminal_outputs(FIG4_EXC_ACC).unwrap();
+    assert_eq!(safe, vec!["9"]);
+
+    // The control program splits the read and the write without
+    // EXC_ACC: lost updates become reachable.
+    let racy = terminal_outputs(FIG4_RACE_CONTROL).unwrap();
+    assert!(racy.contains(&"9".to_string()), "correct outcome still possible: {racy:?}");
+    assert!(
+        racy.contains(&"11".to_string()) && racy.contains(&"8".to_string()),
+        "both lost-update outcomes must be reachable: {racy:?}"
+    );
+}
+
+#[test]
+fn fig4_wait_notify_never_deadlocks_and_prints_zero() {
+    let interp = Interp::from_source(FIG4_WAIT_NOTIFY).unwrap();
+    let explorer = Explorer::new(&interp);
+    let set = explorer.terminals().unwrap();
+    assert!(!set.stats.truncated, "space is small; must be exhaustive");
+    assert!(!set.has_deadlock(), "{:?}", set.terminals);
+    assert_eq!(set.outputs(), vec!["0"]);
+}
+
+#[test]
+fn waiting_with_nobody_to_notify_is_a_deadlock() {
+    // changeX(-11) alone: x + diff < 0 forever, WAIT() sleeps, nobody
+    // notifies — the conditional-synchronization half of Figure 4.
+    let source = "\
+x = 10
+
+DEFINE changeX(diff)
+    EXC_ACC
+        WHILE x + diff < 0
+            WAIT()
+        ENDWHILE
+        x = x + diff
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+PARA
+    changeX(-11)
+ENDPARA
+
+PRINTLN x
+";
+    let interp = Interp::from_source(source).unwrap();
+    let explorer = Explorer::new(&interp);
+    let set = explorer.terminals().unwrap();
+    assert!(set.has_deadlock(), "{:?}", set.terminals);
+    // And no interleaving completes.
+    assert!(set.outputs().is_empty(), "{:?}", set.terminals);
+}
+
+#[test]
+fn fig5_sends_are_asynchronous_even_from_one_sender() {
+    // Both orders reachable although main sends h before w — the
+    // paper's "same sender, same receiver" reorder scenario (M5/4).
+    let outputs = terminal_outputs(FIG5_MESSAGE_PASSING).unwrap();
+    assert_eq!(outputs, vec!["hello world", "world hello"]);
+}
+
+#[test]
+fn exploration_is_exhaustive_for_every_figure() {
+    for (name, source, _) in figure_expectations() {
+        let interp = Interp::from_source(source).unwrap();
+        let explorer = Explorer::new(&interp);
+        let set = explorer.terminals().unwrap();
+        assert!(!set.stats.truncated, "{name} should be fully explorable");
+        assert!(set.stats.states_visited > 0);
+    }
+}
+
+#[test]
+fn para_joins_before_continuing() {
+    // The PRINTLN after ENDPARA must observe both increments in every
+    // interleaving.
+    let source = "\
+x = 0
+
+DEFINE inc()
+    EXC_ACC
+        x = x + 1
+    END_EXC_ACC
+ENDDEF
+
+PARA
+    inc()
+    inc()
+    inc()
+ENDPARA
+
+PRINTLN x
+";
+    assert_eq!(terminal_outputs(source).unwrap(), vec!["3"]);
+}
+
+#[test]
+fn three_task_interleaving_count() {
+    // Three atomic prints: 3! = 6 interleavings, 6 distinct outputs.
+    let source = "PARA\n    PRINT \"a\"\n    PRINT \"b\"\n    PRINT \"c\"\nENDPARA\n";
+    let outputs = terminal_outputs(source).unwrap();
+    assert_eq!(outputs.len(), 6, "{outputs:?}");
+}
+
+#[test]
+fn deadlock_classification_vs_quiescence() {
+    // A receiver parked with an empty mailbox is quiescent, not
+    // deadlocked.
+    let interp = Interp::from_source(FIG5_MESSAGE_PASSING).unwrap();
+    let explorer = Explorer::new(&interp);
+    let set = explorer.terminals().unwrap();
+    assert!(set
+        .terminals
+        .iter()
+        .all(|t| t.outcome == TerminalKind::Quiescent), "{:?}", set.terminals);
+}

@@ -1,0 +1,431 @@
+//! Interpreter behaviour tests beyond the figure corpus: sequential
+//! language features, objects, builtins, events, errors, and
+//! scheduler properties.
+
+use concur_exec::explore::terminal_outputs;
+use concur_exec::{
+    run, run_source, Event, Interp, Outcome, RandomScheduler, RoundRobinScheduler,
+};
+
+/// Run a deterministic (single-possibility) program and return its
+/// normalized output.
+fn output_of(source: &str) -> String {
+    let result = run_source(source, 1, 100_000).expect("runs");
+    assert!(
+        matches!(result.outcome, Outcome::AllDone | Outcome::Quiescent),
+        "unexpected outcome {:?}",
+        result.outcome
+    );
+    result.output()
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(output_of("PRINTLN 1 + 2 * 3\n"), "7");
+    assert_eq!(output_of("PRINTLN (1 + 2) * 3\n"), "9");
+    assert_eq!(output_of("PRINTLN 7 / 2\n"), "3");
+    assert_eq!(output_of("PRINTLN 7 % 3\n"), "1");
+    assert_eq!(output_of("PRINTLN 7.0 / 2\n"), "3.5");
+    assert_eq!(output_of("PRINTLN -3 + 1\n"), "-2");
+}
+
+#[test]
+fn string_concatenation_and_comparison() {
+    assert_eq!(output_of("PRINTLN \"a\" + \"b\"\n"), "ab");
+    assert_eq!(output_of("PRINTLN \"n=\" + 3\n"), "n=3");
+    assert_eq!(output_of("PRINTLN \"abc\" < \"abd\"\n"), "TRUE");
+}
+
+#[test]
+fn while_and_for_loops() {
+    assert_eq!(
+        output_of("s = 0\ni = 1\nWHILE i <= 4\n    s = s + i\n    i = i + 1\nENDWHILE\nPRINTLN s\n"),
+        "10"
+    );
+    assert_eq!(
+        output_of("s = 0\nFOR i = 1 TO 4\n    s = s + i\nENDFOR\nPRINTLN s\n"),
+        "10"
+    );
+    // Zero-iteration FOR.
+    assert_eq!(output_of("s = 7\nFOR i = 5 TO 4\n    s = 0\nENDFOR\nPRINTLN s\n"), "7");
+}
+
+#[test]
+fn break_and_continue() {
+    assert_eq!(
+        output_of(
+            "s = 0\nFOR i = 1 TO 10\n    IF i == 3 THEN\n        CONTINUE\n    ENDIF\n    IF i == 5 THEN\n        BREAK\n    ENDIF\n    s = s + i\nENDFOR\nPRINTLN s\n"
+        ),
+        "7" // 1 + 2 + 4
+    );
+}
+
+#[test]
+fn nested_for_loops_with_continue() {
+    assert_eq!(
+        output_of(
+            "s = 0\nFOR i = 1 TO 3\n    FOR j = 1 TO 3\n        IF j == 2 THEN\n            CONTINUE\n        ENDIF\n        s = s + 1\n    ENDFOR\n    CONTINUE\nENDFOR\nPRINTLN s\n"
+        ),
+        "6"
+    );
+}
+
+#[test]
+fn functions_recursion_and_returns() {
+    assert_eq!(
+        output_of(
+            "DEFINE fact(n)\n    IF n <= 1 THEN\n        RETURN 1\n    ENDIF\n    r = fact(n - 1)\n    RETURN n * r\nENDDEF\nPRINTLN fact(6)\n"
+        ),
+        "720"
+    );
+    // Implicit return of UNIT.
+    assert_eq!(
+        output_of("DEFINE f()\n    x = 1\nENDDEF\nr = f()\nPRINTLN r\n"),
+        "UNIT"
+    );
+}
+
+#[test]
+fn lists_and_builtins() {
+    assert_eq!(output_of("items = [10, 20, 30]\nPRINTLN items[1]\n"), "20");
+    assert_eq!(output_of("items = [1, 2, 3]\nPRINTLN LEN(items)\n"), "3");
+    assert_eq!(
+        output_of("items = [1]\nitems2 = APPEND(items, 5)\nPRINTLN items2\n"),
+        "[1, 5]"
+    );
+    assert_eq!(output_of("PRINTLN CONTAINS([1, 2], 2)\n"), "TRUE");
+    assert_eq!(output_of("items = [1, 2]\nitems[0] = 9\nPRINTLN items\n"), "[9, 2]");
+    assert_eq!(output_of("PRINTLN MIN(3, 5) + MAX(3, 5)\n"), "8");
+    assert_eq!(output_of("PRINTLN ABS(-4)\n"), "4");
+    assert_eq!(output_of("PRINTLN STR(12) + STR(34)\n"), "1234");
+    assert_eq!(output_of("PRINTLN LEN(\"hello\")\n"), "5");
+}
+
+#[test]
+fn classes_fields_methods_and_init() {
+    let source = "\
+CLASS Counter
+    count = 0
+
+    DEFINE init(start)
+        count = start
+    ENDDEF
+
+    DEFINE bump(by)
+        count = count + by
+        RETURN count
+    ENDDEF
+ENDCLASS
+
+c = new Counter(10)
+r = c.bump(5)
+PRINTLN r
+PRINTLN c.count
+";
+    assert_eq!(output_of(source), "15 15");
+}
+
+#[test]
+fn objects_are_reference_values() {
+    let source = "\
+CLASS Box
+    v = 0
+ENDCLASS
+
+a = new Box()
+b = a
+b.v = 42
+PRINTLN a.v
+";
+    assert_eq!(output_of(source), "42");
+}
+
+#[test]
+fn self_disambiguates_fields_from_params() {
+    let source = "\
+CLASS P
+    x = 1
+
+    DEFINE set(x)
+        SELF.x = x
+    ENDDEF
+ENDCLASS
+
+p = new P()
+p.set(9)
+PRINTLN p.x
+";
+    assert_eq!(output_of(source), "9");
+}
+
+#[test]
+fn method_calls_sibling_methods() {
+    let source = "\
+CLASS A
+    DEFINE twice(n)
+        r = once(n)
+        RETURN r + once(n)
+    ENDDEF
+
+    DEFINE once(n)
+        RETURN n
+    ENDDEF
+ENDCLASS
+
+a = new A()
+PRINTLN a.twice(3)
+";
+    assert_eq!(output_of(source), "6");
+}
+
+#[test]
+fn runtime_errors_are_reported() {
+    let cases: Vec<(&str, &str)> = vec![
+        ("PRINTLN nope\n", "undefined variable"),
+        ("PRINTLN 1 / 0\n", "division by zero"),
+        ("PRINTLN [1][5]\n", "out of range"),
+        ("PRINTLN 1 + TRUE\n", "cannot apply"),
+        ("IF 3 THEN\n    PRINT 1\nENDIF\n", "BOOL"),
+        ("x = new Nope()\n", "unknown class"),
+        ("DEFINE f(a)\n    RETURN a\nENDDEF\nPRINTLN f(1, 2)\n", "expects 1 argument"),
+        ("x = UNKNOWN_FN(3)\n", "undefined function"),
+    ];
+    for (source, fragment) in cases {
+        let err = run_source(source, 0, 10_000).unwrap_err();
+        assert!(
+            err.contains(fragment),
+            "program {source:?} should fail with {fragment:?}, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn spawn_runs_detached() {
+    // The spawned task increments after main finishes its print; both
+    // interleavings end with all tasks done.
+    let source = "\
+x = 0
+
+DEFINE work()
+    x = 1
+ENDDEF
+
+SPAWN work()
+PRINTLN \"started\"
+";
+    let interp = Interp::from_source(source).unwrap();
+    let result = run(&interp, &mut RandomScheduler::new(3), 10_000).unwrap();
+    assert_eq!(result.outcome, Outcome::AllDone);
+    assert_eq!(result.output(), "started");
+}
+
+#[test]
+fn events_trace_calls_locks_and_output() {
+    let source = "\
+x = 0
+
+DEFINE bump()
+    EXC_ACC
+        x = x + 1
+    END_EXC_ACC
+ENDDEF
+
+bump()
+PRINTLN x
+";
+    let interp = Interp::from_source(source).unwrap();
+    let result = run(&interp, &mut RoundRobinScheduler::new(), 10_000).unwrap();
+    let kinds: Vec<&Event> = result.events.iter().collect();
+    assert!(kinds.iter().any(|e| matches!(e, Event::Called { func, .. } if func == "bump")));
+    assert!(kinds.iter().any(|e| matches!(e, Event::Acquired { .. })));
+    assert!(kinds.iter().any(|e| matches!(e, Event::Released { .. })));
+    assert!(kinds.iter().any(|e| matches!(e, Event::Returned { func, .. } if func == "bump")));
+    assert!(kinds.iter().any(|e| matches!(e, Event::Printed { text, .. } if text == "1")));
+}
+
+#[test]
+fn unmatched_messages_are_dead_lettered() {
+    let source = "\
+CLASS R
+    DEFINE receive()
+        ON_RECEIVING
+            MESSAGE.known(v)
+                PRINTLN v
+    ENDDEF
+ENDCLASS
+
+r = new R()
+r.receive()
+Send(MESSAGE.unknown(1)).To(r)
+Send(MESSAGE.known(2)).To(r)
+";
+    let interp = Interp::from_source(source).unwrap();
+    let result = run(&interp, &mut RoundRobinScheduler::new(), 10_000).unwrap();
+    assert_eq!(result.outcome, Outcome::Quiescent);
+    assert_eq!(result.state.dead_letters.len(), 1);
+    assert_eq!(result.state.dead_letters[0].msg.name, "unknown");
+    assert_eq!(result.output(), "2");
+}
+
+#[test]
+fn messages_carry_object_references() {
+    // The reply-to pattern: a message carrying SELF lets the receiver
+    // respond — the backbone of the message-passing bridge.
+    let source = "\
+CLASS Pinger
+    DEFINE start(target)
+        Send(MESSAGE.ping(SELF)).To(target)
+        ON_RECEIVING
+            MESSAGE.pong(v)
+                PRINTLN v
+                RETURN 0
+    ENDDEF
+ENDCLASS
+
+CLASS Ponger
+    DEFINE serve()
+        ON_RECEIVING
+            MESSAGE.ping(sender)
+                Send(MESSAGE.pong(99)).To(sender)
+    ENDDEF
+ENDCLASS
+
+ponger = new Ponger()
+ponger.serve()
+pinger = new Pinger()
+pinger.start(ponger)
+";
+    let interp = Interp::from_source(source).unwrap();
+    let result = run(&interp, &mut RandomScheduler::new(11), 100_000).unwrap();
+    assert_eq!(result.outcome, Outcome::Quiescent, "{:?}", result.state.dead_letters);
+    assert_eq!(result.output(), "99");
+}
+
+#[test]
+fn receiver_call_returns_immediately() {
+    // Figure 5's key property: r1.receive() cannot block main.
+    let source = "\
+CLASS R
+    DEFINE receive()
+        ON_RECEIVING
+            MESSAGE.never(v)
+                PRINT v
+    ENDDEF
+ENDCLASS
+
+r = new R()
+r.receive()
+PRINTLN \"after\"
+";
+    assert_eq!(output_of(source), "after");
+}
+
+#[test]
+fn same_seed_same_trace() {
+    let source = concur_exec::figures::FIG3_INTERLEAVED;
+    let a = run_source(source, 42, 10_000).unwrap();
+    let b = run_source(source, 42, 10_000).unwrap();
+    assert_eq!(a.output(), b.output());
+    assert_eq!(a.events.len(), b.events.len());
+}
+
+#[test]
+fn return_inside_exc_acc_releases_locks() {
+    let source = "\
+x = 0
+
+DEFINE take()
+    EXC_ACC
+        x = x + 1
+        RETURN x
+    END_EXC_ACC
+ENDDEF
+
+PARA
+    take()
+    take()
+ENDPARA
+
+PRINTLN x
+";
+    // If the RETURN leaked the lock, the second task would deadlock.
+    assert_eq!(terminal_outputs(source).unwrap(), vec!["2"]);
+}
+
+#[test]
+fn exc_acc_footprints_do_not_conflict_across_disjoint_variables() {
+    // Tasks locking different variables proceed independently — the
+    // paper's exclusion is per-variable-set, not one global lock.
+    let source = "\
+x = 0
+y = 0
+
+DEFINE bumpX()
+    EXC_ACC
+        x = x + 1
+    END_EXC_ACC
+ENDDEF
+
+DEFINE bumpY()
+    EXC_ACC
+        y = y + 1
+    END_EXC_ACC
+ENDDEF
+
+PARA
+    bumpX()
+    bumpY()
+ENDPARA
+
+PRINTLN x + y
+";
+    assert_eq!(terminal_outputs(source).unwrap(), vec!["2"]);
+}
+
+#[test]
+fn notify_wakes_all_waiters() {
+    // Two waiters, one notifier: both waiters must finish (Figure 4:
+    // "all WAIT() functions finish their execution").
+    let source = "\
+ready = FALSE
+seen = 0
+
+DEFINE waiter()
+    EXC_ACC
+        WHILE ready == FALSE
+            WAIT()
+        ENDWHILE
+        seen = seen + 1
+    END_EXC_ACC
+ENDDEF
+
+DEFINE flip()
+    EXC_ACC
+        ready = TRUE
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+PARA
+    waiter()
+    waiter()
+    flip()
+ENDPARA
+
+PRINTLN seen
+";
+    let outputs = terminal_outputs(source).unwrap();
+    assert_eq!(outputs, vec!["2"], "all waiters must wake and finish");
+}
+
+#[test]
+fn quiescent_receivers_do_not_block_overall_completion() {
+    let result = run_source(concur_exec::figures::FIG5_MESSAGE_PASSING, 5, 100_000).unwrap();
+    assert_eq!(result.outcome, Outcome::Quiescent);
+}
+
+#[test]
+fn step_limit_reports_runaway_programs() {
+    let result = run_source("x = 0\nWHILE TRUE\n    x = x + 1\nENDWHILE\n", 0, 500).unwrap();
+    assert_eq!(result.outcome, Outcome::StepLimit);
+}

@@ -1,0 +1,91 @@
+//! Property tests cross-validating the random scheduler against the
+//! exhaustive explorer on generated concurrent programs.
+
+use concur_exec::explore::Explorer;
+use concur_exec::{run, Interp, Outcome, RandomScheduler};
+use proptest::prelude::*;
+use std::fmt::Write;
+
+/// Build a program with `tasks` PARA arms, each printing its own tag.
+fn print_tasks_program(tags: &[String]) -> String {
+    let mut src = String::from("PARA\n");
+    for tag in tags {
+        let _ = writeln!(src, "    PRINT \"{tag}\"");
+    }
+    src.push_str("ENDPARA\n");
+    src
+}
+
+/// Build a program with guarded increments of a shared counter.
+fn guarded_increment_program(deltas: &[i64]) -> String {
+    let mut src = String::from(
+        "x = 0\n\nDEFINE changeX(diff)\n    EXC_ACC\n        x = x + diff\n    END_EXC_ACC\nENDDEF\n\nPARA\n",
+    );
+    for d in deltas {
+        let _ = writeln!(src, "    changeX({d})");
+    }
+    src.push_str("ENDPARA\n\nPRINTLN x\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every random-scheduler output is one of the explorer's
+    /// enumerated possibilities, and vice versa the explorer's count
+    /// for distinct tags is exactly n!.
+    #[test]
+    fn random_outputs_subset_of_explored(n in 1usize..4, seed in 0u64..1000) {
+        let tags: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+        let src = print_tasks_program(&tags);
+        let interp = Interp::from_source(&src).unwrap();
+        let explorer = Explorer::new(&interp);
+        let set = explorer.terminals().unwrap();
+        prop_assert!(!set.stats.truncated);
+        let factorial: usize = (1..=n).product();
+        prop_assert_eq!(set.outputs().len(), factorial);
+
+        let result = run(&interp, &mut RandomScheduler::new(seed), 100_000).unwrap();
+        prop_assert_eq!(&result.outcome, &Outcome::AllDone);
+        prop_assert!(
+            set.outputs().contains(&result.output()),
+            "random output {:?} missing from explored set {:?}",
+            result.output(), set.outputs()
+        );
+    }
+
+    /// Guarded increments always sum correctly in every interleaving
+    /// (the Figure 4 invariant generalized).
+    #[test]
+    fn exc_acc_increments_always_sum(deltas in prop::collection::vec(-5i64..6, 1..4)) {
+        let src = guarded_increment_program(&deltas);
+        let interp = Interp::from_source(&src).unwrap();
+        let explorer = Explorer::new(&interp);
+        let set = explorer.terminals().unwrap();
+        prop_assert!(!set.stats.truncated);
+        prop_assert!(!set.has_deadlock());
+        let expected = deltas.iter().sum::<i64>().to_string();
+        prop_assert_eq!(set.outputs(), vec![expected]);
+    }
+
+    /// Same seed ⇒ identical run, different structure only when the
+    /// schedule differs.
+    #[test]
+    fn runs_are_reproducible(seed in 0u64..10_000) {
+        let src = print_tasks_program(&["a".into(), "b".into(), "c".into()]);
+        let interp = Interp::from_source(&src).unwrap();
+        let a = run(&interp, &mut RandomScheduler::new(seed), 100_000).unwrap();
+        let b = run(&interp, &mut RandomScheduler::new(seed), 100_000).unwrap();
+        prop_assert_eq!(a.output(), b.output());
+        prop_assert_eq!(a.state.steps, b.state.steps);
+    }
+
+    /// Sequential arithmetic in the interpreter agrees with Rust's.
+    #[test]
+    fn arithmetic_oracle(a in -1000i64..1000, b in -1000i64..1000, c in 1i64..50) {
+        let src = format!("PRINTLN ({a} + {b}) * 2 - {a} / {c}\n");
+        let result = concur_exec::run_source(&src, 0, 10_000).unwrap();
+        let expected = (a + b) * 2 - a / c;
+        prop_assert_eq!(result.output(), expected.to_string());
+    }
+}

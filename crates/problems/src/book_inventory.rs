@@ -1,0 +1,412 @@
+//! The book inventory system — the course's running design example
+//! (UML lab, pseudocode lab, and the paired-programming labs 2–3, in
+//! shared-memory and message-passing forms).
+//!
+//! Clients concurrently place orders, restock, and query; an audit at
+//! the end must reconcile.
+//!
+//! * threads — the inventory is a monitor; orders wait for stock
+//!   (conditional synchronization) or fail fast;
+//! * actors — the inventory is an actor; clients ask; backorders are
+//!   queued internally;
+//! * coroutines — clients are cooperative tasks over shared state.
+//!
+//! Invariants: stock never negative; conservation per title
+//! (`initial + restocked − sold == final`); every order is eventually
+//! fulfilled (workloads are solvable by construction).
+
+use crate::common::{EventLog, Paradigm, Validated, Violation};
+use concur_actors::{Actor, ActorRef, ActorSystem, Context};
+use concur_coroutines::Scheduler;
+use concur_threads::Monitor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A book title (small integer key).
+pub type Title = usize;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub titles: usize,
+    pub initial_stock: u32,
+    pub clients: usize,
+    pub orders_per_client: usize,
+    /// Every order is for one copy; every client also restocks this
+    /// many copies spread over its run, keeping workloads solvable.
+    pub restocks_per_client: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            titles: 3,
+            initial_stock: 5,
+            clients: 4,
+            orders_per_client: 10,
+            restocks_per_client: 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    Sold { title: Title, client: usize },
+    Restocked { title: Title, client: usize },
+}
+
+/// Final state + event log.
+#[derive(Debug)]
+pub struct Report {
+    pub events: Vec<Event>,
+    pub final_stock: BTreeMap<Title, u32>,
+}
+
+pub fn run(paradigm: Paradigm, config: Config) -> Validated<Report> {
+    let report = match paradigm {
+        Paradigm::Threads => run_threads(config),
+        Paradigm::Actors => run_actors(config),
+        Paradigm::Coroutines => run_coroutines(config),
+    };
+    validate(&report, config).map(|()| report)
+}
+
+fn title_of(client: usize, i: usize, titles: usize) -> Title {
+    (client * 7 + i) % titles
+}
+
+// --- threads -----------------------------------------------------------------
+
+struct Inventory {
+    stock: Vec<u32>,
+}
+
+fn run_threads(config: Config) -> Report {
+    let log: EventLog<Event> = EventLog::new();
+    let inventory =
+        Arc::new(Monitor::new(Inventory { stock: vec![config.initial_stock; config.titles] }));
+    std::thread::scope(|scope| {
+        for client in 0..config.clients {
+            let inventory = Arc::clone(&inventory);
+            let log = log.clone();
+            scope.spawn(move || {
+                let ops = config.orders_per_client.max(config.restocks_per_client);
+                for i in 0..ops {
+                    if i < config.restocks_per_client {
+                        let title = title_of(client, i, config.titles);
+                        inventory.with(|inv| {
+                            inv.stock[title] += 1;
+                            log.push(Event::Restocked { title, client });
+                        });
+                    }
+                    if i < config.orders_per_client {
+                        let title = title_of(client, i, config.titles);
+                        // Conditional synchronization: wait for stock.
+                        inventory.when(
+                            |inv| inv.stock[title] > 0,
+                            |inv| {
+                                inv.stock[title] -= 1;
+                                log.push(Event::Sold { title, client });
+                            },
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let final_stock = inventory
+        .with_quiet(|inv| inv.stock.iter().copied().enumerate().collect::<BTreeMap<_, _>>());
+    Report { events: log.snapshot(), final_stock }
+}
+
+// --- actors ---------------------------------------------------------------------
+
+enum InventoryMsg {
+    Order { title: Title, client: usize, reply: ActorRef<ClientMsg> },
+    Restock { title: Title, client: usize },
+    Audit { reply: concur_actors::ask::Resolver<Vec<u32>> },
+}
+
+enum ClientMsg {
+    OrderFilled,
+}
+
+struct InventoryActor {
+    stock: Vec<u32>,
+    backorders: Vec<std::collections::VecDeque<(usize, ActorRef<ClientMsg>)>>,
+    log: EventLog<Event>,
+}
+
+impl InventoryActor {
+    fn fill_backorders(&mut self, title: Title) {
+        while self.stock[title] > 0 {
+            let Some((client, reply)) = self.backorders[title].pop_front() else { break };
+            self.stock[title] -= 1;
+            self.log.push(Event::Sold { title, client });
+            reply.send(ClientMsg::OrderFilled);
+        }
+    }
+}
+
+impl Actor for InventoryActor {
+    type Msg = InventoryMsg;
+    fn receive(&mut self, msg: InventoryMsg, _ctx: &mut Context<'_, InventoryMsg>) {
+        match msg {
+            InventoryMsg::Order { title, client, reply } => {
+                self.backorders[title].push_back((client, reply));
+                self.fill_backorders(title);
+            }
+            InventoryMsg::Restock { title, client } => {
+                self.stock[title] += 1;
+                self.log.push(Event::Restocked { title, client });
+                self.fill_backorders(title);
+            }
+            InventoryMsg::Audit { reply } => reply.resolve(self.stock.clone()),
+        }
+    }
+}
+
+struct ClientActor {
+    client: usize,
+    next_op: usize,
+    config: Config,
+    inventory: ActorRef<InventoryMsg>,
+    done: Option<concur_actors::ask::Resolver<()>>,
+    orders_pending: usize,
+}
+
+impl ClientActor {
+    fn issue_all(&mut self, ctx: &mut Context<'_, ClientMsg>) {
+        // Fire all restocks and orders asynchronously; completion is
+        // counted via OrderFilled replies.
+        let config = self.config;
+        while self.next_op < config.orders_per_client.max(config.restocks_per_client) {
+            let i = self.next_op;
+            self.next_op += 1;
+            if i < config.restocks_per_client {
+                let title = title_of(self.client, i, config.titles);
+                self.inventory.send(InventoryMsg::Restock { title, client: self.client });
+            }
+            if i < config.orders_per_client {
+                let title = title_of(self.client, i, config.titles);
+                self.orders_pending += 1;
+                self.inventory.send(InventoryMsg::Order {
+                    title,
+                    client: self.client,
+                    reply: ctx.self_ref(),
+                });
+            }
+        }
+        self.maybe_finish(ctx);
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut Context<'_, ClientMsg>) {
+        if self.orders_pending == 0 {
+            if let Some(done) = self.done.take() {
+                done.resolve(());
+            }
+            ctx.stop();
+        }
+    }
+}
+
+impl Actor for ClientActor {
+    type Msg = ClientMsg;
+    fn started(&mut self, ctx: &mut Context<'_, ClientMsg>) {
+        self.issue_all(ctx);
+    }
+    fn receive(&mut self, ClientMsg::OrderFilled: ClientMsg, ctx: &mut Context<'_, ClientMsg>) {
+        self.orders_pending -= 1;
+        self.maybe_finish(ctx);
+    }
+}
+
+fn run_actors(config: Config) -> Report {
+    let log: EventLog<Event> = EventLog::new();
+    let system = ActorSystem::new(2);
+    let inventory = system.spawn(InventoryActor {
+        stock: vec![config.initial_stock; config.titles],
+        backorders: (0..config.titles).map(|_| Default::default()).collect(),
+        log: log.clone(),
+    });
+    let mut promises = Vec::new();
+    for client in 0..config.clients {
+        let (promise, resolver) = concur_actors::promise::<()>();
+        promises.push(promise);
+        system.spawn(ClientActor {
+            client,
+            next_op: 0,
+            config,
+            inventory: inventory.clone(),
+            done: Some(resolver),
+            orders_pending: 0,
+        });
+    }
+    for promise in promises {
+        promise.get_timeout(Duration::from_secs(30)).expect("client completes");
+    }
+    let stock = concur_actors::ask(
+        &inventory,
+        |reply| InventoryMsg::Audit { reply },
+        Duration::from_secs(30),
+    )
+    .expect("audit");
+    system.shutdown();
+    Report {
+        events: log.snapshot(),
+        final_stock: stock.into_iter().enumerate().collect(),
+    }
+}
+
+// --- coroutines -------------------------------------------------------------------
+
+fn run_coroutines(config: Config) -> Report {
+    let log: EventLog<Event> = EventLog::new();
+    let stock = Arc::new(concur_threads::Mutex::new(vec![config.initial_stock; config.titles]));
+    let mut sched = Scheduler::new();
+    for client in 0..config.clients {
+        let stock = Arc::clone(&stock);
+        let log = log.clone();
+        sched.spawn(move |ctx| {
+            let ops = config.orders_per_client.max(config.restocks_per_client);
+            for i in 0..ops {
+                if i < config.restocks_per_client {
+                    let title = title_of(client, i, config.titles);
+                    stock.lock()[title] += 1;
+                    log.push(Event::Restocked { title, client });
+                    ctx.yield_now();
+                }
+                if i < config.orders_per_client {
+                    let title = title_of(client, i, config.titles);
+                    loop {
+                        let sold = {
+                            let mut s = stock.lock();
+                            if s[title] > 0 {
+                                s[title] -= 1;
+                                true
+                            } else {
+                                false
+                            }
+                        };
+                        if sold {
+                            log.push(Event::Sold { title, client });
+                            break;
+                        }
+                        let stock2 = Arc::clone(&stock);
+                        ctx.block_until(move || stock2.lock()[title] > 0);
+                    }
+                    ctx.yield_now();
+                }
+            }
+        });
+    }
+    sched.run().expect("solvable workload cannot deadlock");
+    let final_stock =
+        stock.lock().iter().copied().enumerate().collect::<BTreeMap<_, _>>();
+    Report { events: log.snapshot(), final_stock }
+}
+
+// --- validation ----------------------------------------------------------------
+
+pub fn validate(report: &Report, config: Config) -> Validated<()> {
+    let mut sold = vec![0u32; config.titles];
+    let mut restocked = vec![0u32; config.titles];
+    for event in &report.events {
+        match *event {
+            Event::Sold { title, .. } => sold[title] += 1,
+            Event::Restocked { title, .. } => restocked[title] += 1,
+        }
+    }
+    for title in 0..config.titles {
+        let initial = config.initial_stock;
+        let fin = *report.final_stock.get(&title).unwrap_or(&0);
+        let lhs = initial as i64 + restocked[title] as i64 - sold[title] as i64;
+        if lhs != fin as i64 {
+            return Err(Violation::new(
+                format!(
+                    "title {title}: initial {initial} + restocked {} - sold {} = {lhs} != final {fin}",
+                    restocked[title], sold[title]
+                ),
+                None,
+            ));
+        }
+    }
+    let total_orders = (config.clients * config.orders_per_client) as u32;
+    let total_sold: u32 = sold.iter().sum();
+    if total_sold != total_orders {
+        return Err(Violation::new(
+            format!("sold {total_sold} != ordered {total_orders}"),
+            None,
+        ));
+    }
+    let total_restocks = (config.clients * config.restocks_per_client) as u32;
+    let total_restocked: u32 = restocked.iter().sum();
+    if total_restocked != total_restocks {
+        return Err(Violation::new(
+            format!("restocked {total_restocked} != requested {total_restocks}"),
+            None,
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paradigms_reconcile() {
+        for paradigm in Paradigm::ALL {
+            run(paradigm, Config::default()).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn zero_initial_stock_relies_on_restocks() {
+        let config = Config { initial_stock: 0, ..Config::default() };
+        for paradigm in Paradigm::ALL {
+            run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn single_title_contention() {
+        let config = Config { titles: 1, ..Config::default() };
+        for paradigm in Paradigm::ALL {
+            run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn stock_is_never_negative_by_construction() {
+        // The validator's conservation check plus u32 stock types make
+        // negative stock unrepresentable; this test exercises a heavy
+        // workload to stress the waiting paths.
+        let config = Config {
+            titles: 2,
+            initial_stock: 1,
+            clients: 4,
+            orders_per_client: 15,
+            restocks_per_client: 15,
+        };
+        for paradigm in Paradigm::ALL {
+            run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn validator_catches_mismatched_books() {
+        let report = Report {
+            events: vec![Event::Sold { title: 0, client: 0 }],
+            final_stock: BTreeMap::from([(0, 5)]),
+        };
+        let config = Config {
+            titles: 1,
+            initial_stock: 5,
+            clients: 1,
+            orders_per_client: 1,
+            restocks_per_client: 0,
+        };
+        assert!(validate(&report, config).is_err());
+    }
+}

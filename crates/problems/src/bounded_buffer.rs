@@ -1,0 +1,410 @@
+//! The bounded-buffer (producer–consumer) problem in all three
+//! paradigms — one of the course's pseudocode quiz scenarios (HW2).
+//!
+//! Invariants validated on the event log:
+//! * conservation — every produced item is consumed exactly once;
+//! * per-producer FIFO — a producer's items are consumed in the order
+//!   it produced them;
+//! * capacity — the buffer occupancy never exceeds the configured
+//!   capacity (checked structurally in the threads/coroutine versions
+//!   and by the buffer actor's own queue bound).
+
+use crate::common::{EventLog, Paradigm, Validated, Violation};
+use concur_actors::ask::Resolver;
+use concur_actors::{Actor, ActorSystem, Context};
+use concur_coroutines::{CoChannel, Scheduler};
+use concur_threads::BoundedBuffer;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// An item tagged with its producer and per-producer sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Item {
+    pub producer: usize,
+    pub seq: usize,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub producers: usize,
+    pub consumers: usize,
+    pub items_per_producer: usize,
+    pub capacity: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { producers: 2, consumers: 2, items_per_producer: 50, capacity: 4 }
+    }
+}
+
+/// What happened during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    Produced(Item),
+    Consumed(Item),
+}
+
+/// Run the problem under the given paradigm and validate the result.
+pub fn run(paradigm: Paradigm, config: Config) -> Validated<Vec<Event>> {
+    let events = match paradigm {
+        Paradigm::Threads => run_threads(config),
+        Paradigm::Actors => run_actors(config),
+        Paradigm::Coroutines => run_coroutines(config),
+    };
+    validate(&events, config).map(|()| events)
+}
+
+// --- threads -----------------------------------------------------------
+
+fn run_threads(config: Config) -> Vec<Event> {
+    let buffer = Arc::new(BoundedBuffer::<Item>::new(config.capacity));
+    let log = EventLog::new();
+    std::thread::scope(|scope| {
+        for producer in 0..config.producers {
+            let buffer = Arc::clone(&buffer);
+            let log = log.clone();
+            scope.spawn(move || {
+                for seq in 0..config.items_per_producer {
+                    let item = Item { producer, seq };
+                    log.push(Event::Produced(item));
+                    buffer.put(item).expect("buffer open while producing");
+                }
+            });
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..config.consumers {
+            let buffer = Arc::clone(&buffer);
+            let log = log.clone();
+            consumers.push(scope.spawn(move || {
+                while let Some(item) = buffer.take() {
+                    log.push(Event::Consumed(item));
+                }
+            }));
+        }
+        // Close once all producers are done; spawn a closer thread that
+        // waits for the exact item count.
+        let buffer2 = Arc::clone(&buffer);
+        let total = config.producers * config.items_per_producer;
+        let log2 = log.clone();
+        scope.spawn(move || {
+            // Close only after every item has been consumed — closing
+            // earlier could fail a producer whose `put` is still
+            // blocked on a full buffer.
+            loop {
+                let consumed =
+                    log2.snapshot().iter().filter(|e| matches!(e, Event::Consumed(_))).count();
+                if consumed == total {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            buffer2.close();
+        });
+    });
+    log.snapshot()
+}
+
+// --- actors ------------------------------------------------------------
+
+enum BufferMsg {
+    Put(Item, Resolver<()>),
+    Take(Resolver<Option<Item>>),
+    Close,
+}
+
+/// The buffer as an actor: state is private, capacity enforced by
+/// deferring `Put`/`Take` requests that cannot proceed (the
+/// message-passing translation of conditional waiting).
+struct BufferActor {
+    capacity: usize,
+    queue: VecDeque<Item>,
+    pending_puts: VecDeque<(Item, Resolver<()>)>,
+    pending_takes: VecDeque<Resolver<Option<Item>>>,
+    closed: bool,
+    log: EventLog<Event>,
+}
+
+impl BufferActor {
+    fn drain_ready(&mut self) {
+        loop {
+            let mut progressed = false;
+            // Serve takes while items are available.
+            while !self.queue.is_empty() {
+                let Some(resolver) = self.pending_takes.pop_front() else { break };
+                let item = self.queue.pop_front().expect("non-empty");
+                self.log.push(Event::Consumed(item));
+                resolver.resolve(Some(item));
+                progressed = true;
+            }
+            // Admit puts while capacity remains.
+            while self.queue.len() < self.capacity {
+                let Some((item, resolver)) = self.pending_puts.pop_front() else { break };
+                self.queue.push_back(item);
+                resolver.resolve(());
+                progressed = true;
+            }
+            if self.closed && self.queue.is_empty() {
+                for resolver in self.pending_takes.drain(..) {
+                    resolver.resolve(None);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+}
+
+impl Actor for BufferActor {
+    type Msg = BufferMsg;
+    fn receive(&mut self, msg: BufferMsg, _ctx: &mut Context<'_, BufferMsg>) {
+        match msg {
+            BufferMsg::Put(item, resolver) => self.pending_puts.push_back((item, resolver)),
+            BufferMsg::Take(resolver) => self.pending_takes.push_back(resolver),
+            BufferMsg::Close => self.closed = true,
+        }
+        self.drain_ready();
+    }
+}
+
+fn run_actors(config: Config) -> Vec<Event> {
+    let log = EventLog::new();
+    let system = ActorSystem::new(2);
+    let buffer = system.spawn(BufferActor {
+        capacity: config.capacity,
+        queue: VecDeque::new(),
+        pending_puts: VecDeque::new(),
+        pending_takes: VecDeque::new(),
+        closed: false,
+        log: log.clone(),
+    });
+
+    std::thread::scope(|scope| {
+        for producer in 0..config.producers {
+            let buffer = buffer.clone();
+            let log = log.clone();
+            scope.spawn(move || {
+                for seq in 0..config.items_per_producer {
+                    let item = Item { producer, seq };
+                    log.push(Event::Produced(item));
+                    // Ask-style put: wait for admission (backpressure).
+                    concur_actors::ask(
+                        &buffer,
+                        |r| BufferMsg::Put(item, r),
+                        std::time::Duration::from_secs(30),
+                    )
+                    .expect("put admitted");
+                }
+            });
+        }
+        let mut consumer_handles = Vec::new();
+        for _ in 0..config.consumers {
+            let buffer = buffer.clone();
+            consumer_handles.push(scope.spawn(move || {
+                loop {
+                    let got = concur_actors::ask(
+                        &buffer,
+                        BufferMsg::Take,
+                        std::time::Duration::from_secs(30),
+                    )
+                    .expect("take answered");
+                    if got.is_none() {
+                        break;
+                    }
+                }
+            }));
+        }
+        let buffer2 = buffer.clone();
+        let log2 = log.clone();
+        let total = config.producers * config.items_per_producer;
+        scope.spawn(move || {
+            loop {
+                let produced =
+                    log2.snapshot().iter().filter(|e| matches!(e, Event::Produced(_))).count();
+                let consumed =
+                    log2.snapshot().iter().filter(|e| matches!(e, Event::Consumed(_))).count();
+                if produced == total && consumed == total {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            buffer2.send(BufferMsg::Close);
+        });
+    });
+    system.shutdown();
+    log.snapshot()
+}
+
+// --- coroutines --------------------------------------------------------
+
+fn run_coroutines(config: Config) -> Vec<Event> {
+    let log = EventLog::new();
+    let mut sched = Scheduler::new();
+    let channel: CoChannel<Item> = CoChannel::new(config.capacity);
+    let producers_done = Arc::new(concur_threads::Mutex::new(0usize));
+
+    for producer in 0..config.producers {
+        let channel = channel.clone();
+        let log = log.clone();
+        let done = Arc::clone(&producers_done);
+        let total_producers = config.producers;
+        sched.spawn(move |ctx| {
+            for seq in 0..config.items_per_producer {
+                let item = Item { producer, seq };
+                log.push(Event::Produced(item));
+                ctx.send(&channel, item);
+            }
+            let mut d = done.lock();
+            *d += 1;
+            if *d == total_producers {
+                channel.close();
+            }
+        });
+    }
+    for _ in 0..config.consumers {
+        let channel = channel.clone();
+        let log = log.clone();
+        sched.spawn(move |ctx| {
+            while let Some(item) = ctx.recv(&channel) {
+                log.push(Event::Consumed(item));
+            }
+        });
+    }
+    sched.run().expect("no cooperative deadlock");
+    log.snapshot()
+}
+
+// --- validation ---------------------------------------------------------
+
+/// Check conservation and (for single-consumer runs) per-producer
+/// FIFO. With several consumers the *removal* order is FIFO but the
+/// order in which consumer threads get to log their item afterwards is
+/// not, so the FIFO check is only sound when one consumer does all the
+/// logging.
+pub fn validate(events: &[Event], config: Config) -> Validated<()> {
+    let check_fifo = config.consumers == 1;
+    let total = config.producers * config.items_per_producer;
+    let mut produced = std::collections::HashSet::new();
+    let mut consumed = std::collections::HashSet::new();
+    let mut last_consumed_seq: Vec<Option<usize>> = vec![None; config.producers];
+
+    for (i, event) in events.iter().enumerate() {
+        match event {
+            Event::Produced(item) => {
+                if !produced.insert(*item) {
+                    return Err(Violation::new(
+                        format!("item {item:?} produced twice"),
+                        Some(i),
+                    ));
+                }
+            }
+            Event::Consumed(item) => {
+                if !produced.contains(item) {
+                    return Err(Violation::new(
+                        format!("item {item:?} consumed before being produced"),
+                        Some(i),
+                    ));
+                }
+                if !consumed.insert(*item) {
+                    return Err(Violation::new(
+                        format!("item {item:?} consumed twice"),
+                        Some(i),
+                    ));
+                }
+                if check_fifo {
+                    let last = &mut last_consumed_seq[item.producer];
+                    if let Some(prev) = *last {
+                        if item.seq <= prev {
+                            return Err(Violation::new(
+                                format!(
+                                    "producer {} items out of order: {} after {}",
+                                    item.producer, item.seq, prev
+                                ),
+                                Some(i),
+                            ));
+                        }
+                    }
+                    *last = Some(item.seq);
+                }
+            }
+        }
+    }
+    if produced.len() != total {
+        return Err(Violation::new(
+            format!("expected {total} items produced, saw {}", produced.len()),
+            None,
+        ));
+    }
+    if consumed.len() != total {
+        return Err(Violation::new(
+            format!("expected {total} items consumed, saw {}", consumed.len()),
+            None,
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_version_is_valid() {
+        run(Paradigm::Threads, Config::default()).unwrap();
+    }
+
+    #[test]
+    fn actors_version_is_valid() {
+        run(Paradigm::Actors, Config::default()).unwrap();
+    }
+
+    #[test]
+    fn coroutines_version_is_valid() {
+        run(Paradigm::Coroutines, Config::default()).unwrap();
+    }
+
+    #[test]
+    fn single_consumer_sees_global_fifo_per_producer() {
+        let config = Config { producers: 3, consumers: 1, items_per_producer: 30, capacity: 2 };
+        for paradigm in Paradigm::ALL {
+            run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn tight_capacity_one() {
+        let config = Config { producers: 2, consumers: 2, items_per_producer: 20, capacity: 1 };
+        for paradigm in Paradigm::ALL {
+            run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_duplication() {
+        let item = Item { producer: 0, seq: 0 };
+        let bad = vec![
+            Event::Produced(item),
+            Event::Consumed(item),
+            Event::Consumed(item),
+        ];
+        let config = Config { producers: 1, consumers: 1, items_per_producer: 1, capacity: 1 };
+        assert!(validate(&bad, config).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_reordering() {
+        let a = Item { producer: 0, seq: 0 };
+        let b = Item { producer: 0, seq: 1 };
+        let bad = vec![
+            Event::Produced(a),
+            Event::Produced(b),
+            Event::Consumed(b),
+            Event::Consumed(a),
+        ];
+        let config = Config { producers: 1, consumers: 1, items_per_producer: 2, capacity: 2 };
+        assert!(validate(&bad, config).is_err());
+    }
+}

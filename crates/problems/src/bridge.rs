@@ -1,0 +1,575 @@
+//! The single-lane bridge — the problem behind the paper's Test 1
+//! (Figures 6–7) and the practical Test 2: red cars and blue cars
+//! cross a one-lane bridge that only ever carries traffic in one
+//! direction.
+//!
+//! * threads — the bridge is a monitor holding `(direction, cars_on)`;
+//!   the fair variant caps consecutive same-direction crossings while
+//!   the other side waits (the course's fairness topic);
+//! * actors — a bridge-controller actor receives `enter`/`exit`
+//!   requests and grants them, queueing the opposite direction —
+//!   mirroring the message protocol of Figure 7;
+//! * coroutines — cars are cooperative tasks; entry checks are atomic
+//!   between yields.
+//!
+//! Invariants: cars of both directions are never on the bridge
+//! simultaneously; every car that enters exits; with `fair = true`, no
+//! direction waits forever while the other crosses (bounded batches).
+
+use crate::common::{EventLog, Paradigm, Validated, Violation};
+use concur_actors::{Actor, ActorRef, ActorSystem, Context};
+use concur_coroutines::Scheduler;
+use concur_threads::Monitor;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Travel direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    Red,
+    Blue,
+}
+
+impl Dir {
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::Red => Dir::Blue,
+            Dir::Blue => Dir::Red,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub red_cars: usize,
+    pub blue_cars: usize,
+    pub crossings_per_car: usize,
+    /// Cap on consecutive same-direction entries while the other side
+    /// waits (the fairness fix). `None` = greedy (starvation
+    /// possible in principle).
+    pub fair_batch: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { red_cars: 3, blue_cars: 3, crossings_per_car: 5, fair_batch: Some(2) }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    Entered { car: usize, dir: Dir },
+    Exited { car: usize, dir: Dir },
+}
+
+pub fn run(paradigm: Paradigm, config: Config) -> Validated<Vec<Event>> {
+    let events = match paradigm {
+        Paradigm::Threads => run_threads(config),
+        Paradigm::Actors => run_actors(config),
+        Paradigm::Coroutines => run_coroutines(config),
+    };
+    validate(&events, config).map(|()| events)
+}
+
+// --- threads ---------------------------------------------------------------
+
+struct BridgeState {
+    cars_on: usize,
+    direction: Option<Dir>,
+    /// Cars waiting per direction (for the fairness rule).
+    waiting: [usize; 2],
+    /// Consecutive entries in the current direction since the last
+    /// turnover.
+    batch: usize,
+}
+
+fn dir_index(dir: Dir) -> usize {
+    match dir {
+        Dir::Red => 0,
+        Dir::Blue => 1,
+    }
+}
+
+fn run_threads(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let bridge = Arc::new(Monitor::new(BridgeState {
+        cars_on: 0,
+        direction: None,
+        waiting: [0, 0],
+        batch: 0,
+    }));
+    std::thread::scope(|scope| {
+        let spawn_car = |car: usize, dir: Dir| {
+            let bridge = Arc::clone(&bridge);
+            let log = log.clone();
+            scope.spawn(move || {
+                for _ in 0..config.crossings_per_car {
+                    // enter()
+                    {
+                        let mut guard = bridge.enter();
+                        guard.waiting[dir_index(dir)] += 1;
+                        loop {
+                            let free = guard.cars_on == 0 || guard.direction == Some(dir);
+                            let fair_ok = match config.fair_batch {
+                                Some(batch_cap) => {
+                                    guard.direction != Some(dir)
+                                        || guard.waiting[dir_index(dir.opposite())] == 0
+                                        || guard.batch < batch_cap
+                                }
+                                None => true,
+                            };
+                            if free && fair_ok {
+                                break;
+                            }
+                            guard.wait();
+                        }
+                        guard.waiting[dir_index(dir)] -= 1;
+                        if guard.direction == Some(dir) && guard.cars_on > 0 {
+                            guard.batch += 1;
+                        } else {
+                            guard.direction = Some(dir);
+                            guard.batch = 1;
+                        }
+                        guard.cars_on += 1;
+                        log.push(Event::Entered { car, dir });
+                        guard.notify_all();
+                    }
+                    std::thread::yield_now(); // crossing
+                    // exit()
+                    {
+                        let mut guard = bridge.enter();
+                        guard.cars_on -= 1;
+                        if guard.cars_on == 0 {
+                            guard.direction = None;
+                            guard.batch = 0;
+                        }
+                        log.push(Event::Exited { car, dir });
+                        guard.notify_all();
+                    }
+                }
+            });
+        };
+        for car in 0..config.red_cars {
+            spawn_car(car, Dir::Red);
+        }
+        for car in 0..config.blue_cars {
+            spawn_car(config.red_cars + car, Dir::Blue);
+        }
+    });
+    log.snapshot()
+}
+
+// --- actors ------------------------------------------------------------------
+
+/// Figure 7's protocol: cars send `redEnter`/`blueEnter`/`redExit`/
+/// `blueExit`; the bridge replies `succeedEnter` / `succeedExit(n)`.
+enum BridgeMsg {
+    Enter { car: usize, dir: Dir, reply: ActorRef<CarMsg> },
+    Exit { car: usize, dir: Dir, reply: ActorRef<CarMsg> },
+}
+
+enum CarMsg {
+    SucceedEnter,
+    /// Carries the total completed crossings, like
+    /// `MESSAGE.succeedExit(2)` in Figure 7.
+    SucceedExit(u64),
+}
+
+struct BridgeController {
+    cars_on: usize,
+    direction: Option<Dir>,
+    queue: [VecDeque<(usize, ActorRef<CarMsg>)>; 2],
+    batch: usize,
+    fair_batch: Option<usize>,
+    crossings_done: u64,
+    log: EventLog<Event>,
+}
+
+impl BridgeController {
+    fn try_admit(&mut self) {
+        loop {
+            let candidate_dir = self.pick_direction();
+            let Some(dir) = candidate_dir else { return };
+            let Some((car, reply)) = self.queue[dir_index(dir)].pop_front() else { return };
+            if self.direction == Some(dir) && self.cars_on > 0 {
+                self.batch += 1;
+            } else {
+                self.direction = Some(dir);
+                self.batch = 1;
+            }
+            self.cars_on += 1;
+            self.log.push(Event::Entered { car, dir });
+            reply.send(CarMsg::SucceedEnter);
+        }
+    }
+
+    fn pick_direction(&self) -> Option<Dir> {
+        let current = self.direction.filter(|_| self.cars_on > 0);
+        match current {
+            Some(dir) => {
+                let same_waiting = !self.queue[dir_index(dir)].is_empty();
+                let other_waiting = !self.queue[dir_index(dir.opposite())].is_empty();
+                let fair_ok = match self.fair_batch {
+                    Some(cap) => !other_waiting || self.batch < cap,
+                    None => true,
+                };
+                if same_waiting && fair_ok {
+                    Some(dir)
+                } else {
+                    None // opposite direction must wait for empty bridge
+                }
+            }
+            None => {
+                // Bridge empty: prefer the longer queue (and the
+                // starved side under fairness).
+                let red = self.queue[0].len();
+                let blue = self.queue[1].len();
+                if red == 0 && blue == 0 {
+                    None
+                } else if red >= blue {
+                    Some(Dir::Red)
+                } else {
+                    Some(Dir::Blue)
+                }
+            }
+        }
+    }
+}
+
+impl Actor for BridgeController {
+    type Msg = BridgeMsg;
+    fn receive(&mut self, msg: BridgeMsg, _ctx: &mut Context<'_, BridgeMsg>) {
+        match msg {
+            BridgeMsg::Enter { car, dir, reply } => {
+                self.queue[dir_index(dir)].push_back((car, reply));
+                self.try_admit();
+            }
+            BridgeMsg::Exit { car, dir, reply } => {
+                self.cars_on -= 1;
+                self.crossings_done += 1;
+                if self.cars_on == 0 {
+                    self.direction = None;
+                    self.batch = 0;
+                }
+                self.log.push(Event::Exited { car, dir });
+                reply.send(CarMsg::SucceedExit(self.crossings_done));
+                self.try_admit();
+            }
+        }
+    }
+}
+
+struct CarActor {
+    car: usize,
+    dir: Dir,
+    crossings_left: usize,
+    bridge: ActorRef<BridgeMsg>,
+    done: Option<concur_actors::ask::Resolver<()>>,
+    on_bridge: bool,
+}
+
+impl Actor for CarActor {
+    type Msg = CarMsg;
+    fn started(&mut self, ctx: &mut Context<'_, CarMsg>) {
+        self.bridge
+            .send(BridgeMsg::Enter { car: self.car, dir: self.dir, reply: ctx.self_ref() });
+    }
+    fn receive(&mut self, msg: CarMsg, ctx: &mut Context<'_, CarMsg>) {
+        match msg {
+            CarMsg::SucceedEnter => {
+                self.on_bridge = true;
+                self.bridge.send(BridgeMsg::Exit {
+                    car: self.car,
+                    dir: self.dir,
+                    reply: ctx.self_ref(),
+                });
+            }
+            CarMsg::SucceedExit(_total) => {
+                self.on_bridge = false;
+                self.crossings_left -= 1;
+                if self.crossings_left == 0 {
+                    if let Some(done) = self.done.take() {
+                        done.resolve(());
+                    }
+                    ctx.stop();
+                } else {
+                    self.bridge.send(BridgeMsg::Enter {
+                        car: self.car,
+                        dir: self.dir,
+                        reply: ctx.self_ref(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn run_actors(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let system = ActorSystem::new(2);
+    let bridge = system.spawn(BridgeController {
+        cars_on: 0,
+        direction: None,
+        queue: [VecDeque::new(), VecDeque::new()],
+        batch: 0,
+        fair_batch: config.fair_batch,
+        crossings_done: 0,
+        log: log.clone(),
+    });
+    let mut promises = Vec::new();
+    let mut spawn_car = |car: usize, dir: Dir| {
+        let (promise, resolver) = concur_actors::promise::<()>();
+        promises.push(promise);
+        system.spawn(CarActor {
+            car,
+            dir,
+            crossings_left: config.crossings_per_car,
+            bridge: bridge.clone(),
+            done: Some(resolver),
+            on_bridge: false,
+        });
+    };
+    for car in 0..config.red_cars {
+        spawn_car(car, Dir::Red);
+    }
+    for car in 0..config.blue_cars {
+        spawn_car(config.red_cars + car, Dir::Blue);
+    }
+    for promise in promises {
+        promise.get_timeout(Duration::from_secs(30)).expect("car finishes all crossings");
+    }
+    system.shutdown();
+    log.snapshot()
+}
+
+// --- coroutines ------------------------------------------------------------------
+
+fn run_coroutines(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let state = Arc::new(concur_threads::Mutex::new(BridgeState {
+        cars_on: 0,
+        direction: None,
+        waiting: [0, 0],
+        batch: 0,
+    }));
+    let mut sched = Scheduler::new();
+    let mut spawn_car = |car: usize, dir: Dir| {
+        let state = Arc::clone(&state);
+        let log = log.clone();
+        sched.spawn(move |ctx| {
+            for _ in 0..config.crossings_per_car {
+                loop {
+                    let entered = {
+                        let mut s = state.lock();
+                        let free = s.cars_on == 0 || s.direction == Some(dir);
+                        let fair_ok = match config.fair_batch {
+                            Some(cap) => {
+                                s.direction != Some(dir)
+                                    || s.waiting[dir_index(dir.opposite())] == 0
+                                    || s.batch < cap
+                            }
+                            None => true,
+                        };
+                        if free && fair_ok {
+                            if s.direction == Some(dir) && s.cars_on > 0 {
+                                s.batch += 1;
+                            } else {
+                                s.direction = Some(dir);
+                                s.batch = 1;
+                            }
+                            s.cars_on += 1;
+                            log.push(Event::Entered { car, dir });
+                            true
+                        } else {
+                            s.waiting[dir_index(dir)] += 1;
+                            false
+                        }
+                    };
+                    if entered {
+                        break;
+                    }
+                    let state2 = Arc::clone(&state);
+                    ctx.block_until(move || {
+                        let s = state2.lock();
+                        s.cars_on == 0 || s.direction == Some(dir)
+                    });
+                    state.lock().waiting[dir_index(dir)] -= 1;
+                }
+                ctx.yield_now(); // crossing
+                let mut s = state.lock();
+                s.cars_on -= 1;
+                if s.cars_on == 0 {
+                    s.direction = None;
+                    s.batch = 0;
+                }
+                log.push(Event::Exited { car, dir });
+            }
+        });
+    };
+    for car in 0..config.red_cars {
+        spawn_car(car, Dir::Red);
+    }
+    for car in 0..config.blue_cars {
+        spawn_car(config.red_cars + car, Dir::Blue);
+    }
+    sched.run().expect("bridge traffic cannot cooperatively deadlock");
+    log.snapshot()
+}
+
+// --- validation ---------------------------------------------------------------
+
+pub fn validate(events: &[Event], config: Config) -> Validated<()> {
+    let mut on_bridge: Vec<(usize, Dir)> = Vec::new();
+    let mut crossings = std::collections::HashMap::<usize, usize>::new();
+    for (i, event) in events.iter().enumerate() {
+        match *event {
+            Event::Entered { car, dir } => {
+                if let Some(&(_, other_dir)) = on_bridge.first() {
+                    if other_dir != dir {
+                        return Err(Violation::new(
+                            format!(
+                                "{dir:?} car {car} entered while {other_dir:?} traffic is on the bridge"
+                            ),
+                            Some(i),
+                        ));
+                    }
+                }
+                if on_bridge.iter().any(|&(c, _)| c == car) {
+                    return Err(Violation::new(
+                        format!("car {car} entered twice without exiting"),
+                        Some(i),
+                    ));
+                }
+                on_bridge.push((car, dir));
+            }
+            Event::Exited { car, dir } => {
+                let Some(pos) = on_bridge.iter().position(|&(c, d)| c == car && d == dir)
+                else {
+                    return Err(Violation::new(
+                        format!("car {car} exited without entering"),
+                        Some(i),
+                    ));
+                };
+                on_bridge.remove(pos);
+                *crossings.entry(car).or_insert(0) += 1;
+            }
+        }
+    }
+    if !on_bridge.is_empty() {
+        return Err(Violation::new(
+            format!("{} car(s) never exited", on_bridge.len()),
+            None,
+        ));
+    }
+    let total_cars = config.red_cars + config.blue_cars;
+    for car in 0..total_cars {
+        let done = crossings.get(&car).copied().unwrap_or(0);
+        if done != config.crossings_per_car {
+            return Err(Violation::new(
+                format!(
+                    "car {car} crossed {done} times, expected {}",
+                    config.crossings_per_car
+                ),
+                None,
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The longest run of consecutive same-direction *entries* while the
+/// validator can prove the other side was interested (used by the
+/// fairness tests and the fairness bench).
+pub fn max_direction_run(events: &[Event]) -> usize {
+    let mut best = 0usize;
+    let mut current_dir: Option<Dir> = None;
+    let mut run = 0usize;
+    for event in events {
+        if let Event::Entered { dir, .. } = event {
+            if current_dir == Some(*dir) {
+                run += 1;
+            } else {
+                current_dir = Some(*dir);
+                run = 1;
+            }
+            best = best.max(run);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paradigms_validate() {
+        for paradigm in Paradigm::ALL {
+            run(paradigm, Config::default()).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn greedy_variant_is_still_safe() {
+        let config = Config { fair_batch: None, ..Config::default() };
+        for paradigm in Paradigm::ALL {
+            run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn one_direction_only() {
+        let config = Config {
+            red_cars: 4,
+            blue_cars: 0,
+            crossings_per_car: 5,
+            fair_batch: Some(2),
+        };
+        for paradigm in Paradigm::ALL {
+            run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn single_car_each_direction() {
+        let config = Config {
+            red_cars: 1,
+            blue_cars: 1,
+            crossings_per_car: 10,
+            fair_batch: Some(1),
+        };
+        for paradigm in Paradigm::ALL {
+            run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_two_directions() {
+        let bad = vec![
+            Event::Entered { car: 0, dir: Dir::Red },
+            Event::Entered { car: 1, dir: Dir::Blue },
+        ];
+        let config = Config::default();
+        assert!(validate(&bad, config).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_ghost_exit() {
+        let bad = vec![Event::Exited { car: 0, dir: Dir::Red }];
+        assert!(validate(&bad, Config::default()).is_err());
+    }
+
+    #[test]
+    fn max_run_measures_batches() {
+        let events = vec![
+            Event::Entered { car: 0, dir: Dir::Red },
+            Event::Exited { car: 0, dir: Dir::Red },
+            Event::Entered { car: 1, dir: Dir::Red },
+            Event::Exited { car: 1, dir: Dir::Red },
+            Event::Entered { car: 2, dir: Dir::Blue },
+            Event::Exited { car: 2, dir: Dir::Blue },
+        ];
+        assert_eq!(max_direction_run(&events), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared infrastructure for the classical problems: the paradigm
+//! tag, a thread-safe event log, and small helpers.
+
+use concur_threads::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which programming model an implementation uses — the three the
+/// course teaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Paradigm {
+    /// Shared memory with monitors/locks (Java threads in the course).
+    Threads,
+    /// Asynchronous message passing (Scala Actors in the course).
+    Actors,
+    /// Cooperative scheduling (Python coroutines in the course).
+    Coroutines,
+}
+
+impl Paradigm {
+    pub const ALL: [Paradigm; 3] = [Paradigm::Threads, Paradigm::Actors, Paradigm::Coroutines];
+}
+
+impl fmt::Display for Paradigm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Paradigm::Threads => "threads",
+            Paradigm::Actors => "actors",
+            Paradigm::Coroutines => "coroutines",
+        })
+    }
+}
+
+/// An append-only, thread-safe event log. Every problem records the
+/// safety-relevant events of a run here and validates the sequence
+/// afterwards — the validator sees the *actual* global order (as
+/// serialized by the log's lock).
+pub struct EventLog<E> {
+    events: Arc<Mutex<Vec<E>>>,
+}
+
+impl<E> Clone for EventLog<E> {
+    fn clone(&self) -> Self {
+        EventLog { events: Arc::clone(&self.events) }
+    }
+}
+
+impl<E> Default for EventLog<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventLog<E> {
+    pub fn new() -> Self {
+        EventLog { events: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    pub fn push(&self, event: E) {
+        self.events.lock().push(event);
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E: Clone> EventLog<E> {
+    /// Snapshot of the events so far, in global order.
+    pub fn snapshot(&self) -> Vec<E> {
+        self.events.lock().clone()
+    }
+}
+
+/// A validation failure: which invariant broke and at which event
+/// index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub invariant: String,
+    pub at_event: Option<usize>,
+}
+
+impl Violation {
+    pub fn new(invariant: impl Into<String>, at_event: Option<usize>) -> Self {
+        Violation { invariant: invariant.into(), at_event }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at_event {
+            Some(i) => write!(f, "invariant violated at event {i}: {}", self.invariant),
+            None => write!(f, "invariant violated: {}", self.invariant),
+        }
+    }
+}
+
+/// Outcome of a validated run.
+pub type Validated<T> = Result<T, Violation>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_collects_in_order() {
+        let log = EventLog::new();
+        let l2 = log.clone();
+        log.push(1);
+        l2.push(2);
+        assert_eq!(log.snapshot(), vec![1, 2]);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn paradigm_display() {
+        assert_eq!(Paradigm::Threads.to_string(), "threads");
+        assert_eq!(Paradigm::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! # concur-problems
+//!
+//! The classical concurrency problems of Li & Kraemer's course, each
+//! implemented in **all three paradigms** (threads / actors /
+//! coroutines) with machine-checked safety invariants:
+//!
+//! | Problem | Course use | Module |
+//! |---|---|---|
+//! | Thread-pool arithmetic | Lab 1 demo | [`thread_pool_arith`] |
+//! | Dining philosophers | Lab 1 demo, HW3 | [`dining`] |
+//! | Bounded buffer | HW2 quiz scenario | [`bounded_buffer`] |
+//! | Readers–writers | quiz scenario | [`readers_writers`] |
+//! | Sum & workers | quiz scenario | [`sum_workers`] |
+//! | Party matching | in-class lab | [`party_matching`] |
+//! | Sleeping barber | in-class lab | [`sleeping_barber`] |
+//! | Single-lane bridge | Tests 1 & 2 | [`bridge`] |
+//! | Book inventory | UML module + Labs 2–3 | [`book_inventory`] |
+//!
+//! Every module exposes `run(paradigm, config)` returning a validated
+//! event log, so the *same* invariant checker judges all three
+//! implementations — the apples-to-apples comparison the course asks
+//! students to make.
+//!
+//! ```
+//! use concur_problems::{bridge, Paradigm};
+//!
+//! let events = bridge::run(Paradigm::Threads, bridge::Config::default())
+//!     .expect("bridge safety invariants hold");
+//! assert!(!events.is_empty());
+//! ```
+
+pub mod book_inventory;
+pub mod bounded_buffer;
+pub mod bridge;
+pub mod common;
+pub mod dining;
+pub mod party_matching;
+pub mod readers_writers;
+pub mod sleeping_barber;
+pub mod sum_workers;
+pub mod thread_pool_arith;
+
+pub use common::{EventLog, Paradigm, Validated, Violation};

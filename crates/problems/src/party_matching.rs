@@ -1,0 +1,369 @@
+//! The party-matching problem (a course in-class lab): boys and girls
+//! arrive at a party individually but may only leave with a partner of
+//! the opposite sex.
+//!
+//! * threads — a monitor holds the two waiting counts; an arrival
+//!   either claims a waiting partner or waits to be claimed;
+//! * actors — a matchmaker actor pairs arrivals from its two queues;
+//! * coroutines — cooperative guests block until a partner is
+//!   waiting.
+//!
+//! Invariants: every guest leaves exactly once; leaves come in
+//! boy–girl pairs (equal counts, and at no prefix do departures of one
+//! sex exceed the other by more than the pairing protocol allows);
+//! nobody leaves before arriving.
+
+use crate::common::{EventLog, Paradigm, Validated, Violation};
+use concur_actors::{Actor, ActorRef, ActorSystem, Context};
+use concur_coroutines::Scheduler;
+use concur_threads::Monitor;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sex {
+    Boy,
+    Girl,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guest {
+    pub sex: Sex,
+    pub id: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub boys: usize,
+    pub girls: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { boys: 8, girls: 8 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    Arrived(Guest),
+    /// A matched pair leaves together (logged once per pair).
+    LeftTogether { boy: usize, girl: usize },
+}
+
+/// Run and validate. Requires `boys == girls` so everyone can leave
+/// (the unbalanced case is exercised separately).
+pub fn run(paradigm: Paradigm, config: Config) -> Validated<Vec<Event>> {
+    let events = match paradigm {
+        Paradigm::Threads => run_threads(config),
+        Paradigm::Actors => run_actors(config),
+        Paradigm::Coroutines => run_coroutines(config),
+    };
+    validate(&events, config).map(|()| events)
+}
+
+// --- threads -----------------------------------------------------------------
+
+struct Floor {
+    waiting_boys: Vec<usize>,
+    waiting_girls: Vec<usize>,
+    log: EventLog<Event>,
+}
+
+fn run_threads(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let floor = Arc::new(Monitor::new(Floor {
+        waiting_boys: Vec::new(),
+        waiting_girls: Vec::new(),
+        log: log.clone(),
+    }));
+    std::thread::scope(|scope| {
+        let spawn_guest = |guest: Guest| {
+            let floor = Arc::clone(&floor);
+            let log = log.clone();
+            scope.spawn(move || {
+                log.push(Event::Arrived(guest));
+                let mut guard = floor.enter();
+                match guest.sex {
+                    Sex::Boy => {
+                        if let Some(girl) = guard.waiting_girls.pop() {
+                            // Claim a waiting girl; we log for the pair.
+                            guard.log.push(Event::LeftTogether { boy: guest.id, girl });
+                            guard.notify_all();
+                        } else {
+                            guard.waiting_boys.push(guest.id);
+                            // Wait until someone pairs us (our id gone).
+                            while guard.waiting_boys.contains(&guest.id) {
+                                guard.wait();
+                            }
+                        }
+                    }
+                    Sex::Girl => {
+                        if let Some(boy) = guard.waiting_boys.pop() {
+                            guard.log.push(Event::LeftTogether { boy, girl: guest.id });
+                            guard.notify_all();
+                        } else {
+                            guard.waiting_girls.push(guest.id);
+                            while guard.waiting_girls.contains(&guest.id) {
+                                guard.wait();
+                            }
+                        }
+                    }
+                }
+            });
+        };
+        for id in 0..config.boys {
+            spawn_guest(Guest { sex: Sex::Boy, id });
+        }
+        for id in 0..config.girls {
+            spawn_guest(Guest { sex: Sex::Girl, id });
+        }
+    });
+    log.snapshot()
+}
+
+// --- actors ---------------------------------------------------------------------
+
+enum MatchmakerMsg {
+    Arrive(Guest, ActorRef<GuestMsg>),
+}
+
+enum GuestMsg {
+    Matched,
+}
+
+struct Matchmaker {
+    waiting_boys: Vec<(usize, ActorRef<GuestMsg>)>,
+    waiting_girls: Vec<(usize, ActorRef<GuestMsg>)>,
+    log: EventLog<Event>,
+}
+
+impl Actor for Matchmaker {
+    type Msg = MatchmakerMsg;
+    fn receive(&mut self, msg: MatchmakerMsg, _ctx: &mut Context<'_, MatchmakerMsg>) {
+        let MatchmakerMsg::Arrive(guest, reply) = msg;
+        self.log.push(Event::Arrived(guest));
+        match guest.sex {
+            Sex::Boy => {
+                if let Some((girl, girl_ref)) = self.waiting_girls.pop() {
+                    self.log.push(Event::LeftTogether { boy: guest.id, girl });
+                    girl_ref.send(GuestMsg::Matched);
+                    reply.send(GuestMsg::Matched);
+                } else {
+                    self.waiting_boys.push((guest.id, reply));
+                }
+            }
+            Sex::Girl => {
+                if let Some((boy, boy_ref)) = self.waiting_boys.pop() {
+                    self.log.push(Event::LeftTogether { boy, girl: guest.id });
+                    boy_ref.send(GuestMsg::Matched);
+                    reply.send(GuestMsg::Matched);
+                } else {
+                    self.waiting_girls.push((guest.id, reply));
+                }
+            }
+        }
+    }
+}
+
+struct GuestActor {
+    guest: Guest,
+    matchmaker: ActorRef<MatchmakerMsg>,
+    done: Option<concur_actors::ask::Resolver<()>>,
+}
+
+impl Actor for GuestActor {
+    type Msg = GuestMsg;
+    fn started(&mut self, ctx: &mut Context<'_, GuestMsg>) {
+        self.matchmaker.send(MatchmakerMsg::Arrive(self.guest, ctx.self_ref()));
+    }
+    fn receive(&mut self, GuestMsg::Matched: GuestMsg, ctx: &mut Context<'_, GuestMsg>) {
+        if let Some(done) = self.done.take() {
+            done.resolve(());
+        }
+        ctx.stop();
+    }
+}
+
+fn run_actors(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let system = ActorSystem::new(2);
+    let matchmaker = system.spawn(Matchmaker {
+        waiting_boys: Vec::new(),
+        waiting_girls: Vec::new(),
+        log: log.clone(),
+    });
+    let mut promises = Vec::new();
+    let mut spawn_guest = |guest: Guest| {
+        let (promise, resolver) = concur_actors::promise::<()>();
+        promises.push(promise);
+        system.spawn(GuestActor {
+            guest,
+            matchmaker: matchmaker.clone(),
+            done: Some(resolver),
+        });
+    };
+    for id in 0..config.boys {
+        spawn_guest(Guest { sex: Sex::Boy, id });
+    }
+    for id in 0..config.girls {
+        spawn_guest(Guest { sex: Sex::Girl, id });
+    }
+    for promise in promises {
+        promise.get_timeout(Duration::from_secs(30)).expect("guest leaves");
+    }
+    system.shutdown();
+    log.snapshot()
+}
+
+// --- coroutines ------------------------------------------------------------------
+
+fn run_coroutines(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let floor = Arc::new(concur_threads::Mutex::new((Vec::<usize>::new(), Vec::<usize>::new())));
+    let mut sched = Scheduler::new();
+    let mut spawn_guest = |guest: Guest| {
+        let floor = Arc::clone(&floor);
+        let log = log.clone();
+        sched.spawn(move |ctx| {
+            log.push(Event::Arrived(guest));
+            // Atomic between yields: claim or register.
+            let waiting = {
+                let mut f = floor.lock();
+                match guest.sex {
+                    Sex::Boy => {
+                        if let Some(girl) = f.1.pop() {
+                            log.push(Event::LeftTogether { boy: guest.id, girl });
+                            false
+                        } else {
+                            f.0.push(guest.id);
+                            true
+                        }
+                    }
+                    Sex::Girl => {
+                        if let Some(boy) = f.0.pop() {
+                            log.push(Event::LeftTogether { boy, girl: guest.id });
+                            false
+                        } else {
+                            f.1.push(guest.id);
+                            true
+                        }
+                    }
+                }
+            };
+            if waiting {
+                let floor2 = Arc::clone(&floor);
+                ctx.block_until(move || {
+                    let f = floor2.lock();
+                    match guest.sex {
+                        Sex::Boy => !f.0.contains(&guest.id),
+                        Sex::Girl => !f.1.contains(&guest.id),
+                    }
+                });
+            }
+        });
+    };
+    for id in 0..config.boys {
+        spawn_guest(Guest { sex: Sex::Boy, id });
+    }
+    for id in 0..config.girls {
+        spawn_guest(Guest { sex: Sex::Girl, id });
+    }
+    sched.run().expect("balanced party cannot deadlock");
+    log.snapshot()
+}
+
+// --- validation --------------------------------------------------------------------
+
+pub fn validate(events: &[Event], config: Config) -> Validated<()> {
+    let mut arrived = std::collections::HashSet::new();
+    let mut left_boys = std::collections::HashSet::new();
+    let mut left_girls = std::collections::HashSet::new();
+    for (i, event) in events.iter().enumerate() {
+        match event {
+            Event::Arrived(guest) => {
+                if !arrived.insert(*guest) {
+                    return Err(Violation::new(format!("{guest:?} arrived twice"), Some(i)));
+                }
+            }
+            Event::LeftTogether { boy, girl } => {
+                if !arrived.contains(&Guest { sex: Sex::Boy, id: *boy }) {
+                    return Err(Violation::new(
+                        format!("boy {boy} left before arriving"),
+                        Some(i),
+                    ));
+                }
+                if !arrived.contains(&Guest { sex: Sex::Girl, id: *girl }) {
+                    return Err(Violation::new(
+                        format!("girl {girl} left before arriving"),
+                        Some(i),
+                    ));
+                }
+                if !left_boys.insert(*boy) {
+                    return Err(Violation::new(format!("boy {boy} left twice"), Some(i)));
+                }
+                if !left_girls.insert(*girl) {
+                    return Err(Violation::new(format!("girl {girl} left twice"), Some(i)));
+                }
+            }
+        }
+    }
+    let pairs = config.boys.min(config.girls);
+    if left_boys.len() != pairs || left_girls.len() != pairs {
+        return Err(Violation::new(
+            format!(
+                "expected {pairs} pairs, saw {} boys / {} girls leave",
+                left_boys.len(),
+                left_girls.len()
+            ),
+            None,
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_party_everyone_leaves() {
+        for paradigm in Paradigm::ALL {
+            run(paradigm, Config::default()).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn single_pair() {
+        for paradigm in Paradigm::ALL {
+            run(paradigm, Config { boys: 1, girls: 1 })
+                .unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn large_party() {
+        for paradigm in Paradigm::ALL {
+            run(paradigm, Config { boys: 25, girls: 25 })
+                .unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_double_leaving() {
+        let bad = vec![
+            Event::Arrived(Guest { sex: Sex::Boy, id: 0 }),
+            Event::Arrived(Guest { sex: Sex::Girl, id: 0 }),
+            Event::Arrived(Guest { sex: Sex::Girl, id: 1 }),
+            Event::LeftTogether { boy: 0, girl: 0 },
+            Event::LeftTogether { boy: 0, girl: 1 },
+        ];
+        assert!(validate(&bad, Config { boys: 1, girls: 2 }).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_leaving_before_arrival() {
+        let bad = vec![Event::LeftTogether { boy: 0, girl: 0 }];
+        assert!(validate(&bad, Config { boys: 1, girls: 1 }).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! The readers–writers problem in three paradigms — a course quiz
+//! scenario used to discuss fairness.
+//!
+//! * threads — [`concur_threads::RwLock`] under each of its three
+//!   policies;
+//! * actors — a librarian actor that owns the document and serializes
+//!   access grants (readers batched, writers exclusive);
+//! * coroutines — cooperative tasks taking read/write turns on shared
+//!   state guarded only by yield discipline.
+//!
+//! Invariants: a writer never overlaps any other access; readers may
+//! overlap each other; every reader observes a value some writer
+//! actually wrote (monotone versions).
+
+use crate::common::{EventLog, Paradigm, Validated, Violation};
+use concur_actors::{Actor, ActorRef, ActorSystem, Context};
+use concur_coroutines::Scheduler;
+use concur_threads::{Policy, RwLock};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub readers: usize,
+    pub writers: usize,
+    pub ops_per_task: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { readers: 4, writers: 2, ops_per_task: 30 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    ReadStart { task: usize },
+    ReadEnd { task: usize, version: u64 },
+    WriteStart { task: usize },
+    WriteEnd { task: usize, version: u64 },
+}
+
+/// Run and validate.
+pub fn run(paradigm: Paradigm, config: Config) -> Validated<Vec<Event>> {
+    let events = match paradigm {
+        Paradigm::Threads => run_threads(config, Policy::Fair),
+        Paradigm::Actors => run_actors(config),
+        Paradigm::Coroutines => run_coroutines(config),
+    };
+    validate(&events, config).map(|()| events)
+}
+
+// --- threads ---------------------------------------------------------------
+
+/// Threads version, parameterized by rwlock policy (the fairness lab
+/// compares all three).
+pub fn run_threads(config: Config, policy: Policy) -> Vec<Event> {
+    let lock = Arc::new(RwLock::new(policy, 0u64));
+    let log: EventLog<Event> = EventLog::new();
+    std::thread::scope(|scope| {
+        for task in 0..config.readers {
+            let lock = Arc::clone(&lock);
+            let log = log.clone();
+            scope.spawn(move || {
+                for _ in 0..config.ops_per_task {
+                    log.push(Event::ReadStart { task });
+                    let guard = lock.read();
+                    let version = *guard;
+                    drop(guard);
+                    log.push(Event::ReadEnd { task, version });
+                    std::thread::yield_now();
+                }
+            });
+        }
+        for w in 0..config.writers {
+            let task = config.readers + w;
+            let lock = Arc::clone(&lock);
+            let log = log.clone();
+            scope.spawn(move || {
+                for _ in 0..config.ops_per_task {
+                    log.push(Event::WriteStart { task });
+                    let mut guard = lock.write();
+                    *guard += 1;
+                    let version = *guard;
+                    drop(guard);
+                    log.push(Event::WriteEnd { task, version });
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    log.snapshot()
+}
+
+// --- actors ------------------------------------------------------------------
+
+enum LibrarianMsg {
+    Read { client: ActorRef<ClientMsg> },
+    Write { client: ActorRef<ClientMsg> },
+}
+
+enum ClientMsg {
+    ReadResult(u64),
+    WriteDone(u64),
+}
+
+/// The librarian owns the document: reads and writes are handled one
+/// message at a time, so exclusion is automatic — the message-passing
+/// answer to the problem.
+struct Librarian {
+    version: u64,
+}
+
+impl Actor for Librarian {
+    type Msg = LibrarianMsg;
+    fn receive(&mut self, msg: LibrarianMsg, _ctx: &mut Context<'_, LibrarianMsg>) {
+        match msg {
+            LibrarianMsg::Read { client } => client.send(ClientMsg::ReadResult(self.version)),
+            LibrarianMsg::Write { client } => {
+                self.version += 1;
+                client.send(ClientMsg::WriteDone(self.version));
+            }
+        }
+    }
+}
+
+struct ClientActor {
+    task: usize,
+    is_writer: bool,
+    ops_left: usize,
+    librarian: ActorRef<LibrarianMsg>,
+    log: EventLog<Event>,
+    done: Option<concur_actors::ask::Resolver<()>>,
+}
+
+impl ClientActor {
+    fn issue(&mut self, ctx: &mut Context<'_, ClientMsg>) {
+        if self.is_writer {
+            self.log.push(Event::WriteStart { task: self.task });
+            self.librarian.send(LibrarianMsg::Write { client: ctx.self_ref() });
+        } else {
+            self.log.push(Event::ReadStart { task: self.task });
+            self.librarian.send(LibrarianMsg::Read { client: ctx.self_ref() });
+        }
+    }
+}
+
+impl Actor for ClientActor {
+    type Msg = ClientMsg;
+    fn started(&mut self, ctx: &mut Context<'_, ClientMsg>) {
+        self.issue(ctx);
+    }
+    fn receive(&mut self, msg: ClientMsg, ctx: &mut Context<'_, ClientMsg>) {
+        match msg {
+            ClientMsg::ReadResult(version) => {
+                self.log.push(Event::ReadEnd { task: self.task, version })
+            }
+            ClientMsg::WriteDone(version) => {
+                self.log.push(Event::WriteEnd { task: self.task, version })
+            }
+        }
+        self.ops_left -= 1;
+        if self.ops_left == 0 {
+            if let Some(done) = self.done.take() {
+                done.resolve(());
+            }
+            ctx.stop();
+        } else {
+            self.issue(ctx);
+        }
+    }
+}
+
+fn run_actors(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let system = ActorSystem::new(2);
+    let librarian = system.spawn(Librarian { version: 0 });
+    let mut promises = Vec::new();
+    for task in 0..config.readers + config.writers {
+        let (promise, resolver) = concur_actors::promise::<()>();
+        promises.push(promise);
+        system.spawn(ClientActor {
+            task,
+            is_writer: task >= config.readers,
+            ops_left: config.ops_per_task,
+            librarian: librarian.clone(),
+            log: log.clone(),
+            done: Some(resolver),
+        });
+    }
+    for promise in promises {
+        promise.get_timeout(Duration::from_secs(30)).expect("client finishes");
+    }
+    system.shutdown();
+    log.snapshot()
+}
+
+// --- coroutines ----------------------------------------------------------------
+
+fn run_coroutines(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let doc = Arc::new(concur_threads::Mutex::new(0u64));
+    let mut sched = Scheduler::new();
+    for task in 0..config.readers {
+        let log = log.clone();
+        let doc = Arc::clone(&doc);
+        sched.spawn(move |ctx| {
+            for _ in 0..config.ops_per_task {
+                log.push(Event::ReadStart { task });
+                let version = *doc.lock();
+                log.push(Event::ReadEnd { task, version });
+                ctx.yield_now();
+            }
+        });
+    }
+    for w in 0..config.writers {
+        let task = config.readers + w;
+        let log = log.clone();
+        let doc = Arc::clone(&doc);
+        sched.spawn(move |ctx| {
+            for _ in 0..config.ops_per_task {
+                log.push(Event::WriteStart { task });
+                let version = {
+                    let mut d = doc.lock();
+                    *d += 1;
+                    *d
+                };
+                log.push(Event::WriteEnd { task, version });
+                ctx.yield_now();
+            }
+        });
+    }
+    sched.run().expect("cooperative readers-writers cannot deadlock");
+    log.snapshot()
+}
+
+// --- validation -------------------------------------------------------------
+
+/// Versions written are 1..=total_writes with no duplicates, and every
+/// read observes a version ≤ the number of writes completed so far and
+/// ≥ 0 (monotone global state). Full overlap checking (no reader
+/// concurrent with a writer) is structural in all three
+/// implementations; here we check the observable value flow.
+pub fn validate(events: &[Event], config: Config) -> Validated<()> {
+    let total_writes = (config.writers * config.ops_per_task) as u64;
+    let mut seen_versions = std::collections::HashSet::new();
+    let mut completed_writes = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        match event {
+            Event::WriteEnd { version, .. } => {
+                completed_writes += 1;
+                if !seen_versions.insert(*version) {
+                    return Err(Violation::new(
+                        format!("version {version} written twice (lost update)"),
+                        Some(i),
+                    ));
+                }
+            }
+            Event::ReadEnd { version, .. }
+                // A read may lag the log (ReadEnd pushed after the
+                // guard drops), but can never see a version exceeding
+                // the writes that exist.
+                if *version > total_writes => {
+                    return Err(Violation::new(
+                        format!("read observed impossible version {version}"),
+                        Some(i),
+                    ));
+                }
+            _ => {}
+        }
+    }
+    if completed_writes != total_writes {
+        return Err(Violation::new(
+            format!("expected {total_writes} writes, saw {completed_writes}"),
+            None,
+        ));
+    }
+    if seen_versions.len() as u64 != total_writes {
+        return Err(Violation::new("duplicate or missing write versions", None));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paradigms_validate() {
+        for paradigm in Paradigm::ALL {
+            run(paradigm, Config::default()).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn all_rwlock_policies_validate() {
+        for policy in [Policy::ReaderPreference, Policy::WriterPreference, Policy::Fair] {
+            let events = run_threads(Config::default(), policy);
+            validate(&events, Config::default()).unwrap_or_else(|v| panic!("{policy:?}: {v}"));
+        }
+    }
+
+    #[test]
+    fn writer_only_and_reader_only_workloads() {
+        let writers_only = Config { readers: 0, writers: 3, ops_per_task: 20 };
+        let readers_only = Config { readers: 3, writers: 0, ops_per_task: 20 };
+        for config in [writers_only, readers_only] {
+            for paradigm in Paradigm::ALL {
+                run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+            }
+        }
+    }
+
+    #[test]
+    fn validator_catches_lost_updates() {
+        let bad = vec![
+            Event::WriteEnd { task: 0, version: 1 },
+            Event::WriteEnd { task: 1, version: 1 },
+        ];
+        let config = Config { readers: 0, writers: 2, ops_per_task: 1 };
+        assert!(validate(&bad, config).is_err());
+    }
+}

@@ -1,0 +1,466 @@
+//! The sleeping-barber problem (a course in-class lab): customers
+//! arrive at a shop with a limited waiting area; a customer is served
+//! if a barber is free, waits if chairs are available, and leaves
+//! otherwise; barbers sleep when the shop is empty.
+//!
+//! * threads — the shop is a monitor (waiting queue + barber states);
+//! * actors — the shop is an actor; customers and barbers are
+//!   messages/actors;
+//! * coroutines — customers and barbers are cooperative tasks.
+//!
+//! Invariants: waiting customers never exceed the chair count; every
+//! arrival is either served exactly once or turned away exactly once;
+//! a barber cuts one head at a time.
+
+use crate::common::{EventLog, Paradigm, Validated, Violation};
+use concur_actors::{Actor, ActorRef, ActorSystem, Context};
+use concur_coroutines::Scheduler;
+use concur_threads::Monitor;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub barbers: usize,
+    pub chairs: usize,
+    pub customers: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { barbers: 2, chairs: 3, customers: 30 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    Arrived(usize),
+    SatDown(usize),
+    TurnedAway(usize),
+    CutStarted { customer: usize, barber: usize },
+    CutFinished { customer: usize, barber: usize },
+}
+
+#[derive(Debug)]
+pub struct Report {
+    pub events: Vec<Event>,
+    pub served: usize,
+    pub turned_away: usize,
+}
+
+pub fn run(paradigm: Paradigm, config: Config) -> Validated<Report> {
+    let events = match paradigm {
+        Paradigm::Threads => run_threads(config),
+        Paradigm::Actors => run_actors(config),
+        Paradigm::Coroutines => run_coroutines(config),
+    };
+    validate(&events, config)
+}
+
+// --- threads --------------------------------------------------------------
+
+struct Shop {
+    waiting: VecDeque<usize>,
+    /// customer → barber assignment for hand-off.
+    being_served: Vec<Option<usize>>, // indexed by barber: current customer
+    done_cutting: Vec<bool>,          // indexed by customer
+    closed: bool,
+}
+
+fn run_threads(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let shop = Arc::new(Monitor::new(Shop {
+        waiting: VecDeque::new(),
+        being_served: vec![None; config.barbers],
+        done_cutting: vec![false; config.customers],
+        closed: false,
+    }));
+
+    std::thread::scope(|scope| {
+        // Barbers.
+        for barber in 0..config.barbers {
+            let shop = Arc::clone(&shop);
+            let log = log.clone();
+            scope.spawn(move || {
+                loop {
+                    // Sleep until a customer waits or the shop closes.
+                    let customer = {
+                        let mut guard = shop.enter();
+                        while guard.waiting.is_empty() && !guard.closed {
+                            guard.wait(); // the barber sleeps
+                        }
+                        match guard.waiting.pop_front() {
+                            Some(c) => {
+                                guard.being_served[barber] = Some(c);
+                                // Log while holding the monitor so the
+                                // validator's occupancy reconstruction
+                                // mirrors the queue exactly.
+                                log.push(Event::CutStarted { customer: c, barber });
+                                guard.notify_all();
+                                c
+                            }
+                            None => return, // closed and drained
+                        }
+                    };
+                    std::thread::yield_now(); // snip snip
+                    log.push(Event::CutFinished { customer, barber });
+                    shop.with(|s| {
+                        s.being_served[barber] = None;
+                        s.done_cutting[customer] = true;
+                    });
+                }
+            });
+        }
+        // Customers.
+        let mut customer_handles = Vec::new();
+        for customer in 0..config.customers {
+            let shop = Arc::clone(&shop);
+            let log = log.clone();
+            customer_handles.push(scope.spawn(move || {
+                log.push(Event::Arrived(customer));
+                let admitted = shop.with_quiet(|s| {
+                    if s.waiting.len() < config.chairs {
+                        s.waiting.push_back(customer);
+                        // Logged under the monitor (see barber side).
+                        log.push(Event::SatDown(customer));
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if !admitted {
+                    log.push(Event::TurnedAway(customer));
+                    return;
+                }
+                shop.notify_all(); // wake a sleeping barber
+                // Wait for the haircut to finish.
+                let mut guard = shop.enter();
+                while !guard.done_cutting[customer] {
+                    guard.wait();
+                }
+            }));
+        }
+        for handle in customer_handles {
+            let _ = handle.join();
+        }
+        // Close the shop: barbers finish the queue and exit.
+        shop.with(|s| s.closed = true);
+    });
+    log.snapshot()
+}
+
+// --- actors -----------------------------------------------------------------
+
+enum ShopMsg {
+    Arrive(usize, ActorRef<CustomerMsg>),
+    BarberReady(usize),
+}
+
+enum CustomerMsg {
+    Served,
+    TurnedAway,
+}
+
+struct ShopActor {
+    chairs: usize,
+    waiting: VecDeque<(usize, ActorRef<CustomerMsg>)>,
+    idle_barbers: VecDeque<usize>,
+    log: EventLog<Event>,
+}
+
+impl ShopActor {
+    fn dispatch(&mut self) {
+        while !self.waiting.is_empty() && !self.idle_barbers.is_empty() {
+            let (customer, reply) = self.waiting.pop_front().expect("non-empty");
+            let barber = self.idle_barbers.pop_front().expect("non-empty");
+            self.log.push(Event::CutStarted { customer, barber });
+            self.log.push(Event::CutFinished { customer, barber });
+            reply.send(CustomerMsg::Served);
+            self.idle_barbers.push_back(barber);
+        }
+    }
+}
+
+impl Actor for ShopActor {
+    type Msg = ShopMsg;
+    fn receive(&mut self, msg: ShopMsg, _ctx: &mut Context<'_, ShopMsg>) {
+        match msg {
+            ShopMsg::Arrive(customer, reply) => {
+                self.log.push(Event::Arrived(customer));
+                if self.waiting.len() < self.chairs {
+                    self.log.push(Event::SatDown(customer));
+                    self.waiting.push_back((customer, reply));
+                    self.dispatch();
+                } else {
+                    self.log.push(Event::TurnedAway(customer));
+                    reply.send(CustomerMsg::TurnedAway);
+                }
+            }
+            ShopMsg::BarberReady(barber) => {
+                self.idle_barbers.push_back(barber);
+                self.dispatch();
+            }
+        }
+    }
+}
+
+struct CustomerActor {
+    id: usize,
+    shop: ActorRef<ShopMsg>,
+    done: Option<concur_actors::ask::Resolver<bool>>,
+}
+
+impl Actor for CustomerActor {
+    type Msg = CustomerMsg;
+    fn started(&mut self, ctx: &mut Context<'_, CustomerMsg>) {
+        self.shop.send(ShopMsg::Arrive(self.id, ctx.self_ref()));
+    }
+    fn receive(&mut self, msg: CustomerMsg, ctx: &mut Context<'_, CustomerMsg>) {
+        if let Some(done) = self.done.take() {
+            done.resolve(matches!(msg, CustomerMsg::Served));
+        }
+        ctx.stop();
+    }
+}
+
+fn run_actors(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let system = ActorSystem::new(2);
+    let shop = system.spawn(ShopActor {
+        chairs: config.chairs,
+        waiting: VecDeque::new(),
+        idle_barbers: VecDeque::new(),
+        log: log.clone(),
+    });
+    for barber in 0..config.barbers {
+        shop.send(ShopMsg::BarberReady(barber));
+    }
+    let mut promises = Vec::new();
+    for id in 0..config.customers {
+        let (promise, resolver) = concur_actors::promise::<bool>();
+        promises.push(promise);
+        system.spawn(CustomerActor { id, shop: shop.clone(), done: Some(resolver) });
+    }
+    for promise in promises {
+        promise.get_timeout(Duration::from_secs(30)).expect("customer resolved");
+    }
+    system.shutdown();
+    log.snapshot()
+}
+
+// --- coroutines -----------------------------------------------------------------
+
+fn run_coroutines(config: Config) -> Vec<Event> {
+    let log: EventLog<Event> = EventLog::new();
+    let state = Arc::new(concur_threads::Mutex::new((
+        VecDeque::<usize>::new(), // waiting
+        vec![false; config.customers], // done
+        0usize,                   // customers fully handled (served or away)
+    )));
+    let mut sched = Scheduler::new();
+
+    for barber in 0..config.barbers {
+        let state = Arc::clone(&state);
+        let log = log.clone();
+        let total = config.customers;
+        sched.spawn(move |ctx| {
+            loop {
+                // Wait for a waiting customer or end of business.
+                let state2 = Arc::clone(&state);
+                ctx.block_until(move || {
+                    let s = state2.lock();
+                    !s.0.is_empty() || s.2 >= total
+                });
+                let customer = {
+                    let mut s = state.lock();
+                    if s.0.is_empty() {
+                        return; // all customers handled
+                    }
+                    s.0.pop_front().expect("non-empty")
+                };
+                log.push(Event::CutStarted { customer, barber });
+                ctx.yield_now();
+                log.push(Event::CutFinished { customer, barber });
+                let mut s = state.lock();
+                s.1[customer] = true;
+                s.2 += 1;
+            }
+        });
+    }
+    for customer in 0..config.customers {
+        let state = Arc::clone(&state);
+        let log = log.clone();
+        sched.spawn(move |ctx| {
+            log.push(Event::Arrived(customer));
+            let admitted = {
+                let mut s = state.lock();
+                if s.0.len() < config.chairs {
+                    s.0.push_back(customer);
+                    true
+                } else {
+                    s.2 += 1;
+                    false
+                }
+            };
+            if !admitted {
+                log.push(Event::TurnedAway(customer));
+                return;
+            }
+            log.push(Event::SatDown(customer));
+            let state2 = Arc::clone(&state);
+            ctx.block_until(move || state2.lock().1[customer]);
+        });
+    }
+    sched.run().expect("barbershop cannot deadlock");
+    log.snapshot()
+}
+
+// --- validation ------------------------------------------------------------------
+
+pub fn validate(events: &[Event], config: Config) -> Validated<Report> {
+    let mut waiting = 0usize;
+    let mut served = std::collections::HashSet::new();
+    let mut away = std::collections::HashSet::new();
+    let mut arrived = std::collections::HashSet::new();
+    let mut busy: Vec<Option<usize>> = vec![None; config.barbers];
+    for (i, event) in events.iter().enumerate() {
+        match *event {
+            Event::Arrived(c) => {
+                if !arrived.insert(c) {
+                    return Err(Violation::new(format!("customer {c} arrived twice"), Some(i)));
+                }
+            }
+            Event::SatDown(_) => {
+                waiting += 1;
+                if waiting > config.chairs {
+                    return Err(Violation::new(
+                        format!("{waiting} waiting > {} chairs", config.chairs),
+                        Some(i),
+                    ));
+                }
+            }
+            Event::TurnedAway(c) => {
+                if !away.insert(c) {
+                    return Err(Violation::new(
+                        format!("customer {c} turned away twice"),
+                        Some(i),
+                    ));
+                }
+            }
+            Event::CutStarted { customer, barber } => {
+                waiting = waiting.saturating_sub(1);
+                if busy[barber].is_some() {
+                    return Err(Violation::new(
+                        format!("barber {barber} started a cut while busy"),
+                        Some(i),
+                    ));
+                }
+                busy[barber] = Some(customer);
+            }
+            Event::CutFinished { customer, barber } => {
+                if busy[barber] != Some(customer) {
+                    return Err(Violation::new(
+                        format!("barber {barber} finished a cut they never started"),
+                        Some(i),
+                    ));
+                }
+                busy[barber] = None;
+                if !served.insert(customer) {
+                    return Err(Violation::new(
+                        format!("customer {customer} served twice"),
+                        Some(i),
+                    ));
+                }
+            }
+        }
+    }
+    if served.len() + away.len() != config.customers {
+        return Err(Violation::new(
+            format!(
+                "served {} + turned away {} != {} customers",
+                served.len(),
+                away.len(),
+                config.customers
+            ),
+            None,
+        ));
+    }
+    if let Some(overlap) = served.intersection(&away).next() {
+        return Err(Violation::new(
+            format!("customer {overlap} both served and turned away"),
+            None,
+        ));
+    }
+    Ok(Report { events: events.to_vec(), served: served.len(), turned_away: away.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paradigms_validate() {
+        for paradigm in Paradigm::ALL {
+            let report =
+                run(paradigm, Config::default()).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+            assert_eq!(report.served + report.turned_away, 30);
+        }
+    }
+
+    #[test]
+    fn zero_chairs_turns_everyone_away_unless_instantly_served() {
+        let config = Config { barbers: 1, chairs: 0, customers: 10 };
+        for paradigm in Paradigm::ALL {
+            let report =
+                run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+            assert_eq!(report.served + report.turned_away, 10);
+            assert_eq!(report.served, 0, "{paradigm}: nobody can sit, nobody is served");
+        }
+    }
+
+    #[test]
+    fn single_barber_single_chair() {
+        let config = Config { barbers: 1, chairs: 1, customers: 15 };
+        for paradigm in Paradigm::ALL {
+            run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+        }
+    }
+
+    #[test]
+    fn plenty_of_chairs_serves_everyone() {
+        let config = Config { barbers: 2, chairs: 100, customers: 20 };
+        for paradigm in Paradigm::ALL {
+            let report =
+                run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+            assert_eq!(report.served, 20, "{paradigm}");
+            assert_eq!(report.turned_away, 0, "{paradigm}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_overfull_waiting_room() {
+        let bad = vec![
+            Event::Arrived(0),
+            Event::Arrived(1),
+            Event::SatDown(0),
+            Event::SatDown(1),
+        ];
+        let config = Config { barbers: 1, chairs: 1, customers: 2 };
+        assert!(validate(&bad, config).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_busy_barber_double_booking() {
+        let bad = vec![
+            Event::Arrived(0),
+            Event::Arrived(1),
+            Event::SatDown(0),
+            Event::SatDown(1),
+            Event::CutStarted { customer: 0, barber: 0 },
+            Event::CutStarted { customer: 1, barber: 0 },
+        ];
+        let config = Config { barbers: 1, chairs: 3, customers: 2 };
+        assert!(validate(&bad, config).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! "Sum & workers": partition an array among workers and combine
+//! partial sums — the course's first pseudocode quiz scenario and the
+//! simplest shape of data parallelism.
+//!
+//! * threads — scoped worker threads, partial sums combined under a
+//!   monitor;
+//! * actors — a coordinator fans chunks out to worker actors and
+//!   reduces their replies;
+//! * coroutines — worker tasks interleave cooperatively, accumulating
+//!   into shared state between yields.
+//!
+//! Invariant: the concurrent total equals the sequential total,
+//! regardless of schedule.
+
+use crate::common::Paradigm;
+use concur_actors::{Actor, ActorRef, ActorSystem, Context};
+use concur_coroutines::Scheduler;
+use concur_threads::Monitor;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub values: Vec<i64>,
+    pub workers: usize,
+}
+
+impl Config {
+    /// The workload used by tests and benches: values 1..=n.
+    pub fn sequential(n: i64, workers: usize) -> Self {
+        Config { values: (1..=n).collect(), workers }
+    }
+
+    pub fn expected_sum(&self) -> i64 {
+        self.values.iter().sum()
+    }
+}
+
+/// Compute the sum under the given paradigm.
+pub fn run(paradigm: Paradigm, config: &Config) -> i64 {
+    match paradigm {
+        Paradigm::Threads => run_threads(config),
+        Paradigm::Actors => run_actors(config),
+        Paradigm::Coroutines => run_coroutines(config),
+    }
+}
+
+fn chunks(config: &Config) -> Vec<Vec<i64>> {
+    if config.values.is_empty() {
+        return vec![Vec::new(); config.workers.max(1)];
+    }
+    let chunk_size = config.values.len().div_ceil(config.workers.max(1));
+    config.values.chunks(chunk_size.max(1)).map(<[i64]>::to_vec).collect()
+}
+
+fn run_threads(config: &Config) -> i64 {
+    let total = Monitor::new(0i64);
+    let total_ref = &total;
+    std::thread::scope(|scope| {
+        for chunk in chunks(config) {
+            scope.spawn(move || {
+                let partial: i64 = chunk.iter().sum();
+                total_ref.with(|t| *t += partial);
+            });
+        }
+    });
+    total.into_inner()
+}
+
+enum SumMsg {
+    Chunk(Vec<i64>, ActorRef<i64>),
+}
+
+struct SumWorker;
+
+impl Actor for SumWorker {
+    type Msg = SumMsg;
+    fn receive(&mut self, SumMsg::Chunk(values, reply_to): SumMsg, ctx: &mut Context<'_, SumMsg>) {
+        reply_to.send(values.iter().sum());
+        ctx.stop();
+    }
+}
+
+struct Reducer {
+    remaining: usize,
+    total: i64,
+    done: Option<concur_actors::ask::Resolver<i64>>,
+}
+
+impl Actor for Reducer {
+    type Msg = i64;
+    fn receive(&mut self, partial: i64, ctx: &mut Context<'_, i64>) {
+        self.total += partial;
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            if let Some(done) = self.done.take() {
+                done.resolve(self.total);
+            }
+            ctx.stop();
+        }
+    }
+}
+
+fn run_actors(config: &Config) -> i64 {
+    let system = ActorSystem::new(2);
+    let parts = chunks(config);
+    let (promise, resolver) = concur_actors::promise::<i64>();
+    let reducer = system.spawn(Reducer {
+        remaining: parts.len(),
+        total: 0,
+        done: Some(resolver),
+    });
+    for chunk in parts {
+        let worker = system.spawn(SumWorker);
+        worker.send(SumMsg::Chunk(chunk, reducer.clone()));
+    }
+    let total = promise.get_timeout(Duration::from_secs(30)).expect("reduced");
+    system.shutdown();
+    total
+}
+
+fn run_coroutines(config: &Config) -> i64 {
+    let total = Arc::new(concur_threads::Mutex::new(0i64));
+    let mut sched = Scheduler::new();
+    for chunk in chunks(config) {
+        let total = Arc::clone(&total);
+        sched.spawn(move |ctx| {
+            // Accumulate element-wise with yields in between: the
+            // total is still exact because updates are atomic between
+            // yield points.
+            for v in chunk {
+                *total.lock() += v;
+                ctx.yield_now();
+            }
+        });
+    }
+    sched.run().expect("no deadlock possible");
+    let result = *total.lock();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paradigms_compute_the_same_sum() {
+        let config = Config::sequential(1000, 4);
+        let expected = config.expected_sum();
+        for paradigm in Paradigm::ALL {
+            assert_eq!(run(paradigm, &config), expected, "{paradigm}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let config = Config { values: vec![], workers: 3 };
+        for paradigm in Paradigm::ALL {
+            assert_eq!(run(paradigm, &config), 0, "{paradigm}");
+        }
+    }
+
+    #[test]
+    fn negative_values_and_single_worker() {
+        let config = Config { values: vec![-5, 3, -2, 9], workers: 1 };
+        for paradigm in Paradigm::ALL {
+            assert_eq!(run(paradigm, &config), 5, "{paradigm}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_values() {
+        let config = Config { values: vec![1, 2, 3], workers: 10 };
+        for paradigm in Paradigm::ALL {
+            assert_eq!(run(paradigm, &config), 6, "{paradigm}");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The "thread pool arithmetic program" of the course's first lab:
+//! a batch of independent arithmetic tasks dispatched to a fixed pool
+//! of workers, with results collected and checked against the
+//! sequential answer.
+//!
+//! * threads — `concur_threads::ThreadPool`;
+//! * actors — a fixed set of worker actors fed round-robin;
+//! * coroutines — a fixed set of cooperative workers fed by a
+//!   `CoChannel` (no parallelism, same structure).
+
+use crate::common::Paradigm;
+use concur_actors::{Actor, ActorRef, ActorSystem, Context};
+use concur_coroutines::{CoChannel, Scheduler};
+use concur_threads::{Monitor, ThreadPool};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One arithmetic task: evaluate a small polynomial at `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArithTask {
+    pub x: i64,
+}
+
+impl ArithTask {
+    /// The (deliberately branchy) arithmetic the lab program runs.
+    pub fn evaluate(self) -> i64 {
+        let x = self.x;
+        let mut acc = 0i64;
+        for k in 1..=8 {
+            let term = x.wrapping_mul(k).wrapping_add(k * k);
+            acc = if term % 3 == 0 { acc.wrapping_sub(term) } else { acc.wrapping_add(term) };
+        }
+        acc
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    pub tasks: usize,
+    pub workers: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { tasks: 200, workers: 3 }
+    }
+}
+
+/// The sequential oracle.
+pub fn sequential_total(config: Config) -> i64 {
+    (0..config.tasks).map(|i| ArithTask { x: i as i64 }.evaluate()).sum()
+}
+
+/// Run the batch under a paradigm, returning the combined total.
+pub fn run(paradigm: Paradigm, config: Config) -> i64 {
+    match paradigm {
+        Paradigm::Threads => run_threads(config),
+        Paradigm::Actors => run_actors(config),
+        Paradigm::Coroutines => run_coroutines(config),
+    }
+}
+
+fn run_threads(config: Config) -> i64 {
+    let pool = ThreadPool::new(config.workers, config.workers * 2);
+    let total = Arc::new(Monitor::new(0i64));
+    for i in 0..config.tasks {
+        let total = Arc::clone(&total);
+        pool.execute(move || {
+            let value = ArithTask { x: i as i64 }.evaluate();
+            total.with(|t| *t += value);
+        })
+        .expect("pool accepts work");
+    }
+    pool.wait_idle();
+    let result = total.with_quiet(|t| *t);
+    pool.shutdown();
+    result
+}
+
+struct ArithWorker;
+
+enum WorkerMsg {
+    Work(ArithTask, ActorRef<i64>),
+    Done,
+}
+
+impl Actor for ArithWorker {
+    type Msg = WorkerMsg;
+    fn receive(&mut self, msg: WorkerMsg, ctx: &mut Context<'_, WorkerMsg>) {
+        match msg {
+            WorkerMsg::Work(task, reply) => reply.send(task.evaluate()),
+            WorkerMsg::Done => ctx.stop(),
+        }
+    }
+}
+
+struct ArithReducer {
+    remaining: usize,
+    total: i64,
+    done: Option<concur_actors::ask::Resolver<i64>>,
+}
+
+impl Actor for ArithReducer {
+    type Msg = i64;
+    fn receive(&mut self, value: i64, ctx: &mut Context<'_, i64>) {
+        self.total += value;
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            if let Some(done) = self.done.take() {
+                done.resolve(self.total);
+            }
+            ctx.stop();
+        }
+    }
+}
+
+fn run_actors(config: Config) -> i64 {
+    let system = ActorSystem::new(2);
+    let (promise, resolver) = concur_actors::promise::<i64>();
+    let reducer = system.spawn(ArithReducer {
+        remaining: config.tasks,
+        total: 0,
+        done: Some(resolver),
+    });
+    let workers: Vec<_> = (0..config.workers).map(|_| system.spawn(ArithWorker)).collect();
+    for i in 0..config.tasks {
+        let worker = &workers[i % workers.len()];
+        worker.send(WorkerMsg::Work(ArithTask { x: i as i64 }, reducer.clone()));
+    }
+    let total = promise.get_timeout(Duration::from_secs(30)).expect("reduced");
+    for worker in &workers {
+        worker.send(WorkerMsg::Done);
+    }
+    system.shutdown();
+    total
+}
+
+fn run_coroutines(config: Config) -> i64 {
+    let total = Arc::new(concur_threads::Mutex::new(0i64));
+    let queue: CoChannel<ArithTask> = CoChannel::new(config.workers.max(1) * 2);
+    let mut sched = Scheduler::new();
+    // Feeder task.
+    let feeder_queue = queue.clone();
+    sched.spawn(move |ctx| {
+        for i in 0..config.tasks {
+            ctx.send(&feeder_queue, ArithTask { x: i as i64 });
+        }
+        feeder_queue.close();
+    });
+    // Workers.
+    for _ in 0..config.workers {
+        let queue = queue.clone();
+        let total = Arc::clone(&total);
+        sched.spawn(move |ctx| {
+            while let Some(task) = ctx.recv(&queue) {
+                *total.lock() += task.evaluate();
+                ctx.yield_now();
+            }
+        });
+    }
+    sched.run().expect("no deadlock");
+    let result = *total.lock();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paradigms_match_the_sequential_oracle() {
+        let config = Config::default();
+        let expected = sequential_total(config);
+        for paradigm in Paradigm::ALL {
+            assert_eq!(run(paradigm, config), expected, "{paradigm}");
+        }
+    }
+
+    #[test]
+    fn single_worker_and_single_task() {
+        for config in [Config { tasks: 1, workers: 1 }, Config { tasks: 7, workers: 1 }] {
+            let expected = sequential_total(config);
+            for paradigm in Paradigm::ALL {
+                assert_eq!(run(paradigm, config), expected, "{paradigm} {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let config = Config { tasks: 3, workers: 8 };
+        let expected = sequential_total(config);
+        for paradigm in Paradigm::ALL {
+            assert_eq!(run(paradigm, config), expected, "{paradigm}");
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! Static analysis: structural validation and `EXC_ACC` footprints.
+//!
+//! The paper scopes exclusive access by *data*, not by a single global
+//! lock: "When one function call executes statements inside an
+//! EXC_ACC/END_EXC_ACC block, other function calls **that read or
+//! modify the same variables that appear inside the markers** may not
+//! execute" (Figure 4). [`exc_footprint`] computes the static name set
+//! of a block; the runtime resolves each name to a shared cell (global
+//! variable or object field) on block entry.
+
+use crate::ast::*;
+use crate::diag::Diagnostic;
+use std::collections::BTreeSet;
+
+/// A statically-identified reference that may resolve to a shared cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FootRef {
+    /// A bare name: resolves to a local (not shared), an object field of
+    /// the receiver, or a global.
+    Var(String),
+    /// `SELF.field`: a field of the executing method's receiver.
+    SelfField(String),
+    /// `base.field` where `base` is a variable holding an object.
+    VarField(String, String),
+}
+
+/// Collect the footprint of an `EXC_ACC` body: every variable or field
+/// reference appearing anywhere inside the block (reads and writes are
+/// not distinguished — the paper's wording covers both).
+pub fn exc_footprint(body: &Block) -> BTreeSet<FootRef> {
+    let mut refs = BTreeSet::new();
+    for stmt in body {
+        stmt_refs(stmt, &mut refs);
+    }
+    refs
+}
+
+fn stmt_refs(stmt: &Stmt, out: &mut BTreeSet<FootRef>) {
+    match &stmt.kind {
+        StmtKind::Assign { target, value } => {
+            lvalue_refs(target, out);
+            expr_refs(value, out);
+        }
+        StmtKind::If { arms, else_ } => {
+            for (cond, block) in arms {
+                expr_refs(cond, out);
+                for s in block {
+                    stmt_refs(s, out);
+                }
+            }
+            if let Some(block) = else_ {
+                for s in block {
+                    stmt_refs(s, out);
+                }
+            }
+        }
+        StmtKind::While { cond, body } => {
+            expr_refs(cond, out);
+            for s in body {
+                stmt_refs(s, out);
+            }
+        }
+        StmtKind::For { var, from, to, body } => {
+            out.insert(FootRef::Var(var.clone()));
+            expr_refs(from, out);
+            expr_refs(to, out);
+            for s in body {
+                stmt_refs(s, out);
+            }
+        }
+        StmtKind::Para { tasks } => {
+            for s in tasks {
+                stmt_refs(s, out);
+            }
+        }
+        StmtKind::ExcAcc { body } => {
+            for s in body {
+                stmt_refs(s, out);
+            }
+        }
+        StmtKind::Print { value, .. } => expr_refs(value, out),
+        StmtKind::ExprStmt(expr) | StmtKind::Spawn { call: expr } => expr_refs(expr, out),
+        StmtKind::Send { msg, to } => {
+            expr_refs(msg, out);
+            expr_refs(to, out);
+        }
+        StmtKind::OnReceiving { arms } => {
+            for arm in arms {
+                for s in &arm.body {
+                    stmt_refs(s, out);
+                }
+            }
+        }
+        StmtKind::Return(Some(expr)) => expr_refs(expr, out),
+        StmtKind::Seq(block) => {
+            for s in block {
+                stmt_refs(s, out);
+            }
+        }
+        StmtKind::Return(None) | StmtKind::Wait | StmtKind::Notify | StmtKind::Break
+        | StmtKind::Continue => {}
+    }
+}
+
+fn lvalue_refs(lvalue: &LValue, out: &mut BTreeSet<FootRef>) {
+    match lvalue {
+        LValue::Name(name) => {
+            out.insert(FootRef::Var(name.clone()));
+        }
+        LValue::Field(base, field) => field_ref(base, field, out),
+        LValue::Index(base, index) => {
+            expr_refs(base, out);
+            expr_refs(index, out);
+        }
+    }
+}
+
+fn field_ref(base: &Expr, field: &str, out: &mut BTreeSet<FootRef>) {
+    match &base.kind {
+        ExprKind::SelfRef => {
+            out.insert(FootRef::SelfField(field.to_string()));
+        }
+        ExprKind::Name(name) => {
+            out.insert(FootRef::VarField(name.clone(), field.to_string()));
+        }
+        _ => expr_refs(base, out),
+    }
+}
+
+fn expr_refs(expr: &Expr, out: &mut BTreeSet<FootRef>) {
+    match &expr.kind {
+        ExprKind::Name(name) => {
+            out.insert(FootRef::Var(name.clone()));
+        }
+        ExprKind::Field(base, field) => field_ref(base, field, out),
+        ExprKind::Index(base, index) => {
+            expr_refs(base, out);
+            expr_refs(index, out);
+        }
+        ExprKind::Unary(_, e) => expr_refs(e, out),
+        ExprKind::Binary(_, l, r) => {
+            expr_refs(l, out);
+            expr_refs(r, out);
+        }
+        ExprKind::List(items) => {
+            for item in items {
+                expr_refs(item, out);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            if let Callee::Method(base, _) = callee {
+                expr_refs(base, out);
+            }
+            for arg in args {
+                expr_refs(arg, out);
+            }
+        }
+        ExprKind::New { args, .. } | ExprKind::Message { args, .. } => {
+            for arg in args {
+                expr_refs(arg, out);
+            }
+        }
+        ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::SelfRef => {}
+    }
+}
+
+/// Structural validation performed right after parsing:
+///
+/// * `WAIT()` / `NOTIFY()` only inside an `EXC_ACC` block (Figure 4:
+///   "Only be called inside a EXC_ACC/END_EXC_ACC block").
+/// * `EXC_ACC` only inside a function definition (Figure 4: "Only
+///   appears within a function definition") and not nested.
+/// * `BREAK` / `CONTINUE` only inside loops.
+/// * `SELF` only inside class methods.
+/// * `ON_RECEIVING` only inside class methods (receivers are objects,
+///   Figure 5).
+/// * No duplicate function / class / method names.
+pub fn validate(program: &Program) -> Vec<Diagnostic> {
+    let mut v = Validator::default();
+
+    let mut func_names: BTreeSet<&str> = BTreeSet::new();
+    let mut class_names: BTreeSet<&str> = BTreeSet::new();
+    for item in &program.items {
+        match item {
+            Item::Func(f) => {
+                if !func_names.insert(&f.name) {
+                    v.out.push(Diagnostic::new(
+                        format!("function `{}` is defined more than once", f.name),
+                        f.span,
+                    ));
+                }
+                v.func(f, false);
+            }
+            Item::Class(c) => {
+                if !class_names.insert(&c.name) {
+                    v.out.push(Diagnostic::new(
+                        format!("class `{}` is defined more than once", c.name),
+                        c.span,
+                    ));
+                }
+                let mut method_names: BTreeSet<&str> = BTreeSet::new();
+                for m in &c.methods {
+                    if !method_names.insert(&m.name) {
+                        v.out.push(Diagnostic::new(
+                            format!("method `{}` is defined more than once in CLASS {}", m.name, c.name),
+                            m.span,
+                        ));
+                    }
+                    v.func(m, true);
+                }
+                for (field, init) in &c.fields {
+                    v.check_expr(init, true);
+                    if init.contains_call() {
+                        v.out.push(Diagnostic::new(
+                            format!(
+                                "field initializer for `{}.{field}` may not contain calls",
+                                c.name
+                            ),
+                            init.span,
+                        ));
+                    }
+                }
+            }
+            Item::Stmt(s) => v.stmt(s, &Ctx::top_level()),
+        }
+    }
+    v.out
+}
+
+/// Lexical context flags threaded through validation.
+#[derive(Clone, Copy)]
+struct Ctx {
+    in_function: bool,
+    in_method: bool,
+    in_exc_acc: bool,
+    in_loop: bool,
+}
+
+impl Ctx {
+    fn top_level() -> Ctx {
+        Ctx { in_function: false, in_method: false, in_exc_acc: false, in_loop: false }
+    }
+}
+
+#[derive(Default)]
+struct Validator {
+    out: Vec<Diagnostic>,
+}
+
+impl Validator {
+    fn func(&mut self, f: &FuncDef, is_method: bool) {
+        let ctx = Ctx { in_function: true, in_method: is_method, in_exc_acc: false, in_loop: false };
+        for s in &f.body {
+            self.stmt(s, &ctx);
+        }
+    }
+
+    fn block(&mut self, block: &Block, ctx: &Ctx) {
+        for s in block {
+            self.stmt(s, ctx);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, ctx: &Ctx) {
+        match &stmt.kind {
+            StmtKind::Wait | StmtKind::Notify => {
+                if !ctx.in_exc_acc {
+                    let name = if matches!(stmt.kind, StmtKind::Wait) { "WAIT()" } else { "NOTIFY()" };
+                    self.out.push(
+                        Diagnostic::new(
+                            format!("{name} may only be called inside an EXC_ACC block"),
+                            stmt.span,
+                        )
+                        .with_help("wrap the call in EXC_ACC … END_EXC_ACC"),
+                    );
+                }
+            }
+            StmtKind::ExcAcc { body } => {
+                if !ctx.in_function {
+                    self.out.push(Diagnostic::new(
+                        "EXC_ACC may only appear inside a function definition",
+                        stmt.span,
+                    ));
+                }
+                if ctx.in_exc_acc {
+                    self.out.push(Diagnostic::new(
+                        "EXC_ACC blocks may not be nested",
+                        stmt.span,
+                    ));
+                }
+                self.block(body, &Ctx { in_exc_acc: true, ..*ctx });
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if !ctx.in_loop {
+                    let name = if matches!(stmt.kind, StmtKind::Break) { "BREAK" } else { "CONTINUE" };
+                    self.out.push(Diagnostic::new(
+                        format!("{name} outside of a loop"),
+                        stmt.span,
+                    ));
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.check_expr(cond, ctx.in_method);
+                self.block(body, &Ctx { in_loop: true, ..*ctx });
+            }
+            StmtKind::For { from, to, body, .. } => {
+                self.check_expr(from, ctx.in_method);
+                self.check_expr(to, ctx.in_method);
+                self.block(body, &Ctx { in_loop: true, ..*ctx });
+            }
+            StmtKind::If { arms, else_ } => {
+                for (cond, block) in arms {
+                    self.check_expr(cond, ctx.in_method);
+                    self.block(block, ctx);
+                }
+                if let Some(block) = else_ {
+                    self.block(block, ctx);
+                }
+            }
+            StmtKind::Para { tasks } => {
+                if ctx.in_exc_acc {
+                    self.out.push(Diagnostic::new(
+                        "PARA may not appear inside an EXC_ACC block",
+                        stmt.span,
+                    ));
+                }
+                self.block(tasks, ctx);
+            }
+            StmtKind::OnReceiving { arms } => {
+                if !ctx.in_method {
+                    self.out.push(Diagnostic::new(
+                        "ON_RECEIVING may only appear inside a class method (a receiver object)",
+                        stmt.span,
+                    ));
+                }
+                for arm in arms {
+                    self.block(&arm.body, ctx);
+                }
+            }
+            StmtKind::Assign { target, value } => {
+                if let LValue::Field(base, _) | LValue::Index(base, _) = target {
+                    self.check_expr(base, ctx.in_method);
+                }
+                if let LValue::Index(_, index) = target {
+                    self.check_expr(index, ctx.in_method);
+                }
+                self.check_expr(value, ctx.in_method);
+            }
+            StmtKind::Print { value, .. } => self.check_expr(value, ctx.in_method),
+            StmtKind::ExprStmt(e) | StmtKind::Spawn { call: e } => {
+                self.check_expr(e, ctx.in_method)
+            }
+            StmtKind::Send { msg, to } => {
+                self.check_expr(msg, ctx.in_method);
+                self.check_expr(to, ctx.in_method);
+            }
+            StmtKind::Return(value) => {
+                if !ctx.in_function {
+                    self.out.push(Diagnostic::new(
+                        "RETURN outside of a function",
+                        stmt.span,
+                    ));
+                }
+                if let Some(e) = value {
+                    self.check_expr(e, ctx.in_method);
+                }
+            }
+            StmtKind::Seq(block) => self.block(block, ctx),
+        }
+    }
+
+    /// Expression-level checks: `SELF` requires a method context.
+    fn check_expr(&mut self, expr: &Expr, in_method: bool) {
+        match &expr.kind {
+            ExprKind::SelfRef
+                if !in_method => {
+                    self.out.push(Diagnostic::new(
+                        "SELF may only be used inside a class method",
+                        expr.span,
+                    ));
+                }
+            ExprKind::Unary(_, e) => self.check_expr(e, in_method),
+            ExprKind::Binary(_, l, r) => {
+                self.check_expr(l, in_method);
+                self.check_expr(r, in_method);
+            }
+            ExprKind::List(items) => {
+                for i in items {
+                    self.check_expr(i, in_method);
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                if let Callee::Method(base, _) = callee {
+                    self.check_expr(base, in_method);
+                }
+                for a in args {
+                    self.check_expr(a, in_method);
+                }
+            }
+            ExprKind::Field(base, _) => self.check_expr(base, in_method),
+            ExprKind::Index(base, index) => {
+                self.check_expr(base, in_method);
+                self.check_expr(index, in_method);
+            }
+            ExprKind::New { args, .. } | ExprKind::Message { args, .. } => {
+                for a in args {
+                    self.check_expr(a, in_method);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn footprint_of_figure4_block() {
+        let program = parse(
+            "DEFINE changeX(diff)\n    EXC_ACC\n        WHILE x + diff < 0\n            WAIT()\n        ENDWHILE\n        x = x + diff\n        NOTIFY()\n    END_EXC_ACC\nENDDEF\n",
+        )
+        .unwrap();
+        let f = program.function("changeX").unwrap();
+        let StmtKind::ExcAcc { body } = &f.body[0].kind else { panic!() };
+        let refs = exc_footprint(body);
+        assert!(refs.contains(&FootRef::Var("x".into())));
+        assert!(refs.contains(&FootRef::Var("diff".into())));
+        assert_eq!(refs.len(), 2);
+    }
+
+    #[test]
+    fn footprint_includes_self_and_var_fields() {
+        let program = parse(
+            "CLASS C\n    n = 0\n    DEFINE m(other)\n        EXC_ACC\n            SELF.n = other.n + 1\n        END_EXC_ACC\n    ENDDEF\nENDCLASS\n",
+        )
+        .unwrap();
+        let class = program.class("C").unwrap();
+        let StmtKind::ExcAcc { body } = &class.method("m").unwrap().body[0].kind else { panic!() };
+        let refs = exc_footprint(body);
+        assert!(refs.contains(&FootRef::SelfField("n".into())));
+        assert!(refs.contains(&FootRef::VarField("other".into(), "n".into())));
+    }
+
+    #[test]
+    fn wait_outside_exc_acc_is_rejected() {
+        let err = parse("DEFINE f()\n    WAIT()\nENDDEF\n").unwrap_err();
+        assert!(err.to_string().contains("EXC_ACC"), "{err}");
+    }
+
+    #[test]
+    fn exc_acc_at_top_level_is_rejected() {
+        let err = parse("EXC_ACC\n    x = 1\nEND_EXC_ACC\n").unwrap_err();
+        assert!(err.to_string().contains("function definition"), "{err}");
+    }
+
+    #[test]
+    fn nested_exc_acc_is_rejected() {
+        let err = parse(
+            "DEFINE f()\n    EXC_ACC\n        EXC_ACC\n            x = 1\n        END_EXC_ACC\n    END_EXC_ACC\nENDDEF\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn break_outside_loop_is_rejected() {
+        assert!(parse("BREAK\n").is_err());
+        assert!(parse("WHILE TRUE\n    BREAK\nENDWHILE\n").is_ok());
+    }
+
+    #[test]
+    fn self_outside_method_is_rejected() {
+        let err = parse("x = SELF.n\n").unwrap_err();
+        assert!(err.to_string().contains("SELF"), "{err}");
+    }
+
+    #[test]
+    fn on_receiving_outside_method_is_rejected() {
+        let err = parse(
+            "DEFINE f()\n    ON_RECEIVING\n        MESSAGE.a(x)\n            PRINT x\nENDDEF\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("class method"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_definitions_are_rejected() {
+        assert!(parse("DEFINE f()\nENDDEF\nDEFINE f()\nENDDEF\n").is_err());
+        assert!(parse("CLASS A\nENDCLASS\nCLASS A\nENDCLASS\n").is_err());
+        assert!(parse(
+            "CLASS A\n    DEFINE m()\n    ENDDEF\n    DEFINE m()\n    ENDDEF\nENDCLASS\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn return_at_top_level_is_rejected() {
+        assert!(parse("RETURN 3\n").is_err());
+    }
+
+    #[test]
+    fn para_inside_exc_acc_is_rejected() {
+        let err = parse(
+            "DEFINE f()\n    EXC_ACC\n        PARA\n            g()\n        ENDPARA\n    END_EXC_ACC\nENDDEF\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("PARA may not"), "{err}");
+    }
+}

@@ -1,0 +1,422 @@
+//! Abstract syntax tree for the pseudocode notation.
+//!
+//! The tree mirrors the paper's figures closely: a program is a list of
+//! top-level items (class definitions, function definitions, and the
+//! "main" statements that run when the program starts).
+
+use crate::span::Span;
+use std::fmt;
+
+/// A whole pseudocode program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Iterate over top-level function definitions.
+    pub fn functions(&self) -> impl Iterator<Item = &FuncDef> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Func(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterate over class definitions.
+    pub fn classes(&self) -> impl Iterator<Item = &ClassDef> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Class(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// The top-level statements that form the program entry point, in
+    /// source order.
+    pub fn main_body(&self) -> Vec<&Stmt> {
+        self.items
+            .iter()
+            .filter_map(|item| match item {
+                Item::Stmt(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Look up a top-level function by name.
+    pub fn function(&self, name: &str) -> Option<&FuncDef> {
+        self.functions().find(|f| f.name == name)
+    }
+
+    /// Look up a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes().find(|c| c.name == name)
+    }
+
+    /// Total number of statements in the program, counting nested
+    /// blocks. Used by tests and by the study crate's "program size"
+    /// difficulty metric.
+    pub fn statement_count(&self) -> usize {
+        fn count_block(block: &Block) -> usize {
+            block.iter().map(count_stmt).sum()
+        }
+        fn count_stmt(stmt: &Stmt) -> usize {
+            1 + match &stmt.kind {
+                StmtKind::If { arms, else_ } => {
+                    arms.iter().map(|(_, b)| count_block(b)).sum::<usize>()
+                        + else_.as_ref().map_or(0, count_block)
+                }
+                StmtKind::While { body, .. } | StmtKind::For { body, .. } => count_block(body),
+                StmtKind::Para { tasks } => tasks.iter().map(count_stmt).sum(),
+                StmtKind::ExcAcc { body } => count_block(body),
+                StmtKind::OnReceiving { arms } => {
+                    arms.iter().map(|a| count_block(&a.body)).sum()
+                }
+                StmtKind::Seq(block) => count_block(block),
+                _ => 0,
+            }
+        }
+        self.items
+            .iter()
+            .map(|item| match item {
+                Item::Stmt(s) => count_stmt(s),
+                Item::Func(f) => count_block(&f.body),
+                Item::Class(c) => {
+                    c.methods.iter().map(|m| count_block(&m.body)).sum::<usize>() + c.fields.len()
+                }
+            })
+            .sum()
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Class(ClassDef),
+    Func(FuncDef),
+    Stmt(Stmt),
+}
+
+/// `CLASS name … ENDCLASS`: fields (class-level assignments, evaluated
+/// at instantiation) and methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDef {
+    pub name: String,
+    /// Field name → initializer expression, in declaration order.
+    pub fields: Vec<(String, Expr)>,
+    pub methods: Vec<FuncDef>,
+    pub span: Span,
+}
+
+impl ClassDef {
+    /// Look up a method by name.
+    pub fn method(&self, name: &str) -> Option<&FuncDef> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// Whether any method body contains an `ON_RECEIVING` statement —
+    /// i.e. whether instances of this class behave as message
+    /// receivers (actors). Figure 5 calls such a method (`receive`)
+    /// as a plain statement and then continues to send to the object,
+    /// so receiver methods are started asynchronously.
+    pub fn is_receiver(&self) -> bool {
+        self.methods.iter().any(|m| m.contains_receive())
+    }
+}
+
+/// `DEFINE name(params) … ENDDEF`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Block,
+    pub span: Span,
+}
+
+impl FuncDef {
+    /// Whether the body (including nested blocks) contains an
+    /// `ON_RECEIVING` statement.
+    pub fn contains_receive(&self) -> bool {
+        fn block_has(block: &Block) -> bool {
+            block.iter().any(stmt_has)
+        }
+        fn stmt_has(stmt: &Stmt) -> bool {
+            match &stmt.kind {
+                StmtKind::OnReceiving { .. } => true,
+                StmtKind::If { arms, else_ } => {
+                    arms.iter().any(|(_, b)| block_has(b))
+                        || else_.as_ref().is_some_and(block_has)
+                }
+                StmtKind::While { body, .. } | StmtKind::For { body, .. } => block_has(body),
+                StmtKind::ExcAcc { body } | StmtKind::Seq(body) => block_has(body),
+                StmtKind::Para { tasks } => tasks.iter().any(stmt_has),
+                _ => false,
+            }
+        }
+        block_has(&self.body)
+    }
+}
+
+/// A sequence of statements.
+pub type Block = Vec<Stmt>;
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+}
+
+impl Stmt {
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+/// Statement forms. Each *simple* statement (assignment, print, send,
+/// wait, notify, call) executes as one atomic step in the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `target = expr` (Figure 1).
+    Assign { target: LValue, value: Expr },
+    /// `IF … THEN … ELSE IF … ELSE … ENDIF` (Figure 2). `arms` holds
+    /// (condition, block) pairs in order.
+    If { arms: Vec<(Expr, Block)>, else_: Option<Block> },
+    /// `WHILE cond … ENDWHILE`.
+    While { cond: Expr, body: Block },
+    /// `FOR var = from TO to … ENDFOR` (inclusive bounds).
+    For { var: String, from: Expr, to: Expr, body: Block },
+    /// `PARA … ENDPARA` (Figure 3): each statement in the block runs as
+    /// its own concurrent task; execution continues after `ENDPARA`
+    /// only once every task has finished (join semantics — Figure 4's
+    /// `PRINTLN x` after the block deterministically prints `9`).
+    Para { tasks: Vec<Stmt> },
+    /// `EXC_ACC … END_EXC_ACC` (Figure 4): exclusive access scoped by
+    /// the shared variables appearing in the block.
+    ExcAcc { body: Block },
+    /// `WAIT()` — release the enclosing `EXC_ACC` footprint and sleep.
+    Wait,
+    /// `NOTIFY()` — wake **all** waiters.
+    Notify,
+    /// `PRINT expr` / `PRINTLN expr`.
+    Print { value: Expr, newline: bool },
+    /// An expression evaluated for its effect — in practice always a
+    /// call (`changeX(1)`, `r1.receive()`, `redCarA.run()`).
+    ExprStmt(Expr),
+    /// `Send(msg).To(receiver)` (Figure 5): asynchronous, never blocks.
+    Send { msg: Expr, to: Expr },
+    /// `ON_RECEIVING` with one arm per message name (Figure 5).
+    OnReceiving { arms: Vec<ReceiveArm> },
+    /// `SPAWN call` — explicitly start a call as a new concurrent task
+    /// (extension; the paper's figures rely on the implicit receiver
+    /// rule instead).
+    Spawn { call: Expr },
+    /// `RETURN expr?`.
+    Return(Option<Expr>),
+    /// `BREAK` out of the innermost loop.
+    Break,
+    /// `CONTINUE` the innermost loop.
+    Continue,
+    /// A sequential grouping with no surface syntax, produced only by
+    /// the lowering pass (e.g. a `PARA` task whose call arguments had
+    /// to be hoisted into temporaries stays a *single* task).
+    Seq(Block),
+}
+
+/// One arm of an `ON_RECEIVING` statement:
+/// `MESSAGE.name(bindings)` followed by a body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceiveArm {
+    pub msg_name: String,
+    /// Variable names bound to the message payload.
+    pub params: Vec<String>,
+    pub body: Block,
+    pub span: Span,
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A plain name. Resolution order at runtime: local → object field
+    /// (inside methods) → global.
+    Name(String),
+    /// `expr.field`.
+    Field(Box<Expr>, String),
+    /// `expr[index]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Whether this expression contains any call, `new`, or spawned
+    /// form — i.e. anything that is *not* a single atomic evaluation.
+    /// The lowering pass hoists such subexpressions into temporaries.
+    pub fn contains_call(&self) -> bool {
+        match &self.kind {
+            ExprKind::Call { .. } | ExprKind::New { .. } => true,
+            ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Name(_)
+            | ExprKind::SelfRef => false,
+            ExprKind::List(items) => items.iter().any(Expr::contains_call),
+            ExprKind::Unary(_, e) => e.contains_call(),
+            ExprKind::Binary(_, l, r) => l.contains_call() || r.contains_call(),
+            ExprKind::Field(e, _) => e.contains_call(),
+            ExprKind::Index(e, i) => e.contains_call() || i.contains_call(),
+            ExprKind::Message { args, .. } => args.iter().any(Expr::contains_call),
+        }
+    }
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    /// `[e1, e2, …]` list literal (extension used by lab programs).
+    List(Vec<Expr>),
+    /// A variable reference.
+    Name(String),
+    /// `SELF` inside a method.
+    SelfRef,
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `f(args)`, `obj.method(args)`, or a builtin like `LEN(x)`.
+    Call { callee: Callee, args: Vec<Expr> },
+    /// `expr.field`.
+    Field(Box<Expr>, String),
+    /// `expr[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `new ClassName(args)`.
+    New { class: String, args: Vec<Expr> },
+    /// `MESSAGE.name(args)` — a message value (Figure 5).
+    Message { name: String, args: Vec<Expr> },
+}
+
+/// Function-call targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Callee {
+    /// A top-level function (or, inside a class, a sibling method).
+    Name(String),
+    /// `receiver.method`.
+    Method(Box<Expr>, String),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "NOT",
+        })
+    }
+}
+
+/// Binary operators, in increasing precedence groups:
+/// `OR` < `AND` < comparisons < `+ -` < `* / %`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    /// Parser precedence (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        use BinOp::*;
+        match self {
+            Or => 1,
+            And => 2,
+            Eq | Ne | Lt | Le | Gt | Ge => 3,
+            Add | Sub => 4,
+            Mul | Div | Mod => 5,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use BinOp::*;
+        f.write_str(match self {
+            Or => "OR",
+            And => "AND",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Mod => "%",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str) -> Expr {
+        Expr::new(ExprKind::Name(n.into()), Span::SYNTH)
+    }
+
+    #[test]
+    fn contains_call_walks_nested_expressions() {
+        let call = Expr::new(
+            ExprKind::Call { callee: Callee::Name("f".into()), args: vec![] },
+            Span::SYNTH,
+        );
+        let sum = Expr::new(
+            ExprKind::Binary(BinOp::Add, Box::new(name("x")), Box::new(call)),
+            Span::SYNTH,
+        );
+        assert!(sum.contains_call());
+        assert!(!name("x").contains_call());
+        let msg = Expr::new(
+            ExprKind::Message { name: "h".into(), args: vec![name("v")] },
+            Span::SYNTH,
+        );
+        assert!(!msg.contains_call());
+    }
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Mul.precedence() > BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() > BinOp::Lt.precedence());
+        assert!(BinOp::Lt.precedence() > BinOp::And.precedence());
+        assert!(BinOp::And.precedence() > BinOp::Or.precedence());
+    }
+}

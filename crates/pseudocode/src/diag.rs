@@ -1,0 +1,126 @@
+//! Diagnostics: structured parse errors with source locations and
+//! rendered snippets.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A single problem found while lexing or parsing, anchored to a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub message: String,
+    pub span: Span,
+    /// Optional hint line ("help: …").
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { message: message.into(), span, help: None }
+    }
+
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render this diagnostic against the original source, with a caret
+    /// line pointing at the offending text:
+    ///
+    /// ```text
+    /// error at 3:5: expected `THEN`, found end of line
+    ///   |     IF x > 0
+    ///   |             ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!("error at {}: {}", self.span, self.message);
+        if !self.span.is_synthetic() {
+            if let Some(line_text) = source.lines().nth(self.span.line as usize - 1) {
+                let col = self.span.col as usize;
+                let width = (self.span.end - self.span.start).max(1);
+                out.push_str(&format!(
+                    "\n  | {}\n  | {}{}",
+                    line_text,
+                    " ".repeat(col.saturating_sub(1)),
+                    "^".repeat(width.min(line_text.len().saturating_sub(col - 1).max(1)))
+                ));
+            }
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("\n  help: {help}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+/// Error type returned by [`crate::parse`]: one or more diagnostics.
+///
+/// The parser performs simple error recovery (skipping to the next
+/// line), so several independent mistakes can be reported at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ParseError {
+    /// Render all diagnostics against the source text.
+    pub fn render(&self, source: &str) -> String {
+        self.diagnostics.iter().map(|d| d.render(source)).collect::<Vec<_>>().join("\n")
+    }
+
+    /// The first diagnostic (there is always at least one).
+    pub fn first(&self) -> &Diagnostic {
+        &self.diagnostics[0]
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_offending_column() {
+        let src = "IF x > 0\n    y = 1";
+        let d = Diagnostic::new("expected `THEN`", Span::new(8, 8, 1, 9));
+        let rendered = d.render(src);
+        assert!(rendered.contains("error at 1:9"), "{rendered}");
+        assert!(rendered.contains("IF x > 0"), "{rendered}");
+    }
+
+    #[test]
+    fn help_is_included() {
+        let d = Diagnostic::new("boom", Span::SYNTH).with_help("try PARA");
+        assert!(d.render("").contains("help: try PARA"));
+    }
+
+    #[test]
+    fn parse_error_joins_diagnostics() {
+        let e = ParseError {
+            diagnostics: vec![
+                Diagnostic::new("first", Span::new(0, 1, 1, 1)),
+                Diagnostic::new("second", Span::new(2, 3, 1, 3)),
+            ],
+        };
+        let text = e.to_string();
+        assert!(text.contains("first") && text.contains("second"));
+    }
+}

@@ -1,0 +1,475 @@
+//! Hand-written lexer for the pseudocode notation.
+//!
+//! The language is line-oriented: statements end at a newline, so the
+//! lexer emits explicit [`TokenKind::Newline`] tokens. Newlines inside
+//! parentheses or brackets are suppressed, which lets long argument
+//! lists wrap. `#` and `//` introduce comments running to end of line.
+
+use crate::diag::{Diagnostic, ParseError};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `source`, returning the token stream (always terminated by
+/// [`TokenKind::Eof`]) or the first lexical error.
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Nesting depth of `(`/`[`; newlines are suppressed when > 0.
+    depth: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, depth: 0, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        while self.pos < self.bytes.len() {
+            self.lex_one()?;
+        }
+        // Ensure the final statement is terminated even without a
+        // trailing newline in the file.
+        if !matches!(self.tokens.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
+            let span = self.here(0);
+            self.push(TokenKind::Newline, span);
+        }
+        let span = self.here(0);
+        self.push(TokenKind::Eof, span);
+        Ok(self.tokens)
+    }
+
+    fn peek(&self) -> u8 {
+        self.bytes.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.bytes.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn here(&self, len: usize) -> Span {
+        Span::new(self.pos, self.pos + len, self.line, self.col)
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn error(&self, message: impl Into<String>, span: Span) -> ParseError {
+        ParseError { diagnostics: vec![Diagnostic::new(message, span)] }
+    }
+
+    fn lex_one(&mut self) -> Result<(), ParseError> {
+        let b = self.peek();
+        match b {
+            b' ' | b'\t' | b'\r' => {
+                self.bump();
+            }
+            b'\n' => {
+                let span = self.here(1);
+                self.bump();
+                if self.depth == 0
+                    && !matches!(
+                        self.tokens.last().map(|t| &t.kind),
+                        Some(TokenKind::Newline) | None
+                    )
+                {
+                    self.push(TokenKind::Newline, span);
+                }
+            }
+            b'#' => self.skip_comment(),
+            b'/' if self.peek2() == b'/' => self.skip_comment(),
+            b'"' => self.lex_string()?,
+            b'0'..=b'9' => self.lex_number()?,
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.lex_word(),
+            _ => self.lex_punct()?,
+        }
+        Ok(())
+    }
+
+    fn skip_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.peek() != b'\n' {
+            self.bump();
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                0 | b'\n' => {
+                    return Err(self.error(
+                        "unterminated string literal",
+                        Span::new(start, self.pos, line, col),
+                    ));
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                b'\\' => {
+                    self.bump();
+                    let escaped = self.bump();
+                    value.push(match escaped {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        other => {
+                            return Err(self.error(
+                                format!("unknown escape sequence `\\{}`", other as char),
+                                Span::new(self.pos - 2, self.pos, line, col),
+                            ));
+                        }
+                    });
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences are copied through.
+                    let ch_start = self.pos;
+                    self.bump();
+                    while self.pos < self.bytes.len() && (self.peek() & 0xC0) == 0x80 {
+                        self.bump();
+                    }
+                    value.push_str(&self.src[ch_start..self.pos]);
+                }
+            }
+        }
+        self.push(TokenKind::Str(value), Span::new(start, self.pos, line, col));
+        Ok(())
+    }
+
+    fn lex_number(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos, line, col);
+        let kind = if is_float {
+            TokenKind::Float(
+                text.parse::<f64>()
+                    .map_err(|_| self.error(format!("invalid number `{text}`"), span))?,
+            )
+        } else {
+            TokenKind::Int(
+                text.parse::<i64>()
+                    .map_err(|_| self.error(format!("integer `{text}` out of range"), span))?,
+            )
+        };
+        self.push(kind, span);
+        Ok(())
+    }
+
+    fn lex_word(&mut self) {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        while matches!(self.peek(), b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9') {
+            self.bump();
+        }
+        let word = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos, line, col);
+
+        // The paper's Figures 6–7 write `END PARA` with a space; fold
+        // `END <KEYWORD-TAIL>` into the single-token spelling.
+        if word == "END" {
+            let save = (self.pos, self.line, self.col);
+            while matches!(self.peek(), b' ' | b'\t') {
+                self.bump();
+            }
+            let tail_start = self.pos;
+            while matches!(self.peek(), b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9') {
+                self.bump();
+            }
+            let tail = &self.src[tail_start..self.pos];
+            let folded = match tail {
+                "PARA" => Some(TokenKind::EndPara),
+                "EXC_ACC" => Some(TokenKind::EndExcAcc),
+                "IF" => Some(TokenKind::EndIf),
+                "WHILE" => Some(TokenKind::EndWhile),
+                "FOR" => Some(TokenKind::EndFor),
+                "DEF" => Some(TokenKind::EndDef),
+                "CLASS" => Some(TokenKind::EndClass),
+                "RECEIVING" => Some(TokenKind::EndReceiving),
+                _ => None,
+            };
+            if let Some(kind) = folded {
+                self.push(kind, Span::new(start, self.pos, line, col));
+                return;
+            }
+            (self.pos, self.line, self.col) = save;
+        }
+
+        match TokenKind::keyword(word) {
+            Some(kind) => self.push(kind, span),
+            None => self.push(TokenKind::Ident(word.to_string()), span),
+        }
+    }
+
+    fn lex_punct(&mut self) -> Result<(), ParseError> {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        let b = self.bump();
+        let two = |lexer: &mut Self, kind: TokenKind| {
+            lexer.bump();
+            (kind, 2)
+        };
+        let (kind, len) = match (b, self.peek()) {
+            (b'=', b'=') => two(self, TokenKind::Eq),
+            (b'=', _) => (TokenKind::Assign, 1),
+            (b'!', b'=') => two(self, TokenKind::Ne),
+            (b'<', b'=') => two(self, TokenKind::Le),
+            (b'<', b'>') => two(self, TokenKind::Ne),
+            (b'<', _) => (TokenKind::Lt, 1),
+            (b'>', b'=') => two(self, TokenKind::Ge),
+            (b'>', _) => (TokenKind::Gt, 1),
+            (b'+', _) => (TokenKind::Plus, 1),
+            (b'-', _) => (TokenKind::Minus, 1),
+            (b'*', _) => (TokenKind::Star, 1),
+            (b'/', _) => (TokenKind::Slash, 1),
+            (b'%', _) => (TokenKind::Percent, 1),
+            (b'(', _) => {
+                self.depth += 1;
+                (TokenKind::LParen, 1)
+            }
+            (b')', _) => {
+                self.depth = self.depth.saturating_sub(1);
+                (TokenKind::RParen, 1)
+            }
+            (b'[', _) => {
+                self.depth += 1;
+                (TokenKind::LBracket, 1)
+            }
+            (b']', _) => {
+                self.depth = self.depth.saturating_sub(1);
+                (TokenKind::RBracket, 1)
+            }
+            (b',', _) => (TokenKind::Comma, 1),
+            (b'.', _) => (TokenKind::Dot, 1),
+            (other, _) => {
+                return Err(self.error(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(start, start + 1, line, col),
+                ));
+            }
+        };
+        self.push(kind, Span::new(start, start + len, line, col));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn assignment_line() {
+        assert_eq!(
+            kinds("total = 0"),
+            vec![Ident("total".into()), Assign, Int(0), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn float_string_bool() {
+        assert_eq!(
+            kinds("height = 3.3\nname = \"John Smith\"\ncondition = True"),
+            vec![
+                Ident("height".into()),
+                Assign,
+                Float(3.3),
+                Newline,
+                Ident("name".into()),
+                Assign,
+                Str("John Smith".into()),
+                Newline,
+                Ident("condition".into()),
+                Assign,
+                True,
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn end_para_with_space_is_one_token() {
+        assert_eq!(kinds("END PARA"), vec![EndPara, Newline, Eof]);
+        assert_eq!(kinds("ENDPARA"), vec![EndPara, Newline, Eof]);
+        assert_eq!(kinds("END_EXC_ACC"), vec![EndExcAcc, Newline, Eof]);
+        assert_eq!(kinds("END EXC_ACC"), vec![EndExcAcc, Newline, Eof]);
+    }
+
+    #[test]
+    fn end_followed_by_non_keyword_stays_ident() {
+        assert_eq!(
+            kinds("END x"),
+            vec![Ident("END".into()), Ident("x".into()), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn message_send_forms() {
+        assert_eq!(
+            kinds("Send(m1).To(r1)"),
+            vec![
+                Send,
+                LParen,
+                Ident("m1".into()),
+                RParen,
+                Dot,
+                To,
+                LParen,
+                Ident("r1".into()),
+                RParen,
+                Newline,
+                Eof
+            ]
+        );
+        assert_eq!(
+            kinds("m1 = MESSAGE.h(\"hello\")"),
+            vec![
+                Ident("m1".into()),
+                Assign,
+                Message,
+                Dot,
+                Ident("h".into()),
+                LParen,
+                Str("hello".into()),
+                RParen,
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_suppressed_inside_parens() {
+        assert_eq!(
+            kinds("f(1,\n  2,\n  3)"),
+            vec![
+                Ident("f".into()),
+                LParen,
+                Int(1),
+                Comma,
+                Int(2),
+                Comma,
+                Int(3),
+                RParen,
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("x = 1 # set x\n// a whole comment line\ny = 2"),
+            vec![
+                Ident("x".into()),
+                Assign,
+                Int(1),
+                Newline,
+                Ident("y".into()),
+                Assign,
+                Int(2),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn consecutive_newlines_collapse() {
+        assert_eq!(kinds("x = 1\n\n\ny = 2"), kinds("x = 1\ny = 2"));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b >= c != d == e < f > g <> h"),
+            vec![
+                Ident("a".into()),
+                Le,
+                Ident("b".into()),
+                Ge,
+                Ident("c".into()),
+                Ne,
+                Ident("d".into()),
+                Eq,
+                Ident("e".into()),
+                Lt,
+                Ident("f".into()),
+                Gt,
+                Ident("g".into()),
+                Ne,
+                Ident("h".into()),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("x = \"oops").is_err());
+        assert!(lex("x = \"oops\n\"").is_err());
+    }
+
+    #[test]
+    fn unknown_character_is_an_error() {
+        let err = lex("x = 1 @ 2").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#"s = "a\nb\t\"c\\""#),
+            vec![Ident("s".into()), Assign, Str("a\nb\t\"c\\".into()), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let tokens = lex("x = 1\n  y = 2").unwrap();
+        let y = tokens.iter().find(|t| t.kind == Ident("y".into())).unwrap();
+        assert_eq!((y.span.line, y.span.col), (2, 3));
+    }
+}

@@ -1,0 +1,89 @@
+//! # concur-pseudocode
+//!
+//! The language-independent concurrency pseudocode notation of
+//! Li & Kraemer, *Programming with Concurrency: Threads, Actors, and
+//! Coroutines* (2013), Figures 1–5, implemented as a real language:
+//! lexer, recursive-descent parser, AST, atomicity-preserving lowering,
+//! and static analysis.
+//!
+//! The notation extends Tew's CS1 pseudocode with constructs for
+//! concurrent execution and synchronization:
+//!
+//! * **`PARA … ENDPARA`** — each statement in the block runs as a
+//!   concurrent task; the block joins all tasks before continuing
+//!   (Figure 3: the `PRINTLN x` after a `PARA` block observes both
+//!   updates).
+//! * **`EXC_ACC … END_EXC_ACC`** — exclusive access scoped by the set
+//!   of shared variables appearing inside the markers (Figure 4).
+//! * **`WAIT()` / `NOTIFY()`** — condition synchronization inside an
+//!   `EXC_ACC` block; `NOTIFY()` wakes *all* waiters (Figure 4:
+//!   "Once a NOTIFY() function is executed, all WAIT() functions finish
+//!   their execution").
+//! * **`MESSAGE.name(args)`**, **`Send(m).To(r)`**, **`ON_RECEIVING`**
+//!   — asynchronous message passing with nondeterministic delivery
+//!   order (Figure 5).
+//!
+//! # Quick example
+//!
+//! ```
+//! use concur_pseudocode::parse;
+//!
+//! let program = parse(r#"
+//! x = 10
+//!
+//! DEFINE changeX(diff)
+//!     EXC_ACC
+//!         x = x + diff
+//!     END_EXC_ACC
+//! ENDDEF
+//!
+//! PARA
+//!     changeX(1)
+//!     changeX(-2)
+//! ENDPARA
+//!
+//! PRINTLN x
+//! "#).expect("parses");
+//! assert_eq!(program.functions().count(), 1);
+//! ```
+//!
+//! Execution semantics (schedulers, the interleaving model checker) live
+//! in the companion crate `concur-exec`; this crate is purely syntactic
+//! plus the static analyses the runtime needs (call hoisting so that one
+//! statement is one atomic step, and `EXC_ACC` variable footprints).
+
+pub mod analysis;
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    BinOp, Block, Callee, ClassDef, Expr, ExprKind, FuncDef, Item, LValue, Program, ReceiveArm,
+    Stmt, StmtKind, UnOp,
+};
+pub use diag::{Diagnostic, ParseError};
+pub use span::Span;
+
+/// Parse a pseudocode source string into a [`Program`].
+///
+/// This is the main entry point: it lexes, parses, and validates the
+/// source but performs no lowering. Use [`lower::lower_program`] to
+/// obtain the atomicity-normalized form the interpreter executes.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lexer::lex(source)?;
+    parser::parse_tokens(&tokens, source)
+}
+
+/// Parse and lower in one step: the result has every function call
+/// hoisted into its own statement so that each statement is a single
+/// atomic step, matching the paper's Figure 1 ("Simple statements are
+/// executed atomically") and the Figure 2 caveat about conditions that
+/// contain calls.
+pub fn parse_and_lower(source: &str) -> Result<Program, ParseError> {
+    parse(source).map(lower::lower_program)
+}

@@ -1,0 +1,482 @@
+//! Atomicity-preserving lowering.
+//!
+//! The paper's execution model (Figure 1) makes each *simple statement*
+//! one atomic step, but notes (Figure 2) that "the calculation of
+//! condition is not necessarily atomic if it involves function call
+//! statements". To give the interpreter a uniform rule — **one
+//! statement, one atomic step; a call is its own step** — this pass
+//! hoists every call and `new` expression out of compound positions
+//! into synthesized temporaries:
+//!
+//! ```text
+//! x = f(1) + g(2)        __t0 = f(1)
+//!                  ==>   __t1 = g(2)
+//!                        x = __t0 + __t1
+//! ```
+//!
+//! `WHILE` conditions containing calls are re-hoisted at the end of the
+//! loop body so the condition is still re-evaluated on every iteration.
+//! A `PARA` task that lowers to several statements is wrapped in a
+//! hidden [`StmtKind::Seq`] so it remains a single concurrent task.
+//!
+//! After lowering, the only statements whose right-hand side is a call
+//! are of the shapes `__t = f(args)` / `__t = new C(args)` /
+//! `f(args)` (expression statement), and every `args` element and every
+//! condition is call-free.
+
+use crate::ast::*;
+use crate::span::Span;
+
+/// Lower a whole program. Idempotent: lowering an already-lowered
+/// program returns it unchanged.
+pub fn lower_program(program: Program) -> Program {
+    let items = program
+        .items
+        .into_iter()
+        .map(|item| match item {
+            Item::Func(f) => Item::Func(lower_func(f)),
+            Item::Class(c) => Item::Class(ClassDef {
+                methods: c.methods.into_iter().map(lower_func).collect(),
+                ..c
+            }),
+            Item::Stmt(s) => Item::Stmt(s),
+        })
+        .collect::<Vec<_>>();
+
+    // Top-level statements form the main body; lower them as one block
+    // sharing a temp counter, preserving their interleaving with other
+    // item kinds (classes/functions are hoisted conceptually anyway).
+    let mut gen = TempGen::default();
+    let lowered_items = items
+        .into_iter()
+        .map(|item| match item {
+            Item::Stmt(s) => {
+                let mut out = Vec::new();
+                lower_stmt(s, &mut out, &mut gen);
+                if out.len() == 1 {
+                    Item::Stmt(out.pop().expect("one statement"))
+                } else {
+                    let span = out.first().map(|s| s.span).unwrap_or(Span::SYNTH);
+                    Item::Stmt(Stmt::new(StmtKind::Seq(out), span))
+                }
+            }
+            other => other,
+        })
+        .collect();
+    Program { items: lowered_items }
+}
+
+/// Lower one function definition (fresh temp namespace per function).
+pub fn lower_func(f: FuncDef) -> FuncDef {
+    let mut gen = TempGen::default();
+    FuncDef { body: lower_block(f.body, &mut gen), ..f }
+}
+
+#[derive(Default)]
+struct TempGen {
+    next: u32,
+}
+
+impl TempGen {
+    fn fresh(&mut self) -> String {
+        let name = format!("__t{}", self.next);
+        self.next += 1;
+        name
+    }
+}
+
+fn lower_block(block: Block, gen: &mut TempGen) -> Block {
+    let mut out = Vec::new();
+    for stmt in block {
+        lower_stmt(stmt, &mut out, gen);
+    }
+    out
+}
+
+fn lower_stmt(stmt: Stmt, out: &mut Block, gen: &mut TempGen) {
+    let span = stmt.span;
+    match stmt.kind {
+        StmtKind::Assign { target, value } => {
+            let target = lower_lvalue(target, out, gen);
+            // The top-level RHS may stay a call (call-assign is a
+            // primitive the interpreter understands); only nested calls
+            // are hoisted.
+            let value = match value.kind {
+                ExprKind::Call { callee, args } => {
+                    let callee = lower_callee(callee, out, gen);
+                    let args = args.into_iter().map(|a| purify(a, out, gen)).collect();
+                    Expr::new(ExprKind::Call { callee, args }, value.span)
+                }
+                ExprKind::New { class, args } => {
+                    let args = args.into_iter().map(|a| purify(a, out, gen)).collect();
+                    Expr::new(ExprKind::New { class, args }, value.span)
+                }
+                _ => purify(value, out, gen),
+            };
+            out.push(Stmt::new(StmtKind::Assign { target, value }, span));
+        }
+        StmtKind::ExprStmt(expr) => match expr.kind {
+            ExprKind::Call { callee, args } => {
+                let callee = lower_callee(callee, out, gen);
+                let args = args.into_iter().map(|a| purify(a, out, gen)).collect();
+                out.push(Stmt::new(
+                    StmtKind::ExprStmt(Expr::new(ExprKind::Call { callee, args }, expr.span)),
+                    span,
+                ));
+            }
+            _ => {
+                let pure = purify(expr, out, gen);
+                out.push(Stmt::new(StmtKind::ExprStmt(pure), span));
+            }
+        },
+        StmtKind::If { arms, else_ } => {
+            // Hoist calls out of every arm condition. Conditions after
+            // the first are evaluated only if earlier ones were false,
+            // but hoisting them eagerly would run their calls
+            // unconditionally — so arms beyond the first whose
+            // condition contains calls are rewritten into a nested IF
+            // in the ELSE block instead.
+            let mut arms = arms.into_iter();
+            let (first_cond, first_block) = arms.next().expect("IF has at least one arm");
+            let first_cond = purify(first_cond, out, gen);
+            let first_block = lower_block(first_block, gen);
+            let rest: Vec<_> = arms.collect();
+            let else_lowered = lower_else_chain(rest, else_, gen);
+            out.push(Stmt::new(
+                StmtKind::If { arms: vec![(first_cond, first_block)], else_: else_lowered },
+                span,
+            ));
+        }
+        StmtKind::While { cond, body } => {
+            if cond.contains_call() {
+                // cond-with-calls:  prelude; __c = cond'; WHILE __c
+                //                   { body; prelude; __c = cond' }
+                let mut prelude = Vec::new();
+                let pure_cond = purify_all(cond, &mut prelude, gen);
+                let flag = gen.fresh();
+                out.extend(prelude.iter().cloned());
+                out.push(assign_name(&flag, pure_cond.clone(), span));
+                let mut body = lower_block(body, gen);
+                body.extend(prelude);
+                body.push(assign_name(&flag, pure_cond, span));
+                out.push(Stmt::new(
+                    StmtKind::While {
+                        cond: Expr::new(ExprKind::Name(flag), span),
+                        body,
+                    },
+                    span,
+                ));
+            } else {
+                out.push(Stmt::new(
+                    StmtKind::While { cond, body: lower_block(body, gen) },
+                    span,
+                ));
+            }
+        }
+        StmtKind::For { var, from, to, body } => {
+            let from = purify(from, out, gen);
+            let to = purify(to, out, gen);
+            out.push(Stmt::new(
+                StmtKind::For { var, from, to, body: lower_block(body, gen) },
+                span,
+            ));
+        }
+        StmtKind::Para { tasks } => {
+            let tasks = tasks
+                .into_iter()
+                .map(|task| {
+                    let mut task_out = Vec::new();
+                    lower_stmt(task, &mut task_out, gen);
+                    if task_out.len() == 1 {
+                        task_out.pop().expect("one statement")
+                    } else {
+                        let tspan = task_out.first().map(|s| s.span).unwrap_or(span);
+                        Stmt::new(StmtKind::Seq(task_out), tspan)
+                    }
+                })
+                .collect();
+            out.push(Stmt::new(StmtKind::Para { tasks }, span));
+        }
+        StmtKind::ExcAcc { body } => {
+            out.push(Stmt::new(StmtKind::ExcAcc { body: lower_block(body, gen) }, span));
+        }
+        StmtKind::Print { value, newline } => {
+            let value = purify(value, out, gen);
+            out.push(Stmt::new(StmtKind::Print { value, newline }, span));
+        }
+        StmtKind::Send { msg, to } => {
+            let msg = purify(msg, out, gen);
+            let to = purify(to, out, gen);
+            out.push(Stmt::new(StmtKind::Send { msg, to }, span));
+        }
+        StmtKind::OnReceiving { arms } => {
+            let arms = arms
+                .into_iter()
+                .map(|arm| ReceiveArm { body: lower_block(arm.body, gen), ..arm })
+                .collect();
+            out.push(Stmt::new(StmtKind::OnReceiving { arms }, span));
+        }
+        StmtKind::Spawn { call } => {
+            // Spawn arguments are evaluated in the *spawning* task.
+            let call = match call.kind {
+                ExprKind::Call { callee, args } => {
+                    let callee = lower_callee(callee, out, gen);
+                    let args = args.into_iter().map(|a| purify(a, out, gen)).collect();
+                    Expr::new(ExprKind::Call { callee, args }, call.span)
+                }
+                _ => call,
+            };
+            out.push(Stmt::new(StmtKind::Spawn { call }, span));
+        }
+        StmtKind::Return(value) => {
+            let value = value.map(|v| purify(v, out, gen));
+            out.push(Stmt::new(StmtKind::Return(value), span));
+        }
+        StmtKind::Seq(block) => {
+            out.push(Stmt::new(StmtKind::Seq(lower_block(block, gen)), span));
+        }
+        StmtKind::Wait | StmtKind::Notify | StmtKind::Break | StmtKind::Continue => {
+            out.push(stmt);
+        }
+    }
+}
+
+/// Rewrite the tail of an ELSE IF chain, keeping call-bearing
+/// conditions lazily evaluated by nesting them as `ELSE { IF … }`.
+fn lower_else_chain(
+    arms: Vec<(Expr, Block)>,
+    else_: Option<Block>,
+    gen: &mut TempGen,
+) -> Option<Block> {
+    let mut arms = arms.into_iter();
+    match arms.next() {
+        None => else_.map(|b| lower_block(b, gen)),
+        Some((cond, block)) => {
+            let mut inner = Vec::new();
+            let span = cond.span;
+            let cond = purify(cond, &mut inner, gen);
+            let block = lower_block(block, gen);
+            let nested_else = lower_else_chain(arms.collect(), else_, gen);
+            inner.push(Stmt::new(
+                StmtKind::If { arms: vec![(cond, block)], else_: nested_else },
+                span,
+            ));
+            Some(inner)
+        }
+    }
+}
+
+fn assign_name(name: &str, value: Expr, span: Span) -> Stmt {
+    Stmt::new(StmtKind::Assign { target: LValue::Name(name.to_string()), value }, span)
+}
+
+fn lower_lvalue(lvalue: LValue, out: &mut Block, gen: &mut TempGen) -> LValue {
+    match lvalue {
+        LValue::Name(name) => LValue::Name(name),
+        LValue::Field(base, field) => LValue::Field(Box::new(purify(*base, out, gen)), field),
+        LValue::Index(base, index) => LValue::Index(
+            Box::new(purify(*base, out, gen)),
+            Box::new(purify(*index, out, gen)),
+        ),
+    }
+}
+
+fn lower_callee(callee: Callee, out: &mut Block, gen: &mut TempGen) -> Callee {
+    match callee {
+        Callee::Name(name) => Callee::Name(name),
+        Callee::Method(base, method) => {
+            Callee::Method(Box::new(purify(*base, out, gen)), method)
+        }
+    }
+}
+
+/// Make `expr` call-free: hoist every call/new into a temporary
+/// (emitting `__t = call` statements into `out`) and return the
+/// replacement expression. Top-level calls are hoisted too.
+fn purify_all(expr: Expr, out: &mut Block, gen: &mut TempGen) -> Expr {
+    purify(expr, out, gen)
+}
+
+fn purify(expr: Expr, out: &mut Block, gen: &mut TempGen) -> Expr {
+    if !expr.contains_call() {
+        return expr;
+    }
+    let span = expr.span;
+    match expr.kind {
+        ExprKind::Call { callee, args } => {
+            let callee = lower_callee(callee, out, gen);
+            let args: Vec<Expr> = args.into_iter().map(|a| purify(a, out, gen)).collect();
+            let temp = gen.fresh();
+            out.push(assign_name(
+                &temp,
+                Expr::new(ExprKind::Call { callee, args }, span),
+                span,
+            ));
+            Expr::new(ExprKind::Name(temp), span)
+        }
+        ExprKind::New { class, args } => {
+            let args: Vec<Expr> = args.into_iter().map(|a| purify(a, out, gen)).collect();
+            let temp = gen.fresh();
+            out.push(assign_name(
+                &temp,
+                Expr::new(ExprKind::New { class, args }, span),
+                span,
+            ));
+            Expr::new(ExprKind::Name(temp), span)
+        }
+        ExprKind::Unary(op, inner) => {
+            Expr::new(ExprKind::Unary(op, Box::new(purify(*inner, out, gen))), span)
+        }
+        ExprKind::Binary(op, l, r) => Expr::new(
+            ExprKind::Binary(op, Box::new(purify(*l, out, gen)), Box::new(purify(*r, out, gen))),
+            span,
+        ),
+        ExprKind::List(items) => Expr::new(
+            ExprKind::List(items.into_iter().map(|i| purify(i, out, gen)).collect()),
+            span,
+        ),
+        ExprKind::Field(base, field) => {
+            Expr::new(ExprKind::Field(Box::new(purify(*base, out, gen)), field), span)
+        }
+        ExprKind::Index(base, index) => Expr::new(
+            ExprKind::Index(Box::new(purify(*base, out, gen)), Box::new(purify(*index, out, gen))),
+            span,
+        ),
+        ExprKind::Message { name, args } => Expr::new(
+            ExprKind::Message {
+                name,
+                args: args.into_iter().map(|a| purify(a, out, gen)).collect(),
+            },
+            span,
+        ),
+        // contains_call() returned true, so these are unreachable.
+        ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Name(_)
+        | ExprKind::SelfRef => unreachable!("pure leaf claimed to contain a call"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_lower;
+
+    /// Collect every (statement-kind discriminant) in a block for
+    /// shape assertions.
+    fn body_of<'p>(p: &'p Program, f: &str) -> &'p Block {
+        &p.function(f).unwrap().body
+    }
+
+    #[test]
+    fn nested_calls_in_assignment_are_hoisted() {
+        let p = parse_and_lower("DEFINE f()\n    RETURN 1\nENDDEF\nDEFINE g()\n    x = f() + f()\nENDDEF\n")
+            .unwrap();
+        let body = body_of(&p, "g");
+        assert_eq!(body.len(), 3, "{body:#?}");
+        assert!(matches!(
+            &body[0].kind,
+            StmtKind::Assign { target: LValue::Name(n), value }
+                if n == "__t0" && matches!(value.kind, ExprKind::Call { .. })
+        ));
+        assert!(matches!(
+            &body[2].kind,
+            StmtKind::Assign { value, .. } if !value.contains_call()
+        ));
+    }
+
+    #[test]
+    fn top_level_call_assign_is_not_hoisted() {
+        let p = parse_and_lower("DEFINE f()\n    RETURN 1\nENDDEF\nDEFINE g()\n    x = f()\nENDDEF\n")
+            .unwrap();
+        assert_eq!(body_of(&p, "g").len(), 1);
+    }
+
+    #[test]
+    fn while_condition_with_call_is_reevaluated() {
+        let p = parse_and_lower(
+            "DEFINE more()\n    RETURN FALSE\nENDDEF\nDEFINE g()\n    WHILE more()\n        x = 1\n    ENDWHILE\nENDDEF\n",
+        )
+        .unwrap();
+        let body = body_of(&p, "g");
+        // prelude call, flag assign, while
+        assert_eq!(body.len(), 3, "{body:#?}");
+        let StmtKind::While { cond, body: loop_body } = &body[2].kind else {
+            panic!("expected WHILE, got {:?}", body[2]);
+        };
+        assert!(!cond.contains_call());
+        // Loop body re-evaluates: original stmt + hoisted call + flag.
+        assert_eq!(loop_body.len(), 3, "{loop_body:#?}");
+        assert!(matches!(
+            &loop_body[1].kind,
+            StmtKind::Assign { value, .. } if matches!(value.kind, ExprKind::Call { .. })
+        ));
+    }
+
+    #[test]
+    fn para_task_with_nested_call_becomes_seq() {
+        let p = parse_and_lower(
+            "DEFINE f(v)\n    RETURN v\nENDDEF\nDEFINE g(v)\n    RETURN v\nENDDEF\nPARA\n    f(g(3))\nENDPARA\n",
+        )
+        .unwrap();
+        let main = p.main_body();
+        let StmtKind::Para { tasks } = &main[0].kind else { panic!() };
+        assert_eq!(tasks.len(), 1);
+        let StmtKind::Seq(seq) = &tasks[0].kind else {
+            panic!("expected Seq task, got {:?}", tasks[0]);
+        };
+        assert_eq!(seq.len(), 2);
+    }
+
+    #[test]
+    fn else_if_with_call_condition_stays_lazy() {
+        let p = parse_and_lower(
+            "DEFINE c()\n    RETURN TRUE\nENDDEF\nDEFINE g()\n    IF FALSE THEN\n        x = 1\n    ELSE IF c() THEN\n        x = 2\n    ENDIF\nENDDEF\n",
+        )
+        .unwrap();
+        let body = body_of(&p, "g");
+        assert_eq!(body.len(), 1, "no eager hoist before the IF: {body:#?}");
+        let StmtKind::If { arms, else_ } = &body[0].kind else { panic!() };
+        assert_eq!(arms.len(), 1);
+        let else_block = else_.as_ref().expect("else block holds the nested IF");
+        // hoisted call + nested IF
+        assert_eq!(else_block.len(), 2, "{else_block:#?}");
+        assert!(matches!(else_block[1].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn send_and_print_become_pure() {
+        let p = parse_and_lower(
+            "DEFINE pick()\n    RETURN 1\nENDDEF\nDEFINE g(r)\n    Send(MESSAGE.n(pick())).To(r)\n    PRINTLN pick()\nENDDEF\n",
+        )
+        .unwrap();
+        for stmt in body_of(&p, "g") {
+            match &stmt.kind {
+                StmtKind::Send { msg, to } => {
+                    assert!(!msg.contains_call() && !to.contains_call());
+                }
+                StmtKind::Print { value, .. } => assert!(!value.contains_call()),
+                StmtKind::Assign { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_is_idempotent() {
+        let src = "DEFINE f()\n    RETURN 2\nENDDEF\nDEFINE g()\n    x = f() * 3\n    WHILE x > f()\n        x = x - 1\n    ENDWHILE\nENDDEF\n";
+        let once = parse_and_lower(src).unwrap();
+        let twice = lower_program(once.clone());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pure_programs_are_untouched() {
+        let src = "x = 10\nPARA\n    changeX(1)\n    changeX(-2)\nENDPARA\nPRINTLN x\n";
+        let parsed = crate::parse(src).unwrap();
+        let lowered = parse_and_lower(src).unwrap();
+        assert_eq!(parsed, lowered);
+    }
+}

@@ -1,0 +1,928 @@
+//! Recursive-descent parser with per-line error recovery.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, ParseError};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parse a token stream (as produced by [`crate::lexer::lex`]) into a
+/// [`Program`]. `source` is used only for rendering diagnostics.
+pub fn parse_tokens(tokens: &[Token], source: &str) -> Result<Program, ParseError> {
+    let mut parser = Parser { tokens, pos: 0, diagnostics: Vec::new() };
+    let program = parser.program();
+    let mut diagnostics = parser.diagnostics;
+    diagnostics.extend(crate::analysis::validate(&program));
+    if diagnostics.is_empty() {
+        Ok(program)
+    } else {
+        let _ = source;
+        Err(ParseError { diagnostics })
+    }
+}
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    pos: usize,
+    diagnostics: Vec<Diagnostic>,
+}
+
+/// Statement-level terminators: tokens that end an enclosing block.
+fn is_block_end(kind: &TokenKind) -> bool {
+    use TokenKind::*;
+    matches!(
+        kind,
+        EndIf | EndWhile | EndFor | EndDef | EndClass | EndPara | EndExcAcc | EndReceiving
+            | Else
+            | Message
+            | Eof
+    )
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1).min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> &Token {
+        let token = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Span, Diagnostic> {
+        if self.peek() == &kind {
+            Ok(self.bump().span)
+        } else {
+            Err(Diagnostic::new(
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            other => Err(Diagnostic::new(
+                format!("expected identifier, found {}", other.describe()),
+                self.span(),
+            )),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.bump();
+        }
+    }
+
+    /// Record `diag` and skip to the start of the next line so parsing
+    /// can continue (error recovery).
+    fn recover(&mut self, diag: Diagnostic) {
+        self.diagnostics.push(diag);
+        while !matches!(self.peek(), TokenKind::Newline | TokenKind::Eof) {
+            self.bump();
+        }
+        self.skip_newlines();
+    }
+
+    // ----- program structure ------------------------------------------------
+
+    fn program(&mut self) -> Program {
+        let mut items = Vec::new();
+        self.skip_newlines();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            match self.peek() {
+                TokenKind::Class => match self.class_def() {
+                    Ok(class) => items.push(Item::Class(class)),
+                    Err(diag) => self.recover(diag),
+                },
+                TokenKind::Define => match self.func_def() {
+                    Ok(func) => items.push(Item::Func(func)),
+                    Err(diag) => self.recover(diag),
+                },
+                _ => match self.stmt_line() {
+                    Ok(stmt) => items.push(Item::Stmt(stmt)),
+                    Err(diag) => self.recover(diag),
+                },
+            }
+            self.skip_newlines();
+        }
+        Program { items }
+    }
+
+    fn class_def(&mut self) -> Result<ClassDef, Diagnostic> {
+        let start = self.expect(TokenKind::Class)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::Newline)?;
+        self.skip_newlines();
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::EndClass => break,
+                TokenKind::Eof => {
+                    return Err(Diagnostic::new(
+                        format!("CLASS {name} is missing its ENDCLASS"),
+                        start,
+                    ));
+                }
+                TokenKind::Define => methods.push(self.func_def()?),
+                TokenKind::Ident(_) => {
+                    // A field initializer: `name = expr`.
+                    let (field, fspan) = self.expect_ident()?;
+                    self.expect(TokenKind::Assign).map_err(|d| {
+                        d.with_help("class bodies may only contain field initializers and DEFINE")
+                    })?;
+                    let init = self.expr()?;
+                    self.expect(TokenKind::Newline)?;
+                    if fields.iter().any(|(existing, _)| existing == &field) {
+                        return Err(Diagnostic::new(
+                            format!("field `{field}` is declared twice in CLASS {name}"),
+                            fspan,
+                        ));
+                    }
+                    fields.push((field, init));
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        format!(
+                            "expected a field initializer, DEFINE, or ENDCLASS in CLASS body, \
+                             found {}",
+                            other.describe()
+                        ),
+                        self.span(),
+                    ));
+                }
+            }
+            self.skip_newlines();
+        }
+        let end = self.expect(TokenKind::EndClass)?;
+        Ok(ClassDef { name, fields, methods, span: start.merge(end) })
+    }
+
+    fn func_def(&mut self) -> Result<FuncDef, Diagnostic> {
+        let start = self.expect(TokenKind::Define)?;
+        let (name, _) = self.expect_ident()?;
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !matches!(self.peek(), TokenKind::RParen) {
+                loop {
+                    let (param, pspan) = self.expect_ident()?;
+                    if params.contains(&param) {
+                        return Err(Diagnostic::new(
+                            format!("duplicate parameter `{param}` in DEFINE {name}"),
+                            pspan,
+                        ));
+                    }
+                    params.push(param);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+        }
+        self.expect(TokenKind::Newline)?;
+        let body = self.block()?;
+        let end = self.expect(TokenKind::EndDef)?;
+        self.skip_newlines();
+        Ok(FuncDef { name, params, body, span: start.merge(end) })
+    }
+
+    /// Parse statements until a block terminator (not consumed).
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        let mut stmts = Vec::new();
+        self.skip_newlines();
+        while !is_block_end(self.peek()) {
+            stmts.push(self.stmt_line()?);
+            self.skip_newlines();
+        }
+        Ok(stmts)
+    }
+
+    fn stmt_line(&mut self) -> Result<Stmt, Diagnostic> {
+        let stmt = self.stmt()?;
+        // Simple statements must end the line. A block terminator is
+        // also acceptable here because constructs without an explicit
+        // end token (ON_RECEIVING without END_RECEIVING) swallow the
+        // trailing newlines of their last arm.
+        if !matches!(self.peek(), TokenKind::Eof) && !is_block_end(self.peek()) {
+            self.expect(TokenKind::Newline)?;
+        }
+        Ok(stmt)
+    }
+
+    // ----- statements -------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Para => self.para_stmt(),
+            TokenKind::ExcAcc => self.exc_acc_stmt(),
+            TokenKind::OnReceiving => self.on_receiving_stmt(),
+            TokenKind::Wait => {
+                self.bump();
+                self.empty_parens()?;
+                Ok(Stmt::new(StmtKind::Wait, span))
+            }
+            TokenKind::Notify => {
+                self.bump();
+                self.empty_parens()?;
+                Ok(Stmt::new(StmtKind::Notify, span))
+            }
+            TokenKind::Print => {
+                self.bump();
+                let value = self.expr()?;
+                Ok(Stmt::new(StmtKind::Print { value, newline: false }, span))
+            }
+            TokenKind::PrintLn => {
+                self.bump();
+                let value = self.expr()?;
+                Ok(Stmt::new(StmtKind::Print { value, newline: true }, span))
+            }
+            TokenKind::Send => self.send_stmt(),
+            TokenKind::Spawn => {
+                self.bump();
+                let call = self.expr()?;
+                if !matches!(call.kind, ExprKind::Call { .. }) {
+                    return Err(Diagnostic::new(
+                        "SPAWN expects a function or method call",
+                        call.span,
+                    ));
+                }
+                Ok(Stmt::new(StmtKind::Spawn { call }, span))
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if matches!(self.peek(), TokenKind::Newline | TokenKind::Eof) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                Ok(Stmt::new(StmtKind::Return(value), span))
+            }
+            TokenKind::Break => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Break, span))
+            }
+            TokenKind::Continue => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Continue, span))
+            }
+            _ => self.assign_or_call(),
+        }
+    }
+
+    fn empty_parens(&mut self) -> Result<(), Diagnostic> {
+        self.expect(TokenKind::LParen)?;
+        self.expect(TokenKind::RParen)?;
+        Ok(())
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.expect(TokenKind::If)?;
+        let mut arms = Vec::new();
+        let cond = self.expr()?;
+        self.expect(TokenKind::Then)?;
+        self.expect(TokenKind::Newline)?;
+        arms.push((cond, self.block()?));
+        let mut else_ = None;
+        loop {
+            if self.eat(&TokenKind::Else) {
+                if self.eat(&TokenKind::If) {
+                    // ELSE IF: a new conditional arm.
+                    let cond = self.expr()?;
+                    self.expect(TokenKind::Then)?;
+                    self.expect(TokenKind::Newline)?;
+                    arms.push((cond, self.block()?));
+                } else {
+                    self.expect(TokenKind::Newline)?;
+                    else_ = Some(self.block()?);
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let end = self.expect(TokenKind::EndIf)?;
+        Ok(Stmt::new(StmtKind::If { arms, else_ }, start.merge(end)))
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.expect(TokenKind::While)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::Newline)?;
+        let body = self.block()?;
+        let end = self.expect(TokenKind::EndWhile)?;
+        Ok(Stmt::new(StmtKind::While { cond, body }, start.merge(end)))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.expect(TokenKind::For)?;
+        let (var, _) = self.expect_ident()?;
+        self.expect(TokenKind::Assign)?;
+        let from = self.expr()?;
+        self.expect(TokenKind::To)?;
+        let to = self.expr()?;
+        self.expect(TokenKind::Newline)?;
+        let body = self.block()?;
+        let end = self.expect(TokenKind::EndFor)?;
+        Ok(Stmt::new(StmtKind::For { var, from, to, body }, start.merge(end)))
+    }
+
+    fn para_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.expect(TokenKind::Para)?;
+        self.expect(TokenKind::Newline)?;
+        self.skip_newlines();
+        let mut tasks = Vec::new();
+        while !matches!(self.peek(), TokenKind::EndPara | TokenKind::Eof) {
+            tasks.push(self.stmt_line()?);
+            self.skip_newlines();
+        }
+        let end = self.expect(TokenKind::EndPara)?;
+        Ok(Stmt::new(StmtKind::Para { tasks }, start.merge(end)))
+    }
+
+    fn exc_acc_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.expect(TokenKind::ExcAcc)?;
+        self.expect(TokenKind::Newline)?;
+        let body = self.block()?;
+        let end = self.expect(TokenKind::EndExcAcc)?;
+        Ok(Stmt::new(StmtKind::ExcAcc { body }, start.merge(end)))
+    }
+
+    fn send_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.expect(TokenKind::Send)?;
+        self.expect(TokenKind::LParen)?;
+        let msg = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Dot)?;
+        self.expect(TokenKind::To)
+            .map_err(|d| d.with_help("the send statement is written `Send(message).To(receiver)`"))?;
+        self.expect(TokenKind::LParen)?;
+        let to = self.expr()?;
+        let end = self.expect(TokenKind::RParen)?;
+        Ok(Stmt::new(StmtKind::Send { msg, to }, start.merge(end)))
+    }
+
+    fn on_receiving_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.expect(TokenKind::OnReceiving)?;
+        self.expect(TokenKind::Newline)?;
+        self.skip_newlines();
+        let mut arms: Vec<ReceiveArm> = Vec::new();
+        while matches!(self.peek(), TokenKind::Message) {
+            let arm_start = self.bump().span; // MESSAGE
+            self.expect(TokenKind::Dot)?;
+            let (msg_name, nspan) = self.expect_ident()?;
+            let mut params = Vec::new();
+            self.expect(TokenKind::LParen)?;
+            if !matches!(self.peek(), TokenKind::RParen) {
+                loop {
+                    let (param, _) = self.expect_ident()?;
+                    params.push(param);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::Newline)?;
+            let body = self.block()?;
+            if arms.iter().any(|a| a.msg_name == msg_name) {
+                return Err(Diagnostic::new(
+                    format!("duplicate ON_RECEIVING arm for MESSAGE.{msg_name}"),
+                    nspan,
+                ));
+            }
+            arms.push(ReceiveArm { msg_name, params, body, span: arm_start });
+        }
+        if arms.is_empty() {
+            return Err(Diagnostic::new(
+                "ON_RECEIVING requires at least one MESSAGE.name(…) arm",
+                start,
+            ));
+        }
+        // The explicit END_RECEIVING terminator is optional; the paper's
+        // Figure 5 ends the statement at ENDDEF.
+        let end =
+            if matches!(self.peek(), TokenKind::EndReceiving) { self.bump().span } else { start };
+        Ok(Stmt::new(StmtKind::OnReceiving { arms }, start.merge(end)))
+    }
+
+    fn assign_or_call(&mut self) -> Result<Stmt, Diagnostic> {
+        let expr = self.expr()?;
+        let span = expr.span;
+        if self.eat(&TokenKind::Assign) {
+            let target = Self::expr_to_lvalue(expr)?;
+            let value = self.expr()?;
+            Ok(Stmt::new(StmtKind::Assign { target, value }, span.merge(self.prev_span())))
+        } else {
+            match expr.kind {
+                ExprKind::Call { .. } | ExprKind::New { .. } => {
+                    Ok(Stmt::new(StmtKind::ExprStmt(expr), span))
+                }
+                _ => Err(Diagnostic::new(
+                    "expected a statement; a bare expression may only be a call",
+                    span,
+                )
+                .with_help("did you mean an assignment `name = expression`?")),
+            }
+        }
+    }
+
+    fn expr_to_lvalue(expr: Expr) -> Result<LValue, Diagnostic> {
+        match expr.kind {
+            ExprKind::Name(name) => Ok(LValue::Name(name)),
+            ExprKind::Field(obj, field) => Ok(LValue::Field(obj, field)),
+            ExprKind::Index(obj, index) => Ok(LValue::Index(obj, index)),
+            _ => Err(Diagnostic::new("invalid assignment target", expr.span)),
+        }
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, Diagnostic> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Or => BinOp::Or,
+                TokenKind::And => BinOp::And,
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            if op.precedence() <= min_prec {
+                break;
+            }
+            self.bump();
+            let right = self.binary_expr(op.precedence())?;
+            let span = left.span.merge(right.span);
+            left = Expr::new(ExprKind::Binary(op, Box::new(left), Box::new(right)), span);
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = span.merge(operand.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(operand)), span))
+            }
+            TokenKind::Not => {
+                self.bump();
+                let operand = self.unary_expr()?;
+                let span = span.merge(operand.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(operand)), span))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    // `.To` only appears in Send statements, but a method
+                    // named with any keyword is rejected here for clarity.
+                    let (name, nspan) = self.expect_ident().map_err(|d| {
+                        d.with_help("only identifiers may follow `.` in an expression")
+                    })?;
+                    if self.eat(&TokenKind::LParen) {
+                        let args = self.call_args()?;
+                        let span = expr.span.merge(self.prev_span());
+                        expr = Expr::new(
+                            ExprKind::Call {
+                                callee: Callee::Method(Box::new(expr), name),
+                                args,
+                            },
+                            span,
+                        );
+                    } else {
+                        let span = expr.span.merge(nspan);
+                        expr = Expr::new(ExprKind::Field(Box::new(expr), name), span);
+                    }
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    let end = self.expect(TokenKind::RBracket)?;
+                    let span = expr.span.merge(end);
+                    expr = Expr::new(ExprKind::Index(Box::new(expr), Box::new(index)), span);
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Int(v), span))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Float(v), span))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Str(s), span))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Bool(true), span))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Bool(false), span))
+            }
+            TokenKind::SelfKw => {
+                self.bump();
+                Ok(Expr::new(ExprKind::SelfRef, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !matches!(self.peek(), TokenKind::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let end = self.expect(TokenKind::RBracket)?;
+                Ok(Expr::new(ExprKind::List(items), span.merge(end)))
+            }
+            TokenKind::New => {
+                self.bump();
+                let (class, _) = self.expect_ident()?;
+                self.expect(TokenKind::LParen)?;
+                let args = self.call_args()?;
+                Ok(Expr::new(ExprKind::New { class, args }, span.merge(self.prev_span())))
+            }
+            TokenKind::Message => {
+                self.bump();
+                self.expect(TokenKind::Dot)?;
+                let (name, _) = self.expect_ident()?;
+                self.expect(TokenKind::LParen)?;
+                let args = self.call_args()?;
+                Ok(Expr::new(
+                    ExprKind::Message { name, args },
+                    span.merge(self.prev_span()),
+                ))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let args = self.call_args()?;
+                    Ok(Expr::new(
+                        ExprKind::Call { callee: Callee::Name(name), args },
+                        span.merge(self.prev_span()),
+                    ))
+                } else {
+                    Ok(Expr::new(ExprKind::Name(name), span))
+                }
+            }
+            other => Err(Diagnostic::new(
+                format!("expected an expression, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    /// Parse a comma-separated argument list; the opening `(` has been
+    /// consumed, and this consumes the closing `)`.
+    fn call_args(&mut self) -> Result<Vec<Expr>, Diagnostic> {
+        let mut args = Vec::new();
+        if !matches!(self.peek(), TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn figure1_assignments() {
+        let program = parse(
+            "total = 0\nname = \"John Smith\"\ncondition = True\nheight = 3.3\n",
+        )
+        .unwrap();
+        assert_eq!(program.main_body().len(), 4);
+        match &program.main_body()[3].kind {
+            StmtKind::Assign { target: LValue::Name(name), value } => {
+                assert_eq!(name, "height");
+                assert_eq!(value.kind, ExprKind::Float(3.3));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure2_conditional_chain() {
+        let program = parse(
+            r#"
+IF testScore >= 90 THEN
+    PRINTLN "A"
+ELSE IF testScore >= 80 THEN
+    PRINTLN "B"
+ELSE IF testScore >= 70 THEN
+    PRINTLN "C"
+ELSE
+    PRINTLN "F"
+ENDIF
+"#,
+        )
+        .unwrap();
+        let main = program.main_body();
+        match &main[0].kind {
+            StmtKind::If { arms, else_ } => {
+                assert_eq!(arms.len(), 3);
+                assert!(else_.is_some());
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_para_with_calls() {
+        let program = parse(
+            r#"
+DEFINE print()
+    PRINT "hi"
+    PRINT "there"
+ENDDEF
+
+PARA
+    print()
+    PRINT "world"
+ENDPARA
+"#,
+        )
+        .unwrap();
+        assert!(program.function("print").is_some());
+        match &program.main_body()[0].kind {
+            StmtKind::Para { tasks } => assert_eq!(tasks.len(), 2),
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure4_wait_notify() {
+        let program = parse(
+            r#"
+x = 10
+
+DEFINE changeX(diff)
+    EXC_ACC
+        WHILE x + diff < 0
+            WAIT()
+        ENDWHILE
+        x = x + diff
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+PARA
+    changeX(-11)
+    changeX(1)
+ENDPARA
+
+PRINTLN x
+"#,
+        )
+        .unwrap();
+        let f = program.function("changeX").unwrap();
+        match &f.body[0].kind {
+            StmtKind::ExcAcc { body } => {
+                assert!(matches!(body[0].kind, StmtKind::While { .. }));
+                assert!(matches!(body[2].kind, StmtKind::Notify));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure5_receiver_class() {
+        let program = parse(
+            r#"
+CLASS Receiver
+    DEFINE receive()
+        ON_RECEIVING
+            MESSAGE.h(var)
+                PRINT var
+            MESSAGE.w(var)
+                PRINTLN var
+    ENDDEF
+ENDCLASS
+
+m1 = MESSAGE.h("hello")
+m2 = MESSAGE.w("world")
+
+r1 = new Receiver()
+r1.receive()
+
+Send(m1).To(r1)
+Send(m2).To(r1)
+"#,
+        )
+        .unwrap();
+        let class = program.class("Receiver").unwrap();
+        assert!(class.is_receiver());
+        let receive = class.method("receive").unwrap();
+        match &receive.body[0].kind {
+            StmtKind::OnReceiving { arms } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].msg_name, "h");
+                assert_eq!(arms[1].params, vec!["var".to_string()]);
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+        let main = program.main_body();
+        assert!(matches!(main.last().unwrap().kind, StmtKind::Send { .. }));
+    }
+
+    #[test]
+    fn paper_figures_6_7_end_para_spelling() {
+        let program = parse(
+            "PARA\n    redCarA.run()\n    redCarB.run()\n    blueCarA.run()\nEND PARA\n",
+        )
+        .unwrap();
+        match &program.main_body()[0].kind {
+            StmtKind::Para { tasks } => assert_eq!(tasks.len(), 3),
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_with_fields() {
+        let program = parse(
+            r#"
+CLASS Bridge
+    carsOnBridge = 0
+    direction = "none"
+
+    DEFINE enter(dir)
+        carsOnBridge = carsOnBridge + 1
+        direction = dir
+    ENDDEF
+ENDCLASS
+"#,
+        )
+        .unwrap();
+        let class = program.class("Bridge").unwrap();
+        assert_eq!(class.fields.len(), 2);
+        assert_eq!(class.methods.len(), 1);
+        assert!(!class.is_receiver());
+    }
+
+    #[test]
+    fn for_loop_and_lists() {
+        let program = parse(
+            "items = [1, 2, 3]\nsum = 0\nFOR i = 0 TO LEN(items) - 1\n    sum = sum + items[i]\nENDFOR\n",
+        )
+        .unwrap();
+        match &program.main_body()[2].kind {
+            StmtKind::For { var, .. } => assert_eq!(var, "i"),
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_shapes_the_tree() {
+        let program = parse("r = 1 + 2 * 3 < 4 AND NOT done\n").unwrap();
+        // Expect: ((1 + (2*3)) < 4) AND (NOT done)
+        match &program.main_body()[0].kind {
+            StmtKind::Assign { value, .. } => match &value.kind {
+                ExprKind::Binary(BinOp::And, l, r) => {
+                    assert!(matches!(l.kind, ExprKind::Binary(BinOp::Lt, _, _)));
+                    assert!(matches!(r.kind, ExprKind::Unary(UnOp::Not, _)));
+                }
+                other => panic!("unexpected expr {other:?}"),
+            },
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_recovery_reports_multiple_diagnostics() {
+        let err = parse("x = \ny = 3 +\nz = 1\nIF THEN\nENDIF\n").unwrap_err();
+        assert!(err.diagnostics.len() >= 2, "{err}");
+    }
+
+    #[test]
+    fn missing_endif_is_an_error() {
+        assert!(parse("IF x > 0 THEN\n    y = 1\n").is_err());
+    }
+
+    #[test]
+    fn bare_expression_statement_is_rejected() {
+        let err = parse("x + 1\n").unwrap_err();
+        assert!(err.to_string().contains("bare expression"), "{err}");
+    }
+
+    #[test]
+    fn assignment_to_call_is_rejected() {
+        assert!(parse("f(x) = 3\n").is_err());
+    }
+
+    #[test]
+    fn field_and_index_assignment_targets() {
+        let program = parse("obj.count = 1\nitems[0] = 2\n").unwrap();
+        let main = program.main_body();
+        assert!(matches!(
+            &main[0].kind,
+            StmtKind::Assign { target: LValue::Field(_, f), .. } if f == "count"
+        ));
+        assert!(matches!(&main[1].kind, StmtKind::Assign { target: LValue::Index(_, _), .. }));
+
+        // SELF is only legal inside a class method.
+        let program = parse("CLASS C\n    x = 0\n    DEFINE set(v)\n        SELF.x = v\n    ENDDEF\nENDCLASS\n")
+            .unwrap();
+        let method = program.class("C").unwrap().method("set").unwrap();
+        assert!(matches!(
+            &method.body[0].kind,
+            StmtKind::Assign { target: LValue::Field(obj, _), .. }
+                if matches!(obj.kind, ExprKind::SelfRef)
+        ));
+    }
+
+    #[test]
+    fn duplicate_receive_arm_is_rejected() {
+        let err = parse(
+            "DEFINE r()\n    ON_RECEIVING\n        MESSAGE.a(x)\n            PRINT x\n        MESSAGE.a(y)\n            PRINT y\nENDDEF\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate ON_RECEIVING"), "{err}");
+    }
+
+    #[test]
+    fn spawn_statement() {
+        let program = parse("SPAWN worker.run()\n").unwrap();
+        assert!(matches!(program.main_body()[0].kind, StmtKind::Spawn { .. }));
+        assert!(parse("SPAWN 17\n").is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! Pretty-printer: renders an AST back to canonical pseudocode text.
+//!
+//! `parse(pretty(ast)) == ast` for every parseable program (checked by
+//! a property test), which makes the printer usable for program
+//! transformations, the study crate's question rendering, and
+//! round-trip testing of the parser.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, item) in p.items.iter().enumerate() {
+        // Blank line around definitions; consecutive plain statements
+        // stay adjacent (keeps the printer a fixpoint when a lowered
+        // `Seq` reparses as several items).
+        let is_def = !matches!(item, Item::Stmt(_));
+        let prev_def = i > 0 && !matches!(p.items[i - 1], Item::Stmt(_));
+        if i > 0 && (is_def || prev_def) {
+            out.push('\n');
+        }
+        match item {
+            Item::Class(c) => class(c, &mut out),
+            Item::Func(f) => func(f, 0, &mut out),
+            Item::Stmt(s) => stmt(s, 0, &mut out),
+        }
+    }
+    out
+}
+
+/// Render a single statement (at the given indent level) — exposed for
+/// diagnostics and tests.
+pub fn stmt_to_string(s: &Stmt) -> String {
+    let mut out = String::new();
+    stmt(s, 0, &mut out);
+    out
+}
+
+/// Render an expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut out = String::new();
+    expr(e, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn class(c: &ClassDef, out: &mut String) {
+    let _ = writeln!(out, "CLASS {}", c.name);
+    for (name, init) in &c.fields {
+        indent(1, out);
+        let _ = write!(out, "{name} = ");
+        expr(init, out);
+        out.push('\n');
+    }
+    for m in &c.methods {
+        if !c.fields.is_empty() {
+            out.push('\n');
+        }
+        func(m, 1, out);
+    }
+    out.push_str("ENDCLASS\n");
+}
+
+fn func(f: &FuncDef, level: usize, out: &mut String) {
+    indent(level, out);
+    let _ = write!(out, "DEFINE {}(", f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(p);
+    }
+    out.push_str(")\n");
+    block(&f.body, level + 1, out);
+    indent(level, out);
+    out.push_str("ENDDEF\n");
+}
+
+fn block(b: &Block, level: usize, out: &mut String) {
+    for s in b {
+        stmt(s, level, out);
+    }
+}
+
+fn stmt(s: &Stmt, level: usize, out: &mut String) {
+    match &s.kind {
+        StmtKind::Assign { target, value } => {
+            indent(level, out);
+            lvalue(target, out);
+            out.push_str(" = ");
+            expr(value, out);
+            out.push('\n');
+        }
+        StmtKind::If { arms, else_ } => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                indent(level, out);
+                out.push_str(if i == 0 { "IF " } else { "ELSE IF " });
+                expr(cond, out);
+                out.push_str(" THEN\n");
+                block(body, level + 1, out);
+            }
+            if let Some(body) = else_ {
+                indent(level, out);
+                out.push_str("ELSE\n");
+                block(body, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("ENDIF\n");
+        }
+        StmtKind::While { cond, body } => {
+            indent(level, out);
+            out.push_str("WHILE ");
+            expr(cond, out);
+            out.push('\n');
+            block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("ENDWHILE\n");
+        }
+        StmtKind::For { var, from, to, body } => {
+            indent(level, out);
+            let _ = write!(out, "FOR {var} = ");
+            expr(from, out);
+            out.push_str(" TO ");
+            expr(to, out);
+            out.push('\n');
+            block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("ENDFOR\n");
+        }
+        StmtKind::Para { tasks } => {
+            indent(level, out);
+            out.push_str("PARA\n");
+            block(tasks, level + 1, out);
+            indent(level, out);
+            out.push_str("ENDPARA\n");
+        }
+        StmtKind::ExcAcc { body } => {
+            indent(level, out);
+            out.push_str("EXC_ACC\n");
+            block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("END_EXC_ACC\n");
+        }
+        StmtKind::Wait => {
+            indent(level, out);
+            out.push_str("WAIT()\n");
+        }
+        StmtKind::Notify => {
+            indent(level, out);
+            out.push_str("NOTIFY()\n");
+        }
+        StmtKind::Print { value, newline } => {
+            indent(level, out);
+            out.push_str(if *newline { "PRINTLN " } else { "PRINT " });
+            expr(value, out);
+            out.push('\n');
+        }
+        StmtKind::ExprStmt(e) => {
+            indent(level, out);
+            expr(e, out);
+            out.push('\n');
+        }
+        StmtKind::Send { msg, to } => {
+            indent(level, out);
+            out.push_str("Send(");
+            expr(msg, out);
+            out.push_str(").To(");
+            expr(to, out);
+            out.push_str(")\n");
+        }
+        StmtKind::OnReceiving { arms } => {
+            indent(level, out);
+            out.push_str("ON_RECEIVING\n");
+            for arm in arms {
+                indent(level + 1, out);
+                let _ = write!(out, "MESSAGE.{}(", arm.msg_name);
+                for (i, p) in arm.params.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(p);
+                }
+                out.push_str(")\n");
+                block(&arm.body, level + 2, out);
+            }
+            indent(level, out);
+            out.push_str("END_RECEIVING\n");
+        }
+        StmtKind::Spawn { call } => {
+            indent(level, out);
+            out.push_str("SPAWN ");
+            expr(call, out);
+            out.push('\n');
+        }
+        StmtKind::Return(value) => {
+            indent(level, out);
+            out.push_str("RETURN");
+            if let Some(v) = value {
+                out.push(' ');
+                expr(v, out);
+            }
+            out.push('\n');
+        }
+        StmtKind::Break => {
+            indent(level, out);
+            out.push_str("BREAK\n");
+        }
+        StmtKind::Continue => {
+            indent(level, out);
+            out.push_str("CONTINUE\n");
+        }
+        StmtKind::Seq(body) => {
+            // No surface syntax; print the statements in sequence.
+            block(body, level, out);
+        }
+    }
+}
+
+fn lvalue(l: &LValue, out: &mut String) {
+    match l {
+        LValue::Name(name) => out.push_str(name),
+        LValue::Field(base, field) => {
+            expr_prec(base, 100, out);
+            let _ = write!(out, ".{field}");
+        }
+        LValue::Index(base, index) => {
+            expr_prec(base, 100, out);
+            out.push('[');
+            expr(index, out);
+            out.push(']');
+        }
+    }
+}
+
+fn expr(e: &Expr, out: &mut String) {
+    expr_prec(e, 0, out);
+}
+
+/// Print with minimal parentheses: parenthesize whenever this node's
+/// precedence is at or below the surrounding precedence.
+fn expr_prec(e: &Expr, surrounding: u8, out: &mut String) {
+    match &e.kind {
+        ExprKind::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::Float(v) => {
+            // Keep a decimal point so the value re-lexes as a float.
+            if v.fract() == 0.0 && v.is_finite() {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        ExprKind::Str(s) => {
+            let escaped = s
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+                .replace('\t', "\\t");
+            let _ = write!(out, "\"{escaped}\"");
+        }
+        ExprKind::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+        ExprKind::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(item, out);
+            }
+            out.push(']');
+        }
+        ExprKind::Name(name) => out.push_str(name),
+        ExprKind::SelfRef => out.push_str("SELF"),
+        ExprKind::Unary(op, inner) => {
+            let needs_parens = surrounding >= 6;
+            if needs_parens {
+                out.push('(');
+            }
+            match op {
+                UnOp::Neg => out.push('-'),
+                UnOp::Not => out.push_str("NOT "),
+            }
+            // `-` applied to a negative literal would print as `--1`,
+            // which re-lexes as a double negation; force parentheses.
+            let negative_literal = matches!(
+                inner.kind,
+                ExprKind::Int(v) if v < 0
+            ) || matches!(inner.kind, ExprKind::Float(v) if v < 0.0);
+            if negative_literal {
+                out.push('(');
+                expr_prec(inner, 0, out);
+                out.push(')');
+            } else {
+                expr_prec(inner, 6, out);
+            }
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            let prec = op.precedence();
+            let needs_parens = prec <= surrounding;
+            if needs_parens {
+                out.push('(');
+            }
+            expr_prec(l, prec - 1, out);
+            let _ = write!(out, " {op} ");
+            expr_prec(r, prec, out);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            match callee {
+                Callee::Name(name) => out.push_str(name),
+                Callee::Method(base, method) => {
+                    expr_prec(base, 100, out);
+                    let _ = write!(out, ".{method}");
+                }
+            }
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push(')');
+        }
+        ExprKind::Field(base, field) => {
+            expr_prec(base, 100, out);
+            let _ = write!(out, ".{field}");
+        }
+        ExprKind::Index(base, index) => {
+            expr_prec(base, 100, out);
+            out.push('[');
+            expr(index, out);
+            out.push(']');
+        }
+        ExprKind::New { class, args } => {
+            let _ = write!(out, "new {class}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push(')');
+        }
+        ExprKind::Message { name, args } => {
+            let _ = write!(out, "MESSAGE.{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn round_trip(src: &str) {
+        let first = parse(src).expect("first parse");
+        let printed = program(&first);
+        let second = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        // Spans differ; compare printed forms instead.
+        assert_eq!(printed, program(&second), "printer not a fixpoint for:\n{src}");
+    }
+
+    #[test]
+    fn round_trips_the_figure_programs() {
+        round_trip("total = 0\nname = \"John Smith\"\ncondition = True\nheight = 3.3\n");
+        round_trip(
+            "IF testScore >= 90 THEN\n    PRINTLN \"A\"\nELSE IF testScore >= 80 THEN\n    PRINTLN \"B\"\nELSE\n    PRINTLN \"F\"\nENDIF\n",
+        );
+        round_trip(
+            "DEFINE print()\n    PRINT \"hi\"\n    PRINT \"there\"\nENDDEF\nPARA\n    print()\n    PRINT \"world\"\nENDPARA\n",
+        );
+        round_trip(
+            "x = 10\nDEFINE changeX(diff)\n    EXC_ACC\n        WHILE x + diff < 0\n            WAIT()\n        ENDWHILE\n        x = x + diff\n        NOTIFY()\n    END_EXC_ACC\nENDDEF\n",
+        );
+        round_trip(
+            "CLASS Receiver\n    DEFINE receive()\n        ON_RECEIVING\n            MESSAGE.h(var)\n                PRINT var\n            MESSAGE.w(var)\n                PRINTLN var\n    ENDDEF\nENDCLASS\nm1 = MESSAGE.h(\"hello\")\nr1 = new Receiver()\nr1.receive()\nSend(m1).To(r1)\n",
+        );
+    }
+
+    #[test]
+    fn parentheses_are_minimal_but_sufficient() {
+        let p = parse("x = (1 + 2) * 3\ny = 1 + 2 * 3\nz = -(a + b)\nw = NOT (a AND b)\n").unwrap();
+        let printed = program(&p);
+        assert!(printed.contains("x = (1 + 2) * 3"), "{printed}");
+        assert!(printed.contains("y = 1 + 2 * 3"), "{printed}");
+        assert!(printed.contains("z = -(a + b)"), "{printed}");
+        assert!(printed.contains("w = NOT (a AND b)"), "{printed}");
+        round_trip("x = (1 + 2) * 3\ny = 1 + 2 * 3\nz = -(a + b)\nw = NOT (a AND b)\n");
+    }
+
+    #[test]
+    fn subtraction_associativity_preserved() {
+        round_trip("x = a - (b - c)\ny = a - b - c\n");
+        let p = parse("x = a - (b - c)\n").unwrap();
+        assert!(program(&p).contains("a - (b - c)"));
+    }
+
+    #[test]
+    fn float_values_stay_floats() {
+        round_trip("x = 3.0\ny = 3.25\n");
+        let p = parse("x = 3.0\n").unwrap();
+        assert!(program(&p).contains("3.0"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        round_trip("s = \"a\\nb\\t\\\"c\\\\\"\n");
+    }
+
+    #[test]
+    fn seq_prints_flat() {
+        use crate::span::Span;
+        let seq = Stmt::new(
+            StmtKind::Seq(vec![
+                Stmt::new(StmtKind::Break, Span::SYNTH),
+                Stmt::new(StmtKind::Continue, Span::SYNTH),
+            ]),
+            Span::SYNTH,
+        );
+        assert_eq!(stmt_to_string(&seq), "BREAK\nCONTINUE\n");
+    }
+}

@@ -1,0 +1,111 @@
+//! Source spans: byte ranges plus line/column information for
+//! diagnostics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original source,
+/// together with the 1-based line and column of `start`.
+///
+/// Spans are carried on every token, statement and expression so that
+/// diagnostics — and the runtime's execution events — can point back at
+/// the pseudocode the student (or test) wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes (e.g.
+    /// temporaries introduced by lowering).
+    pub const SYNTH: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+
+    /// Create a new span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// Synthesized spans are ignored: merging with [`Span::SYNTH`]
+    /// returns the other span unchanged.
+    pub fn merge(self, other: Span) -> Span {
+        if self == Span::SYNTH {
+            return other;
+        }
+        if other == Span::SYNTH {
+            return self;
+        }
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// Whether this span was synthesized by the compiler rather than
+    /// written in the source.
+    pub fn is_synthetic(&self) -> bool {
+        *self == Span::SYNTH
+    }
+
+    /// Extract the source text this span covers.
+    pub fn slice<'s>(&self, source: &'s str) -> &'s str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthesized>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_spans() {
+        let a = Span::new(10, 14, 2, 1);
+        let b = Span::new(2, 6, 1, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 2);
+        assert_eq!(m.end, 14);
+        assert_eq!(m.line, 1);
+        assert_eq!(m.col, 3);
+    }
+
+    #[test]
+    fn merge_with_synth_is_identity() {
+        let a = Span::new(5, 9, 1, 6);
+        assert_eq!(a.merge(Span::SYNTH), a);
+        assert_eq!(Span::SYNTH.merge(a), a);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Span::new(0, 1, 3, 7).to_string(), "3:7");
+        assert_eq!(Span::SYNTH.to_string(), "<synthesized>");
+    }
+
+    #[test]
+    fn slice_is_safe_when_out_of_range() {
+        let s = Span::new(100, 200, 1, 1);
+        assert_eq!(s.slice("short"), "");
+        assert_eq!(Span::new(0, 5, 1, 1).slice("hello world"), "hello");
+    }
+}

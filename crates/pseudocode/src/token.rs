@@ -1,0 +1,271 @@
+//! Token definitions for the pseudocode lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token: kind plus the span it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Every terminal of the pseudocode grammar.
+///
+/// Keyword spellings follow the paper exactly: control keywords are
+/// upper-case (`IF`, `PARA`, `EXC_ACC`, …) while the message-passing
+/// forms use the mixed-case spellings shown in Figure 5 (`Send`, `To`,
+/// `MESSAGE`, `new`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and names.
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+
+    // Control flow.
+    If,
+    Then,
+    Else,
+    EndIf,
+    While,
+    EndWhile,
+    For,
+    To,
+    EndFor,
+    Break,
+    Continue,
+    Return,
+
+    // Definitions.
+    Define,
+    EndDef,
+    Class,
+    EndClass,
+
+    // Concurrency.
+    Para,
+    EndPara,
+    ExcAcc,
+    EndExcAcc,
+    Wait,
+    Notify,
+    Spawn,
+
+    // Message passing.
+    Message,
+    Send,
+    OnReceiving,
+    EndReceiving,
+
+    // Output.
+    Print,
+    PrintLn,
+
+    // Values.
+    True,
+    False,
+    New,
+    SelfKw,
+
+    // Logical operators.
+    And,
+    Or,
+    Not,
+
+    // Punctuation / operators.
+    Assign,   // =
+    Eq,       // ==
+    Ne,       // !=
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    Plus,     // +
+    Minus,    // -
+    Star,     // *
+    Slash,    // /
+    Percent,  // %
+    LParen,   // (
+    RParen,   // )
+    LBracket, // [
+    RBracket, // ]
+    Comma,    // ,
+    Dot,      // .
+
+    /// End of a logical line. Statements are newline-terminated.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup. Returns `None` for ordinary identifiers.
+    ///
+    /// The paper writes a few multi-word keywords with internal spaces
+    /// or underscores inconsistently (`END PARA` vs `ENDPARA`,
+    /// `END_EXC_ACC`); the lexer normalizes those before calling this.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match word {
+            "IF" => If,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "ENDIF" => EndIf,
+            "WHILE" => While,
+            "ENDWHILE" => EndWhile,
+            "FOR" => For,
+            "TO" | "To" => To,
+            "ENDFOR" => EndFor,
+            "BREAK" => Break,
+            "CONTINUE" => Continue,
+            "RETURN" => Return,
+            "DEFINE" => Define,
+            "ENDDEF" => EndDef,
+            "CLASS" => Class,
+            "ENDCLASS" => EndClass,
+            "PARA" => Para,
+            "ENDPARA" => EndPara,
+            "EXC_ACC" => ExcAcc,
+            "END_EXC_ACC" => EndExcAcc,
+            "WAIT" => Wait,
+            "NOTIFY" => Notify,
+            "SPAWN" => Spawn,
+            "MESSAGE" => Message,
+            "Send" | "SEND" => Send,
+            "ON_RECEIVING" => OnReceiving,
+            "END_RECEIVING" => EndReceiving,
+            "PRINT" => Print,
+            "PRINTLN" => PrintLn,
+            "TRUE" | "True" => True,
+            "FALSE" | "False" => False,
+            "new" | "NEW" => New,
+            "SELF" => SelfKw,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable name used in parse-error messages.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(name) => format!("identifier `{name}`"),
+            Int(v) => format!("integer `{v}`"),
+            Float(v) => format!("number `{v}`"),
+            Str(s) => format!("string {s:?}"),
+            Newline => "end of line".to_string(),
+            Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical source spelling of a fixed token (keywords and
+    /// punctuation). Literal-carrying tokens return a placeholder.
+    pub fn lexeme(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Ident(_) => "<ident>",
+            Int(_) => "<int>",
+            Float(_) => "<float>",
+            Str(_) => "<string>",
+            If => "IF",
+            Then => "THEN",
+            Else => "ELSE",
+            EndIf => "ENDIF",
+            While => "WHILE",
+            EndWhile => "ENDWHILE",
+            For => "FOR",
+            To => "TO",
+            EndFor => "ENDFOR",
+            Break => "BREAK",
+            Continue => "CONTINUE",
+            Return => "RETURN",
+            Define => "DEFINE",
+            EndDef => "ENDDEF",
+            Class => "CLASS",
+            EndClass => "ENDCLASS",
+            Para => "PARA",
+            EndPara => "ENDPARA",
+            ExcAcc => "EXC_ACC",
+            EndExcAcc => "END_EXC_ACC",
+            Wait => "WAIT",
+            Notify => "NOTIFY",
+            Spawn => "SPAWN",
+            Message => "MESSAGE",
+            Send => "Send",
+            OnReceiving => "ON_RECEIVING",
+            EndReceiving => "END_RECEIVING",
+            Print => "PRINT",
+            PrintLn => "PRINTLN",
+            True => "TRUE",
+            False => "FALSE",
+            New => "new",
+            SelfKw => "SELF",
+            And => "AND",
+            Or => "OR",
+            Not => "NOT",
+            Assign => "=",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            Comma => ",",
+            Dot => ".",
+            Newline => "\\n",
+            Eof => "<eof>",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip_through_lexeme() {
+        for word in [
+            "IF", "THEN", "ELSE", "ENDIF", "WHILE", "ENDWHILE", "FOR", "ENDFOR", "DEFINE",
+            "ENDDEF", "CLASS", "ENDCLASS", "PARA", "ENDPARA", "EXC_ACC", "END_EXC_ACC", "WAIT",
+            "NOTIFY", "SPAWN", "MESSAGE", "ON_RECEIVING", "END_RECEIVING", "PRINT", "PRINTLN",
+            "TRUE", "FALSE", "SELF", "AND", "OR", "NOT", "RETURN", "BREAK", "CONTINUE",
+        ] {
+            let kind = TokenKind::keyword(word).unwrap_or_else(|| panic!("{word} is a keyword"));
+            assert_eq!(kind.lexeme(), word, "lexeme of {word}");
+        }
+    }
+
+    #[test]
+    fn mixed_case_message_keywords() {
+        assert_eq!(TokenKind::keyword("Send"), Some(TokenKind::Send));
+        assert_eq!(TokenKind::keyword("To"), Some(TokenKind::To));
+        assert_eq!(TokenKind::keyword("new"), Some(TokenKind::New));
+    }
+
+    #[test]
+    fn ordinary_identifiers_are_not_keywords() {
+        for word in ["redCarA", "bridge", "x", "changeX", "para", "If", "wait"] {
+            assert_eq!(TokenKind::keyword(word), None, "{word} must not be a keyword");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests: randomly generated ASTs survive a
+//! pretty-print → parse → pretty-print round trip, and the printer is a
+//! fixpoint.
+
+use concur_pseudocode::ast::*;
+use concur_pseudocode::span::Span;
+use concur_pseudocode::{parse, pretty};
+use proptest::prelude::*;
+
+fn e(kind: ExprKind) -> Expr {
+    Expr::new(kind, Span::SYNTH)
+}
+
+fn s(kind: StmtKind) -> Stmt {
+    Stmt::new(kind, Span::SYNTH)
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "x", "y", "total", "count", "redCarA", "bridge", "items", "flag", "n",
+    ])
+    .prop_map(str::to_string)
+}
+
+fn func_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["run", "step", "changeX", "helper", "work"]).prop_map(str::to_string)
+}
+
+fn literal() -> impl Strategy<Value = ExprKind> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(ExprKind::Int),
+        (0u32..10000).prop_map(|n| ExprKind::Float(n as f64 / 8.0)),
+        "[a-zA-Z ]{0,12}".prop_map(ExprKind::Str),
+        any::<bool>().prop_map(ExprKind::Bool),
+    ]
+}
+
+fn expr(depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        return prop_oneof![literal().prop_map(e), ident().prop_map(|n| e(ExprKind::Name(n)))]
+            .boxed();
+    }
+    let leaf = expr(0);
+    let inner = expr(depth - 1);
+    prop_oneof![
+        leaf,
+        (inner.clone(), inner.clone(), binop())
+            .prop_map(|(l, r, op)| e(ExprKind::Binary(op, Box::new(l), Box::new(r)))),
+        (inner.clone(), unop()).prop_map(|(x, op)| e(ExprKind::Unary(op, Box::new(x)))),
+        prop::collection::vec(inner.clone(), 0..3).prop_map(|items| e(ExprKind::List(items))),
+        (ident(), ident()).prop_map(|(base, f)| e(ExprKind::Field(
+            Box::new(e(ExprKind::Name(base))),
+            f
+        ))),
+        (ident(), inner.clone()).prop_map(|(base, idx)| e(ExprKind::Index(
+            Box::new(e(ExprKind::Name(base))),
+            Box::new(idx)
+        ))),
+        (func_name(), prop::collection::vec(inner.clone(), 0..3))
+            .prop_map(|(name, args)| e(ExprKind::Call { callee: Callee::Name(name), args })),
+        (ident(), prop::collection::vec(inner, 0..2)).prop_map(|(name, args)| e(
+            ExprKind::Message { name, args }
+        )),
+    ]
+    .boxed()
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(vec![
+        BinOp::Or,
+        BinOp::And,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+    ])
+}
+
+fn unop() -> impl Strategy<Value = UnOp> {
+    prop::sample::select(vec![UnOp::Neg, UnOp::Not])
+}
+
+/// Statements legal anywhere (top level and inside functions).
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let simple = prop_oneof![
+        (ident(), expr(2)).prop_map(|(n, v)| s(StmtKind::Assign {
+            target: LValue::Name(n),
+            value: v
+        })),
+        (ident(), ident(), expr(1)).prop_map(|(b, f, v)| s(StmtKind::Assign {
+            target: LValue::Field(Box::new(e(ExprKind::Name(b))), f),
+            value: v
+        })),
+        (expr(1), any::<bool>()).prop_map(|(v, nl)| s(StmtKind::Print { value: v, newline: nl })),
+        (func_name(), prop::collection::vec(expr(1), 0..3)).prop_map(|(n, args)| s(
+            StmtKind::ExprStmt(e(ExprKind::Call { callee: Callee::Name(n), args }))
+        )),
+        (expr(1), ident()).prop_map(|(m, r)| s(StmtKind::Send {
+            msg: m,
+            to: e(ExprKind::Name(r))
+        })),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let body = prop::collection::vec(stmt(depth - 1), 1..3);
+    let loop_body = prop::collection::vec(
+        prop_oneof![
+            4 => stmt(depth - 1),
+            1 => Just(s(StmtKind::Break)),
+            1 => Just(s(StmtKind::Continue)),
+        ],
+        1..3,
+    );
+    prop_oneof![
+        4 => simple,
+        1 => (expr(1), body.clone(), prop::option::of(body.clone())).prop_map(|(c, b, el)| s(
+            StmtKind::If { arms: vec![(c, b)], else_: el }
+        )),
+        1 => (expr(1), loop_body).prop_map(|(c, b)| s(StmtKind::While { cond: c, body: b })),
+        1 => (ident(), expr(0), expr(0), body.clone()).prop_map(|(v, f, t, b)| s(StmtKind::For {
+            var: v,
+            from: f,
+            to: t,
+            body: b
+        })),
+        1 => prop::collection::vec(stmt(0), 1..4).prop_map(|tasks| s(StmtKind::Para { tasks })),
+    ]
+    .boxed()
+}
+
+/// Function bodies may additionally contain EXC_ACC/WAIT/NOTIFY/RETURN.
+fn func_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        5 => stmt(1),
+        1 => prop::option::of(expr(1)).prop_map(|v| s(StmtKind::Return(v))),
+        2 => prop::collection::vec(
+            prop_oneof![
+                3 => stmt(0),
+                1 => Just(s(StmtKind::Wait)),
+                1 => Just(s(StmtKind::Notify)),
+            ],
+            1..4
+        )
+        .prop_map(|b| s(StmtKind::ExcAcc { body: b })),
+    ]
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(func_stmt(), 0..4),
+        prop::collection::vec(stmt(2), 1..6),
+    )
+        .prop_map(|(fbody, main)| {
+            let mut items = Vec::new();
+            if !fbody.is_empty() {
+                items.push(Item::Func(FuncDef {
+                    name: "generated".into(),
+                    params: vec!["a".into(), "b".into()],
+                    body: fbody,
+                    span: Span::SYNTH,
+                }));
+            }
+            items.extend(main.into_iter().map(Item::Stmt));
+            Program { items }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn pretty_parse_round_trip(p in program()) {
+        let printed = pretty::program(&p);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n--- printed ---\n{printed}"));
+        let reprinted = pretty::program(&reparsed);
+        prop_assert_eq!(&printed, &reprinted, "printer is not a fixpoint");
+    }
+
+    #[test]
+    fn statement_count_is_stable_across_round_trip(p in program()) {
+        let printed = pretty::program(&p);
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(p.statement_count(), reparsed.statement_count());
+    }
+
+    #[test]
+    fn lowering_preserves_parseability(p in program()) {
+        let lowered = concur_pseudocode::lower::lower_program(p);
+        let printed = pretty::program(&lowered);
+        // A lowered program must itself be valid pseudocode.
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("lowered program failed to reparse: {err}\n{printed}"));
+        // And lowering must be idempotent.
+        let relowered = concur_pseudocode::lower::lower_program(reparsed);
+        let reprinted = pretty::program(&relowered);
+        prop_assert_eq!(printed, reprinted);
+    }
+}

@@ -1,0 +1,271 @@
+//! The single-lane bridge programs used by Test 1, written in the
+//! paper's pseudocode notation — one shared-memory form (the basis of
+//! Figure 6's questions) and one message-passing form (Figure 7's).
+//!
+//! The scenario is the paper's: a bridge, two red cars, and one blue
+//! car.
+
+/// Shared-memory form: cars are threads; `redEnter`/`redExit`/
+/// `blueEnter`/`blueExit` guard a shared `(carsOnBridge, direction)`
+/// pair with `EXC_ACC` and `WAIT()`/`NOTIFY()`. Direction encoding:
+/// 0 = empty, 1 = red, 2 = blue.
+pub const BRIDGE_SHARED_MEMORY: &str = r#"
+carsOnBridge = 0
+direction = 0
+
+DEFINE redEnter()
+    EXC_ACC
+        WHILE carsOnBridge > 0 AND direction == 2
+            WAIT()
+        ENDWHILE
+        carsOnBridge = carsOnBridge + 1
+        direction = 1
+    END_EXC_ACC
+ENDDEF
+
+DEFINE redExit()
+    EXC_ACC
+        carsOnBridge = carsOnBridge - 1
+        IF carsOnBridge == 0 THEN
+            direction = 0
+        ENDIF
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+DEFINE blueEnter()
+    EXC_ACC
+        WHILE carsOnBridge > 0 AND direction == 1
+            WAIT()
+        ENDWHILE
+        carsOnBridge = carsOnBridge + 1
+        direction = 2
+    END_EXC_ACC
+ENDDEF
+
+DEFINE blueExit()
+    EXC_ACC
+        carsOnBridge = carsOnBridge - 1
+        IF carsOnBridge == 0 THEN
+            direction = 0
+        ENDIF
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+CLASS RedCar
+    DEFINE run()
+        redEnter()
+        redExit()
+    ENDDEF
+ENDCLASS
+
+CLASS BlueCar
+    DEFINE run()
+        blueEnter()
+        blueExit()
+    ENDDEF
+ENDCLASS
+
+redCarA = new RedCar()
+redCarB = new RedCar()
+blueCarA = new BlueCar()
+
+PARA
+    redCarA.run()
+    redCarB.run()
+    blueCarA.run()
+END PARA
+"#;
+
+/// Task labels of the car threads in the shared-memory program (the
+/// `PARA` statement texts).
+pub const SM_RED_A: &str = "redCarA.run()";
+pub const SM_RED_B: &str = "redCarB.run()";
+pub const SM_BLUE_A: &str = "blueCarA.run()";
+
+/// Message-passing form: the bridge is a receiver object; cars send
+/// `redEnter`/`redExit`/`blueEnter`/`blueExit` messages carrying their
+/// own reference and receive `succeedEnter` / `succeedExit(n)`
+/// acknowledgements (`n` counts completed crossings, as in Figure 7's
+/// `MESSAGE.succeedExit(2)`).
+pub const BRIDGE_MESSAGE_PASSING: &str = r#"
+CLASS Bridge
+    carsOnBridge = 0
+    direction = 0
+    exited = 0
+    pendingRed = []
+    pendingBlue = []
+
+    DEFINE start()
+        ON_RECEIVING
+            MESSAGE.redEnter(car)
+                IF carsOnBridge > 0 AND direction == 2 THEN
+                    pendingRed = APPEND(pendingRed, car)
+                ELSE
+                    carsOnBridge = carsOnBridge + 1
+                    direction = 1
+                    Send(MESSAGE.succeedEnter()).To(car)
+                ENDIF
+            MESSAGE.blueEnter(car)
+                IF carsOnBridge > 0 AND direction == 1 THEN
+                    pendingBlue = APPEND(pendingBlue, car)
+                ELSE
+                    carsOnBridge = carsOnBridge + 1
+                    direction = 2
+                    Send(MESSAGE.succeedEnter()).To(car)
+                ENDIF
+            MESSAGE.redExit(car)
+                carsOnBridge = carsOnBridge - 1
+                exited = exited + 1
+                Send(MESSAGE.succeedExit(exited)).To(car)
+                IF carsOnBridge == 0 THEN
+                    direction = 0
+                    IF LEN(pendingBlue) > 0 THEN
+                        WHILE LEN(pendingBlue) > 0
+                            waiting = pendingBlue[0]
+                            pendingBlue = TAIL(pendingBlue)
+                            carsOnBridge = carsOnBridge + 1
+                            direction = 2
+                            Send(MESSAGE.succeedEnter()).To(waiting)
+                        ENDWHILE
+                    ELSE
+                        WHILE LEN(pendingRed) > 0
+                            waiting = pendingRed[0]
+                            pendingRed = TAIL(pendingRed)
+                            carsOnBridge = carsOnBridge + 1
+                            direction = 1
+                            Send(MESSAGE.succeedEnter()).To(waiting)
+                        ENDWHILE
+                    ENDIF
+                ENDIF
+            MESSAGE.blueExit(car)
+                carsOnBridge = carsOnBridge - 1
+                exited = exited + 1
+                Send(MESSAGE.succeedExit(exited)).To(car)
+                IF carsOnBridge == 0 THEN
+                    direction = 0
+                    IF LEN(pendingRed) > 0 THEN
+                        WHILE LEN(pendingRed) > 0
+                            waiting = pendingRed[0]
+                            pendingRed = TAIL(pendingRed)
+                            carsOnBridge = carsOnBridge + 1
+                            direction = 1
+                            Send(MESSAGE.succeedEnter()).To(waiting)
+                        ENDWHILE
+                    ELSE
+                        WHILE LEN(pendingBlue) > 0
+                            waiting = pendingBlue[0]
+                            pendingBlue = TAIL(pendingBlue)
+                            carsOnBridge = carsOnBridge + 1
+                            direction = 2
+                            Send(MESSAGE.succeedEnter()).To(waiting)
+                        ENDWHILE
+                    ENDIF
+                ENDIF
+    ENDDEF
+ENDCLASS
+
+CLASS RedCar
+    DEFINE start(bridge)
+        Send(MESSAGE.redEnter(SELF)).To(bridge)
+        ON_RECEIVING
+            MESSAGE.succeedEnter()
+                Send(MESSAGE.redExit(SELF)).To(bridge)
+            MESSAGE.succeedExit(n)
+                RETURN 0
+    ENDDEF
+ENDCLASS
+
+CLASS BlueCar
+    DEFINE start(bridge)
+        Send(MESSAGE.blueEnter(SELF)).To(bridge)
+        ON_RECEIVING
+            MESSAGE.succeedEnter()
+                Send(MESSAGE.blueExit(SELF)).To(bridge)
+            MESSAGE.succeedExit(n)
+                RETURN 0
+    ENDDEF
+ENDCLASS
+
+bridge = new Bridge()
+redCarA = new RedCar()
+redCarB = new RedCar()
+blueCarA = new BlueCar()
+
+PARA
+    bridge.start()
+    redCarA.start(bridge)
+    redCarB.start(bridge)
+    blueCarA.start(bridge)
+END PARA
+"#;
+
+/// Task labels of the detached receiver tasks in the message-passing
+/// program (spawned by the receiver-method calls).
+pub const MP_BRIDGE: &str = "bridge.start";
+pub const MP_RED_A: &str = "redCarA.start";
+pub const MP_RED_B: &str = "redCarB.start";
+pub const MP_BLUE_A: &str = "blueCarA.start";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concur_exec::explore::{Explorer, Limits};
+    use concur_exec::{Interp, Outcome, RandomScheduler};
+
+    #[test]
+    fn shared_memory_bridge_parses_and_runs() {
+        let interp = Interp::from_source(BRIDGE_SHARED_MEMORY).expect("compiles");
+        for seed in 0..20 {
+            let result =
+                concur_exec::run(&interp, &mut RandomScheduler::new(seed), 100_000).unwrap();
+            assert_eq!(result.outcome, Outcome::AllDone, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn message_passing_bridge_parses_and_runs() {
+        let interp = Interp::from_source(BRIDGE_MESSAGE_PASSING).expect("compiles");
+        for seed in 0..20 {
+            let result =
+                concur_exec::run(&interp, &mut RandomScheduler::new(seed), 200_000).unwrap();
+            // Cars finish; the bridge receiver parks with an empty
+            // mailbox (quiescence).
+            assert_eq!(result.outcome, Outcome::Quiescent, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_memory_bridge_never_deadlocks_exhaustively() {
+        let interp = Interp::from_source(BRIDGE_SHARED_MEMORY).expect("compiles");
+        let explorer = Explorer::with_limits(
+            &interp,
+            Limits { max_states: 500_000, max_depth: 20_000, max_setup_states: 4096 },
+        );
+        let set = explorer.terminals().unwrap();
+        assert!(!set.has_deadlock(), "{:?}", set.terminals);
+    }
+
+    #[test]
+    fn car_task_labels_exist() {
+        let interp = Interp::from_source(BRIDGE_SHARED_MEMORY).unwrap();
+        let mut sched = RandomScheduler::new(1);
+        let result = concur_exec::run(&interp, &mut sched, 100_000).unwrap();
+        for label in [SM_RED_A, SM_RED_B, SM_BLUE_A] {
+            assert!(
+                result.state.task_by_label(label).is_some(),
+                "missing task label {label}"
+            );
+        }
+        let interp = Interp::from_source(BRIDGE_MESSAGE_PASSING).unwrap();
+        let mut sched = RandomScheduler::new(1);
+        let result = concur_exec::run(&interp, &mut sched, 200_000).unwrap();
+        for label in [MP_BRIDGE, MP_RED_A, MP_RED_B, MP_BLUE_A] {
+            assert!(
+                result.state.task_by_label(label).is_some(),
+                "missing task label {label}"
+            );
+        }
+    }
+}

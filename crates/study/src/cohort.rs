@@ -1,0 +1,235 @@
+//! Simulated students and cohort construction.
+//!
+//! A student is a bundle of misconceptions (drawn so the cohort's
+//! marginal counts equal Table III's observed counts). A student
+//! answers a Test-1 question correctly unless one of their *active*
+//! misconceptions triggers on it — in which case they give the answer
+//! the paper's quoted explanations predict. This substitutes
+//! mechanical reasoners for the paper's human subjects while keeping
+//! the quantity that drives every table: who gets what wrong, and why.
+
+use crate::questions::{AnsweredQuestion, Section};
+use crate::taxonomy::Misconception;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// One simulated student.
+#[derive(Debug, Clone)]
+pub struct Student {
+    pub id: usize,
+    /// Misconceptions held at the start of Test 1.
+    pub misconceptions: BTreeSet<Misconception>,
+}
+
+impl Student {
+    /// Answer a question given the currently *active* misconception
+    /// set (learning between sessions deactivates some).
+    pub fn answer(&self, q: &AnsweredQuestion, active: &BTreeSet<Misconception>) -> bool {
+        for (m, forced) in &q.question.triggers {
+            if active.contains(m) {
+                return *forced;
+            }
+        }
+        q.truth
+    }
+
+    /// How many held misconceptions belong to each section — the
+    /// student's (unconscious) difficulty profile.
+    pub fn misconception_split(&self) -> (usize, usize) {
+        let sm = self.misconceptions.iter().filter(|m| !m.is_message_passing()).count();
+        let mp = self.misconceptions.len() - sm;
+        (sm, mp)
+    }
+}
+
+/// Test-1 group: S took shared memory first, D message passing first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    S,
+    D,
+}
+
+impl Group {
+    /// The section this group takes in the given session (1 or 2).
+    pub fn section_in_session(self, session: u8) -> Section {
+        match (self, session) {
+            (Group::S, 1) | (Group::D, 2) => Section::SharedMemory,
+            (Group::S, 2) | (Group::D, 1) => Section::MessagePassing,
+            _ => panic!("sessions are 1 and 2"),
+        }
+    }
+}
+
+/// The whole cohort with group assignment.
+#[derive(Debug, Clone)]
+pub struct Cohort {
+    pub students: Vec<Student>,
+    /// Parallel to `students`.
+    pub groups: Vec<Group>,
+}
+
+/// The paper's cohort sizes: 9 students in group S, 7 in group D.
+pub const GROUP_S_SIZE: usize = 9;
+pub const GROUP_D_SIZE: usize = 7;
+pub const COHORT_SIZE: usize = GROUP_S_SIZE + GROUP_D_SIZE;
+
+/// Build the calibrated cohort: 16 students whose misconception
+/// incidence equals Table III's counts exactly, split into groups of
+/// 9/7 balanced on misconception load (the paper balanced groups on
+/// prior coursework performance).
+pub fn paper_cohort(seed: u64) -> Cohort {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut misconceptions: Vec<BTreeSet<Misconception>> =
+        vec![BTreeSet::new(); COHORT_SIZE];
+    for m in Misconception::ALL {
+        let mut ids: Vec<usize> = (0..COHORT_SIZE).collect();
+        ids.shuffle(&mut rng);
+        for &id in ids.iter().take(m.paper_count()) {
+            misconceptions[id].insert(m);
+        }
+    }
+    let students: Vec<Student> = misconceptions
+        .into_iter()
+        .enumerate()
+        .map(|(id, misconceptions)| Student { id, misconceptions })
+        .collect();
+
+    // Balance groups on misconception load: order by load, then deal
+    // alternately (S gets the extra student).
+    let mut by_load: Vec<usize> = (0..COHORT_SIZE).collect();
+    by_load.sort_by_key(|&i| (students[i].misconceptions.len(), i));
+    let mut groups = vec![Group::S; COHORT_SIZE];
+    for (rank, &id) in by_load.iter().enumerate() {
+        groups[id] = if rank % 2 == 0 && (rank / 2) < GROUP_S_SIZE {
+            Group::S
+        } else if rank % 2 == 1 && (rank / 2) < GROUP_D_SIZE {
+            Group::D
+        } else {
+            Group::S
+        };
+    }
+    // Fix counts exactly (the alternation above can drift by one).
+    let s_count = groups.iter().filter(|g| **g == Group::S).count();
+    if s_count != GROUP_S_SIZE {
+        let mut diff = s_count as isize - GROUP_S_SIZE as isize;
+        for g in groups.iter_mut() {
+            if diff == 0 {
+                break;
+            }
+            if diff > 0 && *g == Group::S {
+                *g = Group::D;
+                diff -= 1;
+            } else if diff < 0 && *g == Group::D {
+                *g = Group::S;
+                diff += 1;
+            }
+        }
+    }
+    Cohort { students, groups }
+}
+
+/// The misconceptions still active for a student in a given session:
+/// all of them in session 1; in session 2, each survives with
+/// probability `1 − learning_drop` (learning from session 1, the exam
+/// itself, and between-session study — the paper measured a 60.71% →
+/// 79.20% session improvement, p = 0.005).
+pub fn active_in_session(
+    student: &Student,
+    session: u8,
+    learning_drop: f64,
+    rng: &mut StdRng,
+) -> BTreeSet<Misconception> {
+    if session == 1 {
+        return student.misconceptions.clone();
+    }
+    student
+        .misconceptions
+        .iter()
+        .copied()
+        .filter(|_| rng.gen::<f64>() >= learning_drop)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_matches_table_iii_marginals() {
+        let cohort = paper_cohort(42);
+        assert_eq!(cohort.students.len(), COHORT_SIZE);
+        for m in Misconception::ALL {
+            let holders = cohort
+                .students
+                .iter()
+                .filter(|s| s.misconceptions.contains(&m))
+                .count();
+            assert_eq!(holders, m.paper_count(), "{m} incidence");
+        }
+    }
+
+    #[test]
+    fn groups_have_paper_sizes() {
+        let cohort = paper_cohort(42);
+        let s = cohort.groups.iter().filter(|g| **g == Group::S).count();
+        let d = cohort.groups.iter().filter(|g| **g == Group::D).count();
+        assert_eq!((s, d), (GROUP_S_SIZE, GROUP_D_SIZE));
+    }
+
+    #[test]
+    fn groups_are_balanced_on_load() {
+        let cohort = paper_cohort(42);
+        let load = |group: Group| -> f64 {
+            let loads: Vec<f64> = cohort
+                .students
+                .iter()
+                .zip(&cohort.groups)
+                .filter(|(_, g)| **g == group)
+                .map(|(s, _)| s.misconceptions.len() as f64)
+                .collect();
+            crate::stats::mean(&loads)
+        };
+        assert!((load(Group::S) - load(Group::D)).abs() < 1.5);
+    }
+
+    #[test]
+    fn session_sections_are_counterbalanced() {
+        assert_eq!(Group::S.section_in_session(1), Section::SharedMemory);
+        assert_eq!(Group::S.section_in_session(2), Section::MessagePassing);
+        assert_eq!(Group::D.section_in_session(1), Section::MessagePassing);
+        assert_eq!(Group::D.section_in_session(2), Section::SharedMemory);
+    }
+
+    #[test]
+    fn learning_drops_misconceptions_in_session_two_only() {
+        let cohort = paper_cohort(7);
+        let heavy = cohort
+            .students
+            .iter()
+            .max_by_key(|s| s.misconceptions.len())
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s1 = active_in_session(heavy, 1, 0.9, &mut rng);
+        assert_eq!(s1, heavy.misconceptions);
+        let mut dropped_any = false;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s2 = active_in_session(heavy, 2, 0.9, &mut rng);
+            if s2.len() < heavy.misconceptions.len() {
+                dropped_any = true;
+            }
+        }
+        assert!(dropped_any);
+    }
+
+    #[test]
+    fn cohort_is_deterministic_per_seed() {
+        let a = paper_cohort(5);
+        let b = paper_cohort(5);
+        for (x, y) in a.students.iter().zip(&b.students) {
+            assert_eq!(x.misconceptions, y.misconceptions);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Administering and grading Test 1: counterbalanced two-session
+//! design (group S: shared memory first; group D: message passing
+//! first), scoring, and misconception detection.
+
+use crate::cohort::{active_in_session, Cohort, Group};
+use crate::questions::{answered_bank, AnsweredQuestion, Section};
+use crate::taxonomy::Misconception;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One student's result on one section.
+#[derive(Debug, Clone)]
+pub struct SectionScore {
+    pub student: usize,
+    pub group: Group,
+    pub section: Section,
+    /// 1 or 2.
+    pub session: u8,
+    /// Percent correct (the paper reports /100 per section).
+    pub score: f64,
+    /// Ids of wrongly answered questions.
+    pub wrong: Vec<&'static str>,
+}
+
+/// Complete Test-1 outcome.
+#[derive(Debug, Clone)]
+pub struct Test1Results {
+    /// Two entries per student (one per section).
+    pub scores: Vec<SectionScore>,
+    /// Misconception → students in which it manifested (Table III).
+    pub detected: BTreeMap<Misconception, BTreeSet<usize>>,
+}
+
+impl Test1Results {
+    /// Mean score over a filtered set of section results.
+    pub fn mean_where(&self, pred: impl Fn(&SectionScore) -> bool) -> f64 {
+        let xs: Vec<f64> =
+            self.scores.iter().filter(|s| pred(s)).map(|s| s.score).collect();
+        crate::stats::mean(&xs)
+    }
+
+    /// All scores from one session.
+    pub fn session_scores(&self, session: u8) -> Vec<f64> {
+        self.scores.iter().filter(|s| s.session == session).map(|s| s.score).collect()
+    }
+
+    /// A student's score on one section.
+    pub fn score_of(&self, student: usize, section: Section) -> f64 {
+        self.scores
+            .iter()
+            .find(|s| s.student == student && s.section == section)
+            .map(|s| s.score)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Calibrated learning effect between sessions (fraction of
+/// misconceptions resolved by the first session's practice, the exam
+/// itself, and between-session study).
+pub const DEFAULT_LEARNING_DROP: f64 = 0.45;
+
+/// Administer Test 1 to a cohort.
+pub fn administer_test1(cohort: &Cohort, seed: u64, learning_drop: f64) -> Test1Results {
+    let bank = answered_bank();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scores = Vec::new();
+    let mut detected: BTreeMap<Misconception, BTreeSet<usize>> = BTreeMap::new();
+
+    for (student, group) in cohort.students.iter().zip(&cohort.groups) {
+        for session in [1u8, 2u8] {
+            let section = group.section_in_session(session);
+            let active = active_in_session(student, session, learning_drop, &mut rng);
+            let questions: Vec<&AnsweredQuestion> =
+                bank.iter().filter(|q| q.question.section == section).collect();
+            let mut correct = 0usize;
+            let mut wrong = Vec::new();
+            for q in &questions {
+                let answer = student.answer(q, &active);
+                if answer == q.truth {
+                    correct += 1;
+                } else {
+                    wrong.push(q.question.id);
+                    // Every active misconception consistent with the
+                    // wrong answer is apparent in the "explanation"
+                    // (the paper coded multiple misconceptions per
+                    // student).
+                    for (m, forced) in &q.question.triggers {
+                        if active.contains(m) && *forced == answer {
+                            detected.entry(*m).or_default().insert(student.id);
+                        }
+                    }
+                }
+            }
+            scores.push(SectionScore {
+                student: student.id,
+                group: *group,
+                section,
+                session,
+                score: crate::stats::percent(correct, questions.len()),
+                wrong,
+            });
+        }
+    }
+    Test1Results { scores, detected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::paper_cohort;
+
+    fn results() -> (Cohort, Test1Results) {
+        let cohort = paper_cohort(42);
+        let results = administer_test1(&cohort, 42, DEFAULT_LEARNING_DROP);
+        (cohort, results)
+    }
+
+    #[test]
+    fn every_student_takes_both_sections() {
+        let (cohort, results) = results();
+        assert_eq!(results.scores.len(), cohort.students.len() * 2);
+        for s in &cohort.students {
+            let sections: BTreeSet<_> = results
+                .scores
+                .iter()
+                .filter(|r| r.student == s.id)
+                .map(|r| (r.session, r.section == Section::SharedMemory))
+                .collect();
+            assert_eq!(sections.len(), 2, "student {} missing a section", s.id);
+        }
+    }
+
+    #[test]
+    fn misconception_free_students_score_perfectly() {
+        // A synthetic perfect student.
+        let mut cohort = paper_cohort(42);
+        for s in &mut cohort.students {
+            s.misconceptions.clear();
+        }
+        let results = administer_test1(&cohort, 1, DEFAULT_LEARNING_DROP);
+        for s in &results.scores {
+            assert_eq!(s.score, 100.0);
+        }
+        assert!(results.detected.is_empty());
+    }
+
+    #[test]
+    fn detection_only_reports_held_misconceptions() {
+        let (cohort, results) = results();
+        for (m, students) in &results.detected {
+            for id in students {
+                assert!(
+                    cohort.students[*id].misconceptions.contains(m),
+                    "detected {m} in student {id} who does not hold it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_two_scores_improve_on_average() {
+        let (_, results) = results();
+        let s1 = crate::stats::mean(&results.session_scores(1));
+        let s2 = crate::stats::mean(&results.session_scores(2));
+        assert!(
+            s2 > s1 + 5.0,
+            "expected a clear session improvement, got {s1:.1} → {s2:.1}"
+        );
+    }
+
+    #[test]
+    fn shared_memory_is_harder_overall() {
+        let (_, results) = results();
+        let sm = results.mean_where(|s| s.section == Section::SharedMemory);
+        let mp = results.mean_where(|s| s.section == Section::MessagePassing);
+        assert!(sm < mp, "shared memory {sm:.1} should trail message passing {mp:.1}");
+    }
+
+    #[test]
+    fn grading_is_deterministic() {
+        let cohort = paper_cohort(42);
+        let a = administer_test1(&cohort, 9, DEFAULT_LEARNING_DROP);
+        let b = administer_test1(&cohort, 9, DEFAULT_LEARNING_DROP);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.score, y.score);
+        }
+    }
+}

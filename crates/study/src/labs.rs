@@ -1,0 +1,310 @@
+//! The homework pseudocode programs: HW2 asked students to write
+//! shared-memory pseudocode and HW3 message-passing pseudocode for the
+//! **bounded-buffer** and **dining-philosophers** problems. These are
+//! reference solutions in the paper's notation, verified by the model
+//! checker — including the classic *deadlock* of the naive
+//! philosophers, which the explorer finds mechanically.
+
+/// HW2: bounded buffer, shared memory. One producer, one consumer,
+/// three items; every interleaving prints the same total.
+pub const HW2_BOUNDED_BUFFER_SM: &str = r#"
+buffer = []
+capacity = 2
+
+DEFINE produce(item)
+    EXC_ACC
+        WHILE LEN(buffer) >= capacity
+            WAIT()
+        ENDWHILE
+        buffer = APPEND(buffer, item)
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+DEFINE consume()
+    EXC_ACC
+        WHILE LEN(buffer) == 0
+            WAIT()
+        ENDWHILE
+        item = buffer[0]
+        buffer = TAIL(buffer)
+        NOTIFY()
+    END_EXC_ACC
+    RETURN item
+ENDDEF
+
+DEFINE producer()
+    FOR i = 1 TO 3
+        produce(i)
+    ENDFOR
+ENDDEF
+
+DEFINE consumer()
+    total = 0
+    FOR i = 1 TO 3
+        item = consume()
+        total = total + item
+    ENDFOR
+    PRINTLN total
+ENDDEF
+
+PARA
+    producer()
+    consumer()
+ENDPARA
+"#;
+
+/// HW2: dining philosophers, shared memory, **naive** fork order —
+/// each philosopher takes their own-side fork first. With two
+/// philosophers taking opposite orders this admits the circular wait:
+/// the explorer proves both that dinner *can* complete and that some
+/// interleavings deadlock.
+pub const HW2_PHILOSOPHERS_NAIVE: &str = r#"
+forks = [FALSE, FALSE]
+meals = 0
+
+DEFINE take(i)
+    EXC_ACC
+        WHILE forks[i]
+            WAIT()
+        ENDWHILE
+        forks[i] = TRUE
+    END_EXC_ACC
+ENDDEF
+
+DEFINE put(i)
+    EXC_ACC
+        forks[i] = FALSE
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+DEFINE philosopher(first, second)
+    take(first)
+    take(second)
+    EXC_ACC
+        meals = meals + 1
+    END_EXC_ACC
+    put(second)
+    put(first)
+ENDDEF
+
+PARA
+    philosopher(0, 1)
+    philosopher(1, 0)
+ENDPARA
+
+PRINTLN meals
+"#;
+
+/// HW2, fixed: global fork ordering (both philosophers take fork 0
+/// first). No interleaving deadlocks.
+pub const HW2_PHILOSOPHERS_ORDERED: &str = r#"
+forks = [FALSE, FALSE]
+meals = 0
+
+DEFINE take(i)
+    EXC_ACC
+        WHILE forks[i]
+            WAIT()
+        ENDWHILE
+        forks[i] = TRUE
+    END_EXC_ACC
+ENDDEF
+
+DEFINE put(i)
+    EXC_ACC
+        forks[i] = FALSE
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+DEFINE philosopher(first, second)
+    take(first)
+    take(second)
+    EXC_ACC
+        meals = meals + 1
+    END_EXC_ACC
+    put(second)
+    put(first)
+ENDDEF
+
+PARA
+    philosopher(0, 1)
+    philosopher(0, 1)
+ENDPARA
+
+PRINTLN meals
+"#;
+
+/// HW3: bounded buffer, message passing. The buffer is a receiver
+/// object that defers requests it cannot serve — the message-protocol
+/// translation of conditional waiting.
+pub const HW3_BOUNDED_BUFFER_MP: &str = r#"
+CLASS Buffer
+    items = []
+    capacity = 2
+    pendingPuts = []
+    pendingTakes = []
+
+    DEFINE serve()
+        ON_RECEIVING
+            MESSAGE.put(item, sender)
+                IF LEN(items) < capacity THEN
+                    items = APPEND(items, item)
+                    Send(MESSAGE.putDone()).To(sender)
+                    IF LEN(pendingTakes) > 0 THEN
+                        taker = pendingTakes[0]
+                        pendingTakes = TAIL(pendingTakes)
+                        out = items[0]
+                        items = TAIL(items)
+                        Send(MESSAGE.item(out)).To(taker)
+                    ENDIF
+                ELSE
+                    pendingPuts = APPEND(pendingPuts, MESSAGE.pair(item, sender))
+                ENDIF
+            MESSAGE.take(sender)
+                IF LEN(items) > 0 THEN
+                    out = items[0]
+                    items = TAIL(items)
+                    Send(MESSAGE.item(out)).To(sender)
+                ELSE
+                    pendingTakes = APPEND(pendingTakes, sender)
+                ENDIF
+    ENDDEF
+ENDCLASS
+
+CLASS Producer
+    DEFINE start(buffer)
+        Send(MESSAGE.put(10, SELF)).To(buffer)
+        ON_RECEIVING
+            MESSAGE.putDone()
+                RETURN 0
+    ENDDEF
+ENDCLASS
+
+CLASS Consumer
+    DEFINE start(buffer)
+        Send(MESSAGE.take(SELF)).To(buffer)
+        ON_RECEIVING
+            MESSAGE.item(v)
+                PRINTLN v
+                RETURN 0
+    ENDDEF
+ENDCLASS
+
+buffer = new Buffer()
+producer = new Producer()
+consumer = new Consumer()
+
+PARA
+    buffer.serve()
+    producer.start(buffer)
+    consumer.start(buffer)
+END PARA
+"#;
+
+/// A quiz scenario: readers–writers in pseudocode (readers count +
+/// writer flag guarded by one footprint).
+pub const QUIZ_READERS_WRITERS: &str = r#"
+readers = 0
+writing = FALSE
+value = 0
+
+DEFINE startRead()
+    EXC_ACC
+        WHILE writing
+            WAIT()
+        ENDWHILE
+        readers = readers + 1
+    END_EXC_ACC
+ENDDEF
+
+DEFINE endRead()
+    EXC_ACC
+        readers = readers - 1
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+DEFINE writeValue(v)
+    EXC_ACC
+        WHILE readers > 0 OR writing
+            WAIT()
+        ENDWHILE
+        writing = TRUE
+        value = v
+        writing = FALSE
+        NOTIFY()
+    END_EXC_ACC
+ENDDEF
+
+DEFINE reader()
+    startRead()
+    seen = value
+    endRead()
+ENDDEF
+
+PARA
+    reader()
+    reader()
+    writeValue(7)
+ENDPARA
+
+PRINTLN value
+"#;
+
+#[cfg(test)]
+mod tests {
+    use concur_exec::explore::Explorer;
+    use concur_exec::Interp;
+
+    fn explore(source: &str) -> concur_exec::explore::TerminalSet {
+        let interp = Interp::from_source(source).expect("compiles");
+        let explorer = Explorer::new(&interp);
+        let set = explorer.terminals().expect("explores");
+        assert!(!set.stats.truncated, "lab program should be fully explorable");
+        set
+    }
+
+    #[test]
+    fn hw2_bounded_buffer_is_deterministic_and_deadlock_free() {
+        let set = explore(super::HW2_BOUNDED_BUFFER_SM);
+        assert!(!set.has_deadlock(), "{:?}", set.terminals);
+        assert_eq!(set.outputs(), vec!["6"], "1+2+3 in every interleaving");
+    }
+
+    #[test]
+    fn hw2_naive_philosophers_can_deadlock_and_can_finish() {
+        // The pedagogical point of the assignment: the same program
+        // both works and deadlocks, depending on the schedule.
+        let set = explore(super::HW2_PHILOSOPHERS_NAIVE);
+        assert!(set.has_deadlock(), "the circular wait must be reachable");
+        assert_eq!(
+            set.outputs(),
+            vec!["2"],
+            "and the successful interleavings serve both meals"
+        );
+    }
+
+    #[test]
+    fn hw2_ordered_philosophers_never_deadlock() {
+        let set = explore(super::HW2_PHILOSOPHERS_ORDERED);
+        assert!(!set.has_deadlock(), "{:?}", set.terminals);
+        assert_eq!(set.outputs(), vec!["2"]);
+    }
+
+    #[test]
+    fn hw3_message_passing_buffer_delivers() {
+        let set = explore(super::HW3_BOUNDED_BUFFER_MP);
+        assert!(!set.has_deadlock(), "{:?}", set.terminals);
+        assert_eq!(set.outputs(), vec!["10"], "{:?}", set.terminals);
+    }
+
+    #[test]
+    fn quiz_readers_writers_is_safe() {
+        let set = explore(super::QUIZ_READERS_WRITERS);
+        assert!(!set.has_deadlock(), "{:?}", set.terminals);
+        assert_eq!(set.outputs(), vec!["7"], "the write always lands");
+    }
+}

@@ -1,0 +1,42 @@
+//! # concur-study
+//!
+//! The study apparatus of Li & Kraemer (2013), mechanized: the Test-1
+//! single-lane-bridge programs in the paper's pseudocode
+//! ([`bridge`]), the misconception taxonomy of Tables I and III
+//! ([`taxonomy`]), a question bank whose ground truths come from the
+//! `concur-exec` model checker ([`questions`]), simulated students
+//! parameterized by misconception profiles ([`cohort`]), test
+//! administration and grading ([`grading`]), survey simulation
+//! ([`survey`]), statistics including Welch's t-test ([`stats`]), and
+//! table rendering ([`report`]).
+//!
+//! The substitution (documented in `DESIGN.md`): the paper measured
+//! human students; this crate replaces them with mechanical reasoners
+//! whose misconception incidence is calibrated to Table III. The
+//! papers' quantitative *shapes* — shared memory scoring below message
+//! passing, a significant session-2 improvement, S7/S5/M3/M4/M6
+//! dominating the misconception counts, most students choosing their
+//! better section — then emerge from the simulation rather than being
+//! copied in.
+//!
+//! ```
+//! let report = concur_study::report::run_study(42);
+//! assert!(report.table2.all_shared_memory < report.table2.all_message_passing);
+//! assert!(report.table2.session_p < 0.05);
+//! ```
+
+pub mod bridge;
+pub mod cohort;
+pub mod grading;
+pub mod labs;
+pub mod questions;
+pub mod report;
+pub mod stats;
+pub mod survey;
+pub mod taxonomy;
+
+pub use cohort::{paper_cohort, Cohort, Group, Student};
+pub use grading::{administer_test1, Test1Results};
+pub use questions::{answered_bank, bank, Question, Section};
+pub use report::{run_study, StudyReport};
+pub use taxonomy::{Level, Misconception};

@@ -1,0 +1,461 @@
+//! The Test-1 question bank: "could this happen?" questions over the
+//! single-lane bridge, in the style of Figures 6–7, with ground truth
+//! computed by the `concur-exec` model checker.
+//!
+//! Each question carries *misconception triggers*: the answer a
+//! student holding a given misconception would give (derived from the
+//! paper's quoted student explanations). The simulated students in
+//! [`crate::cohort`] use these; the grader detects a misconception
+//! when a holder answers one of its trigger questions wrongly —
+//! regenerating Table III.
+
+use crate::bridge::*;
+use crate::taxonomy::Misconception;
+use concur_exec::explore::{Answer, Explorer, Limits};
+use concur_exec::{
+    EventKindPattern as EK, EventPattern, Interp, ObjId, StateCond, Value,
+};
+use std::sync::OnceLock;
+
+/// Test-1 section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    SharedMemory,
+    MessagePassing,
+}
+
+/// One yes/no question.
+#[derive(Debug, Clone)]
+pub struct Question {
+    pub id: &'static str,
+    pub section: Section,
+    /// Natural-language prompt (as shown to "students").
+    pub prompt: &'static str,
+    /// The "suppose that …" state conditions.
+    pub setup: Vec<StateCond>,
+    /// The "could this happen next?" event sequence.
+    pub scenario: Vec<EventPattern>,
+    /// Whether the execution space of this question exceeds the 3–4
+    /// possibilities the paper identifies as the cognitive-load
+    /// threshold (triggers the uncertainty misconceptions S8/M6).
+    pub large_space: bool,
+    /// (misconception, answer a holder gives). First held trigger
+    /// wins.
+    pub triggers: Vec<(Misconception, bool)>,
+    /// The correct answer, as verified against the model checker by
+    /// the `ground_truth` integration test (YES = the scenario is
+    /// reachable).
+    pub expected: bool,
+}
+
+/// In the message-passing program, objects are created in main in a
+/// fixed order, so their arena ids are stable.
+pub const OBJ_BRIDGE: ObjId = ObjId(0);
+pub const OBJ_RED_A: ObjId = ObjId(1);
+pub const OBJ_RED_B: ObjId = ObjId(2);
+pub const OBJ_BLUE_A: ObjId = ObjId(3);
+
+fn in_function(task: &str, func: &str) -> StateCond {
+    StateCond::InFunction { task_label: task.into(), func: func.into() }
+}
+
+fn by(task: &str, kind: EK) -> EventPattern {
+    EventPattern::by(task, kind)
+}
+
+fn returned(task: &str, func: &str) -> EventPattern {
+    by(task, EK::Returned { func: func.into() })
+}
+
+fn called(task: &str, func: &str) -> EventPattern {
+    by(task, EK::Called { func: func.into() })
+}
+
+fn received(task: &str, msg: &str, args: Option<Vec<Value>>) -> EventPattern {
+    by(task, EK::Received { msg_name: msg.into(), args })
+}
+
+fn sent(task: &str, msg: &str) -> EventPattern {
+    by(task, EK::Sent { msg_name: msg.into(), args: None })
+}
+
+use Misconception::*;
+
+/// The Figure-6 setup: both red cars have called `redEnter()` and
+/// neither has returned.
+fn setup_sm_both_entering() -> Vec<StateCond> {
+    vec![in_function(SM_RED_A, "redEnter"), in_function(SM_RED_B, "redEnter")]
+}
+
+/// The Figure-7 setup: both red cars have sent `redEnter` and received
+/// nothing yet.
+fn setup_mp_both_requested() -> Vec<StateCond> {
+    vec![
+        StateCond::HasSent { task_label: MP_RED_A.into(), msg_name: "redEnter".into() },
+        StateCond::ReceivedTotal { task_label: MP_RED_A.into(), times: 0 },
+        StateCond::HasSent { task_label: MP_RED_B.into(), msg_name: "redEnter".into() },
+        StateCond::ReceivedTotal { task_label: MP_RED_B.into(), times: 0 },
+    ]
+}
+
+/// Build the full question bank (8 shared-memory + 8 message-passing).
+pub fn bank() -> Vec<Question> {
+    vec![
+        // ----- shared memory -------------------------------------------------
+        Question {
+            id: "SM-a",
+            section: Section::SharedMemory,
+            prompt: "From the start: redCarB returns from redEnter(), and redCarA returns \
+                     from redEnter() afterwards.",
+            setup: vec![],
+            scenario: vec![returned(SM_RED_B, "redEnter"), returned(SM_RED_A, "redEnter")],
+            large_space: false,
+            triggers: vec![(S1, false)],
+            expected: true,
+        },
+        Question {
+            id: "SM-b",
+            section: Section::SharedMemory,
+            prompt: "Suppose redCarA has entered the bridge (returned from redEnter()) and \
+                     has not yet called redExit(). Could blueCarA return from blueEnter() \
+                     before redCarA calls redExit()?",
+            setup: vec![
+                StateCond::ReturnedTimes {
+                    task_label: SM_RED_A.into(),
+                    func: "redEnter".into(),
+                    times: 1,
+                },
+                StateCond::CalledTimes {
+                    task_label: SM_RED_A.into(),
+                    func: "redExit".into(),
+                    times: 0,
+                },
+            ],
+            scenario: vec![returned(SM_BLUE_A, "blueEnter"), called(SM_RED_A, "redExit")],
+            large_space: false,
+            triggers: vec![(S4, true), (S5, true)],
+            expected: false,
+        },
+        Question {
+            id: "SM-m",
+            section: Section::SharedMemory,
+            prompt: "Figure 6 (m): suppose both red cars have called redEnter() and \
+                     neither has returned. Could redCarB return from redEnter(), then call \
+                     redExit() and block on the EXC_ACC marker?",
+            setup: setup_sm_both_entering(),
+            scenario: vec![
+                returned(SM_RED_B, "redEnter"),
+                called(SM_RED_B, "redExit"),
+                by(SM_RED_B, EK::BlockedOnLocks),
+            ],
+            large_space: false,
+            triggers: vec![(S7, false), (S5, false), (S3, false)],
+            expected: true,
+        },
+        Question {
+            id: "SM-c",
+            section: Section::SharedMemory,
+            prompt: "Same setup as (m): could redCarA execute WAIT() inside redEnter()?",
+            setup: setup_sm_both_entering(),
+            scenario: vec![by(SM_RED_A, EK::WaitStart)],
+            large_space: false,
+            triggers: vec![(S6, false), (S7, false), (S5, false)],
+            expected: true,
+        },
+        Question {
+            id: "SM-d",
+            section: Section::SharedMemory,
+            prompt: "From the start: both red cars execute WAIT(), then one NOTIFY() by \
+                     blueCarA wakes both of them.",
+            setup: vec![],
+            scenario: vec![
+                by(SM_RED_A, EK::WaitStart),
+                by(SM_RED_B, EK::WaitStart),
+                by(SM_BLUE_A, EK::Notified),
+                by(SM_RED_A, EK::WaitFinished),
+                by(SM_RED_B, EK::WaitFinished),
+            ],
+            large_space: true,
+            triggers: vec![(S6, false), (S8, false)],
+            expected: true,
+        },
+        Question {
+            id: "SM-e",
+            section: Section::SharedMemory,
+            prompt: "From the start: redCarB exits the bridge (returns from redExit()) \
+                     before redCarA even enters (returns from redEnter()).",
+            setup: vec![],
+            scenario: vec![returned(SM_RED_B, "redExit"), returned(SM_RED_A, "redEnter")],
+            large_space: false,
+            triggers: vec![(S1, false), (S4, false)],
+            expected: true,
+        },
+        Question {
+            id: "SM-f",
+            section: Section::SharedMemory,
+            prompt: "Can both red cars hold the EXC_ACC exclusion (be inside their \
+                     EXC_ACC blocks over the shared variables) at the same time?",
+            // Setup IS the question: is this state reachable at all?
+            setup: vec![
+                StateCond::HoldsLock { task_label: SM_RED_A.into() },
+                StateCond::HoldsLock { task_label: SM_RED_B.into() },
+            ],
+            scenario: vec![],
+            large_space: false,
+            triggers: vec![(S2, true), (S7, true)],
+            expected: false,
+        },
+        Question {
+            id: "SM-g",
+            section: Section::SharedMemory,
+            prompt: "Suppose all three cars are inside their enter methods. Could \
+                     blueCarA return from blueEnter(), then redCarA execute WAIT(), and \
+                     later redCarB return from redEnter()?",
+            setup: vec![
+                in_function(SM_RED_A, "redEnter"),
+                in_function(SM_RED_B, "redEnter"),
+                in_function(SM_BLUE_A, "blueEnter"),
+            ],
+            scenario: vec![
+                returned(SM_BLUE_A, "blueEnter"),
+                by(SM_RED_A, EK::WaitStart),
+                returned(SM_RED_B, "redEnter"),
+            ],
+            large_space: true,
+            triggers: vec![(S8, false), (S5, false)],
+            expected: true,
+        },
+        // ----- message passing ------------------------------------------------
+        Question {
+            id: "MP-m",
+            section: Section::MessagePassing,
+            prompt: "Figure 7 (m): suppose both red cars have sent redEnter and received \
+                     nothing. Could redCarB receive succeedEnter, then send redExit and \
+                     receive MESSAGE.succeedExit(2)?",
+            setup: setup_mp_both_requested(),
+            scenario: vec![
+                received(MP_RED_B, "succeedEnter", None),
+                sent(MP_RED_B, "redExit"),
+                received(MP_RED_B, "succeedExit", Some(vec![Value::Int(2)])),
+            ],
+            large_space: false,
+            triggers: vec![(M3, false)],
+            expected: true,
+        },
+        Question {
+            id: "MP-a",
+            section: Section::MessagePassing,
+            prompt: "From the start: redCarB receives succeedEnter before redCarA does.",
+            setup: vec![],
+            scenario: vec![
+                received(MP_RED_B, "succeedEnter", None),
+                received(MP_RED_A, "succeedEnter", None),
+            ],
+            large_space: false,
+            triggers: vec![(M1, false)],
+            expected: true,
+        },
+        Question {
+            id: "MP-b",
+            section: Section::MessagePassing,
+            prompt: "Suppose redCarA has received succeedEnter (it is on the bridge) and \
+                     blueCarA has sent blueEnter. Could blueCarA receive succeedEnter \
+                     before redCarA sends redExit?",
+            setup: vec![
+                StateCond::ReceivedTotal { task_label: MP_RED_A.into(), times: 1 },
+                StateCond::HasSent {
+                    task_label: MP_BLUE_A.into(),
+                    msg_name: "blueEnter".into(),
+                },
+                StateCond::ReceivedTotal { task_label: MP_BLUE_A.into(), times: 0 },
+            ],
+            scenario: vec![
+                received(MP_BLUE_A, "succeedEnter", None),
+                sent(MP_RED_A, "redExit"),
+            ],
+            large_space: false,
+            triggers: vec![(M4, true)],
+            expected: false,
+        },
+        Question {
+            id: "MP-c",
+            section: Section::MessagePassing,
+            prompt: "From the start: redCarA sends redEnter, then redCarB sends redEnter, \
+                     yet the bridge receives redCarB's request first.",
+            setup: vec![],
+            scenario: vec![
+                sent(MP_RED_A, "redEnter"),
+                sent(MP_RED_B, "redEnter"),
+                received(MP_BRIDGE, "redEnter", Some(vec![Value::Obj(OBJ_RED_B)])),
+                received(MP_BRIDGE, "redEnter", Some(vec![Value::Obj(OBJ_RED_A)])),
+            ],
+            large_space: false,
+            triggers: vec![(M5, false), (M2, false)],
+            expected: true,
+        },
+        Question {
+            id: "MP-d",
+            section: Section::MessagePassing,
+            prompt: "From the start: the bridge admits redCarA (processes its redEnter and \
+                     sends succeedEnter) strictly before redCarA receives the \
+                     acknowledgement.",
+            setup: vec![],
+            scenario: vec![
+                received(MP_BRIDGE, "redEnter", Some(vec![Value::Obj(OBJ_RED_A)])),
+                by(MP_BRIDGE, EK::Sent { msg_name: "succeedEnter".into(), args: None }),
+                received(MP_RED_A, "succeedEnter", None),
+            ],
+            large_space: false,
+            triggers: vec![(M4, false)],
+            expected: true,
+        },
+        Question {
+            id: "MP-e",
+            section: Section::MessagePassing,
+            prompt: "From the start: redCarB receives MESSAGE.succeedExit(1) — it is the \
+                     first car to complete a crossing.",
+            setup: vec![],
+            scenario: vec![received(MP_RED_B, "succeedExit", Some(vec![Value::Int(1)]))],
+            large_space: false,
+            triggers: vec![(M1, false)],
+            expected: true,
+        },
+        Question {
+            id: "MP-f",
+            section: Section::MessagePassing,
+            prompt: "From the start: blueCarA receives MESSAGE.succeedExit(1) — the blue \
+                     car crosses before either red car.",
+            setup: vec![],
+            scenario: vec![received(MP_BLUE_A, "succeedExit", Some(vec![Value::Int(1)]))],
+            large_space: false,
+            triggers: vec![(M3, false)],
+            expected: true,
+        },
+        Question {
+            id: "MP-g",
+            section: Section::MessagePassing,
+            prompt: "Suppose both red cars have sent redEnter and received nothing. Could \
+                     all three cars be admitted and blueCarA receive \
+                     MESSAGE.succeedExit(3)?",
+            setup: setup_mp_both_requested(),
+            scenario: vec![
+                received(MP_RED_A, "succeedEnter", None),
+                received(MP_RED_B, "succeedEnter", None),
+                received(MP_BLUE_A, "succeedEnter", None),
+                received(MP_BLUE_A, "succeedExit", Some(vec![Value::Int(3)])),
+            ],
+            large_space: true,
+            triggers: vec![(M6, false), (M5, false)],
+            expected: true,
+        },
+    ]
+}
+
+/// A question paired with its ground truth — taken from the verified
+/// `expected` field. The `ground_truth` integration test recomputes
+/// every truth with the model checker (exhaustively for all but MP-b,
+/// whose NO is verified to a 400k-state bound).
+#[derive(Debug, Clone)]
+pub struct AnsweredQuestion {
+    pub question: Question,
+    /// The correct YES/NO answer (YES = reachable).
+    pub truth: bool,
+}
+
+/// The bank with ground truths.
+pub fn answered_bank() -> &'static Vec<AnsweredQuestion> {
+    static BANK: OnceLock<Vec<AnsweredQuestion>> = OnceLock::new();
+    BANK.get_or_init(|| {
+        bank()
+            .into_iter()
+            .map(|question| {
+                let truth = question.expected;
+                AnsweredQuestion { question, truth }
+            })
+            .collect()
+    })
+}
+
+/// Recompute one question's answer with the model checker (used by the
+/// verification test and the `explorer` bench).
+pub fn model_check(question: &Question, limits: Limits) -> Answer {
+    static SM: OnceLock<Interp> = OnceLock::new();
+    static MP: OnceLock<Interp> = OnceLock::new();
+    let interp = match question.section {
+        Section::SharedMemory => {
+            SM.get_or_init(|| Interp::from_source(BRIDGE_SHARED_MEMORY).expect("compiles"))
+        }
+        Section::MessagePassing => {
+            MP.get_or_init(|| Interp::from_source(BRIDGE_MESSAGE_PASSING).expect("compiles"))
+        }
+    };
+    let explorer = Explorer::with_limits(interp, limits);
+    explorer
+        .can_happen(&question.setup, &question.scenario)
+        .unwrap_or_else(|e| panic!("{}: runtime fault {e}", question.id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_covers_both_sections_and_all_misconceptions() {
+        let bank = bank();
+        assert_eq!(bank.len(), 16);
+        let sm = bank.iter().filter(|q| q.section == Section::SharedMemory).count();
+        assert_eq!(sm, 8);
+        // Every misconception triggers somewhere.
+        for m in Misconception::ALL {
+            assert!(
+                bank.iter().any(|q| q.triggers.iter().any(|(t, _)| *t == m)),
+                "misconception {m} has no trigger question"
+            );
+        }
+        // Trigger sections are consistent.
+        for q in &bank {
+            for (m, _) in &q.triggers {
+                assert_eq!(
+                    m.is_message_passing(),
+                    q.section == Section::MessagePassing,
+                    "{} triggers {m} across sections",
+                    q.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truths_match_manual_analysis() {
+        let answered = answered_bank();
+        let truth = |id: &str| {
+            answered
+                .iter()
+                .find(|a| a.question.id == id)
+                .unwrap_or_else(|| panic!("question {id}"))
+                .truth
+        };
+        // The Figure 6/7 sample questions are possible.
+        assert!(truth("SM-m"), "Figure 6 (m) is a YES");
+        assert!(truth("MP-m"), "Figure 7 (m) is a YES");
+        // Car naming implies no priority.
+        assert!(truth("SM-a"));
+        assert!(truth("SM-e"));
+        assert!(truth("MP-a"));
+        assert!(truth("MP-e"));
+        assert!(truth("MP-f"));
+        // Mutual exclusion and admission control are real.
+        assert!(!truth("SM-b"), "blue cannot enter while red is on the bridge");
+        assert!(!truth("SM-f"), "two cars cannot hold overlapping EXC_ACC footprints");
+        assert!(!truth("MP-b"), "blue cannot be admitted before red exits");
+        // Asynchrony is real.
+        assert!(truth("MP-c"), "delivery may reorder same-receiver messages");
+        assert!(truth("MP-d"), "events precede their acknowledgements");
+        // Conditional synchronization works.
+        assert!(truth("SM-c"));
+        assert!(truth("SM-d"), "NOTIFY wakes all waiters");
+        assert!(truth("SM-g"));
+        assert!(truth("MP-g"));
+    }
+
+}

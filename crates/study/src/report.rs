@@ -1,0 +1,293 @@
+//! Rendering the paper's tables from a simulated run: Table I (the
+//! misconception hierarchy), Table II (Test-1 performance), Table III
+//! (misconception incidence), and the Section VI survey numbers.
+
+use crate::cohort::{paper_cohort, Cohort, Group};
+use crate::grading::{administer_test1, Test1Results, DEFAULT_LEARNING_DROP};
+use crate::questions::Section;
+use crate::stats::{mean, welch_t_test};
+use crate::survey::{
+    difficulty_poll, full_participation, lab_participation, post_test_participation,
+    post_test_survey, DifficultyPoll, PostTestSurvey,
+};
+use crate::taxonomy::{Level, Misconception};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// The numbers of Table II.
+#[derive(Debug, Clone, Copy)]
+pub struct TableII {
+    pub s_shared_memory: f64,
+    pub s_message_passing: f64,
+    pub d_shared_memory: f64,
+    pub d_message_passing: f64,
+    pub all_shared_memory: f64,
+    pub all_message_passing: f64,
+    pub session1_mean: f64,
+    pub session2_mean: f64,
+    /// Welch two-tailed p for session 1 vs session 2 (paper: 0.005).
+    pub session_p: f64,
+}
+
+/// Everything one study run produces.
+#[derive(Debug)]
+pub struct StudyReport {
+    pub cohort: Cohort,
+    pub results: Test1Results,
+    pub table2: TableII,
+    /// Misconception → detected student count (Table III).
+    pub table3: BTreeMap<Misconception, usize>,
+    pub homework_poll: DifficultyPoll,
+    pub lab_poll: DifficultyPoll,
+    pub post_test: PostTestSurvey,
+}
+
+/// Run the full simulated study with one seed.
+pub fn run_study(seed: u64) -> StudyReport {
+    let cohort = paper_cohort(seed);
+    let results = administer_test1(&cohort, seed, DEFAULT_LEARNING_DROP);
+    let table2 = compute_table2(&results);
+    let table3 = results
+        .detected
+        .iter()
+        .map(|(m, students)| (*m, students.len()))
+        .collect();
+    let homework_poll = difficulty_poll(&cohort, &full_participation(&cohort));
+    let lab_poll = difficulty_poll(&cohort, &lab_participation(&cohort, seed));
+    let participation = post_test_participation(&cohort, seed);
+    let post_test = post_test_survey(&cohort, &results, &participation, seed);
+    StudyReport { cohort, results, table2, table3, homework_poll, lab_poll, post_test }
+}
+
+/// Compute Table II from graded results.
+pub fn compute_table2(results: &Test1Results) -> TableII {
+    let mean_of = |group: Option<Group>, section: Section| {
+        results.mean_where(|s| {
+            s.section == section && group.map(|g| s.group == g).unwrap_or(true)
+        })
+    };
+    let s1 = results.session_scores(1);
+    let s2 = results.session_scores(2);
+    let p = welch_t_test(&s1, &s2).map(|t| t.p).unwrap_or(f64::NAN);
+    TableII {
+        s_shared_memory: mean_of(Some(Group::S), Section::SharedMemory),
+        s_message_passing: mean_of(Some(Group::S), Section::MessagePassing),
+        d_shared_memory: mean_of(Some(Group::D), Section::SharedMemory),
+        d_message_passing: mean_of(Some(Group::D), Section::MessagePassing),
+        all_shared_memory: mean_of(None, Section::SharedMemory),
+        all_message_passing: mean_of(None, Section::MessagePassing),
+        session1_mean: mean(&s1),
+        session2_mean: mean(&s2),
+        session_p: p,
+    }
+}
+
+/// Render Table I (the hierarchy).
+pub fn render_table1() -> String {
+    let mut out = String::from("TABLE I. CONCURRENCY-RELATED MISCONCEPTIONS IN HIERARCHY\n");
+    for level in Level::ALL {
+        let _ = writeln!(out, "[{}] {}", level.code(), level.describe());
+        for m in Misconception::ALL.iter().filter(|m| m.level() == level) {
+            let _ = writeln!(out, "    {m}: {}", m.describe());
+        }
+    }
+    out
+}
+
+/// Render Table II next to the paper's numbers.
+pub fn render_table2(t: &TableII) -> String {
+    let mut out = String::from("TABLE II. PERFORMANCES ON TEST 1 (simulated vs paper)\n");
+    let _ = writeln!(
+        out,
+        "group S ({}): shared memory {:>5.2} (paper 56.67), message passing {:>5.2} (paper 81.72)",
+        crate::cohort::GROUP_S_SIZE, t.s_shared_memory, t.s_message_passing
+    );
+    let _ = writeln!(
+        out,
+        "group D ({}): shared memory {:>5.2} (paper 76.14), message passing {:>5.2} (paper 65.93)",
+        crate::cohort::GROUP_D_SIZE, t.d_shared_memory, t.d_message_passing
+    );
+    let _ = writeln!(
+        out,
+        "all       : shared memory {:>5.2} (paper 65.19), message passing {:>5.2} (paper 74.81)",
+        t.all_shared_memory, t.all_message_passing
+    );
+    let _ = writeln!(
+        out,
+        "sessions  : 1st {:>5.2}% vs 2nd {:>5.2}% (paper 60.71% vs 79.20%), Welch p = {:.4} (paper 0.005)",
+        t.session1_mean, t.session2_mean, t.session_p
+    );
+    out
+}
+
+/// Render Table III (detected counts vs the paper's).
+pub fn render_table3(table3: &BTreeMap<Misconception, usize>) -> String {
+    let mut out =
+        String::from("TABLE III. MISCONCEPTIONS SHOWN IN TEST 1 (detected / paper)\n");
+    out.push_str("Message Passing\n");
+    for m in Misconception::MESSAGE_PASSING {
+        let detected = table3.get(&m).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  [{}]{}: {} / {}   {}",
+            m.level().code(),
+            m,
+            detected,
+            m.paper_count(),
+            m.describe()
+        );
+    }
+    out.push_str("Shared Memory\n");
+    for m in Misconception::SHARED_MEMORY {
+        let detected = table3.get(&m).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  [{}]{}: {} / {}   {}",
+            m.level().code(),
+            m,
+            detected,
+            m.paper_count(),
+            m.describe()
+        );
+    }
+    out
+}
+
+/// Render the survey waves (§VI prose numbers).
+pub fn render_surveys(report: &StudyReport) -> String {
+    let mut out = String::from("SECTION VI SURVEYS (simulated vs paper)\n");
+    let hw = &report.homework_poll;
+    let _ = writeln!(
+        out,
+        "homework wave: SM harder {} / MP harder {} / equal {} (paper: 10 / 1 / rest)",
+        hw.shared_memory_harder, hw.message_passing_harder, hw.equal
+    );
+    let lab = &report.lab_poll;
+    let _ = writeln!(
+        out,
+        "lab wave (11 respond): SM harder {} / MP harder {} / equal {} (paper: 8 / 1 / 2)",
+        lab.shared_memory_harder, lab.message_passing_harder, lab.equal
+    );
+    let pt = &report.post_test;
+    let _ = writeln!(
+        out,
+        "post-test: SM harder {}/{} (paper 11/15); chose MP {}/{} (paper 10/15); \
+         chose correctly {}/{} (paper 13/15)",
+        pt.difficulty.shared_memory_harder,
+        pt.respondents,
+        pt.chose_message_passing,
+        pt.respondents,
+        pt.chose_correctly,
+        pt.respondents
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> StudyReport {
+        run_study(42)
+    }
+
+    #[test]
+    fn table2_reproduces_the_papers_shape() {
+        let t = report().table2;
+        // 1) Shared memory trails message passing overall.
+        assert!(
+            t.all_shared_memory < t.all_message_passing,
+            "SM {:.1} vs MP {:.1}",
+            t.all_shared_memory,
+            t.all_message_passing
+        );
+        // 2) Each group does better on its *second* section (learning).
+        assert!(t.s_message_passing > t.s_shared_memory, "group S improves in session 2");
+        assert!(t.d_shared_memory > t.d_message_passing, "group D improves in session 2");
+        // 3) Session 2 beats session 1 and the effect is significant.
+        assert!(t.session2_mean > t.session1_mean + 5.0);
+        assert!(t.session_p < 0.05, "session effect p = {:.4}", t.session_p);
+        // 4) Group D's first section (MP) still beats group S's first
+        //    section (SM): the modality effect survives
+        //    counterbalancing, as in the paper (65.93 > 56.67).
+        assert!(
+            t.d_message_passing > t.s_shared_memory,
+            "D-MP {:.1} vs S-SM {:.1}",
+            t.d_message_passing,
+            t.s_shared_memory
+        );
+    }
+
+    #[test]
+    fn table3_reproduces_the_prevalence_ranking() {
+        let t3 = report().table3;
+        let count = |m: Misconception| t3.get(&m).copied().unwrap_or(0);
+        use Misconception::*;
+        // The paper's headline: S7 (10) and S5 (9) dominate shared
+        // memory; M3/M4/M6 (7 each) dominate message passing.
+        for dominant in [S7, S5] {
+            for rare in [S2, S3, S6] {
+                assert!(
+                    count(dominant) > count(rare),
+                    "{dominant} ({}) should outnumber {rare} ({})",
+                    count(dominant),
+                    count(rare)
+                );
+            }
+        }
+        for dominant in [M3, M4] {
+            assert!(
+                count(dominant) > count(M2),
+                "{dominant} should outnumber M2"
+            );
+        }
+        // Detection never exceeds the number of holders.
+        for m in Misconception::ALL {
+            assert!(count(m) <= m.paper_count(), "{m} over-detected");
+        }
+        // The dominant misconceptions are detected in most holders.
+        assert!(count(S7) >= 7, "S7 detected in {} of 10 holders", count(S7));
+        assert!(count(S5) >= 6, "S5 detected in {} of 9 holders", count(S5));
+        assert!(count(M3) >= 5, "M3 detected in {} of 7 holders", count(M3));
+    }
+
+    #[test]
+    fn renders_are_complete() {
+        let r = report();
+        let t1 = render_table1();
+        assert!(t1.contains("S7") && t1.contains("[I1]"));
+        let t2 = render_table2(&r.table2);
+        assert!(t2.contains("paper 56.67"));
+        let t3 = render_table3(&r.table3);
+        assert!(t3.contains("Conflate locking"));
+        let sv = render_surveys(&r);
+        assert!(sv.contains("post-test"));
+    }
+
+    #[test]
+    fn study_is_reproducible() {
+        let a = run_study(7);
+        let b = run_study(7);
+        assert_eq!(a.table2.session1_mean, b.table2.session1_mean);
+        assert_eq!(a.table3, b.table3);
+    }
+
+    #[test]
+    fn shapes_hold_across_seeds() {
+        // The paper's qualitative claims should not depend on one lucky
+        // seed.
+        let mut sm_harder = 0;
+        let mut session_improves = 0;
+        for seed in 0..10 {
+            let r = run_study(seed);
+            if r.table2.all_shared_memory < r.table2.all_message_passing {
+                sm_harder += 1;
+            }
+            if r.table2.session2_mean > r.table2.session1_mean {
+                session_improves += 1;
+            }
+        }
+        assert!(sm_harder >= 9, "SM harder in {sm_harder}/10 seeds");
+        assert!(session_improves >= 9, "session 2 better in {session_improves}/10 seeds");
+    }
+}

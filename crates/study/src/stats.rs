@@ -1,0 +1,253 @@
+//! Statistics used by the study analysis: descriptive statistics,
+//! Welch's t-test (the paper reports p = 0.005 for its session
+//! effect), implemented from scratch (log-gamma + regularized
+//! incomplete beta).
+
+/// Sample mean; 0 for an empty sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Result of a two-sample Welch t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTest {
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-tailed p-value.
+    pub p: f64,
+}
+
+/// Welch's unequal-variance t-test.
+///
+/// Returns `None` when either sample has fewer than two observations
+/// or both variances are zero.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let p = two_tailed_p(t, df);
+    Some(TTest { t, df, p })
+}
+
+/// Two-tailed p-value of a t statistic with `df` degrees of freedom,
+/// via the regularized incomplete beta function:
+/// `p = I_{df/(df+t²)}(df/2, 1/2)`.
+pub fn two_tailed_p(t: f64, df: f64) -> f64 {
+    if !t.is_finite() || df <= 0.0 {
+        return f64::NAN;
+    }
+    let x = df / (df + t * t);
+    reg_inc_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Log-gamma via the Lanczos approximation (g = 7, n = 9), accurate to
+/// ~1e-13 for positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` by continued
+/// fraction (Lentz's method), as in Numerical Recipes.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction
+    // convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - reg_inc_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Proportion helper: `k` of `n` as a percentage.
+pub fn percent(k: usize, n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        100.0 * k as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn descriptive_statistics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(close(mean(&xs), 5.0, 1e-12));
+        assert!(close(variance(&xs), 32.0 / 7.0, 1e-12));
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(close(ln_gamma(1.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(2.0), 0.0, 1e-10));
+        assert!(close(ln_gamma(5.0), 24f64.ln(), 1e-10));
+        assert!(close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10));
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 − I_{1−x}(b,a).
+        let v = reg_inc_beta(2.5, 1.5, 0.3);
+        let w = 1.0 - reg_inc_beta(1.5, 2.5, 0.7);
+        assert!(close(v, w, 1e-12));
+        // I_x(1,1) = x (uniform distribution).
+        assert!(close(reg_inc_beta(1.0, 1.0, 0.42), 0.42, 1e-12));
+    }
+
+    #[test]
+    fn t_distribution_reference_points() {
+        // With df=10, t=2.228 is the classic 5% two-tailed critical
+        // value.
+        assert!(close(two_tailed_p(2.228, 10.0), 0.05, 1e-3));
+        // t = 0 → p = 1.
+        assert!(close(two_tailed_p(0.0, 7.0), 1.0, 1e-12));
+        // Large |t| → tiny p.
+        assert!(two_tailed_p(8.0, 20.0) < 1e-6);
+    }
+
+    #[test]
+    fn welch_detects_a_real_difference() {
+        let a = [60.0, 62.0, 58.0, 61.0, 59.0, 63.0, 60.0, 61.0];
+        let b = [79.0, 81.0, 78.0, 80.0, 82.0, 79.0, 80.0, 81.0];
+        let test = welch_t_test(&a, &b).unwrap();
+        assert!(test.p < 0.001, "p = {}", test.p);
+        assert!(test.t < 0.0, "a < b so t negative");
+    }
+
+    #[test]
+    fn welch_accepts_identical_samples() {
+        let a = [50.0, 55.0, 60.0, 65.0];
+        let test = welch_t_test(&a, &a).unwrap();
+        assert!(close(test.t, 0.0, 1e-12));
+        assert!(close(test.p, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn welch_degenerate_cases() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t_test(&[5.0, 5.0], &[5.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn percent_helper() {
+        assert_eq!(percent(10, 16), 62.5);
+        assert_eq!(percent(0, 0), 0.0);
+    }
+}

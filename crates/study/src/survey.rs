@@ -1,0 +1,226 @@
+//! Survey simulation: the Section VI numbers.
+//!
+//! The paper reports three survey waves: after homework 3 ("which
+//! approach is more difficult?": 10 said shared memory, 1 said message
+//! passing), after labs 2–3 (8 / 1 / 2), and after Test 1 (11 of 15
+//! found the shared-memory section harder; 10 of 15 chose the
+//! message-passing section for their grade; 13 of 15 chose the section
+//! they actually scored better on).
+//!
+//! The simulated students report difficulty from their own
+//! misconception load (you find hard what you get wrong) and choose a
+//! section from their *perceived* performance, which tracks — but
+//! imperfectly — their actual scores.
+
+use crate::cohort::{Cohort, Student};
+use crate::grading::Test1Results;
+use crate::questions::{answered_bank, Section};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Aggregate answers to a "which is more difficult?" question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DifficultyPoll {
+    pub shared_memory_harder: usize,
+    pub message_passing_harder: usize,
+    pub equal: usize,
+    pub respondents: usize,
+}
+
+/// The post-test survey (perceived difficulty + grade-section choice).
+#[derive(Debug, Clone, Copy)]
+pub struct PostTestSurvey {
+    pub difficulty: DifficultyPoll,
+    /// Students who chose the message-passing section to count as
+    /// their midterm grade.
+    pub chose_message_passing: usize,
+    /// Students whose chosen section was the one they actually scored
+    /// (weakly) better on.
+    pub chose_correctly: usize,
+    pub respondents: usize,
+}
+
+/// A difficulty poll driven purely by misconception load (used for the
+/// homework/lab waves, before any test feedback).
+pub fn difficulty_poll(cohort: &Cohort, participation: &[bool]) -> DifficultyPoll {
+    let mut poll = DifficultyPoll {
+        shared_memory_harder: 0,
+        message_passing_harder: 0,
+        equal: 0,
+        respondents: 0,
+    };
+    for (student, responded) in cohort.students.iter().zip(participation) {
+        if !responded {
+            continue;
+        }
+        poll.respondents += 1;
+        // Perceived difficulty tracks *experienced* difficulty: how
+        // many of the section's problems the student's misconceptions
+        // actually corrupt, not how many misconceptions they hold.
+        let sm = triggered_questions(student, Section::SharedMemory);
+        let mp = triggered_questions(student, Section::MessagePassing);
+        use std::cmp::Ordering;
+        match sm.cmp(&mp) {
+            Ordering::Greater => poll.shared_memory_harder += 1,
+            Ordering::Less => poll.message_passing_harder += 1,
+            Ordering::Equal => poll.equal += 1,
+        }
+    }
+    poll
+}
+
+/// How many questions of a section the student's misconceptions
+/// trigger on (their error surface in that modality).
+pub fn triggered_questions(student: &Student, section: Section) -> usize {
+    answered_bank()
+        .iter()
+        .filter(|q| q.question.section == section)
+        .filter(|q| {
+            q.question
+                .triggers
+                .iter()
+                .any(|(m, forced)| student.misconceptions.contains(m) && *forced != q.truth)
+        })
+        .count()
+}
+
+/// Everyone responds.
+pub fn full_participation(cohort: &Cohort) -> Vec<bool> {
+    vec![true; cohort.students.len()]
+}
+
+/// The paper's post-test survey had 15 respondents of 16; drop one
+/// (seeded).
+pub fn post_test_participation(cohort: &Cohort, seed: u64) -> Vec<bool> {
+    participation_of(cohort.students.len(), cohort.students.len() - 1, seed)
+}
+
+/// The labs 2–3 survey wave had 11 respondents (paper: 8 said shared
+/// memory harder, 1 message passing, 2 equal).
+pub fn lab_participation(cohort: &Cohort, seed: u64) -> Vec<bool> {
+    participation_of(cohort.students.len(), 11, seed)
+}
+
+fn participation_of(total: usize, respondents: usize, seed: u64) -> Vec<bool> {
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<usize> = (0..total).collect();
+    ids.shuffle(&mut rng);
+    let mut participation = vec![false; total];
+    for &id in ids.iter().take(respondents) {
+        participation[id] = true;
+    }
+    participation
+}
+
+/// Run the post-Test-1 survey.
+pub fn post_test_survey(
+    cohort: &Cohort,
+    results: &Test1Results,
+    participation: &[bool],
+    seed: u64,
+) -> PostTestSurvey {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let difficulty = difficulty_poll(cohort, participation);
+    let mut chose_mp = 0;
+    let mut chose_correctly = 0;
+    let mut respondents = 0;
+    for (student, responded) in cohort.students.iter().zip(participation) {
+        if !responded {
+            continue;
+        }
+        respondents += 1;
+        let sm_score = results.score_of(student.id, Section::SharedMemory);
+        let mp_score = results.score_of(student.id, Section::MessagePassing);
+        // Perceived performance: actual score plus a bit of
+        // self-assessment noise (students did not know their scores).
+        let mut noise = || rng.gen_range(-8.0..8.0);
+        let perceived_sm = sm_score + noise();
+        let perceived_mp = mp_score + noise();
+        let choice = if perceived_mp >= perceived_sm {
+            Section::MessagePassing
+        } else {
+            Section::SharedMemory
+        };
+        if choice == Section::MessagePassing {
+            chose_mp += 1;
+        }
+        let chosen_score =
+            if choice == Section::MessagePassing { mp_score } else { sm_score };
+        let other_score =
+            if choice == Section::MessagePassing { sm_score } else { mp_score };
+        if chosen_score >= other_score {
+            chose_correctly += 1;
+        }
+    }
+    PostTestSurvey {
+        difficulty,
+        chose_message_passing: chose_mp,
+        chose_correctly,
+        respondents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::paper_cohort;
+    use crate::grading::{administer_test1, DEFAULT_LEARNING_DROP};
+
+    #[test]
+    fn homework_wave_matches_the_papers_direction() {
+        // Paper (HW3): 10 said shared memory harder, 1 said message
+        // passing harder.
+        let cohort = paper_cohort(42);
+        let poll = difficulty_poll(&cohort, &full_participation(&cohort));
+        assert!(
+            poll.shared_memory_harder > 2 * poll.message_passing_harder,
+            "shape: SM clearly perceived harder, got {poll:?}"
+        );
+        assert_eq!(poll.respondents, 16);
+    }
+
+    #[test]
+    fn post_test_survey_shapes() {
+        let cohort = paper_cohort(42);
+        let results = administer_test1(&cohort, 42, DEFAULT_LEARNING_DROP);
+        let participation = post_test_participation(&cohort, 42);
+        let survey = post_test_survey(&cohort, &results, &participation, 42);
+        assert_eq!(survey.respondents, 15, "one non-respondent, as in the paper");
+        // Paper: 11/15 found SM harder; 10/15 chose MP; 13/15 chose
+        // correctly. Shape assertions:
+        assert!(
+            survey.difficulty.shared_memory_harder > survey.respondents / 2,
+            "most find shared memory harder: {survey:?}"
+        );
+        assert!(
+            survey.chose_message_passing > survey.respondents / 2,
+            "most choose the message-passing section: {survey:?}"
+        );
+        assert!(
+            survey.chose_correctly as f64 >= 0.75 * survey.respondents as f64,
+            "most choose the section they scored better on: {survey:?}"
+        );
+    }
+
+    #[test]
+    fn lab_wave_has_eleven_respondents_and_matches_direction() {
+        // Paper (labs 2-3): 8 SM harder / 1 MP harder / 2 equal, of 11.
+        let cohort = paper_cohort(42);
+        let poll = difficulty_poll(&cohort, &lab_participation(&cohort, 42));
+        assert_eq!(poll.respondents, 11);
+        assert!(
+            poll.shared_memory_harder > poll.message_passing_harder,
+            "{poll:?}"
+        );
+    }
+
+    #[test]
+    fn participation_always_drops_exactly_one() {
+        let cohort = paper_cohort(3);
+        for seed in 0..5 {
+            let p = post_test_participation(&cohort, seed);
+            assert_eq!(p.iter().filter(|x| !**x).count(), 1);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The misconception taxonomy of Table I (five-level hierarchy) and
+//! the concrete misconceptions of Table III (M1–M6 for message
+//! passing, S1–S8 for shared memory), with the paper's student counts
+//! for calibration.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Table I: the five-level misconception hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// D1 — misconceptions of the system and/or problem descriptions.
+    Description,
+    /// T1 — misinterpretation of a term that describes thread or
+    /// process behavior.
+    Terminology,
+    /// C1 — misconceptions about thread or process behaviors.
+    Concurrency,
+    /// I1 — misconceptions about synchronous mechanisms.
+    ImplSync,
+    /// I2 — misconceptions about asynchronous mechanisms.
+    ImplAsync,
+    /// U1 — confusion about the space of executions (impossible
+    /// sequences accepted, possible ones rejected).
+    Uncertainty,
+}
+
+impl Level {
+    pub fn code(self) -> &'static str {
+        match self {
+            Level::Description => "D1",
+            Level::Terminology => "T1",
+            Level::Concurrency => "C1",
+            Level::ImplSync => "I1",
+            Level::ImplAsync => "I2",
+            Level::Uncertainty => "U1",
+        }
+    }
+
+    pub fn describe(self) -> &'static str {
+        match self {
+            Level::Description => "Misconceptions of the system and/or problem descriptions",
+            Level::Terminology => {
+                "Misinterpretation of a term that describes thread or process behavior"
+            }
+            Level::Concurrency => "Misconceptions about thread or process behaviors",
+            Level::ImplSync => "Misconceptions about synchronous mechanisms",
+            Level::ImplAsync => "Misconceptions about asynchronous mechanisms",
+            Level::Uncertainty => {
+                "Confusion about space of executions; include impossible execution sequences \
+                 or fail to consider possible execution sequences"
+            }
+        }
+    }
+
+    pub const ALL: [Level; 6] = [
+        Level::Description,
+        Level::Terminology,
+        Level::Concurrency,
+        Level::ImplSync,
+        Level::ImplAsync,
+        Level::Uncertainty,
+    ];
+}
+
+/// The concrete misconceptions of Table III.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Misconception {
+    // Message passing.
+    /// \[D1\] Question-setting confusion.
+    M1,
+    /// \[T1\] "Race condition" misread as "different order of messages".
+    M2,
+    /// \[C1\] Send semantics: send treated as a synchronous call, or as
+    /// gated on the receiver's condition.
+    M3,
+    /// \[C1\] Receive semantics: acknowledgement receipt assumed
+    /// synchronous with the event itself.
+    M4,
+    /// \[I2\] Message sending order conflated with receiving order.
+    M5,
+    /// \[U1\] Uncertainty under a large execution space.
+    M6,
+    // Shared memory.
+    /// \[D1\] Car order conflated with thread name order.
+    S1,
+    /// \[T1\] "Race condition" misread as "different interleaving".
+    S2,
+    /// \[T1\] "Block on" misread.
+    S3,
+    /// \[C1\] Method return order conflated with bridge enter/exit
+    /// order.
+    S4,
+    /// \[C1\] Locking conflated with conditional waiting.
+    S5,
+    /// \[I1\] WAIT() misread as continuously re-executing its loop.
+    S6,
+    /// \[I1\] Method invocation/return conflated with lock
+    /// acquire/release.
+    S7,
+    /// \[U1\] Uncertainty under a large execution space.
+    S8,
+}
+
+impl Misconception {
+    pub const MESSAGE_PASSING: [Misconception; 6] = [
+        Misconception::M1,
+        Misconception::M2,
+        Misconception::M3,
+        Misconception::M4,
+        Misconception::M5,
+        Misconception::M6,
+    ];
+
+    pub const SHARED_MEMORY: [Misconception; 8] = [
+        Misconception::S1,
+        Misconception::S2,
+        Misconception::S3,
+        Misconception::S4,
+        Misconception::S5,
+        Misconception::S6,
+        Misconception::S7,
+        Misconception::S8,
+    ];
+
+    pub const ALL: [Misconception; 14] = [
+        Misconception::M1,
+        Misconception::M2,
+        Misconception::M3,
+        Misconception::M4,
+        Misconception::M5,
+        Misconception::M6,
+        Misconception::S1,
+        Misconception::S2,
+        Misconception::S3,
+        Misconception::S4,
+        Misconception::S5,
+        Misconception::S6,
+        Misconception::S7,
+        Misconception::S8,
+    ];
+
+    pub fn level(self) -> Level {
+        use Misconception::*;
+        match self {
+            M1 | S1 => Level::Description,
+            M2 | S2 | S3 => Level::Terminology,
+            M3 | M4 | S4 | S5 => Level::Concurrency,
+            S6 | S7 => Level::ImplSync,
+            M5 => Level::ImplAsync,
+            M6 | S8 => Level::Uncertainty,
+        }
+    }
+
+    /// Whether this misconception belongs to the message-passing
+    /// section.
+    pub fn is_message_passing(self) -> bool {
+        matches!(
+            self,
+            Misconception::M1
+                | Misconception::M2
+                | Misconception::M3
+                | Misconception::M4
+                | Misconception::M5
+                | Misconception::M6
+        )
+    }
+
+    /// Table III's observed student count (out of the 16 test takers).
+    pub fn paper_count(self) -> usize {
+        use Misconception::*;
+        match self {
+            M1 => 6,
+            M2 => 1,
+            M3 => 7,
+            M4 => 7,
+            M5 => 6,
+            M6 => 7,
+            S1 => 3,
+            S2 => 1,
+            S3 => 2,
+            S4 => 4,
+            S5 => 9,
+            S6 => 1,
+            S7 => 10,
+            S8 => 2,
+        }
+    }
+
+    /// The paper's one-line description.
+    pub fn describe(self) -> &'static str {
+        use Misconception::*;
+        match self {
+            M1 => "Question setting",
+            M2 => "Misinterpret \"race condition\" as \"different order of messages\"",
+            M3 => "Send semantics: assume ability to send depends on condition at receiver \
+                   or interpret send as a synchronous method call",
+            M4 => "Receive semantics: assume receipt of acknowledgement message is \
+                   synchronous with the occurrence of the event",
+            M5 => "Conflate message sending order with receiving order",
+            M6 => "Uncertainty: increased size of state space causes illogical reasoning",
+            S1 => "Conflate order of cars with their thread's name",
+            S2 => "Misinterpret \"race condition\" as \"different interleaving\"",
+            S3 => "Misinterpretation on terminology \"block on\"",
+            S4 => "Conflate order of method return with order of entering/exiting bridge",
+            S5 => "Conflate locking with conditional waiting",
+            S6 => "Misinterpretation of WAIT() function's effect",
+            S7 => "Conflate order of method invocation/return with get/release lock",
+            S8 => "Uncertainty: increased size of state space causes illogical reasoning",
+        }
+    }
+}
+
+impl fmt::Display for Misconception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_table_iii() {
+        assert_eq!(Misconception::S7.paper_count(), 10);
+        assert_eq!(Misconception::S5.paper_count(), 9);
+        assert_eq!(Misconception::M3.paper_count(), 7);
+        let mp_total: usize =
+            Misconception::MESSAGE_PASSING.iter().map(|m| m.paper_count()).sum();
+        let sm_total: usize =
+            Misconception::SHARED_MEMORY.iter().map(|m| m.paper_count()).sum();
+        assert_eq!(mp_total, 34);
+        assert_eq!(sm_total, 32);
+    }
+
+    #[test]
+    fn levels_partition_the_misconceptions() {
+        for m in Misconception::ALL {
+            assert!(Level::ALL.contains(&m.level()));
+        }
+        assert_eq!(Misconception::S7.level(), Level::ImplSync);
+        assert_eq!(Misconception::M5.level(), Level::ImplAsync);
+        assert_eq!(Misconception::M6.level(), Level::Uncertainty);
+    }
+
+    #[test]
+    fn section_membership() {
+        assert!(Misconception::M3.is_message_passing());
+        assert!(!Misconception::S5.is_message_passing());
+        assert_eq!(
+            Misconception::ALL.len(),
+            Misconception::MESSAGE_PASSING.len() + Misconception::SHARED_MEMORY.len()
+        );
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for m in Misconception::ALL {
+            assert!(!m.describe().is_empty());
+            assert!(!m.level().describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The Figure 6/7 reproduction experiment: every Test-1 question's
+//! recorded `expected` answer is re-derived from the interleaving
+//! model checker.
+//!
+//! All questions verify exhaustively except MP-b, whose NO is
+//! established to a 400,000-state bound (its complement space — runs
+//! that never satisfy the setup — is the full message-passing
+//! interleaving space). This is the slowest test in the workspace
+//! (~1 minute); it *is* the experiment, not overhead.
+
+use concur_exec::explore::{Answer, Limits};
+use concur_study::questions::{bank, model_check};
+
+#[test]
+fn all_question_truths_match_the_model_checker() {
+    let limits = Limits { max_states: 400_000, max_depth: 20_000, max_setup_states: 4096 };
+    let mut lines = Vec::new();
+    for question in bank() {
+        let answer = model_check(&question, limits);
+        let (truth, exhaustive) = match answer {
+            Answer::Yes { .. } => (true, true),
+            Answer::No { exhaustive } => (false, exhaustive),
+            Answer::SetupUnreachable { exhaustive } => (false, exhaustive),
+        };
+        assert_eq!(
+            truth, question.expected,
+            "{}: model checker disagrees with recorded truth",
+            question.id
+        );
+        if question.id != "MP-b" {
+            assert!(
+                exhaustive,
+                "{}: expected an exhaustive verdict within the default limits",
+                question.id
+            );
+        }
+        lines.push(format!(
+            "{:6} {:3} {}",
+            question.id,
+            if truth { "YES" } else { "NO" },
+            if exhaustive { "(exhaustive)" } else { "(bounded)" }
+        ));
+    }
+    eprintln!("Test-1 ground truth:\n{}", lines.join("\n"));
+}

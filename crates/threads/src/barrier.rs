@@ -1,0 +1,165 @@
+//! Cyclic barrier and count-down latch, both monitor-based.
+
+use crate::monitor::Monitor;
+use std::time::Duration;
+
+struct BarrierState {
+    /// Threads still to arrive in the current generation.
+    remaining: usize,
+    /// Incremented each time the barrier trips, so late wakers from a
+    /// previous generation don't fall through early.
+    generation: u64,
+}
+
+/// A reusable (cyclic) barrier for a fixed party of threads.
+pub struct Barrier {
+    parties: usize,
+    state: Monitor<BarrierState>,
+}
+
+impl Barrier {
+    /// A barrier that trips when `parties` threads have called
+    /// [`Barrier::wait`]. `parties` must be ≥ 1.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "a barrier needs at least one party");
+        Barrier { parties, state: Monitor::new(BarrierState { remaining: parties, generation: 0 }) }
+    }
+
+    /// Block until all parties arrive. Returns `true` for exactly one
+    /// "leader" per generation (the last arriver).
+    pub fn wait(&self) -> bool {
+        let mut guard = self.state.enter();
+        let my_generation = guard.generation;
+        guard.remaining -= 1;
+        if guard.remaining == 0 {
+            // Trip: reset for the next generation and release everyone.
+            guard.remaining = self.parties;
+            guard.generation += 1;
+            guard.notify_all();
+            return true;
+        }
+        while guard.generation == my_generation {
+            guard.wait();
+        }
+        false
+    }
+
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+}
+
+/// A one-shot count-down latch (`CountDownLatch` in
+/// `java.util.concurrent`).
+pub struct CountDownLatch {
+    count: Monitor<usize>,
+}
+
+impl CountDownLatch {
+    pub fn new(count: usize) -> Self {
+        CountDownLatch { count: Monitor::new(count) }
+    }
+
+    /// Decrement; at zero all waiters are released. Extra count-downs
+    /// are ignored.
+    pub fn count_down(&self) {
+        self.count.with(|c| *c = c.saturating_sub(1));
+    }
+
+    /// Block until the count reaches zero.
+    pub fn wait(&self) {
+        self.count.when(|c| *c == 0, |_| ());
+    }
+
+    /// Timed wait; returns whether the latch opened.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        self.count.when_timeout(|c| *c == 0, timeout, |_| ()).is_some()
+    }
+
+    pub fn count(&self) -> usize {
+        self.count.with_quiet(|c| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn barrier_releases_all_with_one_leader() {
+        let barrier = Arc::new(Barrier::new(4));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (b, l) = (Arc::clone(&barrier), Arc::clone(&leaders));
+                thread::spawn(move || {
+                    if b.wait() {
+                        l.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn barrier_is_cyclic() {
+        // Phased computation: nobody may enter phase 2 before all
+        // finish phase 1, across 3 generations.
+        let barrier = Arc::new(Barrier::new(3));
+        let phase_counts = Arc::new([
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ]);
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (b, pc) = (Arc::clone(&barrier), Arc::clone(&phase_counts));
+                thread::spawn(move || {
+                    for phase in 0..3 {
+                        pc[phase].fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // After the barrier, the whole party finished
+                        // this phase.
+                        assert_eq!(pc[phase].load(Ordering::SeqCst), 3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn latch_blocks_until_zero() {
+        let latch = Arc::new(CountDownLatch::new(3));
+        let l2 = Arc::clone(&latch);
+        let waiter = thread::spawn(move || {
+            l2.wait();
+            true
+        });
+        latch.count_down();
+        latch.count_down();
+        assert!(!latch.wait_timeout(Duration::from_millis(10)));
+        latch.count_down();
+        assert!(waiter.join().unwrap());
+        assert_eq!(latch.count(), 0);
+        // Extra count-downs are harmless.
+        latch.count_down();
+        assert!(latch.wait_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = Barrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+}

@@ -1,0 +1,242 @@
+//! The bounded buffer (producer–consumer) — one of the course's core
+//! quiz scenarios, built on the monitor with the canonical
+//! wait-while-full / wait-while-empty shape.
+
+use crate::monitor::Monitor;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+struct BufState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking FIFO with a hard capacity. `put` blocks while full,
+/// `take` blocks while empty. Closing wakes everyone: blocked `put`s
+/// fail, `take` drains the remainder then yields `None`.
+pub struct BoundedBuffer<T> {
+    capacity: usize,
+    state: Monitor<BufState<T>>,
+}
+
+/// Why a `put` failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PutError<T> {
+    /// The buffer was closed; the rejected value is returned.
+    Closed(T),
+    /// Timed put only: capacity never became available.
+    Timeout(T),
+}
+
+impl<T> BoundedBuffer<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a bounded buffer needs capacity >= 1");
+        BoundedBuffer {
+            capacity,
+            state: Monitor::new(BufState { queue: VecDeque::new(), closed: false }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocking insert. Fails only if the buffer is (or becomes)
+    /// closed.
+    pub fn put(&self, value: T) -> Result<(), PutError<T>> {
+        let mut guard = self.state.enter();
+        while guard.queue.len() >= self.capacity && !guard.closed {
+            guard.wait();
+        }
+        if guard.closed {
+            return Err(PutError::Closed(value));
+        }
+        guard.queue.push_back(value);
+        guard.notify_all();
+        Ok(())
+    }
+
+    /// Timed insert.
+    pub fn put_timeout(&self, value: T, timeout: Duration) -> Result<(), PutError<T>> {
+        let mut guard = self.state.enter();
+        while guard.queue.len() >= self.capacity && !guard.closed {
+            if guard.wait_timeout(timeout) {
+                return Err(PutError::Timeout(value));
+            }
+        }
+        if guard.closed {
+            return Err(PutError::Closed(value));
+        }
+        guard.queue.push_back(value);
+        guard.notify_all();
+        Ok(())
+    }
+
+    /// Non-blocking insert; `false` when full or closed.
+    pub fn try_put(&self, value: T) -> bool {
+        let mut guard = self.state.enter();
+        if guard.closed || guard.queue.len() >= self.capacity {
+            return false;
+        }
+        guard.queue.push_back(value);
+        guard.notify_all();
+        true
+    }
+
+    /// Blocking remove. `None` when the buffer is closed and drained.
+    pub fn take(&self) -> Option<T> {
+        let mut guard = self.state.enter();
+        while guard.queue.is_empty() && !guard.closed {
+            guard.wait();
+        }
+        let value = guard.queue.pop_front();
+        if value.is_some() {
+            guard.notify_all();
+        }
+        value
+    }
+
+    /// Timed remove; `Ok(None)` = closed and drained, `Err(())` =
+    /// timeout.
+    #[allow(clippy::result_unit_err)] // () is the idiomatic timeout marker here
+    pub fn take_timeout(&self, timeout: Duration) -> Result<Option<T>, ()> {
+        let mut guard = self.state.enter();
+        while guard.queue.is_empty() && !guard.closed {
+            if guard.wait_timeout(timeout) {
+                return Err(());
+            }
+        }
+        let value = guard.queue.pop_front();
+        if value.is_some() {
+            guard.notify_all();
+        }
+        Ok(value)
+    }
+
+    /// Non-blocking remove.
+    pub fn try_take(&self) -> Option<T> {
+        let mut guard = self.state.enter();
+        let value = guard.queue.pop_front();
+        if value.is_some() {
+            guard.notify_all();
+        }
+        value
+    }
+
+    /// Close the buffer: pending and future `put`s fail, `take`
+    /// drains the remainder.
+    pub fn close(&self) {
+        self.state.with(|s| s.closed = true);
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.state.with_quiet(|s| s.closed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.with_quiet(|s| s.queue.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_threaded() {
+        let buf = BoundedBuffer::new(4);
+        for i in 0..4 {
+            buf.put(i).unwrap();
+        }
+        assert!(!buf.try_put(9), "full buffer rejects try_put");
+        for i in 0..4 {
+            assert_eq!(buf.take(), Some(i));
+        }
+        assert!(buf.try_take().is_none());
+    }
+
+    #[test]
+    fn producers_and_consumers_conserve_items() {
+        let buf = Arc::new(BoundedBuffer::new(3));
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let buf = Arc::clone(&buf);
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        buf.put(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let buf = Arc::clone(&buf);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = buf.take() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        buf.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort();
+        let mut expected: Vec<i32> =
+            (0..3).flat_map(|p| (0..100).map(move |i| p * 1000 + i)).collect();
+        expected.sort();
+        assert_eq!(all, expected, "no loss, no duplication");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let buf = Arc::new(BoundedBuffer::new(2));
+        buf.put(1).unwrap();
+        buf.put(2).unwrap();
+        let b2 = Arc::clone(&buf);
+        let blocked = thread::spawn(move || b2.put(3));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(buf.len(), 2, "third put must block");
+        assert_eq!(buf.take(), Some(1));
+        blocked.join().unwrap().unwrap();
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn close_fails_pending_puts_and_drains_takes() {
+        let buf = Arc::new(BoundedBuffer::new(1));
+        buf.put(7).unwrap();
+        let b2 = Arc::clone(&buf);
+        let pending = thread::spawn(move || b2.put(8));
+        thread::sleep(Duration::from_millis(20));
+        buf.close();
+        assert_eq!(pending.join().unwrap(), Err(PutError::Closed(8)));
+        assert_eq!(buf.take(), Some(7), "closed buffers drain");
+        assert_eq!(buf.take(), None);
+    }
+
+    #[test]
+    fn timeouts() {
+        let buf: BoundedBuffer<u8> = BoundedBuffer::new(1);
+        assert_eq!(buf.take_timeout(Duration::from_millis(10)), Err(()));
+        buf.put(1).unwrap();
+        assert_eq!(
+            buf.put_timeout(2, Duration::from_millis(10)),
+            Err(PutError::Timeout(2))
+        );
+        assert_eq!(buf.take_timeout(Duration::from_millis(10)), Ok(Some(1)));
+    }
+}

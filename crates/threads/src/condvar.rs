@@ -1,0 +1,235 @@
+//! A condition variable for [`crate::raw::Mutex`], built from thread
+//! parking with per-waiter wake flags (no spurious-wakeup-free
+//! guarantee is claimed — callers must re-check their condition in a
+//! loop, exactly as Java's `wait()` requires).
+
+use crate::raw::MutexGuard;
+#[cfg(test)]
+use crate::raw::Mutex;
+use crate::spin::SpinLock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, Thread};
+use std::time::{Duration, Instant};
+
+struct Waiter {
+    thread: Thread,
+    woken: Arc<AtomicBool>,
+}
+
+/// A condition variable. Pair it with exactly one mutex at a time
+/// (the usual condvar contract).
+pub struct CondVar {
+    waiters: SpinLock<VecDeque<Waiter>>,
+}
+
+impl Default for CondVar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CondVar {
+    pub fn new() -> Self {
+        CondVar { waiters: SpinLock::new(VecDeque::new()) }
+    }
+
+    /// Atomically release `guard`, sleep until notified, and re-lock.
+    ///
+    /// The registration happens *before* the mutex is released, so a
+    /// notifier that changes the condition under the mutex and then
+    /// notifies cannot slip between our release and our sleep (no lost
+    /// wakeups).
+    pub fn wait<'m, T: ?Sized>(&self, guard: MutexGuard<'m, T>) -> MutexGuard<'m, T> {
+        let mutex = guard.mutex();
+        let woken = Arc::new(AtomicBool::new(false));
+        self.waiters
+            .lock()
+            .push_back(Waiter { thread: thread::current(), woken: Arc::clone(&woken) });
+        drop(guard); // release the mutex
+        while !woken.load(Ordering::Acquire) {
+            thread::park();
+        }
+        mutex.lock()
+    }
+
+    /// Like [`CondVar::wait`] but gives up after `timeout`. Returns
+    /// the re-acquired guard and whether the wait timed out.
+    pub fn wait_timeout<'m, T: ?Sized>(
+        &self,
+        guard: MutexGuard<'m, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'m, T>, bool) {
+        let mutex = guard.mutex();
+        let woken = Arc::new(AtomicBool::new(false));
+        let me = thread::current();
+        self.waiters
+            .lock()
+            .push_back(Waiter { thread: me.clone(), woken: Arc::clone(&woken) });
+        drop(guard);
+        let deadline = Instant::now() + timeout;
+        let mut timed_out = false;
+        while !woken.load(Ordering::Acquire) {
+            let now = Instant::now();
+            if now >= deadline {
+                timed_out = true;
+                break;
+            }
+            thread::park_timeout(deadline - now);
+        }
+        if timed_out {
+            // Deregister; a racing notify may still have popped us, in
+            // which case we count as woken after all.
+            let mut queue = self.waiters.lock();
+            let before = queue.len();
+            queue.retain(|w| !Arc::ptr_eq(&w.woken, &woken));
+            if queue.len() == before && woken.load(Ordering::Acquire) {
+                timed_out = false;
+            }
+        }
+        (mutex.lock(), timed_out)
+    }
+
+    /// Wake one waiter (FIFO).
+    pub fn notify_one(&self) {
+        let waiter = self.waiters.lock().pop_front();
+        if let Some(w) = waiter {
+            w.woken.store(true, Ordering::Release);
+            w.thread.unpark();
+        }
+    }
+
+    /// Wake every waiter — the semantics of the pseudocode's
+    /// `NOTIFY()` and Java's `notifyAll()`.
+    pub fn notify_all(&self) {
+        let drained: Vec<Waiter> = self.waiters.lock().drain(..).collect();
+        for w in drained {
+            w.woken.store(true, Ordering::Release);
+            w.thread.unpark();
+        }
+    }
+
+    /// Number of threads currently waiting (racy; for diagnostics).
+    pub fn waiter_count(&self) -> usize {
+        self.waiters.lock().len()
+    }
+}
+
+/// Convenience: wait on `cond` until `pred` holds.
+pub fn wait_while<'m, T: ?Sized>(
+    cond: &CondVar,
+    mut guard: MutexGuard<'m, T>,
+    mut still_waiting: impl FnMut(&mut T) -> bool,
+) -> MutexGuard<'m, T> {
+    while still_waiting(&mut guard) {
+        guard = cond.wait(guard);
+    }
+    guard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_and_notify_one() {
+        let pair = Arc::new((Mutex::new(false), CondVar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = thread::spawn(move || {
+            let (mutex, cond) = &*p2;
+            let mut guard = mutex.lock();
+            while !*guard {
+                guard = cond.wait(guard);
+            }
+            true
+        });
+        thread::sleep(Duration::from_millis(20));
+        {
+            let (mutex, cond) = &*pair;
+            *mutex.lock() = true;
+            cond.notify_one();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn notify_all_wakes_every_waiter() {
+        let pair = Arc::new((Mutex::new(false), CondVar::new()));
+        let handles: Vec<_> = (0..5)
+            .map(|_| {
+                let p = Arc::clone(&pair);
+                thread::spawn(move || {
+                    let (mutex, cond) = &*p;
+                    let guard = mutex.lock();
+                    let guard = wait_while(cond, guard, |ready| !*ready);
+                    drop(guard);
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30));
+        {
+            let (mutex, cond) = &*pair;
+            *mutex.lock() = true;
+            cond.notify_all();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn no_lost_wakeup_race() {
+        // Stress the release-then-notify window.
+        for _ in 0..200 {
+            let pair = Arc::new((Mutex::new(false), CondVar::new()));
+            let p2 = Arc::clone(&pair);
+            let waiter = thread::spawn(move || {
+                let (mutex, cond) = &*p2;
+                let mut guard = mutex.lock();
+                while !*guard {
+                    guard = cond.wait(guard);
+                }
+            });
+            let (mutex, cond) = &*pair;
+            *mutex.lock() = true;
+            cond.notify_all();
+            waiter.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let pair = (Mutex::new(()), CondVar::new());
+        let guard = pair.0.lock();
+        let (guard, timed_out) = pair.1.wait_timeout(guard, Duration::from_millis(10));
+        assert!(timed_out);
+        drop(guard);
+        assert_eq!(pair.1.waiter_count(), 0, "timed-out waiter must deregister");
+    }
+
+    #[test]
+    fn wait_timeout_wakes_before_deadline() {
+        let pair = Arc::new((Mutex::new(false), CondVar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = thread::spawn(move || {
+            let (mutex, cond) = &*p2;
+            let mut guard = mutex.lock();
+            let mut timed_out = false;
+            while !*guard && !timed_out {
+                let (g, to) = cond.wait_timeout(guard, Duration::from_secs(5));
+                guard = g;
+                timed_out = to;
+            }
+            timed_out
+        });
+        thread::sleep(Duration::from_millis(20));
+        {
+            let (mutex, cond) = &*pair;
+            *mutex.lock() = true;
+            cond.notify_one();
+        }
+        assert!(!waiter.join().unwrap(), "must wake via notify, not timeout");
+    }
+}

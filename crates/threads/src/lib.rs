@@ -1,0 +1,53 @@
+//! # concur-threads
+//!
+//! The shared-memory third of the workbench: the thread-model runtime
+//! the course teaches with Java (`synchronized`, `wait`/`notify`,
+//! `java.util.concurrent`), rebuilt from atomics up in the style of
+//! *Rust Atomics and Locks*.
+//!
+//! Layering (each level built only on the one below):
+//!
+//! 1. **Atomics** — [`spin::SpinLock`], [`spin::TicketLock`],
+//!    [`peterson::PetersonLock`] (spin-based mutual exclusion).
+//! 2. **Parking** — [`raw::Mutex`] (one atomic + a queue of parked
+//!    threads) and [`condvar::CondVar`].
+//! 3. **Monitor** — [`monitor::Monitor`], the Java-style
+//!    lock-plus-wait-set the pseudocode's `EXC_ACC` / `WAIT()` /
+//!    `NOTIFY()` maps onto.
+//! 4. **Coordination** — [`semaphore::Semaphore`], [`barrier::Barrier`],
+//!    [`barrier::CountDownLatch`], [`rwlock::RwLock`] (three fairness
+//!    policies), [`buffer::BoundedBuffer`], [`pool::ThreadPool`].
+//!
+//! The classical problems built on these live in `concur-problems`;
+//! the lock-level benchmarks in `concur-bench`.
+//!
+//! ```
+//! use concur_threads::monitor::Monitor;
+//!
+//! // Figure 4's guarded counter: EXC_ACC + WAIT/NOTIFY as a monitor.
+//! let x = Monitor::new(10i64);
+//! x.when(|v| v + 1 >= 0, |v| *v += 1);
+//! assert_eq!(x.with_quiet(|v| *v), 11);
+//! ```
+
+pub mod barrier;
+pub mod buffer;
+pub mod condvar;
+pub mod monitor;
+pub mod peterson;
+pub mod pool;
+pub mod raw;
+pub mod rwlock;
+pub mod semaphore;
+pub mod spin;
+
+pub use barrier::{Barrier, CountDownLatch};
+pub use buffer::{BoundedBuffer, PutError};
+pub use condvar::CondVar;
+pub use monitor::{Monitor, MonitorGuard};
+pub use peterson::PetersonLock;
+pub use pool::{PoolStats, ThreadPool};
+pub use raw::{Mutex, MutexGuard};
+pub use rwlock::{Policy, RwLock};
+pub use semaphore::Semaphore;
+pub use spin::{SpinLock, TicketLock};

@@ -1,0 +1,179 @@
+//! Peterson's algorithm: two-thread mutual exclusion from plain
+//! shared variables — the classic the course uses to show that locks
+//! can be *built* rather than conjured, and why memory ordering
+//! matters (every access here is `SeqCst`; with relaxed ordering the
+//! algorithm is broken on real hardware).
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Two-thread lock. Threads must identify as side `0` or side `1` and
+/// the two sides must not be used by more than one thread each at a
+/// time; [`PetersonLock::side`] hands out RAII tokens enforcing this.
+pub struct PetersonLock<T: ?Sized> {
+    interested: [AtomicBool; 2],
+    turn: AtomicUsize,
+    claimed: [AtomicBool; 2],
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Sync for PetersonLock<T> {}
+unsafe impl<T: ?Sized + Send> Send for PetersonLock<T> {}
+
+impl<T> PetersonLock<T> {
+    pub fn new(data: T) -> Self {
+        PetersonLock {
+            interested: [AtomicBool::new(false), AtomicBool::new(false)],
+            turn: AtomicUsize::new(0),
+            claimed: [AtomicBool::new(false), AtomicBool::new(false)],
+            data: UnsafeCell::new(data),
+        }
+    }
+}
+
+impl<T: ?Sized> PetersonLock<T> {
+    /// Claim one of the two sides. Panics if the side is already
+    /// claimed (Peterson's algorithm is strictly two-party).
+    pub fn side(&self, side: usize) -> Side<'_, T> {
+        assert!(side < 2, "Peterson's algorithm has exactly two sides");
+        assert!(
+            !self.claimed[side].swap(true, Ordering::SeqCst),
+            "side {side} already claimed"
+        );
+        Side { lock: self, side }
+    }
+}
+
+/// A claimed side of the lock: the handle through which one of the
+/// two threads locks.
+pub struct Side<'l, T: ?Sized> {
+    lock: &'l PetersonLock<T>,
+    side: usize,
+}
+
+impl<T: ?Sized> Side<'_, T> {
+    pub fn lock(&self) -> PetersonGuard<'_, T> {
+        let me = self.side;
+        let other = 1 - me;
+        let lock = self.lock;
+        lock.interested[me].store(true, Ordering::SeqCst);
+        lock.turn.store(other, Ordering::SeqCst);
+        let mut spins = 0u32;
+        while lock.interested[other].load(Ordering::SeqCst)
+            && lock.turn.load(Ordering::SeqCst) == other
+        {
+            spins += 1;
+            if spins < 16 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        PetersonGuard { lock, side: me }
+    }
+}
+
+impl<T: ?Sized> Drop for Side<'_, T> {
+    fn drop(&mut self) {
+        self.lock.claimed[self.side].store(false, Ordering::SeqCst);
+    }
+}
+
+/// RAII guard for a Peterson critical section.
+pub struct PetersonGuard<'l, T: ?Sized> {
+    lock: &'l PetersonLock<T>,
+    side: usize,
+}
+
+impl<T: ?Sized> Deref for PetersonGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: Peterson's algorithm guarantees mutual exclusion
+        // between the two sides.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for PetersonGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for PetersonGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.interested[self.side].store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn two_threads_count_exactly() {
+        let lock = Arc::new(PetersonLock::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|side| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    let my_side = lock.side(side);
+                    for _ in 0..10_000 {
+                        *my_side.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.side(0).lock(), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn double_claim_panics() {
+        let lock = PetersonLock::new(());
+        let _a = lock.side(0);
+        let _b = lock.side(0);
+    }
+
+    #[test]
+    fn sides_are_reclaimable_after_drop() {
+        let lock = PetersonLock::new(1);
+        {
+            let side = lock.side(1);
+            assert_eq!(*side.lock(), 1);
+        }
+        let side_again = lock.side(1);
+        assert_eq!(*side_again.lock(), 1);
+    }
+
+    #[test]
+    fn no_mutual_exclusion_violation_observed() {
+        // Flag-based overlap detector.
+        let lock = Arc::new(PetersonLock::new(false));
+        let handles: Vec<_> = (0..2)
+            .map(|side| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    let my_side = lock.side(side);
+                    for _ in 0..5_000 {
+                        let mut inside = my_side.lock();
+                        assert!(!*inside, "two threads in the critical section");
+                        *inside = true;
+                        std::hint::spin_loop();
+                        *inside = false;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

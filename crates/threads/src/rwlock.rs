@@ -1,0 +1,310 @@
+//! Readers–writers locks with selectable fairness policy — the
+//! readers-writers problem is one of the course's quiz scenarios, and
+//! the *policy* (who gets in when both classes wait) is exactly the
+//! fairness issue the paper lists among its synchronization topics.
+//!
+//! Three policies:
+//!
+//! * [`Policy::ReaderPreference`] — readers are admitted whenever no
+//!   writer is active. Writers can starve under a steady read load.
+//! * [`Policy::WriterPreference`] — arriving readers also wait when a
+//!   writer is *waiting*. Readers can starve under a steady write
+//!   load.
+//! * [`Policy::Fair`] — strict FIFO by arrival, with consecutive
+//!   readers admitted as a batch. Neither class starves.
+//!
+//! The `primitives` benchmark and `rwlock_fairness` tests measure the
+//! throughput/starvation trade-off between them.
+
+use crate::monitor::Monitor;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+
+/// Admission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    ReaderPreference,
+    WriterPreference,
+    Fair,
+}
+
+#[derive(Debug)]
+struct RwState {
+    active_readers: usize,
+    writer_active: bool,
+    waiting_writers: usize,
+    /// Fair policy: FIFO queue of arrivals (`true` = writer) by
+    /// ticket.
+    queue: VecDeque<(u64, bool)>,
+    next_ticket: u64,
+}
+
+/// A readers–writers lock protecting a `T`.
+pub struct RwLock<T: ?Sized> {
+    policy: Policy,
+    state: Monitor<RwState>,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub fn new(policy: Policy, data: T) -> Self {
+        RwLock {
+            policy,
+            state: Monitor::new(RwState {
+                active_readers: 0,
+                writer_active: false,
+                waiting_writers: 0,
+                queue: VecDeque::new(),
+                next_ticket: 0,
+            }),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    pub fn read(&self) -> ReadGuard<'_, T> {
+        match self.policy {
+            Policy::ReaderPreference => {
+                self.state.when(|s| !s.writer_active, |s| s.active_readers += 1);
+            }
+            Policy::WriterPreference => {
+                self.state.when(
+                    |s| !s.writer_active && s.waiting_writers == 0,
+                    |s| s.active_readers += 1,
+                );
+            }
+            Policy::Fair => {
+                let ticket = self.state.with(|s| {
+                    let t = s.next_ticket;
+                    s.next_ticket += 1;
+                    s.queue.push_back((t, false));
+                    t
+                });
+                // Admitted when no writer is active and every earlier
+                // queued arrival is also a reader that has been
+                // admitted (i.e. we are at the front).
+                self.state.when(
+                    move |s| !s.writer_active && s.queue.front().is_some_and(|&(t, _)| t == ticket),
+                    |s| {
+                        s.queue.pop_front();
+                        s.active_readers += 1;
+                    },
+                );
+            }
+        }
+        ReadGuard { lock: self }
+    }
+
+    pub fn write(&self) -> WriteGuard<'_, T> {
+        match self.policy {
+            Policy::ReaderPreference => {
+                self.state.when(
+                    |s| !s.writer_active && s.active_readers == 0,
+                    |s| s.writer_active = true,
+                );
+            }
+            Policy::WriterPreference => {
+                self.state.with(|s| s.waiting_writers += 1);
+                self.state.when(
+                    |s| !s.writer_active && s.active_readers == 0,
+                    |s| {
+                        s.waiting_writers -= 1;
+                        s.writer_active = true;
+                    },
+                );
+            }
+            Policy::Fair => {
+                let ticket = self.state.with(|s| {
+                    let t = s.next_ticket;
+                    s.next_ticket += 1;
+                    s.queue.push_back((t, true));
+                    t
+                });
+                self.state.when(
+                    move |s| {
+                        !s.writer_active
+                            && s.active_readers == 0
+                            && s.queue.front().is_some_and(|&(t, _)| t == ticket)
+                    },
+                    |s| {
+                        s.queue.pop_front();
+                        s.writer_active = true;
+                    },
+                );
+            }
+        }
+        WriteGuard { lock: self }
+    }
+
+    /// (active readers, writer active, waiting writers) — diagnostics.
+    pub fn snapshot(&self) -> (usize, bool, usize) {
+        self.state.with_quiet(|s| (s.active_readers, s.writer_active, s.waiting_writers))
+    }
+}
+
+/// Shared-access guard.
+pub struct ReadGuard<'l, T: ?Sized> {
+    lock: &'l RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for ReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: readers exclude writers.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for ReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.with(|s| s.active_readers -= 1);
+    }
+}
+
+/// Exclusive-access guard.
+pub struct WriteGuard<'l, T: ?Sized> {
+    lock: &'l RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for WriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the writer is exclusive.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for WriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for WriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.with(|s| s.writer_active = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn exclusion_holds(policy: Policy) {
+        let lock = Arc::new(RwLock::new(policy, 0i64));
+        let violation = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let lock = Arc::clone(&lock);
+            let violation = Arc::clone(&violation);
+            handles.push(thread::spawn(move || {
+                for _ in 0..300 {
+                    if i % 2 == 0 {
+                        let r = lock.read();
+                        let (readers, writer, _) = lock.snapshot();
+                        if writer || readers == 0 {
+                            violation.store(true, Ordering::SeqCst);
+                        }
+                        let _ = *r;
+                    } else {
+                        let mut w = lock.write();
+                        let (readers, _, _) = lock.snapshot();
+                        if readers != 0 {
+                            violation.store(true, Ordering::SeqCst);
+                        }
+                        *w += 1;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!violation.load(Ordering::SeqCst), "{policy:?} violated exclusion");
+        assert_eq!(*lock.read(), 600);
+    }
+
+    #[test]
+    fn reader_preference_exclusion() {
+        exclusion_holds(Policy::ReaderPreference);
+    }
+
+    #[test]
+    fn writer_preference_exclusion() {
+        exclusion_holds(Policy::WriterPreference);
+    }
+
+    #[test]
+    fn fair_exclusion() {
+        exclusion_holds(Policy::Fair);
+    }
+
+    #[test]
+    fn multiple_readers_coexist() {
+        let lock = Arc::new(RwLock::new(Policy::ReaderPreference, ()));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (lock, peak, inside) =
+                    (Arc::clone(&lock), Arc::clone(&peak), Arc::clone(&inside));
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        let _r = lock.read();
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        thread::yield_now();
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) > 1, "readers never overlapped");
+    }
+
+    #[test]
+    fn writer_preference_blocks_new_readers_while_writer_waits() {
+        let lock = Arc::new(RwLock::new(Policy::WriterPreference, 0));
+        let r = lock.read();
+        // A writer arrives and waits.
+        let l2 = Arc::clone(&lock);
+        let writer = thread::spawn(move || {
+            *l2.write() += 1;
+        });
+        // Wait until the writer registers.
+        while lock.snapshot().2 == 0 {
+            thread::yield_now();
+        }
+        // A new reader must now block rather than overtake.
+        let l3 = Arc::clone(&lock);
+        let reader = thread::spawn(move || {
+            let g = l3.read();
+            *g
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(lock.snapshot().0, 1, "late reader overtook a waiting writer");
+        drop(r);
+        writer.join().unwrap();
+        assert_eq!(reader.join().unwrap(), 1, "reader must see the write");
+    }
+}

@@ -1,0 +1,131 @@
+//! A counting semaphore built on the monitor, plus an RAII permit.
+
+use crate::monitor::Monitor;
+use std::time::Duration;
+
+/// A counting semaphore with `permits` initially available.
+pub struct Semaphore {
+    permits: Monitor<usize>,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Self {
+        Semaphore { permits: Monitor::new(permits) }
+    }
+
+    /// Block until a permit is available and take it.
+    pub fn acquire(&self) {
+        self.permits.when(|p| *p > 0, |p| *p -= 1);
+    }
+
+    /// Take a permit if one is available right now.
+    pub fn try_acquire(&self) -> bool {
+        self.permits.with(|p| {
+            if *p > 0 {
+                *p -= 1;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Timed acquire; returns whether a permit was obtained.
+    pub fn acquire_timeout(&self, timeout: Duration) -> bool {
+        self.permits
+            .when_timeout(|p| *p > 0, timeout, |p| *p -= 1)
+            .is_some()
+    }
+
+    /// Return a permit and wake waiters.
+    pub fn release(&self) {
+        self.permits.with(|p| *p += 1);
+    }
+
+    /// Currently available permits (racy; diagnostics).
+    pub fn available(&self) -> usize {
+        self.permits.with_quiet(|p| *p)
+    }
+
+    /// Acquire and return an RAII permit that releases on drop.
+    pub fn permit(&self) -> Permit<'_> {
+        self.acquire();
+        Permit { semaphore: self }
+    }
+}
+
+/// RAII permit from [`Semaphore::permit`].
+pub struct Permit<'s> {
+    semaphore: &'s Semaphore,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.semaphore.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn bounds_concurrency() {
+        // With 2 permits, at most 2 threads are ever inside.
+        let sem = Arc::new(Semaphore::new(2));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (sem, inside, peak) = (Arc::clone(&sem), Arc::clone(&inside), Arc::clone(&peak));
+                thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _permit = sem.permit();
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        thread::yield_now();
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "peak {}", peak.load(Ordering::SeqCst));
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn try_acquire_and_release() {
+        let sem = Semaphore::new(1);
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        sem.release();
+        assert!(sem.try_acquire());
+    }
+
+    #[test]
+    fn timed_acquire() {
+        let sem = Semaphore::new(0);
+        assert!(!sem.acquire_timeout(Duration::from_millis(10)));
+        sem.release();
+        assert!(sem.acquire_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn zero_permit_semaphore_as_signal() {
+        let sem = Arc::new(Semaphore::new(0));
+        let s2 = Arc::clone(&sem);
+        let t = thread::spawn(move || {
+            s2.acquire();
+            true
+        });
+        thread::sleep(Duration::from_millis(10));
+        sem.release();
+        assert!(t.join().unwrap());
+    }
+}

@@ -1,0 +1,326 @@
+//! Spin locks: the simplest mutual-exclusion primitives, built
+//! directly on atomics.
+//!
+//! Two variants:
+//!
+//! * [`SpinLock`] — test-and-set with exponential backoff. Unfair:
+//!   whichever thread's CAS lands first wins.
+//! * [`TicketLock`] — FIFO-fair: threads take a ticket and are served
+//!   in order, at the cost of more cache traffic.
+//!
+//! Both yield to the OS while spinning (`thread::yield_now`), which
+//! matters on the single-core machines this workbench also targets —
+//! a pure `spin_loop` would burn a whole quantum doing nothing.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// A test-and-set spin lock protecting a `T`.
+pub struct SpinLock<T: ?Sized> {
+    locked: AtomicBool,
+    stats: LockStats,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides the exclusion needed to hand out &mut T
+// across threads; T must still be Send for the data to move between
+// threads.
+unsafe impl<T: ?Sized + Send> Sync for SpinLock<T> {}
+unsafe impl<T: ?Sized + Send> Send for SpinLock<T> {}
+
+/// Contention counters shared by the lock types in this crate: used by
+/// the fairness labs and the `primitives` benchmark.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    /// Successful acquisitions.
+    pub acquisitions: AtomicU64,
+    /// Acquisitions that had to wait at least one spin iteration.
+    pub contended: AtomicU64,
+}
+
+impl LockStats {
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.acquisitions.load(Ordering::Relaxed), self.contended.load(Ordering::Relaxed))
+    }
+
+    /// Fraction of acquisitions that experienced contention.
+    pub fn contention_ratio(&self) -> f64 {
+        let (acq, cont) = self.snapshot();
+        if acq == 0 {
+            0.0
+        } else {
+            cont as f64 / acq as f64
+        }
+    }
+}
+
+impl<T> SpinLock<T> {
+    pub const fn new(data: T) -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+            stats: LockStats {
+                acquisitions: AtomicU64::new(0),
+                contended: AtomicU64::new(0),
+            },
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Consume the lock and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> SpinLock<T> {
+    /// Acquire the lock, spinning (with backoff and OS yields) until
+    /// available.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spins = 0u32;
+        let mut contended = false;
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            contended = true;
+            // Wait for the lock to look free before retrying the CAS
+            // (test-and-test-and-set) to avoid cache-line ping-pong.
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < 16 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.stats.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        SpinGuard { lock: self }
+    }
+
+    /// Try to acquire without spinning.
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Contention statistics for this lock.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Access through an existing exclusive borrow (no locking).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// RAII guard for [`SpinLock`].
+pub struct SpinGuard<'l, T: ?Sized> {
+    lock: &'l SpinLock<T>,
+}
+
+impl<T: ?Sized> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive ownership of the lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+/// A FIFO ticket lock: `next_ticket` is the take-a-number dispenser,
+/// `now_serving` the counter above the counter window.
+pub struct TicketLock<T: ?Sized> {
+    next_ticket: AtomicUsize,
+    now_serving: AtomicUsize,
+    stats: LockStats,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Sync for TicketLock<T> {}
+unsafe impl<T: ?Sized + Send> Send for TicketLock<T> {}
+
+impl<T> TicketLock<T> {
+    pub const fn new(data: T) -> Self {
+        TicketLock {
+            next_ticket: AtomicUsize::new(0),
+            now_serving: AtomicUsize::new(0),
+            stats: LockStats {
+                acquisitions: AtomicU64::new(0),
+                contended: AtomicU64::new(0),
+            },
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> TicketLock<T> {
+    pub fn lock(&self) -> TicketGuard<'_, T> {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let mut contended = false;
+        let mut spins = 0u32;
+        while self.now_serving.load(Ordering::Acquire) != ticket {
+            contended = true;
+            spins += 1;
+            if spins < 16 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.stats.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        TicketGuard { lock: self }
+    }
+
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// RAII guard for [`TicketLock`].
+pub struct TicketGuard<'l, T: ?Sized> {
+    lock: &'l TicketLock<T>,
+}
+
+impl<T: ?Sized> Deref for TicketGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard proves exclusive ownership.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for TicketGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for TicketGuard<'_, T> {
+    fn drop(&mut self) {
+        // The next ticket holder is spinning on an Acquire load of
+        // this counter.
+        self.lock.now_serving.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn hammer<L, F>(lock: Arc<L>, threads: usize, iters: usize, bump: F) -> Arc<L>
+    where
+        L: Send + Sync + 'static,
+        F: Fn(&L) + Send + Sync + Copy + 'static,
+    {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        bump(&lock);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        lock
+    }
+
+    #[test]
+    fn spinlock_counts_exactly() {
+        let lock = hammer(Arc::new(SpinLock::new(0u64)), 4, 2_000, |l| {
+            *l.lock() += 1;
+        });
+        assert_eq!(*lock.lock(), 8_000);
+        assert_eq!(lock.stats().snapshot().0, 8_001);
+    }
+
+    #[test]
+    fn ticketlock_counts_exactly() {
+        let lock = hammer(Arc::new(TicketLock::new(0u64)), 4, 2_000, |l| {
+            *l.lock() += 1;
+        });
+        assert_eq!(*lock.lock(), 8_000);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let lock = SpinLock::new(5);
+        let guard = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(guard);
+        assert_eq!(*lock.try_lock().expect("free now"), 5);
+    }
+
+    #[test]
+    fn guards_give_mutable_access() {
+        let lock = SpinLock::new(String::new());
+        lock.lock().push_str("hi");
+        assert_eq!(&*lock.lock(), "hi");
+        let ticket = TicketLock::new(vec![1]);
+        ticket.lock().push(2);
+        assert_eq!(&*ticket.lock(), &[1, 2]);
+    }
+
+    #[test]
+    fn into_inner_returns_data() {
+        let lock = SpinLock::new(7);
+        assert_eq!(lock.into_inner(), 7);
+        let t = TicketLock::new("x");
+        assert_eq!(t.into_inner(), "x");
+    }
+
+    #[test]
+    fn ticket_lock_is_fifo_under_handoff() {
+        // Acquire in a known order from a single thread; the order of
+        // grants must match ticket order (trivially true
+        // single-threaded, asserted via stats).
+        let lock = TicketLock::new(Vec::<usize>::new());
+        for i in 0..10 {
+            lock.lock().push(i);
+        }
+        assert_eq!(*lock.lock(), (0..10).collect::<Vec<_>>());
+    }
+}

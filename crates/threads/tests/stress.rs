@@ -1,0 +1,222 @@
+//! Cross-primitive stress tests: the shared-memory runtime under
+//! heavier and more adversarial schedules than the unit tests use.
+
+use concur_threads::{
+    Barrier, BoundedBuffer, CountDownLatch, Monitor, Mutex, Policy, RwLock, Semaphore,
+    SpinLock, ThreadPool,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn bank_transfers_conserve_money() {
+    // Classic monitor exercise: concurrent transfers between accounts
+    // never create or destroy money.
+    const ACCOUNTS: usize = 4;
+    const INITIAL: i64 = 1_000;
+    let bank = Arc::new(Monitor::new(vec![INITIAL; ACCOUNTS]));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let bank = Arc::clone(&bank);
+            std::thread::spawn(move || {
+                for i in 0..2_000usize {
+                    let from = (t + i) % ACCOUNTS;
+                    let to = (t + i * 7 + 1) % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    let amount = ((i % 17) + 1) as i64;
+                    // Conditional transfer: wait until funds suffice.
+                    bank.when(
+                        |accounts| accounts[from] >= amount,
+                        |accounts| {
+                            accounts[from] -= amount;
+                            accounts[to] += amount;
+                        },
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total: i64 = bank.with_quiet(|accounts| accounts.iter().sum());
+    assert_eq!(total, INITIAL * ACCOUNTS as i64);
+    let no_negative = bank.with_quiet(|accounts| accounts.iter().all(|&a| a >= 0));
+    assert!(no_negative);
+}
+
+#[test]
+fn pipeline_of_bounded_buffers() {
+    // stage1 → stage2 → stage3, each a bounded buffer; totals conserve
+    // through the pipeline.
+    let first: Arc<BoundedBuffer<u64>> = Arc::new(BoundedBuffer::new(2));
+    let second: Arc<BoundedBuffer<u64>> = Arc::new(BoundedBuffer::new(3));
+    let n = 500u64;
+
+    let f2 = Arc::clone(&first);
+    let producer = std::thread::spawn(move || {
+        for i in 1..=n {
+            f2.put(i).unwrap();
+        }
+        f2.close();
+    });
+    let (f3, s2) = (Arc::clone(&first), Arc::clone(&second));
+    let stage = std::thread::spawn(move || {
+        while let Some(v) = f3.take() {
+            s2.put(v * 2).unwrap();
+        }
+        s2.close();
+    });
+    let s3 = Arc::clone(&second);
+    let consumer = std::thread::spawn(move || {
+        let mut total = 0u64;
+        while let Some(v) = s3.take() {
+            total += v;
+        }
+        total
+    });
+    producer.join().unwrap();
+    stage.join().unwrap();
+    assert_eq!(consumer.join().unwrap(), n * (n + 1)); // 2 * Σ 1..=n
+}
+
+#[test]
+fn pool_inside_pool_does_not_deadlock() {
+    // Jobs that submit follow-up work to a second pool.
+    let outer = ThreadPool::new(2, 4);
+    let inner = Arc::new(ThreadPool::new(2, 4));
+    let done = Arc::new(AtomicU64::new(0));
+    for _ in 0..20 {
+        let inner = Arc::clone(&inner);
+        let done = Arc::clone(&done);
+        outer
+            .execute(move || {
+                let done = Arc::clone(&done);
+                inner
+                    .execute(move || {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    })
+                    .unwrap();
+            })
+            .unwrap();
+    }
+    outer.wait_idle();
+    inner.wait_idle();
+    assert_eq!(done.load(Ordering::SeqCst), 20);
+}
+
+#[test]
+fn semaphore_as_connection_pool() {
+    let sem = Arc::new(Semaphore::new(3));
+    let active = Arc::new(AtomicU64::new(0));
+    let peak = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..10)
+        .map(|_| {
+            let (sem, active, peak) =
+                (Arc::clone(&sem), Arc::clone(&active), Arc::clone(&peak));
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _permit = sem.permit();
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(peak.load(Ordering::SeqCst) <= 3);
+}
+
+#[test]
+fn barrier_phases_with_rwlock_snapshot() {
+    // Workers mutate under the write lock, synchronize on a barrier,
+    // then all read the same snapshot.
+    const WORKERS: usize = 4;
+    let barrier = Arc::new(Barrier::new(WORKERS));
+    let state = Arc::new(RwLock::new(Policy::Fair, 0u64));
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            let (barrier, state) = (Arc::clone(&barrier), Arc::clone(&state));
+            std::thread::spawn(move || {
+                for round in 1..=5u64 {
+                    *state.write() += 1;
+                    barrier.wait();
+                    let snapshot = *state.read();
+                    assert_eq!(snapshot, round * WORKERS as u64);
+                    barrier.wait();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn latch_gates_a_fleet() {
+    let start = Arc::new(CountDownLatch::new(1));
+    let ready = Arc::new(CountDownLatch::new(6));
+    let flag = Arc::new(SpinLock::new(false));
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let (start, ready, flag) =
+                (Arc::clone(&start), Arc::clone(&ready), Arc::clone(&flag));
+            std::thread::spawn(move || {
+                ready.count_down();
+                start.wait();
+                assert!(*flag.lock(), "nobody may pass the latch before the flag is set");
+            })
+        })
+        .collect();
+    ready.wait();
+    *flag.lock() = true;
+    start.count_down();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn timed_waits_do_not_hang_under_contention() {
+    let m = Arc::new(Monitor::new(0u32));
+    let m2 = Arc::clone(&m);
+    let waiter = std::thread::spawn(move || {
+        // Condition never becomes true; rely on the timeout.
+        m2.when_timeout(|v| *v == 999, Duration::from_millis(50), |_| ())
+    });
+    // Noisy neighbours keep notifying with wrong values.
+    for i in 0..20 {
+        m.with(|v| *v = i);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(waiter.join().unwrap(), None, "must time out, not hang");
+}
+
+#[test]
+fn mutex_fairness_under_handoff_storm() {
+    // No thread should be starved out entirely over a long run.
+    let lock = Arc::new(Mutex::new(vec![0u64; 3]));
+    let handles: Vec<_> = (0..3)
+        .map(|t| {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    lock.lock()[t] += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let counts = lock.lock().clone();
+    assert_eq!(counts, vec![5_000, 5_000, 5_000]);
+}

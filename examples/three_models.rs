@@ -1,0 +1,124 @@
+//! The three concurrency models side by side on their home turf —
+//! the "costs and benefits of different programming approaches" the
+//! course asks students to weigh:
+//!
+//! * threads: a monitor-based bank account with conditional
+//!   withdrawals (blocking until funds arrive);
+//! * actors: a supervised, restartable counter service (failure
+//!   isolation);
+//! * coroutines: a pipeline of generators (laziness and deterministic
+//!   single-threaded concurrency).
+//!
+//! Run with: `cargo run --example three_models`
+
+use concur::actors::{ask, Actor, ActorSystem, Context, OnPanic, SpawnOptions};
+use concur::coroutines::{Coroutine, Resume};
+use concur::threads::Monitor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    threads_demo();
+    actors_demo();
+    coroutines_demo();
+}
+
+/// Shared memory: a joint account; withdrawals wait for deposits.
+fn threads_demo() {
+    println!("== threads: monitor with conditional synchronization ==");
+    let account = Arc::new(Monitor::new(0i64));
+    let mut handles = Vec::new();
+    // Three patient withdrawers.
+    for i in 1..=3 {
+        let account = Arc::clone(&account);
+        handles.push(std::thread::spawn(move || {
+            let amount = i * 10;
+            account.when(|balance| *balance >= amount, |balance| *balance -= amount);
+            println!("   withdrew {amount}");
+        }));
+    }
+    // One depositor drip-feeding funds.
+    for _ in 0..6 {
+        account.with(|balance| *balance += 10);
+        std::thread::yield_now();
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    println!("   final balance: {}\n", account.with_quiet(|b| *b));
+}
+
+/// Message passing: a counter that survives poison messages.
+fn actors_demo() {
+    println!("== actors: supervision and restart ==");
+    struct Counter {
+        count: u64,
+    }
+    enum Msg {
+        Add(u64),
+        Poison,
+        Get(concur::actors::Resolver<u64>),
+    }
+    impl Actor for Counter {
+        type Msg = Msg;
+        fn receive(&mut self, msg: Msg, _ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Add(n) => self.count += n,
+                Msg::Poison => panic!("poison message"),
+                Msg::Get(reply) => reply.resolve(self.count),
+            }
+        }
+    }
+    // The poison message panics inside the actor on purpose; silence
+    // the default hook so the demo output stays readable.
+    std::panic::set_hook(Box::new(|_| {}));
+    let system = ActorSystem::new(2);
+    let counter = system.spawn_supervised(
+        || Counter { count: 0 },
+        SpawnOptions { on_panic: OnPanic::Restart { max_restarts: 5 }, ..Default::default() },
+    );
+    for i in 0..10 {
+        counter.send(Msg::Add(1));
+        if i == 4 {
+            counter.send(Msg::Poison); // crashes the actor mid-stream
+        }
+    }
+    let total = ask(&counter, Msg::Get, Duration::from_secs(5)).expect("counter alive");
+    println!(
+        "   processed 10 adds around a crash: count = {total}, panics = {}, restarts = {}",
+        system.panic_count(),
+        system.restart_count()
+    );
+    println!("   (the restart wiped in-flight state: the count restarted from the crash)\n");
+    system.shutdown();
+    let _ = std::panic::take_hook();
+}
+
+/// Cooperative: a generator pipeline — naturals → squares → running
+/// sum, all lazy, all on one thread of control.
+fn coroutines_demo() {
+    println!("== coroutines: lazy generator pipeline ==");
+    let mut naturals = Coroutine::new(|y, _: ()| {
+        let mut n = 0u64;
+        loop {
+            y.yield_(n);
+            n += 1;
+        }
+    });
+    let mut running_sum = Coroutine::new(|y, first: u64| {
+        let mut sum = first;
+        loop {
+            let next = y.yield_(sum);
+            sum += next;
+        }
+    });
+
+    let mut results = Vec::new();
+    for _ in 0..8 {
+        let Resume::Yield(n) = naturals.resume(()) else { unreachable!() };
+        let Resume::Yield(sum) = running_sum.resume(n * n) else { unreachable!() };
+        results.push(sum);
+    }
+    println!("   running sums of squares: {results:?}");
+    println!("   (locals persisted across {} suspensions per coroutine)", results.len());
+}

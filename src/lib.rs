@@ -1,0 +1,13 @@
+//! # concur — programming with concurrency: threads, actors, and coroutines
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! architecture overview and `DESIGN.md` for the paper-reproduction
+//! inventory.
+
+pub use concur_actors as actors;
+pub use concur_coroutines as coroutines;
+pub use concur_exec as exec;
+pub use concur_problems as problems;
+pub use concur_pseudocode as pseudocode;
+pub use concur_study as study;
+pub use concur_threads as threads;

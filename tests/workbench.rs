@@ -1,0 +1,94 @@
+//! Cross-crate integration: the full problem matrix (9 problems × 3
+//! paradigms), pseudocode-vs-Rust agreement on the bridge, and the
+//! end-to-end study pipeline.
+
+use concur::problems::{
+    book_inventory, bounded_buffer, bridge, dining, party_matching, readers_writers,
+    sleeping_barber, sum_workers, thread_pool_arith, Paradigm,
+};
+
+#[test]
+fn the_full_problem_matrix_validates() {
+    for paradigm in Paradigm::ALL {
+        bounded_buffer::run(paradigm, bounded_buffer::Config::default())
+            .unwrap_or_else(|v| panic!("bounded_buffer/{paradigm}: {v}"));
+        dining::run(paradigm, dining::Config::default())
+            .unwrap_or_else(|v| panic!("dining/{paradigm}: {v}"));
+        readers_writers::run(paradigm, readers_writers::Config::default())
+            .unwrap_or_else(|v| panic!("readers_writers/{paradigm}: {v}"));
+        party_matching::run(paradigm, party_matching::Config::default())
+            .unwrap_or_else(|v| panic!("party_matching/{paradigm}: {v}"));
+        sleeping_barber::run(paradigm, sleeping_barber::Config::default())
+            .unwrap_or_else(|v| panic!("sleeping_barber/{paradigm}: {v}"));
+        bridge::run(paradigm, bridge::Config::default())
+            .unwrap_or_else(|v| panic!("bridge/{paradigm}: {v}"));
+        book_inventory::run(paradigm, book_inventory::Config::default())
+            .unwrap_or_else(|v| panic!("book_inventory/{paradigm}: {v}"));
+    }
+}
+
+#[test]
+fn computational_problems_agree_across_paradigms() {
+    let sum_config = sum_workers::Config::sequential(500, 4);
+    let expected = sum_config.expected_sum();
+    for paradigm in Paradigm::ALL {
+        assert_eq!(sum_workers::run(paradigm, &sum_config), expected, "{paradigm}");
+    }
+    let arith_config = thread_pool_arith::Config { tasks: 100, workers: 3 };
+    let oracle = thread_pool_arith::sequential_total(arith_config);
+    for paradigm in Paradigm::ALL {
+        assert_eq!(thread_pool_arith::run(paradigm, arith_config), oracle, "{paradigm}");
+    }
+}
+
+#[test]
+fn pseudocode_bridge_and_rust_bridge_agree_on_safety() {
+    // The pseudocode single-lane bridge (run under the model checker)
+    // and the Rust monitor implementation of the same protocol must
+    // both be deadlock-free and safe.
+    use concur::exec::{Explorer, Interp};
+    let interp =
+        Interp::from_source(concur::study::bridge::BRIDGE_SHARED_MEMORY).expect("compiles");
+    let explorer = Explorer::new(&interp);
+    let terminals = explorer.terminals().expect("explores");
+    assert!(!terminals.has_deadlock(), "pseudocode bridge deadlocks");
+    assert!(!terminals.stats.truncated);
+
+    let events = bridge::run(
+        Paradigm::Threads,
+        bridge::Config {
+            red_cars: 2,
+            blue_cars: 1,
+            crossings_per_car: 1,
+            fair_batch: None,
+        },
+    )
+    .expect("Rust bridge is safe");
+    assert_eq!(events.len(), 6, "2 reds + 1 blue, one crossing each");
+}
+
+#[test]
+fn study_pipeline_end_to_end() {
+    let report = concur::study::run_study(1234);
+    // Structure.
+    assert_eq!(report.cohort.students.len(), 16);
+    assert_eq!(report.results.scores.len(), 32);
+    // The headline shapes (details are unit-tested in concur-study).
+    assert!(report.table2.all_shared_memory < report.table2.all_message_passing);
+    assert!(report.table2.session2_mean > report.table2.session1_mean);
+}
+
+#[test]
+fn figure_programs_run_through_the_facade() {
+    let outputs = concur::exec::explore::terminal_outputs(
+        concur::exec::figures::FIG4_WAIT_NOTIFY,
+    )
+    .expect("figure runs");
+    assert_eq!(outputs, vec!["0"]);
+}
+
+#[test]
+fn pseudocode_parser_is_reachable_from_the_facade() {
+    let program = concur::pseudocode::parse("x = 1\nPRINTLN x + 1\n").expect("parses");
+    assert_eq!(program.statement_count(), 2);
+}
