@@ -29,8 +29,7 @@ impl<T: Send + 'static> Promise<T> {
 
     /// Block with a deadline; `None` on timeout.
     pub fn get_timeout(self, timeout: Duration) -> Option<T> {
-        self.slot
-            .when_timeout(|s| s.is_some(), timeout, |s| s.take().expect("resolved"))
+        self.slot.when_timeout(|s| s.is_some(), timeout, |s| s.take().expect("resolved"))
     }
 
     /// Non-blocking poll.

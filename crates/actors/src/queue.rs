@@ -48,11 +48,7 @@ impl<T> UnboundedQueue<T> {
     #[allow(clippy::result_unit_err)] // () is the idiomatic timeout marker here
     pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, ()> {
         self.state
-            .when_timeout(
-                |s| !s.items.is_empty() || s.closed,
-                timeout,
-                |s| s.items.pop_front(),
-            )
+            .when_timeout(|s| !s.items.is_empty() || s.closed, timeout, |s| s.items.pop_front())
             .ok_or(())
     }
 

@@ -263,11 +263,7 @@ impl<A: Actor> Runnable for Cell<A> {
         if !body.started {
             body.started = true;
             if let Some(actor) = &mut body.actor {
-                let mut ctx = Context {
-                    shared,
-                    self_ref: self_ref.clone(),
-                    stop_requested: false,
-                };
+                let mut ctx = Context { shared, self_ref: self_ref.clone(), stop_requested: false };
                 actor.started(&mut ctx);
                 if ctx.stop_requested {
                     self.terminate(shared, &mut body);
@@ -284,15 +280,12 @@ impl<A: Actor> Runnable for Cell<A> {
                     self.terminate(shared, &mut body);
                 }
                 Envelope::User(msg) => {
-                    let mut ctx = Context {
-                        shared,
-                        self_ref: self_ref.clone(),
-                        stop_requested: false,
-                    };
+                    let mut ctx =
+                        Context { shared, self_ref: self_ref.clone(), stop_requested: false };
                     let actor = body.actor.as_mut().expect("alive actor");
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || actor.receive(msg, &mut ctx),
-                    ));
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        actor.receive(msg, &mut ctx)
+                    }));
                     let stop_requested = ctx.stop_requested;
                     match outcome {
                         Ok(()) => {
@@ -308,8 +301,7 @@ impl<A: Actor> Runnable for Cell<A> {
                             if restartable {
                                 body.restarts_left -= 1;
                                 shared.restarts.fetch_add(1, Ordering::SeqCst);
-                                let factory =
-                                    body.factory.as_ref().expect("checked restartable");
+                                let factory = body.factory.as_ref().expect("checked restartable");
                                 let mut fresh = factory();
                                 let mut ctx = Context {
                                     shared,

@@ -186,10 +186,7 @@ fn supervised_actor_restarts_after_panics() {
     let p2 = Arc::clone(&processed);
     let fragile = system.spawn_supervised(
         move || Fragile { processed: Arc::clone(&p2) },
-        SpawnOptions {
-            on_panic: OnPanic::Restart { max_restarts: 10 },
-            ..SpawnOptions::default()
-        },
+        SpawnOptions { on_panic: OnPanic::Restart { max_restarts: 10 }, ..SpawnOptions::default() },
     );
     for n in 0..30 {
         fragile.send(n);
@@ -288,8 +285,7 @@ fn chaos_mailbox_reorders_but_loses_nothing() {
 fn fifo_mailbox_preserves_single_sender_order() {
     let system = ActorSystem::new(1);
     let (tx, rx) = mpsc::channel();
-    let recorder =
-        system.spawn(Recorder { seen: Vec::new(), report_to: tx, expect: 50 });
+    let recorder = system.spawn(Recorder { seen: Vec::new(), report_to: tx, expect: 50 });
     for n in 0..50 {
         recorder.send(n);
     }

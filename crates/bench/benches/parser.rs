@@ -9,10 +9,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 fn bench_parser(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontend");
-    for (name, source) in [
-        ("sm_bridge", BRIDGE_SHARED_MEMORY),
-        ("mp_bridge", BRIDGE_MESSAGE_PASSING),
-    ] {
+    for (name, source) in
+        [("sm_bridge", BRIDGE_SHARED_MEMORY), ("mp_bridge", BRIDGE_MESSAGE_PASSING)]
+    {
         group.throughput(Throughput::Bytes(source.len() as u64));
         group.bench_function(BenchmarkId::new("parse", name), |b| {
             b.iter(|| parse(source).expect("parses"));

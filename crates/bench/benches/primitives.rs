@@ -49,9 +49,7 @@ fn bench_locks_contended(c: &mut Criterion) {
     });
     group.bench_function("std_mutex", |b| {
         b.iter_custom(|iters| {
-            contend(iters, Arc::new(std::sync::Mutex::new(0u64)), |l| {
-                *l.lock().unwrap() += 1
-            })
+            contend(iters, Arc::new(std::sync::Mutex::new(0u64)), |l| *l.lock().unwrap() += 1)
         });
     });
     group.bench_function("spinlock", |b| {

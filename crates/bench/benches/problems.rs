@@ -3,9 +3,7 @@
 //! 2 asks for, measured instead of graded.
 
 use concur_bench::workloads;
-use concur_problems::{
-    bounded_buffer, bridge, dining, party_matching, sleeping_barber, Paradigm,
-};
+use concur_problems::{bounded_buffer, bridge, dining, party_matching, sleeping_barber, Paradigm};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_problems(c: &mut Criterion) {
@@ -16,21 +14,14 @@ fn bench_problems(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("bridge", paradigm.to_string()), |b| {
             b.iter(|| bridge::run(paradigm, workloads::bridge_config()).expect("safe"));
         });
-        group.bench_function(
-            BenchmarkId::new("bounded_buffer", paradigm.to_string()),
-            |b| {
-                b.iter(|| {
-                    bounded_buffer::run(paradigm, workloads::buffer_config()).expect("safe")
-                });
-            },
-        );
+        group.bench_function(BenchmarkId::new("bounded_buffer", paradigm.to_string()), |b| {
+            b.iter(|| bounded_buffer::run(paradigm, workloads::buffer_config()).expect("safe"));
+        });
         group.bench_function(BenchmarkId::new("philosophers", paradigm.to_string()), |b| {
             b.iter(|| dining::run(paradigm, workloads::dining_config()).expect("safe"));
         });
         group.bench_function(BenchmarkId::new("barber", paradigm.to_string()), |b| {
-            b.iter(|| {
-                sleeping_barber::run(paradigm, workloads::barber_config()).expect("safe")
-            });
+            b.iter(|| sleeping_barber::run(paradigm, workloads::barber_config()).expect("safe"));
         });
         group.bench_function(BenchmarkId::new("party", paradigm.to_string()), |b| {
             b.iter(|| party_matching::run(paradigm, workloads::party_config()).expect("safe"));

@@ -157,9 +157,7 @@ where
 {
     /// Create a suspended coroutine. The body runs only when resumed;
     /// `first` is the value passed to the first `resume`.
-    pub fn new(
-        body: impl FnOnce(&mut Yielder<In, Out, R>, In) -> R + Send + 'static,
-    ) -> Self {
+    pub fn new(body: impl FnOnce(&mut Yielder<In, Out, R>, In) -> R + Send + 'static) -> Self {
         let baton = Arc::new(Baton { slot: Mutex::new(None), cond: Condvar::new() });
         let thread_baton = Arc::clone(&baton);
         let thread = std::thread::Builder::new()
@@ -400,8 +398,7 @@ mod tests {
         assert_eq!(co.resume(()), Resume::Yield(0));
         drop(co);
         // The probe's destructor ran during cancellation unwinding.
-        rx.recv_timeout(std::time::Duration::from_secs(5))
-            .expect("coroutine stack was unwound");
+        rx.recv_timeout(std::time::Duration::from_secs(5)).expect("coroutine stack was unwound");
     }
 
     #[test]

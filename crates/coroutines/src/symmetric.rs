@@ -52,10 +52,7 @@ impl<T: Send + 'static> SymmetricSet<T> {
     /// Add a coroutine. Its body receives the control context and the
     /// value carried by the first transfer into it; its return value
     /// ends the whole set's run.
-    pub fn add(
-        &mut self,
-        body: impl FnOnce(&mut SymCtx<'_, T>, T) -> T + Send + 'static,
-    ) -> CoId {
+    pub fn add(&mut self, body: impl FnOnce(&mut SymCtx<'_, T>, T) -> T + Send + 'static) -> CoId {
         let id = CoId(self.cos.len());
         self.cos.push(Some(Coroutine::new(move |yielder, first| {
             let mut ctx = SymCtx { yielder };
@@ -115,10 +112,8 @@ mod tests {
             }
             n
         });
-        set.add(move |ctx, mut n: i64| {
-            loop {
-                n = ctx.transfer(ping, n - 1);
-            }
+        set.add(move |ctx, mut n: i64| loop {
+            n = ctx.transfer(ping, n - 1);
         });
         let (finisher, result) = set.run(ping, 10);
         assert_eq!(finisher, ping);

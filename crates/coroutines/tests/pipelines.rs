@@ -2,8 +2,7 @@
 //! workloads, and symmetric control transfer used together.
 
 use concur_coroutines::{
-    CoChannel, CoId, Coroutine, Resume, Scheduler, Step, StepCoroutine, StepIter,
-    SymmetricSet,
+    CoChannel, CoId, Coroutine, Resume, Scheduler, Step, StepCoroutine, StepIter, SymmetricSet,
 };
 use std::sync::{Arc, Mutex};
 
@@ -15,8 +14,7 @@ fn generator_pipeline_composes() {
             y.yield_(n);
         }
     });
-    let collected: Vec<u64> =
-        naturals.iter().filter(|n| n % 2 == 0).map(|n| n * 10).collect();
+    let collected: Vec<u64> = naturals.iter().filter(|n| n % 2 == 0).map(|n| n * 10).collect();
     assert_eq!(collected, vec![0, 20, 40, 60, 80, 100, 120, 140, 160, 180]);
 }
 

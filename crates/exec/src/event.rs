@@ -124,8 +124,12 @@ pub struct EventPattern {
 /// What the event must be.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKindPattern {
-    Called { func: String },
-    Returned { func: String },
+    Called {
+        func: String,
+    },
+    Returned {
+        func: String,
+    },
     /// Blocked trying to enter any `EXC_ACC` (the paper's "blocks on
     /// the EXC_ACC marker").
     BlockedOnLocks,
@@ -137,11 +141,19 @@ pub enum EventKindPattern {
     Notified,
     /// Sent a message with this name (payload unconstrained unless
     /// `args` is `Some`).
-    Sent { msg_name: String, args: Option<Vec<Value>> },
+    Sent {
+        msg_name: String,
+        args: Option<Vec<Value>>,
+    },
     /// Received a message with this name (and payload, when given —
     /// Figure 7's "receives MESSAGE.succeedExit(2)").
-    Received { msg_name: String, args: Option<Vec<Value>> },
-    Printed { text: String },
+    Received {
+        msg_name: String,
+        args: Option<Vec<Value>>,
+    },
+    Printed {
+        text: String,
+    },
     Finished,
 }
 
@@ -217,17 +229,18 @@ impl StateCond {
             StateCond::InFunction { task_label, func } => {
                 task(task_label).is_some_and(|t| t.in_function(func, funcs))
             }
-            StateCond::CalledTimes { task_label, func, times } => task(task_label)
-                .is_some_and(|t| t.calls.get(func).copied().unwrap_or(0) == *times),
+            StateCond::CalledTimes { task_label, func, times } => {
+                task(task_label).is_some_and(|t| t.calls.get(func).copied().unwrap_or(0) == *times)
+            }
             StateCond::ReturnedTimes { task_label, func, times } => task(task_label)
                 .is_some_and(|t| t.returns.get(func).copied().unwrap_or(0) == *times),
-            StateCond::HasSent { task_label, msg_name } => task(task_label)
-                .is_some_and(|t| t.sent.get(msg_name).copied().unwrap_or(0) >= 1),
-            StateCond::ReceivedTotal { task_label, times } => task(task_label)
-                .is_some_and(|t| t.received.values().sum::<u32>() == *times),
-            StateCond::GlobalEquals { name, value } => {
-                state.globals.get(name) == Some(value)
+            StateCond::HasSent { task_label, msg_name } => {
+                task(task_label).is_some_and(|t| t.sent.get(msg_name).copied().unwrap_or(0) >= 1)
             }
+            StateCond::ReceivedTotal { task_label, times } => {
+                task(task_label).is_some_and(|t| t.received.values().sum::<u32>() == *times)
+            }
+            StateCond::GlobalEquals { name, value } => state.globals.get(name) == Some(value),
             StateCond::TaskExists { task_label } => task(task_label).is_some(),
             StateCond::HoldsLock { task_label } => {
                 task(task_label).is_some_and(|t| !t.held.is_empty())

@@ -6,73 +6,32 @@
 //! hello") and its Test-1 questions ask whether a scenario *could*
 //! happen from a given situation. Both are reachability questions over
 //! the interleaving space; this module answers them by depth-first
-//! search over [`Interp::choices`]/[`Interp::apply`] with state-hash
-//! deduplication.
+//! search over [`Interp::choices`]/[`Interp::apply`].
+//!
+//! Two optimizations keep the search tractable:
+//!
+//! * **State interning** ([`crate::intern`]): DFS nodes hold a
+//!   [`StateSig`] (eight words) instead of a full [`State`], and the
+//!   visited set stores exact `(StateSig, progress)` pairs — no
+//!   reliance on 64-bit state hashes being collision-free.
+//! * **Partial-order reduction** ([`crate::footprint`]): at a state
+//!   where one task's enabled transitions provably commute with
+//!   everything every other live task can still do — and are invisible
+//!   to the active query — only that task's transitions are expanded
+//!   (an *ample set*). A cycle proviso (every ample successor
+//!   unvisited) prevents the ignoring problem; any unknown footprint
+//!   falls back to full expansion. Setup-state discovery
+//!   ([`Explorer::reachable_states`]) always runs unreduced, because
+//!   its callback inspects arbitrary [`StateCond`]s that POR's
+//!   commutation argument does not protect.
 
 use crate::event::{Event, EventPattern, StateCond};
+use crate::intern::{FxHashSet, Pools, StateSig};
 use crate::interp::{Choice, Interp, Outcome};
-use crate::state::State;
+use crate::state::{State, TaskId, TaskStatus};
 use crate::value::RuntimeError;
-use std::collections::{BTreeSet, HashSet};
-use std::hash::{Hash, Hasher};
-
-/// The rustc-style Fx hasher: multiplicative, not HashDoS-resistant —
-/// exactly right for hashing interpreter states into the visited set,
-/// where speed dominates and inputs are not adversarial. Profiling
-/// showed SipHash spending a double-digit share of exploration time on
-/// the larger message-passing state spaces.
-#[derive(Default)]
-struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut word = [0u8; 8];
-            word[..rest.len()].copy_from_slice(rest);
-            self.add(u64::from_le_bytes(word));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.add(v);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
 
 /// Exploration bounds. Exploration is exact when neither bound is hit;
 /// results report whether truncation occurred.
@@ -92,6 +51,13 @@ impl Default for Limits {
     }
 }
 
+/// Maximum hops folded into one corridor-compressed edge (see
+/// [`Explorer::compress_corridor`]). Bounds the work any single edge
+/// can do on an infinite-state program; real corridors (drain loops,
+/// post-branching wind-downs) are far shorter, and a longer one just
+/// continues from the edge's end node.
+const CORRIDOR_MAX: usize = 256;
+
 /// Statistics from one exploration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Stats {
@@ -99,6 +65,19 @@ pub struct Stats {
     pub transitions: usize,
     /// Whether any bound was hit (results are then lower bounds).
     pub truncated: bool,
+    /// States expanded with an ample subset instead of all choices.
+    pub por_ample_states: usize,
+    /// Enabled choices skipped at those states (each prunes a whole
+    /// subtree's worth of interleavings, not one transition).
+    pub por_pruned_choices: usize,
+    /// Deepest DFS stack seen, in nodes.
+    pub peak_stack_depth: usize,
+    /// Estimated peak DFS stack footprint, in bytes (node headers +
+    /// choice/event/successor buffers; excludes the shared intern
+    /// pools).
+    pub peak_stack_bytes: usize,
+    /// Wall-clock time of the exploration.
+    pub wall: Duration,
 }
 
 /// A terminal state of the program (no enabled transitions).
@@ -174,20 +153,81 @@ impl Answer {
 /// enabled choices, query progress) → what to do next.
 type VisitFn<'f> = &'f mut dyn FnMut(&State, &[Event], &[Choice], usize) -> Visit;
 
+/// What the active search can observe; transitions that could affect
+/// any of it are *visible* and are never pruned into an ample set.
+#[derive(Clone, Copy)]
+struct Visibility<'v> {
+    /// Event patterns the query can match. A transition is visible
+    /// only if one of its predicted emits could match one of these
+    /// (task label, function and message name/payload included — not
+    /// just the event kind).
+    patterns: &'v [EventPattern],
+    /// State conditions the visit callback evaluates.
+    conds: &'v [StateCond],
+}
+
+impl Visibility<'_> {
+    const NONE: Visibility<'static> = Visibility { patterns: &[], conds: &[] };
+}
+
+/// A precomputed successor edge: the interned signature of the state
+/// it reaches plus the events emitted along the way (one step for an
+/// ample edge, possibly many for a corridor-compressed one).
+type Succ = (StateSig, Vec<Event>);
+
+/// How a node's successors are produced.
+enum Expansion {
+    /// All enabled choices; each is applied lazily (the parent state
+    /// is re-materialized from its signature per child).
+    Full { choices: Vec<Choice>, next: usize },
+    /// An ample subset, already applied during selection (the cycle
+    /// proviso needed the successor signatures anyway).
+    Ample { succs: Vec<Succ>, next: usize },
+}
+
 /// One DFS node. `progress` is the query-match index (always 0 for
-/// plain exploration).
+/// plain exploration). No full state is stored — only the signature.
 struct Node {
-    state: State,
-    choices: Vec<Choice>,
-    next: usize,
+    sig: StateSig,
     progress: usize,
     /// Events of the edge that reached this node (empty for roots).
     edge_events: Vec<Event>,
+    expansion: Expansion,
+}
+
+impl Node {
+    /// Rough retained size, for the peak-stack-bytes statistic.
+    fn bytes(&self) -> usize {
+        let heap = match &self.expansion {
+            Expansion::Full { choices, .. } => choices.capacity() * std::mem::size_of::<Choice>(),
+            Expansion::Ample { succs, .. } => {
+                succs.capacity() * std::mem::size_of::<(StateSig, Vec<Event>)>()
+                    + succs
+                        .iter()
+                        .map(|(_, ev)| ev.capacity() * std::mem::size_of::<Event>())
+                        .sum::<usize>()
+            }
+        };
+        std::mem::size_of::<Node>()
+            + heap
+            + self.edge_events.capacity() * std::mem::size_of::<Event>()
+    }
 }
 
 enum StepAction {
     Pop,
-    Expand { choice: Choice, progress: usize },
+    /// Apply `choice` to the parent (full expansion).
+    Apply {
+        choice: Choice,
+        parent_sig: StateSig,
+        progress: usize,
+    },
+    /// Enter a successor precomputed by ample selection.
+    Cached {
+        sig: StateSig,
+        events: Vec<Event>,
+        progress: usize,
+    },
 }
 
 /// What the visit callback wants the search to do.
@@ -204,27 +244,48 @@ pub enum Visit {
 pub struct Explorer<'i> {
     pub interp: &'i Interp,
     pub limits: Limits,
+    /// Apply partial-order reduction where sound (terminal
+    /// enumeration and event-pattern queries). Setup discovery is
+    /// always unreduced regardless of this flag.
+    pub por: bool,
 }
 
 impl<'i> Explorer<'i> {
     pub fn new(interp: &'i Interp) -> Self {
-        Explorer { interp, limits: Limits::default() }
+        Explorer { interp, limits: Limits::default(), por: true }
     }
 
     pub fn with_limits(interp: &'i Interp, limits: Limits) -> Self {
-        Explorer { interp, limits }
+        Explorer { interp, limits, por: true }
+    }
+
+    /// The same explorer with partial-order reduction disabled —
+    /// plain exhaustive DFS. The differential test harness compares
+    /// the two; it is also the honest baseline for benchmarks.
+    pub fn without_por(mut self) -> Self {
+        self.por = false;
+        self
     }
 
     /// Enumerate every reachable terminal state (distinct outputs +
     /// outcome kinds). This regenerates the figures' "possibility"
     /// lists exactly.
+    ///
+    /// Runs with POR (unless disabled): ample sets are persistent, so
+    /// every state with no enabled transitions — every terminal — is
+    /// still reached.
     pub fn terminals(&self) -> Result<TerminalSet, RuntimeError> {
+        let begin = Instant::now();
         let mut terminals = BTreeSet::new();
         let mut stats = Stats::default();
-        let mut visited = HashSet::new();
+        let mut pools = Pools::new();
+        let mut visited = FxHashSet::default();
         self.dfs(
             self.interp.initial_state(),
             None,
+            self.por,
+            Visibility::NONE,
+            &mut pools,
             &mut visited,
             &mut stats,
             &mut |state, _events, choices, _progress| {
@@ -239,6 +300,7 @@ impl<'i> Explorer<'i> {
                 Visit::Continue
             },
         )?;
+        stats.wall = begin.elapsed();
         Ok(TerminalSet { terminals, stats })
     }
 
@@ -248,19 +310,60 @@ impl<'i> Explorer<'i> {
     /// queries this loses nothing, because a scenario reachable from a
     /// deeper setup state is also reachable (as a subsequence) from
     /// the setup state above it.
+    ///
+    /// Always unreduced: callers get the literal set of distinct
+    /// condition-satisfying states, including ones that only occur in
+    /// interleavings an ample set would collapse.
     pub fn reachable_states(
         &self,
         setup: &[StateCond],
         cap: usize,
         frontier_only: bool,
     ) -> Result<(Vec<State>, Stats), RuntimeError> {
+        self.reachable_states_inner(setup, cap, frontier_only, false, Visibility::NONE)
+    }
+
+    /// Setup-state discovery for [`Explorer::can_happen`]: like
+    /// [`Explorer::reachable_states`] with `frontier_only`, but with
+    /// POR enabled under a visibility that protects both the setup
+    /// conditions and the scenario's event kinds. Sound for
+    /// `can_happen`'s *existential* use: for every full-graph run that
+    /// reaches a setup state and then realizes the scenario, the
+    /// reduced graph contains a run with the same (setup-truth ∪
+    /// scenario-event) projection, so some collected frontier state
+    /// still has the scenario realizable in its continuation. The
+    /// literal set of frontier states may differ from the unreduced
+    /// one — which is why this is not the public API.
+    fn setup_frontier(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+        cap: usize,
+    ) -> Result<(Vec<State>, Stats), RuntimeError> {
+        let visibility = Visibility { patterns: query, conds: setup };
+        self.reachable_states_inner(setup, cap, true, self.por, visibility)
+    }
+
+    fn reachable_states_inner(
+        &self,
+        setup: &[StateCond],
+        cap: usize,
+        frontier_only: bool,
+        use_por: bool,
+        visibility: Visibility<'_>,
+    ) -> Result<(Vec<State>, Stats), RuntimeError> {
+        let begin = Instant::now();
         let mut found: Vec<State> = Vec::new();
         let mut stats = Stats::default();
-        let mut visited = HashSet::new();
+        let mut pools = Pools::new();
+        let mut visited = FxHashSet::default();
         let funcs = &self.interp.compiled.funcs;
         self.dfs(
             self.interp.initial_state(),
             None,
+            use_por,
+            visibility,
+            &mut pools,
             &mut visited,
             &mut stats,
             &mut |state, _events, _choices, _progress| {
@@ -279,6 +382,7 @@ impl<'i> Explorer<'i> {
         if found.len() >= cap {
             stats.truncated = true;
         }
+        stats.wall = begin.elapsed();
         Ok((found, stats))
     }
 
@@ -290,38 +394,68 @@ impl<'i> Explorer<'i> {
         setup: &[StateCond],
         query: &[EventPattern],
     ) -> Result<Answer, RuntimeError> {
+        self.can_happen_with_stats(setup, query).map(|(answer, _)| answer)
+    }
+
+    /// [`Explorer::can_happen`], also returning the witness-search
+    /// statistics (the setup-discovery search is accounted separately
+    /// inside, but its wall time and truncation are folded in).
+    pub fn can_happen_with_stats(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<(Answer, Stats), RuntimeError> {
+        let begin = Instant::now();
         let (starts, setup_stats) =
-            self.reachable_states(setup, self.limits.max_setup_states, true)?;
+            self.setup_frontier(setup, query, self.limits.max_setup_states)?;
+        let mut stats = Stats::default();
         if starts.is_empty() {
-            return Ok(Answer::SetupUnreachable { exhaustive: !setup_stats.truncated });
+            stats.wall = begin.elapsed();
+            let answer = Answer::SetupUnreachable { exhaustive: !setup_stats.truncated };
+            return Ok((answer, stats));
         }
         if query.is_empty() {
-            return Ok(Answer::Yes { witness: Vec::new() });
+            stats.wall = begin.elapsed();
+            return Ok((Answer::Yes { witness: Vec::new() }, stats));
         }
-        // Share the visited set across start states: a (state,
-        // progress) node explored from one start need not be
+        // The witness search runs with POR: a transition that could
+        // match any query pattern (by kind, task label, function or
+        // message shape) is visible and is never pruned into an ample
+        // set, so event-subsequence reachability is preserved.
+        //
+        // Share pools and the visited set across start states: a
+        // (state, progress) node explored from one start need not be
         // re-explored from another.
-        let mut visited: HashSet<u64> = HashSet::new();
-        let mut stats = Stats::default();
+        let mut pools = Pools::new();
+        let mut visited: FxHashSet<(StateSig, usize)> = FxHashSet::default();
         for start in starts {
             let mut witness: Option<Vec<Event>> = None;
-            self.dfs(start, Some(query), &mut visited, &mut stats, &mut |_state,
-                                                                          _events,
-                                                                          _choices,
-                                                                          progress| {
-                if progress == query.len() {
-                    Visit::Stop
-                } else {
-                    Visit::Continue
-                }
-            })
+            self.dfs(
+                start,
+                Some(query),
+                self.por,
+                Visibility { patterns: query, conds: &[] },
+                &mut pools,
+                &mut visited,
+                &mut stats,
+                &mut |_state, _events, _choices, progress| {
+                    if progress == query.len() {
+                        Visit::Stop
+                    } else {
+                        Visit::Continue
+                    }
+                },
+            )
             .map(|w| witness = w)?;
             if let Some(events) = witness {
-                return Ok(Answer::Yes { witness: events });
+                stats.wall = begin.elapsed();
+                return Ok((Answer::Yes { witness: events }, stats));
             }
         }
-        let truncated = setup_stats.truncated || stats.truncated;
-        Ok(Answer::No { exhaustive: !truncated })
+        stats.truncated |= setup_stats.truncated;
+        stats.wall = begin.elapsed();
+        let exhaustive = !stats.truncated;
+        Ok((Answer::No { exhaustive }, stats))
     }
 
     // --- internals ---------------------------------------------------------
@@ -333,17 +467,22 @@ impl<'i> Explorer<'i> {
     /// [`Visit::Stop`] aborts the search. When `query` is `Some`, the
     /// return value carries the event path of the first node whose
     /// progress reached `query.len()` (the witness).
+    #[allow(clippy::too_many_arguments)] // internal driver shared by three fronts
     fn dfs(
         &self,
         start: State,
         query: Option<&[EventPattern]>,
-        visited: &mut HashSet<u64>,
+        use_por: bool,
+        visibility: Visibility<'_>,
+        pools: &mut Pools,
+        visited: &mut FxHashSet<(StateSig, usize)>,
         stats: &mut Stats,
         visit: VisitFn<'_>,
     ) -> Result<Option<Vec<Event>>, RuntimeError> {
         let mut start = start;
         start.steps = 0;
-        if !visited.insert(hash_node(&start, 0)) {
+        let start_sig = pools.intern(&start);
+        if !visited.insert((start_sig, 0)) {
             return Ok(None);
         }
         stats.states_visited += 1;
@@ -352,8 +491,13 @@ impl<'i> Explorer<'i> {
             Visit::Stop | Visit::Prune => return Ok(None),
             Visit::Continue => {}
         }
-        let mut stack =
-            vec![Node { state: start, choices, next: 0, progress: 0, edge_events: Vec::new() }];
+        let expansion =
+            self.plan_expansion(&start, choices, 0, use_por, visibility, pools, visited, stats)?;
+        let root = Node { sig: start_sig, progress: 0, edge_events: Vec::new(), expansion };
+        let mut stack_bytes = root.bytes();
+        stats.peak_stack_bytes = stats.peak_stack_bytes.max(stack_bytes);
+        stats.peak_stack_depth = stats.peak_stack_depth.max(1);
+        let mut stack = vec![root];
 
         loop {
             let depth = stack.len();
@@ -362,82 +506,318 @@ impl<'i> Explorer<'i> {
             }
             let action = {
                 let node = stack.last_mut().expect("non-empty stack");
-                if node.next >= node.choices.len() {
+                let exhausted = match &node.expansion {
+                    Expansion::Full { choices, next } => *next >= choices.len(),
+                    Expansion::Ample { succs, next } => *next >= succs.len(),
+                };
+                if exhausted {
                     StepAction::Pop
                 } else if depth >= self.limits.max_depth {
                     stats.truncated = true;
                     StepAction::Pop
                 } else {
-                    let choice = node.choices[node.next].clone();
-                    node.next += 1;
-                    StepAction::Expand { choice, progress: node.progress }
+                    match &mut node.expansion {
+                        Expansion::Full { choices, next } => {
+                            let choice = choices[*next].clone();
+                            *next += 1;
+                            StepAction::Apply {
+                                choice,
+                                parent_sig: node.sig,
+                                progress: node.progress,
+                            }
+                        }
+                        Expansion::Ample { succs, next } => {
+                            let (sig, events) = succs[*next].clone();
+                            *next += 1;
+                            StepAction::Cached { sig, events, progress: node.progress }
+                        }
+                    }
                 }
             };
-            match action {
+            let (next_state, sig, events, progress_before) = match action {
                 StepAction::Pop => {
-                    stack.pop();
+                    let node = stack.pop().expect("non-empty stack");
+                    stack_bytes = stack_bytes.saturating_sub(node.bytes());
+                    continue;
                 }
-                StepAction::Expand { choice, progress: progress_before } => {
-                    let mut next_state =
-                        stack.last().expect("non-empty stack").state.clone();
+                StepAction::Apply { choice, parent_sig, progress } => {
+                    let mut next_state = pools.materialize(parent_sig);
                     let events = self.interp.apply(&mut next_state, &choice)?;
                     // Step counts are path-dependent; freeze them so
                     // they do not break state dedup.
                     next_state.steps = 0;
                     stats.transitions += 1;
+                    let sig = pools.intern(&next_state);
+                    (next_state, sig, events, progress)
+                }
+                StepAction::Cached { sig, events, progress } => {
+                    (pools.materialize(sig), sig, events, progress)
+                }
+            };
 
-                    let mut progress = progress_before;
-                    if let Some(query) = query {
-                        for event in &events {
-                            if progress < query.len()
-                                && query[progress].matches(event, &next_state)
-                            {
-                                progress += 1;
-                            }
-                        }
-                        if progress == query.len() {
-                            let mut path: Vec<Event> = stack
-                                .iter()
-                                .flat_map(|n| n.edge_events.iter().cloned())
-                                .collect();
-                            path.extend(events);
-                            return Ok(Some(path));
-                        }
+            let mut progress = progress_before;
+            if let Some(query) = query {
+                for event in &events {
+                    if progress < query.len() && query[progress].matches(event, &next_state) {
+                        progress += 1;
                     }
+                }
+                if progress == query.len() {
+                    let mut path: Vec<Event> =
+                        stack.iter().flat_map(|n| n.edge_events.iter().cloned()).collect();
+                    path.extend(events);
+                    return Ok(Some(path));
+                }
+            }
 
-                    if !visited.insert(hash_node(&next_state, progress)) {
-                        continue;
-                    }
-                    stats.states_visited += 1;
-                    if stats.states_visited >= self.limits.max_states {
-                        stats.truncated = true;
-                        return Ok(None);
-                    }
-                    let choices = self.interp.choices(&next_state);
-                    match visit(&next_state, &events, &choices, progress) {
-                        Visit::Stop => return Ok(None),
-                        Visit::Prune => {}
-                        Visit::Continue => {
-                            stack.push(Node {
-                                state: next_state,
-                                choices,
-                                next: 0,
-                                progress,
-                                edge_events: events,
-                            });
-                        }
-                    }
+            if !visited.insert((sig, progress)) {
+                continue;
+            }
+            stats.states_visited += 1;
+            if stats.states_visited >= self.limits.max_states {
+                stats.truncated = true;
+                return Ok(None);
+            }
+            let choices = self.interp.choices(&next_state);
+            match visit(&next_state, &events, &choices, progress) {
+                Visit::Stop => return Ok(None),
+                Visit::Prune => {}
+                Visit::Continue => {
+                    let expansion = self.plan_expansion(
+                        &next_state,
+                        choices,
+                        progress,
+                        use_por,
+                        visibility,
+                        pools,
+                        visited,
+                        stats,
+                    )?;
+                    let node = Node { sig, progress, edge_events: events, expansion };
+                    stack_bytes += node.bytes();
+                    stats.peak_stack_bytes = stats.peak_stack_bytes.max(stack_bytes);
+                    stats.peak_stack_depth = stats.peak_stack_depth.max(stack.len() + 1);
+                    stack.push(node);
                 }
             }
         }
     }
-}
 
-fn hash_node(state: &State, progress: usize) -> u64 {
-    let mut hasher = FxHasher::default();
-    state.hash(&mut hasher);
-    progress.hash(&mut hasher);
-    hasher.finish()
+    /// Decide how to expand a node: an ample subset if one task
+    /// qualifies, otherwise all choices. A resulting *singleton*
+    /// invisible edge — whether a singleton ample set or the state's
+    /// only enabled choice — is extended through its corridor (see
+    /// [`Explorer::compress_corridor`]) before becoming an edge.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_expansion(
+        &self,
+        state: &State,
+        choices: Vec<Choice>,
+        progress: usize,
+        use_por: bool,
+        visibility: Visibility<'_>,
+        pools: &mut Pools,
+        visited: &FxHashSet<(StateSig, usize)>,
+        stats: &mut Stats,
+    ) -> Result<Expansion, RuntimeError> {
+        if use_por {
+            let first = if choices.len() > 1 {
+                let succs =
+                    self.try_ample(state, &choices, progress, visibility, pools, visited)?;
+                if let Some(succs) = &succs {
+                    stats.por_ample_states += 1;
+                    stats.por_pruned_choices += choices.len() - succs.len();
+                    stats.transitions += succs.len();
+                }
+                succs
+            } else if choices.len() == 1 && self.invisible(state, &choices[0], visibility) {
+                // A forced invisible step: no interleaving exists to
+                // defer, so take it eagerly — it may seed a corridor.
+                let mut next = state.clone();
+                let events = self.interp.apply(&mut next, &choices[0])?;
+                next.steps = 0;
+                stats.transitions += 1;
+                Some(vec![(pools.intern(&next), events)])
+            } else {
+                None
+            };
+            if let Some(mut succs) = first {
+                if succs.len() == 1 {
+                    let seed = succs.pop().expect("singleton");
+                    succs.push(
+                        self.compress_corridor(seed, progress, visibility, pools, visited, stats)?,
+                    );
+                }
+                return Ok(Expansion::Ample { succs, next: 0 });
+            }
+        }
+        Ok(Expansion::Full { choices, next: 0 })
+    }
+
+    /// Whether a choice's footprint is fully resolved and invisible to
+    /// the active query and watched conditions.
+    fn invisible(&self, state: &State, choice: &Choice, visibility: Visibility<'_>) -> bool {
+        let fp = self.interp.choice_footprint(state, choice);
+        !(fp.unknown
+            || fp.may_match_patterns(visibility.patterns)
+            || fp.affects_conds(visibility.conds))
+    }
+
+    /// Corridor compression: a singleton invisible edge often leads
+    /// into a chain of states that each have exactly one invisible
+    /// successor — post-branching returns and joins, lock hand-offs,
+    /// actor drain loops. Those interior states offer no interleaving
+    /// and no observable effect, so the DFS gains nothing by making
+    /// them nodes; this walks the chain and returns its far end with
+    /// the accumulated edge events. Interior states are *not* added to
+    /// the visited set (that is the point — they are not counted in
+    /// `states_visited` and never occupy the stack), so a path that
+    /// converges into a corridor interior re-walks the suffix:
+    /// duplicated work, never lost coverage.
+    ///
+    /// Soundness: every hop is either the state's only enabled choice
+    /// (nothing deferred) or a singleton ample set (commutation per
+    /// [`Explorer::try_ample`]), and every hop is invisible, so query
+    /// progress and all watched conditions are constant across the
+    /// interior. The walk stops *before* terminals (they must surface
+    /// as nodes for the visit callback), at any already-visited
+    /// signature (the proviso), at a chain-local repeat (an invisible
+    /// cycle), at any visible/unknown/branching step, and after
+    /// [`CORRIDOR_MAX`] hops — a bound on single-edge work for
+    /// infinite-state programs; the end node just seeds the next
+    /// corridor.
+    fn compress_corridor(
+        &self,
+        seed: Succ,
+        progress: usize,
+        visibility: Visibility<'_>,
+        pools: &mut Pools,
+        visited: &FxHashSet<(StateSig, usize)>,
+        stats: &mut Stats,
+    ) -> Result<Succ, RuntimeError> {
+        let (mut sig, mut events) = seed;
+        let mut interior: FxHashSet<StateSig> = FxHashSet::default();
+        for _ in 0..CORRIDOR_MAX {
+            if visited.contains(&(sig, progress)) || !interior.insert(sig) {
+                break;
+            }
+            let state = pools.materialize(sig);
+            let choices = self.interp.choices(&state);
+            let hop = match choices.len() {
+                0 => None,
+                1 => {
+                    if self.invisible(&state, &choices[0], visibility) {
+                        let mut next = state.clone();
+                        let evs = self.interp.apply(&mut next, &choices[0])?;
+                        next.steps = 0;
+                        stats.transitions += 1;
+                        Some((pools.intern(&next), evs))
+                    } else {
+                        None
+                    }
+                }
+                _ => {
+                    match self.try_ample(&state, &choices, progress, visibility, pools, visited)? {
+                        Some(succs) if succs.len() == 1 => {
+                            stats.por_ample_states += 1;
+                            stats.por_pruned_choices += choices.len() - 1;
+                            stats.transitions += 1;
+                            Some(succs.into_iter().next().expect("singleton"))
+                        }
+                        // A branching ample set (or none) ends the
+                        // corridor; the end node re-plans it, so the
+                        // uncommitted result is simply discarded.
+                        _ => None,
+                    }
+                }
+            };
+            match hop {
+                Some((next_sig, evs)) => {
+                    sig = next_sig;
+                    events.extend(evs);
+                }
+                None => break,
+            }
+        }
+        Ok((sig, events))
+    }
+
+    /// Ample-set selection. A task's enabled choices form an ample set
+    /// when:
+    ///
+    /// 1. every choice's footprint is fully resolved (no `unknown`),
+    /// 2. no choice is visible — could emit an event the active query
+    ///    observes, or change the truth of a condition the callback
+    ///    evaluates — and
+    /// 3. no choice's footprint conflicts with any *future* access of
+    ///    any other live task (static per-pc summaries of its stacked
+    ///    frames, plus the locks it holds or must re-acquire), and
+    /// 4. every successor is an unvisited node (cycle proviso — this
+    ///    implies the classic "no successor on the DFS stack", so the
+    ///    deferred tasks cannot be ignored around a cycle).
+    ///
+    /// Tasks are tried in id order; the first that qualifies wins.
+    /// Commits nothing to [`Stats`] — callers account for the ample
+    /// states, pruned choices and transitions of the results they
+    /// actually keep (a corridor probe may discard a branching set).
+    fn try_ample(
+        &self,
+        state: &State,
+        choices: &[Choice],
+        progress: usize,
+        visibility: Visibility<'_>,
+        pools: &mut Pools,
+        visited: &FxHashSet<(StateSig, usize)>,
+    ) -> Result<Option<Vec<Succ>>, RuntimeError> {
+        let mut by_task: BTreeMap<TaskId, Vec<usize>> = BTreeMap::new();
+        for (i, choice) in choices.iter().enumerate() {
+            let tid = match choice {
+                Choice::Step(t) => *t,
+                Choice::Receive { task, .. } => *task,
+            };
+            by_task.entry(tid).or_default().push(i);
+        }
+        if by_task.len() < 2 {
+            return Ok(None);
+        }
+        let footprints: Vec<_> =
+            choices.iter().map(|c| self.interp.choice_footprint(state, c)).collect();
+
+        'candidate: for (&tid, idxs) in &by_task {
+            for &i in idxs {
+                let fp = &footprints[i];
+                if fp.unknown
+                    || fp.may_match_patterns(visibility.patterns)
+                    || fp.affects_conds(visibility.conds)
+                {
+                    continue 'candidate;
+                }
+            }
+            for other in &state.tasks {
+                if other.id == tid || matches!(other.status, TaskStatus::Done) {
+                    continue;
+                }
+                if idxs.iter().any(|&i| self.interp.future_conflicts(other, &footprints[i])) {
+                    continue 'candidate;
+                }
+            }
+            let mut succs = Vec::with_capacity(idxs.len());
+            for &i in idxs {
+                let mut next = state.clone();
+                let events = self.interp.apply(&mut next, &choices[i])?;
+                next.steps = 0;
+                let sig = pools.intern(&next);
+                succs.push((sig, events));
+            }
+            // Invisible edges cannot advance query progress, so the
+            // successors' node keys keep this node's progress.
+            if succs.iter().any(|(sig, _)| visited.contains(&(*sig, progress))) {
+                continue 'candidate;
+            }
+            return Ok(Some(succs));
+        }
+        Ok(None)
+    }
 }
 
 /// Convenience: enumerate the terminal outputs of a source program.

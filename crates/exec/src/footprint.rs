@@ -1,0 +1,1415 @@
+//! Shared-resource footprints for partial-order reduction.
+//!
+//! The explorer prunes commuting interleavings with an *ample-set*
+//! scheme: at a state, if every enabled transition of one task is
+//! independent of everything every *other* live task could still do,
+//! it suffices to explore just that task's transitions. Independence
+//! is judged through footprints:
+//!
+//! * [`Interp::choice_footprint`] resolves the exact shared resources
+//!   one enabled [`Choice`] reads and writes *in the current state* —
+//!   possible because expression evaluation is side-effect-free, so
+//!   names and receiver objects can be resolved the same way the
+//!   interpreter itself will resolve them one step later.
+//! * [`StaticSummary`] over-approximates, per compiled code unit, the
+//!   resources *any* execution of that unit (and everything it can
+//!   call or spawn, transitively) may touch. A task's future behaviour
+//!   is the union of the summaries of the units on its call stack plus
+//!   the locks it currently holds.
+//!
+//! Anything the analysis cannot resolve precisely sets the
+//! [`Footprint::unknown`] (or [`StaticSummary::unknown`]) flag, which
+//! makes the explorer fall back to full expansion at that state — the
+//! reduction is allowed to be incomplete, never unsound.
+
+use crate::event::{EventKindPattern, EventPattern};
+use crate::interp::{Choice, Interp};
+use crate::program::{CalleeRef, CodeId, Compiled, Instr};
+use crate::state::{BlockReason, Cell, Frame, State, Task, TaskStatus};
+use crate::value::{ObjId, Value};
+use concur_pseudocode::analysis::FootRef;
+use concur_pseudocode::ast::{Expr, ExprKind, LValue};
+use std::collections::BTreeSet;
+
+/// A concrete shared resource touched by one atomic step.
+///
+/// Task-private data (locals, program counters, per-task counters,
+/// a task's own status) never appears here: steps of different tasks
+/// cannot both touch it, so it cannot create a dependency.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resource {
+    /// A global variable or object field.
+    Cell(Cell),
+    /// The lock guarding a cell (`EXC_ACC` acquisition state).
+    /// Separate from [`Resource::Cell`]: entering a block conflicts
+    /// with other lock traffic on the same cells, not with plain
+    /// reads of the data.
+    Lock(Cell),
+    /// Removal of a message from one receiver object's share of the
+    /// in-flight pool (a delivery, matched or dead-lettered), plus the
+    /// receiver's processing of it. Two takes from the same mailbox do
+    /// not commute (the receiver handles them in order); takes from
+    /// different mailboxes do.
+    ///
+    /// Sends have **no** mailbox resource: the pool is a multiset
+    /// (state interning canonicalizes its order), so an insert
+    /// commutes with every other insert and with any take of a
+    /// *different* message — and a take of the inserted message can
+    /// only happen after the insert. Receiver blocked/runnable status
+    /// is re-derived from the pool by [`Interp`]'s `settle` after
+    /// every step, so it needs no resource of its own.
+    MailboxTake(ObjId),
+    /// The global print stream.
+    Output,
+    /// The set of tasks parked in `WAIT()` (touched by `WAIT` and
+    /// `NOTIFY`).
+    WaitSet,
+    /// The task arena: spawning appends, so two spawns do not commute
+    /// (task ids are allocation-order dependent).
+    TaskAlloc,
+    /// The object arena (same reasoning for `new`).
+    ObjAlloc,
+    /// The dead-letter list (append order is state-visible).
+    DeadLetters,
+}
+
+/// Name-level abstraction of a [`Resource`], used in per-unit static
+/// summaries where object identities are not yet known.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StaticResource {
+    /// Matches `Cell::Global(name)` and `Cell::Field(_, name)`.
+    Named(String),
+    /// Matches `Lock(Cell::Global(name))` and
+    /// `Lock(Cell::Field(_, name))`.
+    LockNamed(String),
+    /// Matches every [`Resource::MailboxTake`].
+    AnyMailboxTake,
+    Output,
+    WaitSet,
+    TaskAlloc,
+    ObjAlloc,
+    DeadLetters,
+}
+
+impl Resource {
+    /// The static key this concrete resource falls under.
+    fn to_static(&self) -> StaticResource {
+        let cell_name = |c: &Cell| match c {
+            Cell::Global(n) => n.clone(),
+            Cell::Field(_, n) => n.clone(),
+        };
+        match self {
+            Resource::Cell(c) => StaticResource::Named(cell_name(c)),
+            Resource::Lock(c) => StaticResource::LockNamed(cell_name(c)),
+            Resource::MailboxTake(_) => StaticResource::AnyMailboxTake,
+            Resource::Output => StaticResource::Output,
+            Resource::WaitSet => StaticResource::WaitSet,
+            Resource::TaskAlloc => StaticResource::TaskAlloc,
+            Resource::ObjAlloc => StaticResource::ObjAlloc,
+            Resource::DeadLetters => StaticResource::DeadLetters,
+        }
+    }
+}
+
+/// Bitmask over the event kinds an [`crate::event::EventPattern`] can
+/// query. A transition whose emitted kinds intersect the active query
+/// mask is *visible* and may never be pruned into an ample set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventMask(pub u16);
+
+impl EventMask {
+    pub const CALLED: EventMask = EventMask(1 << 0);
+    pub const RETURNED: EventMask = EventMask(1 << 1);
+    pub const BLOCKED_ON_LOCKS: EventMask = EventMask(1 << 2);
+    pub const ACQUIRED: EventMask = EventMask(1 << 3);
+    pub const WAIT_START: EventMask = EventMask(1 << 4);
+    pub const WAIT_FINISHED: EventMask = EventMask(1 << 5);
+    pub const NOTIFIED: EventMask = EventMask(1 << 6);
+    pub const SENT: EventMask = EventMask(1 << 7);
+    pub const RECEIVED: EventMask = EventMask(1 << 8);
+    pub const PRINTED: EventMask = EventMask(1 << 9);
+    pub const FINISHED: EventMask = EventMask(1 << 10);
+
+    pub const EMPTY: EventMask = EventMask(0);
+
+    pub fn union(self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+
+    pub fn intersects(self, other: EventMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The mask covering a set of query patterns. Progress-independent
+    /// on purpose: a transition is visible if it could match *any*
+    /// pattern of the query, which keeps the ample condition sound
+    /// regardless of how far the match has advanced.
+    pub fn of_patterns(patterns: &[crate::event::EventPattern]) -> EventMask {
+        use crate::event::EventKindPattern as K;
+        patterns.iter().fold(EventMask::EMPTY, |m, p| {
+            m.union(match &p.kind {
+                K::Called { .. } => EventMask::CALLED,
+                K::Returned { .. } => EventMask::RETURNED,
+                K::BlockedOnLocks => EventMask::BLOCKED_ON_LOCKS,
+                K::Acquired => EventMask::ACQUIRED,
+                K::WaitStart => EventMask::WAIT_START,
+                K::WaitFinished => EventMask::WAIT_FINISHED,
+                K::Notified => EventMask::NOTIFIED,
+                K::Sent { .. } => EventMask::SENT,
+                K::Received { .. } => EventMask::RECEIVED,
+                K::Printed { .. } => EventMask::PRINTED,
+                K::Finished => EventMask::FINISHED,
+            })
+        })
+    }
+
+    /// The mask of kinds an event belongs to (zero for kinds no
+    /// pattern can express: Spawned, Woken, Joined, Released,
+    /// DeadLettered).
+    pub fn of_event(event: &crate::event::Event) -> EventMask {
+        use crate::event::Event as E;
+        match event {
+            E::Called { .. } => EventMask::CALLED,
+            E::Returned { .. } => EventMask::RETURNED,
+            E::BlockedOnLocks { .. } => EventMask::BLOCKED_ON_LOCKS,
+            E::Acquired { .. } => EventMask::ACQUIRED,
+            E::WaitStart { .. } => EventMask::WAIT_START,
+            E::WaitFinished { .. } => EventMask::WAIT_FINISHED,
+            E::Notified { .. } => EventMask::NOTIFIED,
+            E::Sent { .. } => EventMask::SENT,
+            E::Received { .. } => EventMask::RECEIVED,
+            E::Printed { .. } => EventMask::PRINTED,
+            E::Finished { .. } => EventMask::FINISHED,
+            E::Spawned { .. }
+            | E::Woken { .. }
+            | E::Joined { .. }
+            | E::Released { .. }
+            | E::DeadLettered { .. } => EventMask::EMPTY,
+        }
+    }
+}
+
+/// What one atomic step will observably emit, with as much detail as
+/// the pre-step state can resolve. `None` in a detail field means
+/// "unresolved" and matches conservatively; it never means "absent".
+///
+/// Task labels are fixed at spawn and qualified function names are
+/// the exact strings [`crate::event::Event`] carries, so comparing
+/// them against a pattern here answers, exactly, whether the emitted
+/// event *could* match the pattern when it happens.
+#[derive(Debug, Clone)]
+pub struct Emit {
+    /// Single-bit kind of the event.
+    pub kind: EventMask,
+    /// Label of the task the event is attributed to.
+    pub label: Option<String>,
+    /// Qualified function name (`Called`/`Returned` only).
+    pub func: Option<String>,
+    /// Message name (`Sent`/`Received` only).
+    pub msg_name: Option<String>,
+    /// Message payload, when fully resolvable.
+    pub msg_args: Option<Vec<Value>>,
+}
+
+impl Emit {
+    fn kind(kind: EventMask, label: impl Into<Option<String>>) -> Emit {
+        Emit { kind, label: label.into(), func: None, msg_name: None, msg_args: None }
+    }
+
+    /// Could this emit, once it becomes an event, match `pattern`?
+    fn may_match(&self, pattern: &EventPattern) -> bool {
+        let kind_mask = EventMask::of_patterns(std::slice::from_ref(pattern));
+        if !self.kind.intersects(kind_mask) {
+            return false;
+        }
+        if let (Some(label), Some(want)) = (&self.label, &pattern.task_label) {
+            if label != want {
+                return false;
+            }
+        }
+        match &pattern.kind {
+            EventKindPattern::Called { func } | EventKindPattern::Returned { func } => {
+                self.func.as_ref().is_none_or(|f| f == func)
+            }
+            EventKindPattern::Sent { msg_name, args }
+            | EventKindPattern::Received { msg_name, args } => {
+                self.msg_name.as_ref().is_none_or(|n| n == msg_name)
+                    && match (args, &self.msg_args) {
+                        (Some(want), Some(have)) => want == have,
+                        _ => true,
+                    }
+            }
+            // Printed text is not predicted; kind + label only.
+            _ => true,
+        }
+    }
+}
+
+/// The exact shared-resource effect of one enabled choice in one
+/// state.
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    pub reads: Vec<Resource>,
+    pub writes: Vec<Resource>,
+    /// Some access could not be resolved; the explorer must treat the
+    /// choice as conflicting with everything.
+    pub unknown: bool,
+    /// Kinds of queryable events this step will emit (union of
+    /// `emit_events` kinds; kept as a mask for cheap checks).
+    pub emits: EventMask,
+    /// The queryable events this step will emit, with details.
+    pub emit_events: Vec<Emit>,
+    /// Label of the task whose mailbox delivery this step performs
+    /// (matched *or* dead-lettered — both bump the receiver's
+    /// `received` counter).
+    pub delivery_label: Option<String>,
+    /// Labels of the tasks this step creates (`None` = creates none;
+    /// an unresolved label inside is conservative).
+    pub spawns: Option<Vec<Option<String>>>,
+    /// Label of the stepping task (lock transitions only ever change
+    /// the actor's own held set).
+    pub actor_label: Option<String>,
+}
+
+impl Footprint {
+    fn read(&mut self, r: Resource) {
+        self.reads.push(r);
+    }
+
+    fn write(&mut self, r: Resource) {
+        self.writes.push(r);
+    }
+
+    fn emit(&mut self, e: Emit) {
+        self.emits = self.emits.union(e.kind);
+        self.emit_events.push(e);
+    }
+
+    fn spawn_label(&mut self, label: Option<String>) {
+        self.spawns.get_or_insert_with(Vec::new).push(label);
+    }
+
+    /// Could any event this step emits match any of `patterns`? This
+    /// is the visibility notion for scenario queries: a step that
+    /// cannot match any pattern cannot advance (or be required by) the
+    /// event-subsequence match.
+    pub fn may_match_patterns(&self, patterns: &[EventPattern]) -> bool {
+        if self.unknown {
+            return true;
+        }
+        self.emit_events.iter().any(|e| patterns.iter().any(|p| e.may_match(p)))
+    }
+
+    /// Does this step create a task whose label could be `label`?
+    /// Creation flips label-keyed conditions from "no such task" to
+    /// "task with zero counters", so it is visible to them even though
+    /// it emits nothing queryable.
+    fn spawn_creates(&self, label: &str) -> bool {
+        match &self.spawns {
+            None => false,
+            Some(labels) => labels.iter().any(|l| l.as_ref().is_none_or(|l| l == label)),
+        }
+    }
+
+    /// Could executing this step change the truth value of any of
+    /// these state conditions? Used as the visibility notion when the
+    /// explorer searches for setup states: a step that cannot affect
+    /// any condition may be deferred without losing any
+    /// condition-satisfying state (up to commuting reorderings).
+    pub fn affects_conds(&self, conds: &[crate::event::StateCond]) -> bool {
+        use crate::event::StateCond as C;
+        if self.unknown {
+            return true;
+        }
+        conds.iter().any(|cond| match cond {
+            // A task's frame set changes when it pushes or pops a
+            // frame of *this* function (Called/Returned carry the same
+            // qualified name `in_function` compares) or finishes
+            // (dropping all frames, including synthetic PARA-root
+            // frames that pop without a Returned event).
+            C::InFunction { task_label, func } => {
+                self.emit_events.iter().any(|e| {
+                    let relevant =
+                        (e.kind.intersects(EventMask::CALLED.union(EventMask::RETURNED))
+                            && e.func.as_ref().is_none_or(|f| f == func))
+                            || e.kind.intersects(EventMask::FINISHED);
+                    relevant && e.label.as_ref().is_none_or(|l| l == task_label)
+                }) || self.spawn_creates(task_label)
+            }
+            // Counters are keyed by the same qualified names.
+            C::CalledTimes { task_label, func, .. } => {
+                self.emit_events.iter().any(|e| {
+                    e.kind.intersects(EventMask::CALLED)
+                        && e.func.as_ref().is_none_or(|f| f == func)
+                        && e.label.as_ref().is_none_or(|l| l == task_label)
+                }) || self.spawn_creates(task_label)
+            }
+            C::ReturnedTimes { task_label, func, .. } => {
+                self.emit_events.iter().any(|e| {
+                    e.kind.intersects(EventMask::RETURNED)
+                        && e.func.as_ref().is_none_or(|f| f == func)
+                        && e.label.as_ref().is_none_or(|l| l == task_label)
+                }) || self.spawn_creates(task_label)
+            }
+            // `sent` only grows, so task creation (zero counters)
+            // cannot change a ≥1 threshold.
+            C::HasSent { task_label, msg_name } => self.emit_events.iter().any(|e| {
+                e.kind.intersects(EventMask::SENT)
+                    && e.label.as_ref().is_none_or(|l| l == task_label)
+                    && e.msg_name.as_ref().is_none_or(|n| n == msg_name)
+            }),
+            // `received` counts every delivery to the task, matched or
+            // dead-lettered (the latter emits nothing queryable).
+            C::ReceivedTotal { task_label, .. } => {
+                self.delivery_label.as_ref().is_some_and(|l| l == task_label)
+                    || self.spawn_creates(task_label)
+            }
+            C::GlobalEquals { name, .. } => self
+                .writes
+                .iter()
+                .any(|r| matches!(r, Resource::Cell(Cell::Global(n)) if n == name)),
+            C::TaskExists { task_label } => self.spawn_creates(task_label),
+            // Lock transitions only change the acting task's held set.
+            C::HoldsLock { task_label } => {
+                self.writes.iter().any(|r| matches!(r, Resource::Lock(_)))
+                    && self.actor_label.as_ref().is_none_or(|l| l == task_label)
+            }
+        })
+    }
+
+    /// Would executing this step conflict (in the classic W/W, W/R,
+    /// R/W sense) with anything in a static summary?
+    pub fn conflicts_with_static(&self, summary: &StaticSummary) -> bool {
+        if self.unknown || summary.unknown {
+            return true;
+        }
+        self.writes.iter().any(|r| {
+            let key = r.to_static();
+            summary.writes.contains(&key) || summary.reads.contains(&key)
+        }) || self.reads.iter().any(|r| summary.writes.contains(&r.to_static()))
+    }
+}
+
+/// Per-code-unit over-approximation of reachable shared accesses,
+/// closed over call and spawn edges.
+#[derive(Debug, Clone, Default)]
+pub struct StaticSummary {
+    pub reads: BTreeSet<StaticResource>,
+    pub writes: BTreeSet<StaticResource>,
+    /// The unit (or something it reaches) contains an access the
+    /// analysis cannot bound.
+    pub unknown: bool,
+}
+
+impl StaticSummary {
+    fn absorb(&mut self, other: &StaticSummary) -> bool {
+        let before = (self.reads.len(), self.writes.len(), self.unknown);
+        self.reads.extend(other.reads.iter().cloned());
+        self.writes.extend(other.writes.iter().cloned());
+        self.unknown |= other.unknown;
+        before != (self.reads.len(), self.writes.len(), self.unknown)
+    }
+}
+
+/// Per-instruction static summaries for every code unit of a compiled
+/// program: `at(code, pc)` bounds everything an execution resuming at
+/// `pc` can still touch.
+///
+/// The per-pc granularity matters. A frame parked at a `PARA` join
+/// must not be charged with the accesses of the code *before* the
+/// join (in particular the spawned children's accesses, which the
+/// spawn-edge closure folds into the spawning instruction): `main` is
+/// alive in every state, and a whole-unit summary for it would make
+/// nearly every step of every other task "conflict with main's
+/// future" and disable the reduction outright.
+#[derive(Debug, Clone)]
+pub struct Summaries {
+    /// `per_pc[unit][pc]`; index `len` (pc past the end, implicit
+    /// return pending) is an always-empty summary.
+    per_pc: Vec<Vec<StaticSummary>>,
+}
+
+impl Summaries {
+    /// Backward-reachability fixpoint over the intra-unit CFG plus
+    /// call and spawn edges. Spawn targets are included because a
+    /// task's spawned children run without the spawner taking another
+    /// step, so their accesses belong to the spawner's "future" for
+    /// ample purposes. Call/spawn edges enter the callee at pc 0.
+    pub fn compute(compiled: &Compiled) -> Summaries {
+        let n = compiled.code.len();
+        // Each instruction's own accesses and outgoing call/spawn
+        // edges (computed once).
+        let mut own: Vec<Vec<StaticSummary>> = Vec::with_capacity(n);
+        let mut edges: Vec<Vec<BTreeSet<usize>>> = Vec::with_capacity(n);
+        for instrs in &compiled.code {
+            let mut unit_own = Vec::with_capacity(instrs.len() + 1);
+            let mut unit_edges = Vec::with_capacity(instrs.len() + 1);
+            for instr in instrs {
+                let mut s = StaticSummary::default();
+                let mut t = BTreeSet::new();
+                summarize_instr(compiled, instr, &mut s, &mut t);
+                unit_own.push(s);
+                unit_edges.push(t);
+            }
+            unit_own.push(StaticSummary::default()); // past-the-end
+            unit_edges.push(BTreeSet::new());
+            own.push(unit_own);
+            edges.push(unit_edges);
+        }
+
+        let mut per_pc = own;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for unit in 0..n {
+                let len = compiled.code[unit].len();
+                for pc in (0..len).rev() {
+                    let mut acc = per_pc[unit][pc].clone();
+                    for succ in instr_successors(&compiled.code[unit][pc], pc) {
+                        let succ = succ.min(len);
+                        let s = per_pc[unit][succ].clone();
+                        acc.absorb(&s);
+                    }
+                    for &target in &edges[unit][pc].clone() {
+                        let s = per_pc[target][0].clone();
+                        acc.absorb(&s);
+                    }
+                    if per_pc[unit][pc].absorb(&acc) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Summaries { per_pc }
+    }
+
+    /// Everything a frame of `code` resuming at `pc` can still touch.
+    pub fn at(&self, code: CodeId, pc: usize) -> &StaticSummary {
+        let unit = &self.per_pc[code.0];
+        &unit[pc.min(unit.len() - 1)]
+    }
+
+    /// The whole-unit summary (entry pc).
+    pub fn unit(&self, code: CodeId) -> &StaticSummary {
+        self.at(code, 0)
+    }
+}
+
+/// Intra-unit control-flow successors of the instruction at `pc`,
+/// mirroring `Interp::advance`/`skid`/`deliver`.
+fn instr_successors(instr: &Instr, pc: usize) -> Vec<usize> {
+    match instr {
+        Instr::Jump { target } => vec![*target],
+        Instr::JumpIfFalse { target, .. } => vec![pc + 1, *target],
+        Instr::ArmEnd { receive } => vec![*receive],
+        Instr::Return { .. } => vec![],
+        // Delivery enters an arm; dead letters stay at the Receive
+        // (a self-loop, which adds nothing).
+        Instr::Receive { arms, .. } => arms.iter().map(|a| a.target).collect(),
+        _ => vec![pc + 1],
+    }
+}
+
+/// Record one instruction's own accesses into `summary` and its call /
+/// spawn edges into `targets`.
+fn summarize_instr(
+    compiled: &Compiled,
+    instr: &Instr,
+    summary: &mut StaticSummary,
+    targets: &mut BTreeSet<usize>,
+) {
+    match instr {
+        Instr::Assign { target, value, .. } => {
+            static_expr_reads(value, summary);
+            static_lvalue_writes(target, summary);
+        }
+        Instr::CallAssign { target, callee, args, .. } => {
+            for a in args {
+                static_expr_reads(a, summary);
+            }
+            if let Some(t) = target {
+                static_lvalue_writes(t, summary);
+            }
+            static_call_edges(compiled, callee, summary, targets);
+        }
+        Instr::New { target, class, args, .. } => {
+            summary.writes.insert(StaticResource::ObjAlloc);
+            for a in args {
+                static_expr_reads(a, summary);
+            }
+            if let Some(t) = target {
+                static_lvalue_writes(t, summary);
+            }
+            if let Some(info) = compiled.classes.get(class) {
+                for (_, init) in &info.fields {
+                    static_expr_reads(init, summary);
+                }
+                if let Some(init_id) = info.methods.get("init") {
+                    targets.insert(compiled.func(*init_id).code.0);
+                }
+            } else {
+                summary.unknown = true;
+            }
+        }
+        Instr::Jump { .. } | Instr::ArmEnd { .. } => {}
+        Instr::JumpIfFalse { cond, .. } => static_expr_reads(cond, summary),
+        Instr::Print { value, .. } => {
+            static_expr_reads(value, summary);
+            summary.writes.insert(StaticResource::Output);
+        }
+        Instr::Para { tasks, .. } => {
+            summary.writes.insert(StaticResource::TaskAlloc);
+            for (code, _) in tasks {
+                targets.insert(code.0);
+            }
+        }
+        Instr::ExcEnter { footprint, .. } => {
+            for fref in footprint {
+                let name = match fref {
+                    FootRef::Var(n) => n,
+                    FootRef::SelfField(f) => f,
+                    FootRef::VarField(_, f) => f,
+                };
+                summary.reads.insert(StaticResource::LockNamed(name.clone()));
+                summary.writes.insert(StaticResource::LockNamed(name.clone()));
+            }
+        }
+        // Releases only touch locks some ExcEnter in this task's past
+        // or future acquired; those are covered by the dynamic
+        // held-lock part of the future and by the acquiring unit's
+        // ExcEnter entry.
+        Instr::ExcExit { .. } => {}
+        Instr::Wait { .. } => {
+            summary.writes.insert(StaticResource::WaitSet);
+        }
+        Instr::Notify { .. } => {
+            summary.writes.insert(StaticResource::WaitSet);
+        }
+        // Sends are multiset inserts into the in-flight pool and
+        // commute with all other mailbox traffic (see
+        // [`Resource::MailboxTake`]); only their expression reads
+        // remain.
+        Instr::Send { msg, to, .. } => {
+            static_expr_reads(msg, summary);
+            static_expr_reads(to, summary);
+        }
+        Instr::Receive { .. } => {
+            summary.writes.insert(StaticResource::AnyMailboxTake);
+            summary.writes.insert(StaticResource::DeadLetters);
+        }
+        Instr::Spawn { callee, args, .. } => {
+            for a in args {
+                static_expr_reads(a, summary);
+            }
+            summary.writes.insert(StaticResource::TaskAlloc);
+            static_call_edges(compiled, callee, summary, targets);
+        }
+        Instr::Return { value, .. } => {
+            if let Some(v) = value {
+                static_expr_reads(v, summary);
+            }
+        }
+    }
+}
+
+/// Add the units a call might enter. Name resolution is dynamic
+/// (sibling method → top-level → builtin), so take the union of every
+/// candidate; builtins are pure and contribute nothing.
+fn static_call_edges(
+    compiled: &Compiled,
+    callee: &CalleeRef,
+    summary: &mut StaticSummary,
+    targets: &mut BTreeSet<usize>,
+) {
+    let name = match callee {
+        CalleeRef::Name(n) => n,
+        CalleeRef::Method(base, m) => {
+            static_expr_reads(base, summary);
+            m
+        }
+    };
+    let mut any_receiver = false;
+    for class in compiled.classes.values() {
+        if let Some(&id) = class.methods.get(name) {
+            targets.insert(compiled.func(id).code.0);
+            any_receiver |= compiled.func(id).is_receiver;
+        }
+    }
+    if let CalleeRef::Name(_) = callee {
+        if let Some(id) = compiled.toplevel(name) {
+            targets.insert(compiled.func(id).code.0);
+            any_receiver |= compiled.func(id).is_receiver;
+        }
+    }
+    if any_receiver {
+        // A receiver-method call spawns a detached task.
+        summary.writes.insert(StaticResource::TaskAlloc);
+    }
+}
+
+fn static_expr_reads(expr: &Expr, summary: &mut StaticSummary) {
+    match &expr.kind {
+        ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::SelfRef => {}
+        ExprKind::Name(n) => {
+            summary.reads.insert(StaticResource::Named(n.clone()));
+        }
+        ExprKind::List(items) => {
+            for i in items {
+                static_expr_reads(i, summary);
+            }
+        }
+        ExprKind::Unary(_, e) => static_expr_reads(e, summary),
+        ExprKind::Binary(_, l, r) => {
+            static_expr_reads(l, summary);
+            static_expr_reads(r, summary);
+        }
+        ExprKind::Field(base, field) => {
+            static_expr_reads(base, summary);
+            summary.reads.insert(StaticResource::Named(field.clone()));
+        }
+        ExprKind::Index(base, index) => {
+            static_expr_reads(base, summary);
+            static_expr_reads(index, summary);
+        }
+        ExprKind::Message { args, .. } => {
+            for a in args {
+                static_expr_reads(a, summary);
+            }
+        }
+        // Lowering hoists calls out of expressions; anything that
+        // survives would error at runtime — stay conservative.
+        ExprKind::Call { .. } | ExprKind::New { .. } => summary.unknown = true,
+    }
+}
+
+fn static_lvalue_writes(lvalue: &LValue, summary: &mut StaticSummary) {
+    match lvalue {
+        LValue::Name(n) => {
+            summary.writes.insert(StaticResource::Named(n.clone()));
+        }
+        LValue::Field(base, field) => {
+            static_expr_reads(base, summary);
+            summary.writes.insert(StaticResource::Named(field.clone()));
+        }
+        LValue::Index(base, index) => {
+            static_expr_reads(index, summary);
+            static_expr_reads(base, summary);
+            // Read–modify–write of the containing place.
+            match &base.kind {
+                ExprKind::Name(n) => {
+                    summary.writes.insert(StaticResource::Named(n.clone()));
+                }
+                ExprKind::Field(b, f) => {
+                    static_expr_reads(b, summary);
+                    summary.writes.insert(StaticResource::Named(f.clone()));
+                }
+                _ => summary.unknown = true,
+            }
+        }
+    }
+}
+
+// --- dynamic (per-state) footprints ------------------------------------
+
+impl Interp {
+    /// The exact shared-resource footprint of one enabled choice in
+    /// `state`. Mirrors [`Interp::apply`]'s resolution logic without
+    /// mutating anything.
+    pub fn choice_footprint(&self, state: &State, choice: &Choice) -> Footprint {
+        let mut fp = Footprint::default();
+        let tid = match choice {
+            Choice::Receive { task, .. } | Choice::Step(task) => *task,
+        };
+        fp.actor_label = Some(state.task(tid).label.clone());
+        match choice {
+            Choice::Receive { task, inflight_index } => {
+                self.receive_footprint(state, *task, *inflight_index, &mut fp);
+            }
+            Choice::Step(tid) => self.step_footprint(state, *tid, &mut fp),
+        }
+        fp
+    }
+
+    fn receive_footprint(
+        &self,
+        state: &State,
+        tid: crate::state::TaskId,
+        idx: usize,
+        fp: &mut Footprint,
+    ) {
+        let Some(inflight) = state.inflight.get(idx) else {
+            fp.unknown = true;
+            return;
+        };
+        fp.write(Resource::MailboxTake(inflight.to));
+        let receiver = state.task(tid).label.clone();
+        fp.delivery_label = Some(receiver.clone());
+        let matched = match self.current_instr(state, tid) {
+            Some(Instr::Receive { arms, .. }) => {
+                arms.iter().any(|a| a.msg_name == inflight.msg.name)
+            }
+            _ => {
+                fp.unknown = true;
+                return;
+            }
+        };
+        if matched {
+            fp.emit(Emit {
+                kind: EventMask::RECEIVED,
+                label: Some(receiver),
+                func: None,
+                msg_name: Some(inflight.msg.name.clone()),
+                msg_args: Some(inflight.msg.args.clone()),
+            });
+        } else {
+            fp.write(Resource::DeadLetters);
+        }
+    }
+
+    fn step_footprint(&self, state: &State, tid: crate::state::TaskId, fp: &mut Footprint) {
+        let task = state.task(tid);
+        let actor = fp.actor_label.clone();
+        match &task.status {
+            TaskStatus::Blocked(BlockReason::Locks(cells)) => {
+                for c in cells {
+                    fp.read(Resource::Lock(c.clone()));
+                    fp.write(Resource::Lock(c.clone()));
+                }
+                fp.emit(Emit::kind(EventMask::ACQUIRED, actor));
+                return;
+            }
+            TaskStatus::Blocked(BlockReason::Reacquire) => {
+                let cells =
+                    task.pending_reacquire.as_ref().map(|h| h.cells.as_slice()).unwrap_or(&[]);
+                for c in cells {
+                    fp.read(Resource::Lock(c.clone()));
+                    fp.write(Resource::Lock(c.clone()));
+                }
+                fp.emit(Emit::kind(EventMask::WAIT_FINISHED, actor));
+                return;
+            }
+            TaskStatus::Runnable => {}
+            _ => {
+                fp.unknown = true;
+                return;
+            }
+        }
+
+        let Some(frame) = task.top_frame() else { return };
+        let code = self.compiled.code(frame.code);
+        if frame.pc >= code.len() {
+            // Implicit RETURN.
+            self.return_footprint(state, task, None, fp);
+            return;
+        }
+
+        match &code[frame.pc] {
+            Instr::Assign { target, value, .. } => {
+                self.expr_reads(state, frame, value, fp);
+                self.lvalue_writes(state, frame, target, fp);
+            }
+            Instr::CallAssign { target, callee, args, .. } => {
+                self.call_footprint(state, frame, target.as_ref(), callee, args, false, fp);
+            }
+            Instr::New { target, class, args, .. } => {
+                fp.write(Resource::ObjAlloc);
+                for a in args {
+                    self.expr_reads(state, frame, a, fp);
+                }
+                if let Some(t) = target {
+                    self.lvalue_writes(state, frame, t, fp);
+                }
+                match self.compiled.classes.get(class.as_str()) {
+                    Some(info) => {
+                        for (_, init) in &info.fields {
+                            self.globals_only_reads(init, fp);
+                        }
+                        if let Some(&init_id) = info.methods.get("init") {
+                            fp.emit(Emit {
+                                kind: EventMask::CALLED,
+                                label: actor.clone(),
+                                func: Some(self.compiled.func(init_id).qualified.clone()),
+                                msg_name: None,
+                                msg_args: None,
+                            });
+                        }
+                    }
+                    None => fp.unknown = true,
+                }
+            }
+            Instr::Jump { .. } | Instr::ArmEnd { .. } => {}
+            Instr::JumpIfFalse { cond, .. } => self.expr_reads(state, frame, cond, fp),
+            Instr::Print { value, .. } => {
+                self.expr_reads(state, frame, value, fp);
+                fp.write(Resource::Output);
+                fp.emit(Emit::kind(EventMask::PRINTED, actor));
+            }
+            Instr::Para { tasks, .. } => {
+                if !tasks.is_empty() {
+                    fp.write(Resource::TaskAlloc);
+                    for (_, label) in tasks {
+                        fp.spawn_label(Some(label.clone()));
+                    }
+                }
+            }
+            Instr::ExcEnter { footprint, span } => {
+                match self.resolve_footprint(state, tid, footprint, *span) {
+                    Ok(cells) => {
+                        for c in &cells {
+                            fp.read(Resource::Lock(c.clone()));
+                            fp.write(Resource::Lock(c.clone()));
+                        }
+                        if state.can_acquire(tid, &cells) {
+                            fp.emit(Emit::kind(EventMask::ACQUIRED, actor));
+                        } else {
+                            fp.emit(Emit::kind(EventMask::BLOCKED_ON_LOCKS, actor));
+                        }
+                    }
+                    Err(_) => fp.unknown = true,
+                }
+            }
+            Instr::ExcExit { .. } => match task.held.last() {
+                Some(held) => {
+                    for c in &held.cells {
+                        fp.write(Resource::Lock(c.clone()));
+                    }
+                }
+                None => fp.unknown = true,
+            },
+            Instr::Wait { .. } => match task.held.last() {
+                Some(held) => {
+                    for c in &held.cells {
+                        fp.write(Resource::Lock(c.clone()));
+                    }
+                    fp.write(Resource::WaitSet);
+                    fp.emit(Emit::kind(EventMask::WAIT_START, actor));
+                }
+                None => fp.unknown = true,
+            },
+            Instr::Notify { .. } => {
+                fp.write(Resource::WaitSet);
+                fp.emit(Emit::kind(EventMask::NOTIFIED, actor));
+            }
+            Instr::Send { msg, to, .. } => {
+                self.expr_reads(state, frame, msg, fp);
+                self.expr_reads(state, frame, to, fp);
+                // The insert itself needs no resource; an unresolvable
+                // target may mean the send faults at runtime, so stay
+                // conservative then.
+                if !matches!(self.pure_value(state, frame, to), Some(Value::Obj(_))) {
+                    fp.unknown = true;
+                }
+                let (msg_name, msg_args) = self.message_shape(state, frame, msg);
+                fp.emit(Emit {
+                    kind: EventMask::SENT,
+                    label: actor,
+                    func: None,
+                    msg_name,
+                    msg_args,
+                });
+            }
+            // `choices` turns Receive points into Receive choices, so
+            // a Step landing here does nothing.
+            Instr::Receive { .. } => {}
+            Instr::Spawn { callee, args, .. } => {
+                self.call_footprint(state, frame, None, callee, args, true, fp);
+            }
+            Instr::Return { value, .. } => {
+                self.return_footprint(state, task, value.as_ref(), fp);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors do_call's inputs
+    fn call_footprint(
+        &self,
+        state: &State,
+        frame: &Frame,
+        target: Option<&LValue>,
+        callee: &CalleeRef,
+        args: &[Expr],
+        detached: bool,
+        fp: &mut Footprint,
+    ) {
+        for a in args {
+            self.expr_reads(state, frame, a, fp);
+        }
+        let resolved = match callee {
+            CalleeRef::Name(name) => {
+                let sibling = frame.self_obj.and_then(|obj| {
+                    let class = &state.object(obj).class;
+                    self.compiled.method(class, name)
+                });
+                match sibling.or_else(|| self.compiled.toplevel(name)) {
+                    Some(id) => Some(id),
+                    None => {
+                        // Builtin: pure; the result write happens now.
+                        if detached {
+                            fp.unknown = true; // SPAWN of a builtin is an error
+                        } else if let Some(t) = target {
+                            self.lvalue_writes(state, frame, t, fp);
+                        }
+                        return;
+                    }
+                }
+            }
+            CalleeRef::Method(base, method) => {
+                self.expr_reads(state, frame, base, fp);
+                match self.pure_value(state, frame, base) {
+                    Some(Value::Obj(obj)) => {
+                        let class = &state.object(obj).class;
+                        self.compiled.method(class, method)
+                    }
+                    _ => None,
+                }
+            }
+        };
+        let Some(func_id) = resolved else {
+            fp.unknown = true; // unresolvable or erroneous call
+            return;
+        };
+        let qualified = self.compiled.func(func_id).qualified.clone();
+        if detached || self.compiled.func(func_id).is_receiver {
+            // The child task's label, mirroring do_call's choice.
+            let child_label = match callee {
+                CalleeRef::Name(name) => Some(name.clone()),
+                CalleeRef::Method(base, method) => match &base.kind {
+                    ExprKind::Name(var) => Some(format!("{var}.{method}")),
+                    _ => match self.pure_value(state, frame, base) {
+                        Some(Value::Obj(obj)) => Some(format!("{obj}.{method}")),
+                        _ => None,
+                    },
+                },
+            };
+            fp.emit(Emit {
+                kind: EventMask::CALLED,
+                label: child_label.clone(),
+                func: Some(qualified),
+                msg_name: None,
+                msg_args: None,
+            });
+            fp.write(Resource::TaskAlloc);
+            fp.spawn_label(child_label);
+            // The call completes immediately in the caller with Unit.
+            if let Some(t) = target {
+                self.lvalue_writes(state, frame, t, fp);
+            }
+        } else {
+            fp.emit(Emit {
+                kind: EventMask::CALLED,
+                label: fp.actor_label.clone(),
+                func: Some(qualified),
+                msg_name: None,
+                msg_args: None,
+            });
+        }
+        // Non-detached calls push a frame (task-private); the target
+        // write happens later, at the callee's RETURN.
+    }
+
+    fn return_footprint(
+        &self,
+        state: &State,
+        task: &Task,
+        value: Option<&Expr>,
+        fp: &mut Footprint,
+    ) {
+        let Some(frame) = task.top_frame() else { return };
+        if let Some(v) = value {
+            self.expr_reads(state, frame, v, fp);
+        }
+        // Footprints acquired at this frame depth (or deeper) are
+        // released on the way out.
+        let depth = task.frames.len();
+        for held in task.held.iter().filter(|h| h.frame_depth >= depth) {
+            for c in &held.cells {
+                fp.write(Resource::Lock(c.clone()));
+            }
+        }
+        let synthetic = frame.code != self.compiled.func(frame.func).code;
+        if !synthetic {
+            fp.emit(Emit {
+                kind: EventMask::RETURNED,
+                label: fp.actor_label.clone(),
+                func: Some(self.compiled.func(frame.func).qualified.clone()),
+                msg_name: None,
+                msg_args: None,
+            });
+        }
+        if task.frames.len() == 1 {
+            fp.emit(Emit::kind(EventMask::FINISHED, fp.actor_label.clone()));
+            // The parent's join-counter decrement is parent-status
+            // bookkeeping: two siblings' finishes commute and no other
+            // task can observe the counter mid-flight.
+        } else if !frame.discard_return {
+            // complete_pending_call writes the caller's CallAssign
+            // target, resolved in the *caller's* scope.
+            let caller = &task.frames[task.frames.len() - 2];
+            match self.compiled.code(caller.code).get(caller.pc) {
+                Some(Instr::CallAssign { target: Some(target), .. }) => {
+                    self.lvalue_writes(state, caller, target, fp);
+                }
+                Some(Instr::CallAssign { target: None, .. }) | Some(Instr::Spawn { .. }) => {}
+                _ => fp.unknown = true,
+            }
+        }
+    }
+
+    /// Collect the shared cells an expression reads, resolving names
+    /// exactly as `eval` will.
+    fn expr_reads(&self, state: &State, frame: &Frame, expr: &Expr, fp: &mut Footprint) {
+        match &expr.kind {
+            ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_)
+            | ExprKind::Bool(_)
+            | ExprKind::SelfRef => {}
+            ExprKind::Name(name) => self.name_read(state, frame, name, fp),
+            ExprKind::List(items) => {
+                for i in items {
+                    self.expr_reads(state, frame, i, fp);
+                }
+            }
+            ExprKind::Unary(_, e) => self.expr_reads(state, frame, e, fp),
+            ExprKind::Binary(_, l, r) => {
+                self.expr_reads(state, frame, l, fp);
+                self.expr_reads(state, frame, r, fp);
+            }
+            ExprKind::Field(base, field) => {
+                self.expr_reads(state, frame, base, fp);
+                match self.pure_value(state, frame, base) {
+                    Some(Value::Obj(obj)) => {
+                        fp.read(Resource::Cell(Cell::Field(obj, field.clone())));
+                    }
+                    Some(_) => {} // will fault at runtime
+                    None => fp.unknown = true,
+                }
+            }
+            ExprKind::Index(base, index) => {
+                self.expr_reads(state, frame, base, fp);
+                self.expr_reads(state, frame, index, fp);
+            }
+            ExprKind::Message { args, .. } => {
+                for a in args {
+                    self.expr_reads(state, frame, a, fp);
+                }
+            }
+            ExprKind::Call { .. } | ExprKind::New { .. } => fp.unknown = true,
+        }
+    }
+
+    /// Resolution of a bare-name read, mirroring `read_name`.
+    fn name_read(&self, state: &State, frame: &Frame, name: &str, fp: &mut Footprint) {
+        if !frame.main_scope {
+            if frame.locals.contains_key(name) {
+                return; // task-private
+            }
+            if let Some(obj) = frame.self_obj {
+                if state.object(obj).fields.contains_key(name) {
+                    fp.read(Resource::Cell(Cell::Field(obj, name.to_string())));
+                    return;
+                }
+            }
+        }
+        // Global (or undefined, which faults identically regardless of
+        // interleaving with steps that do not write it).
+        fp.read(Resource::Cell(Cell::Global(name.to_string())));
+    }
+
+    /// Resolution of an lvalue write, mirroring `write_lvalue`.
+    fn lvalue_writes(&self, state: &State, frame: &Frame, target: &LValue, fp: &mut Footprint) {
+        match target {
+            LValue::Name(name) => {
+                if frame.main_scope {
+                    fp.write(Resource::Cell(Cell::Global(name.clone())));
+                    return;
+                }
+                if frame.locals.contains_key(name) {
+                    return; // task-private
+                }
+                if let Some(obj) = frame.self_obj {
+                    if state.object(obj).fields.contains_key(name) {
+                        fp.write(Resource::Cell(Cell::Field(obj, name.clone())));
+                        return;
+                    }
+                }
+                if state.globals.contains_key(name) {
+                    fp.write(Resource::Cell(Cell::Global(name.clone())));
+                }
+                // Else: a fresh local — task-private.
+            }
+            LValue::Field(base, field) => {
+                self.expr_reads(state, frame, base, fp);
+                match self.pure_value(state, frame, base) {
+                    Some(Value::Obj(obj)) => {
+                        fp.write(Resource::Cell(Cell::Field(obj, field.clone())));
+                    }
+                    Some(_) => {}
+                    None => fp.unknown = true,
+                }
+            }
+            LValue::Index(base, index) => {
+                self.expr_reads(state, frame, index, fp);
+                self.expr_reads(state, frame, base, fp);
+                // Read–modify–write of the containing place.
+                match &base.kind {
+                    ExprKind::Name(n) => {
+                        self.lvalue_writes(state, frame, &LValue::Name(n.clone()), fp)
+                    }
+                    ExprKind::Field(b, f) => {
+                        self.lvalue_writes(state, frame, &LValue::Field(b.clone(), f.clone()), fp)
+                    }
+                    _ => fp.unknown = true,
+                }
+            }
+        }
+    }
+
+    /// `new C(...)` field initializers evaluate in a globals-only
+    /// scope.
+    fn globals_only_reads(&self, expr: &Expr, fp: &mut Footprint) {
+        match &expr.kind {
+            ExprKind::Int(_) | ExprKind::Float(_) | ExprKind::Str(_) | ExprKind::Bool(_) => {}
+            ExprKind::Name(n) => fp.read(Resource::Cell(Cell::Global(n.clone()))),
+            ExprKind::List(items) => {
+                for i in items {
+                    self.globals_only_reads(i, fp);
+                }
+            }
+            ExprKind::Unary(_, e) => self.globals_only_reads(e, fp),
+            ExprKind::Binary(_, l, r) => {
+                self.globals_only_reads(l, fp);
+                self.globals_only_reads(r, fp);
+            }
+            ExprKind::Message { args, .. } => {
+                for a in args {
+                    self.globals_only_reads(a, fp);
+                }
+            }
+            // Field/Index chains over globals are possible but rare in
+            // initializers; resolving them needs a value walk we do
+            // not do here.
+            _ => fp.unknown = true,
+        }
+    }
+
+    /// The (name, payload) a `Send`'s message expression will carry,
+    /// as far as pure evaluation can tell.
+    fn message_shape(
+        &self,
+        state: &State,
+        frame: &Frame,
+        msg: &Expr,
+    ) -> (Option<String>, Option<Vec<Value>>) {
+        match &msg.kind {
+            ExprKind::Message { name, args } => {
+                let vals: Option<Vec<Value>> =
+                    args.iter().map(|a| self.pure_value(state, frame, a)).collect();
+                (Some(name.clone()), vals)
+            }
+            _ => match self.pure_value(state, frame, msg) {
+                Some(Value::Message(m)) => (Some(m.name), Some(m.args)),
+                _ => (None, None),
+            },
+        }
+    }
+
+    /// Side-effect-free partial evaluator used to resolve receiver
+    /// objects. Returns `None` for anything it cannot (or need not)
+    /// evaluate — callers then mark the footprint unknown if an object
+    /// identity was required.
+    fn pure_value(&self, state: &State, frame: &Frame, expr: &Expr) -> Option<Value> {
+        match &expr.kind {
+            ExprKind::Int(v) => Some(Value::Int(*v)),
+            ExprKind::Str(s) => Some(Value::Str(s.clone())),
+            ExprKind::Bool(b) => Some(Value::Bool(*b)),
+            ExprKind::SelfRef => frame.self_obj.map(Value::Obj),
+            ExprKind::Name(name) => {
+                if !frame.main_scope {
+                    if let Some(v) = frame.locals.get(name) {
+                        return Some(v.clone());
+                    }
+                    if let Some(obj) = frame.self_obj {
+                        if let Some(v) = state.object(obj).fields.get(name) {
+                            return Some(v.clone());
+                        }
+                    }
+                }
+                state.globals.get(name).cloned()
+            }
+            ExprKind::Field(base, field) => match self.pure_value(state, frame, base)? {
+                Value::Obj(obj) => state.object(obj).fields.get(field).cloned(),
+                _ => None,
+            },
+            ExprKind::Index(base, index) => {
+                let b = self.pure_value(state, frame, base)?;
+                let i = self.pure_value(state, frame, index)?;
+                match (b, i) {
+                    (Value::List(items), Value::Int(idx)) => {
+                        usize::try_from(idx).ok().and_then(|i| items.get(i).cloned())
+                    }
+                    _ => None,
+                }
+            }
+            // Arithmetic cannot produce object references, and
+            // messages/lists are never dereferenced as receivers here.
+            _ => None,
+        }
+    }
+
+    /// Could deferring `fp` past *any* future behaviour of `other`
+    /// create a dependency? Union of the static summaries of the
+    /// task's stacked code units plus the locks it holds (or must
+    /// re-acquire), which its future releases and re-acquisitions
+    /// touch.
+    pub fn future_conflicts(&self, other: &Task, fp: &Footprint) -> bool {
+        if fp.unknown {
+            return true;
+        }
+        let lock_dep = |fp: &Footprint, cell: &Cell| {
+            let lock = Resource::Lock(cell.clone());
+            fp.writes.contains(&lock) || fp.reads.contains(&lock)
+        };
+        for held in &other.held {
+            if held.cells.iter().any(|c| lock_dep(fp, c)) {
+                return true;
+            }
+        }
+        if let Some(pending) = &other.pending_reacquire {
+            if pending.cells.iter().any(|c| lock_dep(fp, c)) {
+                return true;
+            }
+        }
+        other.frames.iter().any(|f| fp.conflicts_with_static(self.summaries().at(f.code, f.pc)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::TaskId;
+
+    fn interp(src: &str) -> Interp {
+        Interp::from_source(src).expect("compiles")
+    }
+
+    #[test]
+    fn para_print_steps_write_output_only() {
+        let i = interp("PARA\n    PRINT \"hello \"\n    PRINT \"world \"\nENDPARA\n");
+        let mut state = i.initial_state();
+        // Step main to spawn the PARA tasks.
+        i.apply(&mut state, &Choice::Step(TaskId(0))).unwrap();
+        let choices = i.choices(&state);
+        assert_eq!(choices.len(), 2);
+        for c in &choices {
+            let fp = i.choice_footprint(&state, c);
+            assert!(!fp.unknown);
+            assert!(fp.writes.contains(&Resource::Output));
+            assert!(fp.emits.intersects(EventMask::PRINTED));
+            assert!(!fp.reads.iter().any(|r| matches!(r, Resource::Cell(_))));
+        }
+    }
+
+    #[test]
+    fn global_assignment_resolves_to_global_cell() {
+        let i = interp("x = 0\nPARA\n    x = 1\n    y = 2\nENDPARA\n");
+        let mut state = i.initial_state();
+        i.apply(&mut state, &Choice::Step(TaskId(0))).unwrap(); // x = 0
+        i.apply(&mut state, &Choice::Step(TaskId(0))).unwrap(); // PARA
+        let choices = i.choices(&state);
+        assert_eq!(choices.len(), 2);
+        let fp1 = i.choice_footprint(&state, &choices[0]);
+        // PARA children of main inherit main scope: writes hit globals.
+        assert!(fp1.writes.contains(&Resource::Cell(Cell::Global("x".into()))));
+        let fp2 = i.choice_footprint(&state, &choices[1]);
+        assert!(fp2.writes.contains(&Resource::Cell(Cell::Global("y".into()))));
+    }
+
+    #[test]
+    fn exc_enter_claims_lock_resources() {
+        let i = interp(
+            "x = 0\nDEFINE f()\n    EXC_ACC\n        x = x + 1\n    END_EXC_ACC\nENDDEF\nPARA\n    f()\n    f()\nENDPARA\n",
+        );
+        let mut state = i.initial_state();
+        // x = 0; PARA; then each child is at CallAssign f().
+        i.apply(&mut state, &Choice::Step(TaskId(0))).unwrap();
+        i.apply(&mut state, &Choice::Step(TaskId(0))).unwrap();
+        // Step child 1 into f(): now at ExcEnter.
+        i.apply(&mut state, &Choice::Step(TaskId(1))).unwrap();
+        let fp = i.choice_footprint(&state, &Choice::Step(TaskId(1)));
+        let lock = Resource::Lock(Cell::Global("x".into()));
+        assert!(fp.writes.contains(&lock), "{fp:?}");
+        assert!(fp.emits.intersects(EventMask::ACQUIRED));
+    }
+
+    #[test]
+    fn send_targets_one_mailbox() {
+        let i = interp(
+            "CLASS R\n    DEFINE receive()\n        ON_RECEIVING\n            MESSAGE.h(x)\n                PRINT x\n    ENDDEF\nENDCLASS\nr1 = new R()\nr1.receive()\nSend(MESSAGE.h(\"hi\")).To(r1)\n",
+        );
+        let mut state = i.initial_state();
+        i.apply(&mut state, &Choice::Step(TaskId(0))).unwrap(); // new R
+        i.apply(&mut state, &Choice::Step(TaskId(0))).unwrap(); // r1.receive()
+        let fp = i.choice_footprint(&state, &Choice::Step(TaskId(0)));
+        // A send is a commuting multiset insert: no mailbox resource,
+        // but a fully-resolved Sent emit (name, payload, sender).
+        assert!(!fp.unknown, "{fp:?}");
+        assert!(!fp.writes.iter().any(|r| matches!(r, Resource::MailboxTake(_))), "{fp:?}");
+        assert!(fp.emits.intersects(EventMask::SENT));
+        let sent = fp.emit_events.iter().find(|e| e.kind.intersects(EventMask::SENT)).unwrap();
+        assert_eq!(sent.msg_name.as_deref(), Some("h"));
+        assert_eq!(sent.msg_args.as_deref(), Some(&[Value::Str("hi".into())][..]));
+        assert_eq!(sent.label.as_deref(), Some("main"));
+
+        // The delivery, by contrast, takes from exactly one mailbox.
+        i.apply(&mut state, &Choice::Step(TaskId(0))).unwrap(); // Send
+        let choices = i.choices(&state);
+        let recv =
+            choices.iter().find(|c| matches!(c, Choice::Receive { .. })).expect("delivery enabled");
+        let fp = i.choice_footprint(&state, recv);
+        assert!(fp.writes.contains(&Resource::MailboxTake(ObjId(0))), "{fp:?}");
+        assert!(fp.emits.intersects(EventMask::RECEIVED));
+    }
+
+    #[test]
+    fn static_summaries_close_over_calls() {
+        let i = interp(
+            "x = 0\nDEFINE inner()\n    x = x + 1\nENDDEF\nDEFINE outer()\n    inner()\nENDDEF\nouter()\n",
+        );
+        let outer = i.compiled.toplevel("outer").unwrap();
+        let summary = i.summaries().unit(i.compiled.func(outer).code);
+        assert!(summary.writes.contains(&StaticResource::Named("x".into())));
+        assert!(!summary.unknown);
+    }
+
+    #[test]
+    fn static_summaries_include_spawned_para_units() {
+        let i = interp(
+            "x = 0\nDEFINE f()\n    PARA\n        x = 1\n        y = 2\n    ENDPARA\nENDDEF\nf()\n",
+        );
+        let f = i.compiled.toplevel("f").unwrap();
+        let summary = i.summaries().unit(i.compiled.func(f).code);
+        assert!(summary.writes.contains(&StaticResource::TaskAlloc));
+        assert!(summary.writes.contains(&StaticResource::Named("x".into())));
+        assert!(summary.writes.contains(&StaticResource::Named("y".into())));
+    }
+
+    #[test]
+    fn conflict_matching_is_name_level() {
+        let mut fp = Footprint::default();
+        fp.write(Resource::Cell(Cell::Global("x".into())));
+        let mut s = StaticSummary::default();
+        s.reads.insert(StaticResource::Named("x".into()));
+        assert!(fp.conflicts_with_static(&s));
+        let mut t = StaticSummary::default();
+        t.reads.insert(StaticResource::Named("y".into()));
+        assert!(!fp.conflicts_with_static(&t));
+        // Unknown on either side conflicts.
+        let u = StaticSummary { unknown: true, ..StaticSummary::default() };
+        assert!(fp.conflicts_with_static(&u));
+    }
+}

@@ -1,0 +1,228 @@
+//! Hash-consing for explorer states.
+//!
+//! The explorer visits up to hundreds of thousands of states whose
+//! components (globals map, object heap, per-task stacks, mailboxes)
+//! mostly repeat: one task steps, everything else is unchanged.
+//! Instead of keeping full [`State`] clones on the DFS stack and
+//! hashing whole states into the visited set, each component is
+//! interned into a [`Pool`] once and a state collapses to a
+//! [`StateSig`] — eight words, `Copy`, cheap to hash and compare
+//! *exactly* (the visited set no longer relies on 64-bit hashes being
+//! collision-free).
+//!
+//! Interning is per-exploration: signatures from different
+//! [`Pools`] are meaningless to compare.
+
+use crate::state::{Cell, InFlight, Object, Output, State, Task, TaskId};
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::rc::Rc;
+
+/// The rustc-style Fx hasher: multiplicative, not HashDoS-resistant —
+/// exactly right for hashing interpreter states, where speed dominates
+/// and inputs are not adversarial. Profiling showed SipHash spending a
+/// double-digit share of exploration time on the larger
+/// message-passing state spaces.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
+pub(crate) type FxHashSet<T> = std::collections::HashSet<T, FxBuild>;
+
+/// One hash-consing table. Interning an equal value twice returns the
+/// same id; `get` recovers a shared reference to the canonical copy.
+struct Pool<T> {
+    map: HashMap<Rc<T>, u32, FxBuild>,
+    items: Vec<Rc<T>>,
+}
+
+impl<T: Eq + Hash + Clone> Pool<T> {
+    fn new() -> Self {
+        Pool { map: HashMap::default(), items: Vec::new() }
+    }
+
+    fn intern(&mut self, value: &T) -> u32 {
+        // `Rc<T>: Borrow<T>`, so a hit costs no allocation.
+        if let Some(&id) = self.map.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.items.len()).expect("pool overflow");
+        let rc = Rc::new(value.clone());
+        self.items.push(Rc::clone(&rc));
+        self.map.insert(rc, id);
+        id
+    }
+
+    fn get(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+}
+
+/// An interned state: component pool ids plus the scalar fields.
+/// Exact equality of signatures (within one [`Pools`]) is exact
+/// equality of the underlying states, modulo `steps` (frozen to 0 by
+/// the explorer) and message `seq`/`from` tags (which [`InFlight`]'s
+/// own `Eq` already ignores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct StateSig {
+    globals: u32,
+    objects: u32,
+    tasks: u32,
+    locks: u32,
+    inflight: u32,
+    dead: u32,
+    output: u32,
+    next_seq: u64,
+}
+
+/// Component pools for one exploration.
+pub(crate) struct Pools {
+    globals: Pool<BTreeMap<String, Value>>,
+    objects: Pool<Vec<Object>>,
+    task: Pool<Task>,
+    task_lists: Pool<Vec<u32>>,
+    locks: Pool<BTreeMap<Cell, (TaskId, u32)>>,
+    /// Shared by `inflight` and `dead_letters` (same element type,
+    /// heavy overlap).
+    msgs: Pool<Vec<InFlight>>,
+    output: Pool<Output>,
+}
+
+impl Pools {
+    pub fn new() -> Self {
+        Pools {
+            globals: Pool::new(),
+            objects: Pool::new(),
+            task: Pool::new(),
+            task_lists: Pool::new(),
+            locks: Pool::new(),
+            msgs: Pool::new(),
+            output: Pool::new(),
+        }
+    }
+
+    pub fn intern(&mut self, state: &State) -> StateSig {
+        let task_ids: Vec<u32> = state.tasks.iter().map(|t| self.task.intern(t)).collect();
+        // Delivery is unordered (any in-flight message for a receiver
+        // may arrive next), so the pool is semantically a multiset:
+        // canonicalize its order so states differing only in append
+        // order merge. Sort by the Eq-class key (`to`, `msg`) — `seq`
+        // and `from` are correlation tags that `InFlight`'s Eq already
+        // ignores. The dead-letter list is NOT canonicalized: its
+        // order is genuinely state-visible.
+        let inflight = if state.inflight.len() > 1 {
+            let mut pool = state.inflight.clone();
+            pool.sort_by(|a, b| (a.to.0, &a.msg).cmp(&(b.to.0, &b.msg)));
+            self.msgs.intern(&pool)
+        } else {
+            self.msgs.intern(&state.inflight)
+        };
+        StateSig {
+            globals: self.globals.intern(&state.globals),
+            objects: self.objects.intern(&state.objects),
+            tasks: self.task_lists.intern(&task_ids),
+            locks: self.locks.intern(&state.locks),
+            inflight,
+            dead: self.msgs.intern(&state.dead_letters),
+            output: self.output.intern(&state.output),
+            next_seq: state.next_seq,
+        }
+    }
+
+    /// Reconstruct a full state (with `steps == 0`; step counts are
+    /// path-dependent and the explorer freezes them before interning).
+    pub fn materialize(&self, sig: StateSig) -> State {
+        State {
+            globals: self.globals.get(sig.globals).clone(),
+            objects: self.objects.get(sig.objects).clone(),
+            tasks: self
+                .task_lists
+                .get(sig.tasks)
+                .iter()
+                .map(|&id| self.task.get(id).clone())
+                .collect(),
+            locks: self.locks.get(sig.locks).clone(),
+            inflight: self.msgs.get(sig.inflight).clone(),
+            output: self.output.get(sig.output).clone(),
+            next_seq: sig.next_seq,
+            steps: 0,
+            dead_letters: self.msgs.get(sig.dead).clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Choice, Interp};
+
+    #[test]
+    fn intern_roundtrips_and_dedups() {
+        let interp =
+            Interp::from_source("x = 1\nPARA\n    x = x + 1\n    x = x + 2\nENDPARA\nPRINT x\n")
+                .unwrap();
+        let mut pools = Pools::new();
+        let mut s = interp.initial_state();
+        let sig0 = pools.intern(&s);
+        assert_eq!(pools.intern(&s), sig0, "interning is stable");
+        let back = pools.materialize(sig0);
+        assert_eq!(back, s, "materialize inverts intern");
+
+        interp.apply(&mut s, &Choice::Step(crate::state::TaskId(0))).unwrap();
+        s.steps = 0;
+        let sig1 = pools.intern(&s);
+        assert_ne!(sig0, sig1, "different states get different signatures");
+        assert_eq!(pools.materialize(sig1), s);
+    }
+}

@@ -7,10 +7,10 @@
 //! checker are thin drivers on top of this pair — which guarantees the
 //! random runner and the explorer agree on the semantics.
 
+use crate::event::Event;
 use crate::program::{ArmInfo, CalleeRef, Compiled, Instr};
 use crate::state::*;
 use crate::value::{MessageVal, ObjId, RuntimeError, Value};
-use crate::event::Event;
 use concur_pseudocode::analysis::FootRef;
 use concur_pseudocode::ast::{BinOp, Expr, ExprKind, LValue, UnOp};
 use concur_pseudocode::Span;
@@ -49,11 +49,20 @@ pub enum Outcome {
 /// steps; all mutable data lives in [`State`].
 pub struct Interp {
     pub compiled: Compiled,
+    /// Per-code-unit static access summaries for partial-order
+    /// reduction (computed once here; see [`crate::footprint`]).
+    summaries: crate::footprint::Summaries,
 }
 
 impl Interp {
     pub fn new(compiled: Compiled) -> Self {
-        Interp { compiled }
+        let summaries = crate::footprint::Summaries::compute(&compiled);
+        Interp { compiled, summaries }
+    }
+
+    /// Static access summaries, one per compiled code unit.
+    pub fn summaries(&self) -> &crate::footprint::Summaries {
+        &self.summaries
     }
 
     /// Parse, compile and wrap a source program.
@@ -175,7 +184,7 @@ impl Interp {
 
     // --- stepping ---------------------------------------------------------
 
-    fn current_instr<'a>(&'a self, state: &State, task: TaskId) -> Option<&'a Instr> {
+    pub(crate) fn current_instr<'a>(&'a self, state: &State, task: TaskId) -> Option<&'a Instr> {
         let frame = state.task(task).top_frame()?;
         self.compiled.code(frame.code).get(frame.pc)
     }
@@ -313,17 +322,19 @@ impl Interp {
                 }
             }
             Instr::ExcExit { span } => {
-                let held = state.task_mut(tid).held.pop().ok_or_else(|| {
-                    RuntimeError::new("END_EXC_ACC with no held footprint", span)
-                })?;
+                let held =
+                    state.task_mut(tid).held.pop().ok_or_else(|| {
+                        RuntimeError::new("END_EXC_ACC with no held footprint", span)
+                    })?;
                 state.release(tid, &held.cells);
                 events.push(Event::Released { task: tid, cells: held.cells });
                 self.advance(state, tid);
             }
             Instr::Wait { span } => {
-                let held = state.task_mut(tid).held.pop().ok_or_else(|| {
-                    RuntimeError::new("WAIT() outside of an EXC_ACC block", span)
-                })?;
+                let held =
+                    state.task_mut(tid).held.pop().ok_or_else(|| {
+                        RuntimeError::new("WAIT() outside of an EXC_ACC block", span)
+                    })?;
                 state.release(tid, &held.cells);
                 let task = state.task_mut(tid);
                 task.pending_reacquire = Some(held);
@@ -336,8 +347,7 @@ impl Interp {
                 let ids: Vec<TaskId> = state.tasks.iter().map(|t| t.id).collect();
                 for other in ids {
                     if state.task(other).status == TaskStatus::Blocked(BlockReason::Waiting) {
-                        state.task_mut(other).status =
-                            TaskStatus::Blocked(BlockReason::Reacquire);
+                        state.task_mut(other).status = TaskStatus::Blocked(BlockReason::Reacquire);
                         events.push(Event::Woken { task: other });
                         woken += 1;
                     }
@@ -359,22 +369,14 @@ impl Interp {
                     Value::Obj(o) => o,
                     other => {
                         return Err(RuntimeError::new(
-                            format!(
-                                "Send target must be an object, found {}",
-                                other.type_name()
-                            ),
+                            format!("Send target must be an object, found {}", other.type_name()),
                             span,
                         ));
                     }
                 };
                 let seq = state.next_seq;
                 state.next_seq += 1;
-                state.add_inflight(InFlight {
-                    to: to_obj,
-                    msg: msg_val.clone(),
-                    seq,
-                    from: tid,
-                });
+                state.add_inflight(InFlight { to: to_obj, msg: msg_val.clone(), seq, from: tid });
                 *state.task_mut(tid).sent.entry(msg_val.name.clone()).or_insert(0) += 1;
                 events.push(Event::Sent { task: tid, to: to_obj, msg: msg_val, seq });
                 self.advance(state, tid);
@@ -434,11 +436,8 @@ impl Interp {
                 // this receive point is reached, so arm-end can
                 // restore them (arm bindings are message-scoped).
                 let receive_pc = frame.pc;
-                let stale = frame
-                    .receive_saved
-                    .as_ref()
-                    .map(|(pc, _)| *pc != receive_pc)
-                    .unwrap_or(true);
+                let stale =
+                    frame.receive_saved.as_ref().map(|(pc, _)| *pc != receive_pc).unwrap_or(true);
                 if stale {
                     frame.receive_saved = Some((receive_pc, frame.locals.clone()));
                 }
@@ -525,10 +524,7 @@ impl Interp {
                 };
                 let class = state.object(obj).class.clone();
                 let id = self.compiled.method(&class, method).ok_or_else(|| {
-                    RuntimeError::new(
-                        format!("class `{class}` has no method `{method}`"),
-                        span,
-                    )
+                    RuntimeError::new(format!("class `{class}` has no method `{method}`"), span)
                 })?;
                 (id, Some(obj))
             }
@@ -546,8 +542,7 @@ impl Interp {
                 span,
             ));
         }
-        let locals: BTreeMap<String, Value> =
-            info.params.iter().cloned().zip(arg_vals).collect();
+        let locals: BTreeMap<String, Value> = info.params.iter().cloned().zip(arg_vals).collect();
         let frame = Frame {
             func: func_id,
             code: info.code,
@@ -568,10 +563,9 @@ impl Interp {
             let label = match callee {
                 CalleeRef::Method(base, method) => match &base.kind {
                     ExprKind::Name(var) => format!("{var}.{method}"),
-                    _ => format!(
-                        "{}.{method}",
-                        self_obj.map(|o| o.to_string()).unwrap_or_default()
-                    ),
+                    _ => {
+                        format!("{}.{method}", self_obj.map(|o| o.to_string()).unwrap_or_default())
+                    }
                 },
                 CalleeRef::Name(name) => name.clone(),
             };
@@ -603,9 +597,11 @@ impl Interp {
         span: Span,
         events: &mut Vec<Event>,
     ) -> Result<(), RuntimeError> {
-        let class = self.compiled.classes.get(class_name).ok_or_else(|| {
-            RuntimeError::new(format!("unknown class `{class_name}`"), span)
-        })?;
+        let class = self
+            .compiled
+            .classes
+            .get(class_name)
+            .ok_or_else(|| RuntimeError::new(format!("unknown class `{class_name}`"), span))?;
         // Field initializers are call-free (validated); evaluate them
         // in a scope that only sees globals.
         let mut fields = BTreeMap::new();
@@ -807,8 +803,7 @@ impl Interp {
                 }
                 Some(Instr::ArmEnd { receive }) => {
                     let receive = *receive;
-                    let frame =
-                        state.task_mut(tid).frames.last_mut().expect("frame exists");
+                    let frame = state.task_mut(tid).frames.last_mut().expect("frame exists");
                     // Arm bindings are message-scoped: restore the
                     // function-level locals snapshotted at delivery.
                     if let Some((saved_pc, saved)) = &frame.receive_saved {
@@ -836,8 +831,7 @@ impl Interp {
                             .map(|obj| !state.inflight_for(obj).is_empty())
                             .unwrap_or(false);
                         if !has_mail {
-                            state.task_mut(tid).status =
-                                TaskStatus::Blocked(BlockReason::Receive);
+                            state.task_mut(tid).status = TaskStatus::Blocked(BlockReason::Receive);
                         }
                     }
                 }
@@ -858,7 +852,7 @@ impl Interp {
 
     // --- expression evaluation ---------------------------------------------
 
-    fn resolve_footprint(
+    pub(crate) fn resolve_footprint(
         &self,
         state: &State,
         tid: TaskId,
@@ -886,9 +880,9 @@ impl Interp {
                     // later is a runtime error anyway.
                 }
                 FootRef::SelfField(field) => {
-                    let obj = frame.self_obj.ok_or_else(|| {
-                        RuntimeError::new("SELF used outside a method", span)
-                    })?;
+                    let obj = frame
+                        .self_obj
+                        .ok_or_else(|| RuntimeError::new("SELF used outside a method", span))?;
                     cells.push(Cell::Field(obj, field.clone()));
                 }
                 FootRef::VarField(var, field) => {
@@ -919,11 +913,7 @@ impl Interp {
                 }
             }
         }
-        state
-            .globals
-            .get(name)
-            .cloned()
-            .ok_or_else(|| format!("undefined variable `{name}`"))
+        state.globals.get(name).cloned().ok_or_else(|| format!("undefined variable `{name}`"))
     }
 
     pub(crate) fn eval(
@@ -1014,9 +1004,9 @@ impl Interp {
                     .map(|a| self.eval_in_scope(state, tid, a, scope))
                     .collect::<Result<_, _>>()?,
             })),
-            ExprKind::Call { .. } | ExprKind::New { .. } => Err(err(
-                "internal error: call expression survived lowering".into(),
-            )),
+            ExprKind::Call { .. } | ExprKind::New { .. } => {
+                Err(err("internal error: call expression survived lowering".into()))
+            }
         }
     }
 
@@ -1109,15 +1099,12 @@ impl Interp {
                     }
                 };
                 let len = list.len();
-                let slot = usize::try_from(idx)
-                    .ok()
-                    .filter(|i| *i < len)
-                    .ok_or_else(|| {
-                        RuntimeError::new(
-                            format!("index {idx} out of range for list of length {len}"),
-                            span,
-                        )
-                    })?;
+                let slot = usize::try_from(idx).ok().filter(|i| *i < len).ok_or_else(|| {
+                    RuntimeError::new(
+                        format!("index {idx} out of range for list of length {len}"),
+                        span,
+                    )
+                })?;
                 list[slot] = value;
                 self.write_lvalue(state, tid, &base_lv, Value::List(list), span)
             }
@@ -1210,9 +1197,9 @@ fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, String> {
                 (Int(a), Int(b)) => a.cmp(b),
                 (Str(a), Str(b)) => a.cmp(b),
                 _ => match (l.as_f64(), r.as_f64()) {
-                    (Some(a), Some(b)) => a
-                        .partial_cmp(&b)
-                        .ok_or_else(|| "incomparable floats".to_string())?,
+                    (Some(a), Some(b)) => {
+                        a.partial_cmp(&b).ok_or_else(|| "incomparable floats".to_string())?
+                    }
                     _ => return type_err(op, &l, &r),
                 },
             };
@@ -1305,9 +1292,7 @@ fn apply_builtin(name: &str, args: &[Value], span: Span) -> Result<Value, Runtim
         "TAIL" => {
             arity(1)?;
             match &args[0] {
-                Value::List(items) if !items.is_empty() => {
-                    Ok(Value::List(items[1..].to_vec()))
-                }
+                Value::List(items) if !items.is_empty() => Ok(Value::List(items[1..].to_vec())),
                 Value::List(_) => Err(err("TAIL of an empty list".into())),
                 other => Err(err(format!("TAIL of {}", other.type_name()))),
             }

@@ -32,6 +32,8 @@
 pub mod event;
 pub mod explore;
 pub mod figures;
+pub mod footprint;
+pub(crate) mod intern;
 pub mod interp;
 pub mod program;
 pub mod schedule;
@@ -39,12 +41,13 @@ pub mod state;
 pub mod value;
 
 pub use event::{Event, EventKindPattern, EventPattern, StateCond};
-pub use explore::{Answer, Explorer, Limits, TerminalKind};
+pub use explore::{Answer, Explorer, Limits, Stats, TerminalKind};
+pub use footprint::{EventMask, Footprint, Resource, StaticResource};
 pub use interp::{Choice, Interp, Outcome};
 pub use program::{compile, compile_source, Compiled};
 pub use schedule::{
-    output_set, run, run_from, run_source, RandomScheduler, ReplayScheduler,
-    RoundRobinScheduler, RunResult, Scheduler,
+    output_set, run, run_from, run_source, RandomScheduler, ReplayScheduler, RoundRobinScheduler,
+    RunResult, Scheduler,
 };
 pub use state::{State, TaskId};
 pub use value::{MessageVal, ObjId, RuntimeError, Value};

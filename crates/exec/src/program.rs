@@ -49,10 +49,7 @@ impl Compiled {
 
     /// Find a top-level function by name.
     pub fn toplevel(&self, name: &str) -> Option<FuncId> {
-        self.funcs
-            .iter()
-            .position(|f| f.class.is_none() && f.name == name)
-            .map(FuncId)
+        self.funcs.iter().position(|f| f.class.is_none() && f.name == name).map(FuncId)
     }
 
     /// Find a method `class.name`.
@@ -117,40 +114,92 @@ pub struct ArmInfo {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     /// `target = value` with a pure right-hand side.
-    Assign { target: LValue, value: Expr, span: Span },
+    Assign {
+        target: LValue,
+        value: Expr,
+        span: Span,
+    },
     /// `target = f(args)` / bare `f(args)`. Pushes a frame — or spawns
     /// a detached receiver task when the resolved target is a receiver
     /// method.
-    CallAssign { target: Option<LValue>, callee: CalleeRef, args: Vec<Expr>, span: Span },
+    CallAssign {
+        target: Option<LValue>,
+        callee: CalleeRef,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// `target = new C(args)`: allocate, run field initializers, then
     /// call `init(args)` if the class defines it.
-    New { target: Option<LValue>, class: String, args: Vec<Expr>, span: Span },
+    New {
+        target: Option<LValue>,
+        class: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
     /// Unconditional jump (compiled control flow).
-    Jump { target: usize },
+    Jump {
+        target: usize,
+    },
     /// Conditional jump; `cond` must evaluate to BOOL.
-    JumpIfFalse { cond: Expr, target: usize, span: Span },
-    Print { value: Expr, newline: bool, span: Span },
+    JumpIfFalse {
+        cond: Expr,
+        target: usize,
+        span: Span,
+    },
+    Print {
+        value: Expr,
+        newline: bool,
+        span: Span,
+    },
     /// Spawn one task per element and block until all join (Figure 3/4
     /// semantics: the statement after `ENDPARA` sees every effect).
-    Para { tasks: Vec<(CodeId, String)>, span: Span },
+    Para {
+        tasks: Vec<(CodeId, String)>,
+        span: Span,
+    },
     /// Acquire the resolved footprint (all cells at once) or block.
-    ExcEnter { footprint: Vec<FootRef>, span: Span },
-    ExcExit { span: Span },
-    Wait { span: Span },
-    Notify { span: Span },
-    Send { msg: Expr, to: Expr, span: Span },
+    ExcEnter {
+        footprint: Vec<FootRef>,
+        span: Span,
+    },
+    ExcExit {
+        span: Span,
+    },
+    Wait {
+        span: Span,
+    },
+    Notify {
+        span: Span,
+    },
+    Send {
+        msg: Expr,
+        to: Expr,
+        span: Span,
+    },
     /// Accept one in-flight message for this task's receiver object;
     /// matching arm binds parameters and jumps. Arm bodies jump back
     /// here (persistent behavior).
-    Receive { arms: Vec<ArmInfo>, span: Span },
+    Receive {
+        arms: Vec<ArmInfo>,
+        span: Span,
+    },
     /// End of a receive arm: restore the frame's function-level
     /// locals (arm bindings are message-scoped) and return to the
     /// `Receive` instruction for the next message. Free (skidded over)
     /// like `Jump`.
-    ArmEnd { receive: usize },
+    ArmEnd {
+        receive: usize,
+    },
     /// `SPAWN f(args)`: start the call as a detached task.
-    Spawn { callee: CalleeRef, args: Vec<Expr>, span: Span },
-    Return { value: Option<Expr>, span: Span },
+    Spawn {
+        callee: CalleeRef,
+        args: Vec<Expr>,
+        span: Span,
+    },
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
 }
 
 impl Instr {
@@ -219,8 +268,7 @@ pub fn compile(program: &Program) -> Result<Compiled, RuntimeError> {
                     let id = FuncId(next);
                     next += 1;
                     c.compile_func_body(id, m)?;
-                    let class_info =
-                        c.classes.get_mut(&class.name).expect("declared in pass 1");
+                    let class_info = c.classes.get_mut(&class.name).expect("declared in pass 1");
                     class_info.methods.insert(m.name.clone(), id);
                 }
             }
@@ -337,11 +385,9 @@ impl Compiler {
                     args: args.clone(),
                     span,
                 }),
-                _ => code.push(Instr::Assign {
-                    target: target.clone(),
-                    value: value.clone(),
-                    span,
-                }),
+                _ => {
+                    code.push(Instr::Assign { target: target.clone(), value: value.clone(), span })
+                }
             },
             StmtKind::ExprStmt(expr) => match &expr.kind {
                 ExprKind::Call { callee, args } => code.push(Instr::CallAssign {
@@ -373,11 +419,7 @@ impl Compiler {
                         patch(code, idx);
                     }
                     let false_jump = code.len();
-                    code.push(Instr::JumpIfFalse {
-                        cond: cond.clone(),
-                        target: usize::MAX,
-                        span,
-                    });
+                    code.push(Instr::JumpIfFalse { cond: cond.clone(), target: usize::MAX, span });
                     self.compile_block(body, code, loops)?;
                     end_jumps.push(code.len());
                     code.push(Instr::Jump { target: usize::MAX });
@@ -396,11 +438,7 @@ impl Compiler {
             StmtKind::While { cond, body } => {
                 let top = code.len();
                 let exit_jump = code.len();
-                code.push(Instr::JumpIfFalse {
-                    cond: cond.clone(),
-                    target: usize::MAX,
-                    span,
-                });
+                code.push(Instr::JumpIfFalse { cond: cond.clone(), target: usize::MAX, span });
                 loops.push(LoopCtx { breaks: Vec::new(), continue_target: top });
                 self.compile_block(body, code, loops)?;
                 let ctx = loops.pop().expect("loop context pushed above");
@@ -512,11 +550,9 @@ impl Compiler {
             }
             StmtKind::Wait => code.push(Instr::Wait { span }),
             StmtKind::Notify => code.push(Instr::Notify { span }),
-            StmtKind::Print { value, newline } => code.push(Instr::Print {
-                value: value.clone(),
-                newline: *newline,
-                span,
-            }),
+            StmtKind::Print { value, newline } => {
+                code.push(Instr::Print { value: value.clone(), newline: *newline, span })
+            }
             StmtKind::Send { msg, to } => {
                 code.push(Instr::Send { msg: msg.clone(), to: to.clone(), span })
             }
@@ -539,18 +575,14 @@ impl Compiler {
                 code[receive_pc] = Instr::Receive { arms: infos, span };
             }
             StmtKind::Spawn { call } => match &call.kind {
-                ExprKind::Call { callee, args } => code.push(Instr::Spawn {
-                    callee: to_callee(callee),
-                    args: args.clone(),
-                    span,
-                }),
+                ExprKind::Call { callee, args } => {
+                    code.push(Instr::Spawn { callee: to_callee(callee), args: args.clone(), span })
+                }
                 _ => {
                     return Err(RuntimeError::new("SPAWN expects a call", span));
                 }
             },
-            StmtKind::Return(value) => {
-                code.push(Instr::Return { value: value.clone(), span })
-            }
+            StmtKind::Return(value) => code.push(Instr::Return { value: value.clone(), span }),
             StmtKind::Seq(block) => self.compile_block(block, code, loops)?,
         }
         Ok(())

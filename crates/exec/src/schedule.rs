@@ -176,8 +176,8 @@ pub fn output_set(source: &str, runs: u64, max_steps: u64) -> Result<Vec<String>
     let interp = Interp::from_source(source)?;
     let mut outputs = std::collections::BTreeSet::new();
     for seed in 0..runs {
-        let result = run(&interp, &mut RandomScheduler::new(seed), max_steps)
-            .map_err(|e| e.to_string())?;
+        let result =
+            run(&interp, &mut RandomScheduler::new(seed), max_steps).map_err(|e| e.to_string())?;
         outputs.insert(result.output());
     }
     Ok(outputs.into_iter().collect())

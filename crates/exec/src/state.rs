@@ -320,11 +320,7 @@ impl State {
 
     /// Indices of in-flight messages addressed to `obj`.
     pub fn inflight_for(&self, obj: ObjId) -> Vec<usize> {
-        self.inflight
-            .iter()
-            .enumerate()
-            .filter_map(|(i, m)| (m.to == obj).then_some(i))
-            .collect()
+        self.inflight.iter().enumerate().filter_map(|(i, m)| (m.to == obj).then_some(i)).collect()
     }
 
     /// All tasks finished?

@@ -199,10 +199,7 @@ mod tests {
         assert_eq!(Value::float(3.0).to_string(), "3.0");
         assert_eq!(Value::Str("hello".into()).to_string(), "hello");
         assert_eq!(Value::Bool(true).to_string(), "TRUE");
-        assert_eq!(
-            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
-            "[1, 2]"
-        );
+        assert_eq!(Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
         assert_eq!(
             Value::Message(MessageVal { name: "h".into(), args: vec![Value::Str("hi".into())] })
                 .to_string(),

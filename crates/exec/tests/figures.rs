@@ -9,8 +9,8 @@ use concur_exec::{output_set, Interp};
 #[test]
 fn every_figure_matches_its_possibility_list() {
     for (name, source, expected) in figure_expectations() {
-        let outputs = terminal_outputs(source)
-            .unwrap_or_else(|e| panic!("{name} failed to run: {e}"));
+        let outputs =
+            terminal_outputs(source).unwrap_or_else(|e| panic!("{name} failed to run: {e}"));
         let mut expected: Vec<String> = expected.iter().map(|s| s.to_string()).collect();
         expected.sort();
         assert_eq!(outputs, expected, "possibility list mismatch for {name}");
@@ -20,8 +20,8 @@ fn every_figure_matches_its_possibility_list() {
 #[test]
 fn random_runs_stay_inside_the_possibility_set() {
     for (name, source, expected) in figure_expectations() {
-        let observed = output_set(source, 60, 100_000)
-            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        let observed =
+            output_set(source, 60, 100_000).unwrap_or_else(|e| panic!("{name} failed: {e}"));
         for output in &observed {
             assert!(
                 expected.contains(&output.as_str()),
@@ -154,8 +154,9 @@ fn deadlock_classification_vs_quiescence() {
     let interp = Interp::from_source(FIG5_MESSAGE_PASSING).unwrap();
     let explorer = Explorer::new(&interp);
     let set = explorer.terminals().unwrap();
-    assert!(set
-        .terminals
-        .iter()
-        .all(|t| t.outcome == TerminalKind::Quiescent), "{:?}", set.terminals);
+    assert!(
+        set.terminals.iter().all(|t| t.outcome == TerminalKind::Quiescent),
+        "{:?}",
+        set.terminals
+    );
 }

@@ -3,9 +3,7 @@
 //! scheduler properties.
 
 use concur_exec::explore::terminal_outputs;
-use concur_exec::{
-    run, run_source, Event, Interp, Outcome, RandomScheduler, RoundRobinScheduler,
-};
+use concur_exec::{run, run_source, Event, Interp, Outcome, RandomScheduler, RoundRobinScheduler};
 
 /// Run a deterministic (single-possibility) program and return its
 /// normalized output.
@@ -39,13 +37,12 @@ fn string_concatenation_and_comparison() {
 #[test]
 fn while_and_for_loops() {
     assert_eq!(
-        output_of("s = 0\ni = 1\nWHILE i <= 4\n    s = s + i\n    i = i + 1\nENDWHILE\nPRINTLN s\n"),
+        output_of(
+            "s = 0\ni = 1\nWHILE i <= 4\n    s = s + i\n    i = i + 1\nENDWHILE\nPRINTLN s\n"
+        ),
         "10"
     );
-    assert_eq!(
-        output_of("s = 0\nFOR i = 1 TO 4\n    s = s + i\nENDFOR\nPRINTLN s\n"),
-        "10"
-    );
+    assert_eq!(output_of("s = 0\nFOR i = 1 TO 4\n    s = s + i\nENDFOR\nPRINTLN s\n"), "10");
     // Zero-iteration FOR.
     assert_eq!(output_of("s = 7\nFOR i = 5 TO 4\n    s = 0\nENDFOR\nPRINTLN s\n"), "7");
 }
@@ -79,20 +76,14 @@ fn functions_recursion_and_returns() {
         "720"
     );
     // Implicit return of UNIT.
-    assert_eq!(
-        output_of("DEFINE f()\n    x = 1\nENDDEF\nr = f()\nPRINTLN r\n"),
-        "UNIT"
-    );
+    assert_eq!(output_of("DEFINE f()\n    x = 1\nENDDEF\nr = f()\nPRINTLN r\n"), "UNIT");
 }
 
 #[test]
 fn lists_and_builtins() {
     assert_eq!(output_of("items = [10, 20, 30]\nPRINTLN items[1]\n"), "20");
     assert_eq!(output_of("items = [1, 2, 3]\nPRINTLN LEN(items)\n"), "3");
-    assert_eq!(
-        output_of("items = [1]\nitems2 = APPEND(items, 5)\nPRINTLN items2\n"),
-        "[1, 5]"
-    );
+    assert_eq!(output_of("items = [1]\nitems2 = APPEND(items, 5)\nPRINTLN items2\n"), "[1, 5]");
     assert_eq!(output_of("PRINTLN CONTAINS([1, 2], 2)\n"), "TRUE");
     assert_eq!(output_of("items = [1, 2]\nitems[0] = 9\nPRINTLN items\n"), "[9, 2]");
     assert_eq!(output_of("PRINTLN MIN(3, 5) + MAX(3, 5)\n"), "8");

@@ -28,6 +28,36 @@ fn guarded_increment_program(deltas: &[i64]) -> String {
     src
 }
 
+/// Build an actor program: `clients` clients each ping a shared
+/// counter; the counter acks with its running count, and each client
+/// prints the ack payload it got back.
+fn ping_counter_program(clients: usize) -> String {
+    let mut src = String::from(
+        "CLASS Counter\n    n = 0\n\n    DEFINE serve()\n        ON_RECEIVING\n            MESSAGE.ping(sender)\n                n = n + 1\n                Send(MESSAGE.ack(n)).To(sender)\n    ENDDEF\nENDCLASS\n\nCLASS Client\n    DEFINE start(counter)\n        Send(MESSAGE.ping(SELF)).To(counter)\n        ON_RECEIVING\n            MESSAGE.ack(k)\n                PRINT k\n                RETURN 0\n    ENDDEF\nENDCLASS\n\ncounter = new Counter()\ncounter.serve()\n",
+    );
+    for i in 0..clients {
+        let _ = writeln!(src, "c{i} = new Client()");
+    }
+    for i in 0..clients {
+        let _ = writeln!(src, "c{i}.start(counter)");
+    }
+    src
+}
+
+/// Terminal sets (outputs + deadlock classification) of the reduced
+/// and naive explorer on a source program must be identical.
+fn assert_por_matches_naive(src: &str) {
+    let interp = Interp::from_source(src).unwrap();
+    let reduced = Explorer::new(&interp).terminals().unwrap();
+    let naive = Explorer::new(&interp).without_por().terminals().unwrap();
+    assert!(!naive.stats.truncated, "naive search truncated on:\n{src}");
+    assert!(!reduced.stats.truncated, "reduced search truncated on:\n{src}");
+    assert_eq!(
+        reduced.terminals, naive.terminals,
+        "reduced and naive terminal sets differ on:\n{src}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -87,5 +117,44 @@ proptest! {
         let result = concur_exec::run_source(&src, 0, 10_000).unwrap();
         let expected = (a + b) * 2 - a / c;
         prop_assert_eq!(result.output(), expected.to_string());
+    }
+
+    /// Differential: partial-order reduction never changes the
+    /// terminal set on random print-interleaving programs (pure
+    /// output visibility).
+    #[test]
+    fn por_matches_naive_on_print_programs(n in 1usize..5) {
+        let tags: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+        assert_por_matches_naive(&print_tasks_program(&tags));
+    }
+
+    /// Differential: nor on random lock-guarded shared-memory
+    /// programs (lock + global-cell footprints).
+    #[test]
+    fn por_matches_naive_on_guarded_programs(deltas in prop::collection::vec(-5i64..6, 1..5)) {
+        assert_por_matches_naive(&guarded_increment_program(&deltas));
+    }
+
+    /// Differential: nor on actor programs (mailbox insert/take
+    /// footprints and canonical in-flight ordering).
+    #[test]
+    fn por_matches_naive_on_message_programs(clients in 1usize..4) {
+        assert_por_matches_naive(&ping_counter_program(clients));
+    }
+
+    /// Random-scheduler runs of the actor program also land inside
+    /// the explorer's possibility set.
+    #[test]
+    fn random_actor_outputs_subset_of_explored(clients in 1usize..3, seed in 0u64..500) {
+        let src = ping_counter_program(clients);
+        let interp = Interp::from_source(&src).unwrap();
+        let set = Explorer::new(&interp).terminals().unwrap();
+        prop_assert!(!set.stats.truncated);
+        let result = run(&interp, &mut RandomScheduler::new(seed), 100_000).unwrap();
+        prop_assert!(
+            set.outputs().contains(&result.output()),
+            "random actor output {:?} missing from explored set {:?}",
+            result.output(), set.outputs()
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! behind the paper's Test-1 questions (Figures 6–7) — on a miniature
 //! mutual-exclusion program.
 
-use concur_exec::explore::{Answer, Explorer};
+use concur_exec::explore::{Answer, Explorer, Limits};
 use concur_exec::{EventKindPattern, EventPattern, Interp, StateCond, Value};
 
 /// A two-task critical-section program: both tasks call `enter()` then
@@ -47,9 +47,7 @@ fn a_task_can_block_on_exc_acc_while_the_other_holds_it() {
     let (interp, _) = explorer_for(MINI_MUTEX);
     let explorer = Explorer::new(&interp);
     // Setup: first worker is inside enter() and has not returned.
-    let setup = vec![
-        StateCond::InFunction { task_label: "worker()".into(), func: "enter".into() },
-    ];
+    let setup = vec![StateCond::InFunction { task_label: "worker()".into(), func: "enter".into() }];
     // Query: some task blocks trying to enter an EXC_ACC.
     let query = vec![EventPattern::any(EventKindPattern::BlockedOnLocks)];
     let answer = explorer.can_happen(&setup, &query).unwrap();
@@ -79,13 +77,9 @@ fn impossible_scenarios_get_a_definitive_no() {
 fn unsatisfiable_setup_is_reported() {
     let (interp, _) = explorer_for(MINI_MUTEX);
     let explorer = Explorer::new(&interp);
-    let setup = vec![StateCond::GlobalEquals {
-        name: "log".into(),
-        value: Value::Int(99),
-    }];
-    let answer = explorer
-        .can_happen(&setup, &[EventPattern::any(EventKindPattern::Notified)])
-        .unwrap();
+    let setup = vec![StateCond::GlobalEquals { name: "log".into(), value: Value::Int(99) }];
+    let answer =
+        explorer.can_happen(&setup, &[EventPattern::any(EventKindPattern::Notified)]).unwrap();
     assert_eq!(answer, Answer::SetupUnreachable { exhaustive: true });
 }
 
@@ -162,6 +156,69 @@ b.start(counter)
         args: Some(vec![Value::Int(3)]),
     })];
     assert!(explorer.can_happen(&[], &ack3).unwrap().is_definitive_no());
+}
+
+#[test]
+fn truncated_witness_search_is_not_reported_exhaustive() {
+    // A NO produced under a bound that cut the search short must not
+    // claim exhaustiveness — `is_definitive_no` has to stay false.
+    let (interp, _) = explorer_for(MINI_MUTEX);
+    let limits = Limits { max_states: 3, max_depth: 10_000, max_setup_states: 4096 };
+    let explorer = Explorer::with_limits(&interp, limits);
+    let query = vec![EventPattern::any(EventKindPattern::Printed { text: "X".into() })];
+    let answer = explorer.can_happen(&[], &query).unwrap();
+    assert_eq!(answer, Answer::No { exhaustive: false });
+    assert!(!answer.is_definitive_no());
+}
+
+#[test]
+fn truncated_setup_search_is_not_reported_exhaustive() {
+    // Same for a vacuous setup: if the search for setup states was
+    // truncated, the unreachability verdict is only a lower bound.
+    let (interp, _) = explorer_for(MINI_MUTEX);
+    let limits = Limits { max_states: 3, max_depth: 10_000, max_setup_states: 4096 };
+    let explorer = Explorer::with_limits(&interp, limits);
+    let setup = vec![StateCond::GlobalEquals { name: "log".into(), value: Value::Int(99) }];
+    let answer =
+        explorer.can_happen(&setup, &[EventPattern::any(EventKindPattern::Notified)]).unwrap();
+    assert_eq!(answer, Answer::SetupUnreachable { exhaustive: false });
+}
+
+#[test]
+fn shared_visited_set_does_not_mask_a_later_starts_witness() {
+    // The witness search shares one visited set across all setup
+    // states. The *first* frontier state DFS discovers below has
+    // already printed "w" (its continuation can never match), so the
+    // YES must come from a later start — a regression guard against
+    // the shared set swallowing it.
+    let source = "\
+x = 0
+
+DEFINE bump()
+    x = 1
+    x = 2
+ENDDEF
+
+PARA
+    PRINT \"w\"
+    bump()
+ENDPARA
+";
+    let interp = Interp::from_source(source).unwrap();
+    let explorer = Explorer::new(&interp);
+    let setup = vec![StateCond::GlobalEquals { name: "x".into(), value: Value::Int(1) }];
+    // Sanity: multiple distinct frontier states satisfy the setup,
+    // and the first (deepest-first along task order) has printed.
+    let (starts, _) =
+        explorer.reachable_states(&setup, explorer.limits.max_setup_states, true).unwrap();
+    assert!(starts.len() > 1, "expected several setup states, got {}", starts.len());
+    assert!(
+        starts[0].output.normalized().contains('w'),
+        "expected the first-discovered setup state to have printed already"
+    );
+    let query = vec![EventPattern::any(EventKindPattern::Printed { text: "w".into() })];
+    let answer = explorer.can_happen(&setup, &query).unwrap();
+    assert!(answer.is_yes(), "{answer:?}");
 }
 
 #[test]

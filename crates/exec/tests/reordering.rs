@@ -21,10 +21,7 @@ fn can(source: &str, scenario: Vec<EventPattern>) -> bool {
 }
 
 fn received(task: &str, msg: &str, arg: i64) -> EventPattern {
-    EventPattern::by(
-        task,
-        EK::Received { msg_name: msg.into(), args: Some(vec![Value::Int(arg)]) },
-    )
+    EventPattern::by(task, EK::Received { msg_name: msg.into(), args: Some(vec![Value::Int(arg)]) })
 }
 
 fn sent_with(msg: &str, arg: i64) -> EventPattern {
@@ -127,10 +124,7 @@ a.fire(sink1, sink2)
     );
     // tag(1) was sent first, to sink1 — but sink2 can receive tag(2)
     // before sink1 receives tag(1).
-    let scenario = vec![
-        received("sink2.serve", "tag", 2),
-        received("sink1.serve", "tag", 1),
-    ];
+    let scenario = vec![received("sink2.serve", "tag", 2), received("sink1.serve", "tag", 1)];
     assert!(can(&source, scenario));
 }
 
@@ -153,10 +147,7 @@ a = new Sender()
 a.fire(sink)
 "
     );
-    let scenario = vec![
-        received("sink.serve", "tag", 2),
-        received("sink.serve", "tag", 1),
-    ];
+    let scenario = vec![received("sink.serve", "tag", 2), received("sink.serve", "tag", 1)];
     assert!(can(&source, scenario));
 }
 
@@ -179,9 +170,6 @@ a = new Sender()
 a.fire(sink)
 "
     );
-    let scenario = vec![
-        received("sink.serve", "tag", 1),
-        received("sink.serve", "tag", 2),
-    ];
+    let scenario = vec![received("sink.serve", "tag", 1), received("sink.serve", "tag", 2)];
     assert!(can(&source, scenario));
 }

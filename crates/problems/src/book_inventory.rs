@@ -252,10 +252,7 @@ fn run_actors(config: Config) -> Report {
     )
     .expect("audit");
     system.shutdown();
-    Report {
-        events: log.snapshot(),
-        final_stock: stock.into_iter().enumerate().collect(),
-    }
+    Report { events: log.snapshot(), final_stock: stock.into_iter().enumerate().collect() }
 }
 
 // --- coroutines -------------------------------------------------------------------
@@ -301,8 +298,7 @@ fn run_coroutines(config: Config) -> Report {
         });
     }
     sched.run().expect("solvable workload cannot deadlock");
-    let final_stock =
-        stock.lock().iter().copied().enumerate().collect::<BTreeMap<_, _>>();
+    let final_stock = stock.lock().iter().copied().enumerate().collect::<BTreeMap<_, _>>();
     Report { events: log.snapshot(), final_stock }
 }
 
@@ -334,10 +330,7 @@ pub fn validate(report: &Report, config: Config) -> Validated<()> {
     let total_orders = (config.clients * config.orders_per_client) as u32;
     let total_sold: u32 = sold.iter().sum();
     if total_sold != total_orders {
-        return Err(Violation::new(
-            format!("sold {total_sold} != ordered {total_orders}"),
-            None,
-        ));
+        return Err(Violation::new(format!("sold {total_sold} != ordered {total_orders}"), None));
     }
     let total_restocks = (config.clients * config.restocks_per_client) as u32;
     let total_restocked: u32 = restocked.iter().sum();

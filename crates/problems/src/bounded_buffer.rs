@@ -203,17 +203,15 @@ fn run_actors(config: Config) -> Vec<Event> {
         let mut consumer_handles = Vec::new();
         for _ in 0..config.consumers {
             let buffer = buffer.clone();
-            consumer_handles.push(scope.spawn(move || {
-                loop {
-                    let got = concur_actors::ask(
-                        &buffer,
-                        BufferMsg::Take,
-                        std::time::Duration::from_secs(30),
-                    )
-                    .expect("take answered");
-                    if got.is_none() {
-                        break;
-                    }
+            consumer_handles.push(scope.spawn(move || loop {
+                let got = concur_actors::ask(
+                    &buffer,
+                    BufferMsg::Take,
+                    std::time::Duration::from_secs(30),
+                )
+                .expect("take answered");
+                if got.is_none() {
+                    break;
                 }
             }));
         }
@@ -295,10 +293,7 @@ pub fn validate(events: &[Event], config: Config) -> Validated<()> {
         match event {
             Event::Produced(item) => {
                 if !produced.insert(*item) {
-                    return Err(Violation::new(
-                        format!("item {item:?} produced twice"),
-                        Some(i),
-                    ));
+                    return Err(Violation::new(format!("item {item:?} produced twice"), Some(i)));
                 }
             }
             Event::Consumed(item) => {
@@ -309,10 +304,7 @@ pub fn validate(events: &[Event], config: Config) -> Validated<()> {
                     ));
                 }
                 if !consumed.insert(*item) {
-                    return Err(Violation::new(
-                        format!("item {item:?} consumed twice"),
-                        Some(i),
-                    ));
+                    return Err(Violation::new(format!("item {item:?} consumed twice"), Some(i)));
                 }
                 if check_fifo {
                     let last = &mut last_consumed_seq[item.producer];
@@ -385,11 +377,7 @@ mod tests {
     #[test]
     fn validator_rejects_duplication() {
         let item = Item { producer: 0, seq: 0 };
-        let bad = vec![
-            Event::Produced(item),
-            Event::Consumed(item),
-            Event::Consumed(item),
-        ];
+        let bad = vec![Event::Produced(item), Event::Consumed(item), Event::Consumed(item)];
         let config = Config { producers: 1, consumers: 1, items_per_producer: 1, capacity: 1 };
         assert!(validate(&bad, config).is_err());
     }
@@ -398,12 +386,8 @@ mod tests {
     fn validator_rejects_reordering() {
         let a = Item { producer: 0, seq: 0 };
         let b = Item { producer: 0, seq: 1 };
-        let bad = vec![
-            Event::Produced(a),
-            Event::Produced(b),
-            Event::Consumed(b),
-            Event::Consumed(a),
-        ];
+        let bad =
+            vec![Event::Produced(a), Event::Produced(b), Event::Consumed(b), Event::Consumed(a)];
         let config = Config { producers: 1, consumers: 1, items_per_producer: 2, capacity: 2 };
         assert!(validate(&bad, config).is_err());
     }

@@ -136,7 +136,7 @@ fn run_threads(config: Config) -> Vec<Event> {
                         guard.notify_all();
                     }
                     std::thread::yield_now(); // crossing
-                    // exit()
+                                              // exit()
                     {
                         let mut guard = bridge.enter();
                         guard.cars_on -= 1;
@@ -272,8 +272,7 @@ struct CarActor {
 impl Actor for CarActor {
     type Msg = CarMsg;
     fn started(&mut self, ctx: &mut Context<'_, CarMsg>) {
-        self.bridge
-            .send(BridgeMsg::Enter { car: self.car, dir: self.dir, reply: ctx.self_ref() });
+        self.bridge.send(BridgeMsg::Enter { car: self.car, dir: self.dir, reply: ctx.self_ref() });
     }
     fn receive(&mut self, msg: CarMsg, ctx: &mut Context<'_, CarMsg>) {
         match msg {
@@ -444,8 +443,7 @@ pub fn validate(events: &[Event], config: Config) -> Validated<()> {
                 on_bridge.push((car, dir));
             }
             Event::Exited { car, dir } => {
-                let Some(pos) = on_bridge.iter().position(|&(c, d)| c == car && d == dir)
-                else {
+                let Some(pos) = on_bridge.iter().position(|&(c, d)| c == car && d == dir) else {
                     return Err(Violation::new(
                         format!("car {car} exited without entering"),
                         Some(i),
@@ -457,20 +455,14 @@ pub fn validate(events: &[Event], config: Config) -> Validated<()> {
         }
     }
     if !on_bridge.is_empty() {
-        return Err(Violation::new(
-            format!("{} car(s) never exited", on_bridge.len()),
-            None,
-        ));
+        return Err(Violation::new(format!("{} car(s) never exited", on_bridge.len()), None));
     }
     let total_cars = config.red_cars + config.blue_cars;
     for car in 0..total_cars {
         let done = crossings.get(&car).copied().unwrap_or(0);
         if done != config.crossings_per_car {
             return Err(Violation::new(
-                format!(
-                    "car {car} crossed {done} times, expected {}",
-                    config.crossings_per_car
-                ),
+                format!("car {car} crossed {done} times, expected {}", config.crossings_per_car),
                 None,
             ));
         }
@@ -520,12 +512,8 @@ mod tests {
 
     #[test]
     fn one_direction_only() {
-        let config = Config {
-            red_cars: 4,
-            blue_cars: 0,
-            crossings_per_car: 5,
-            fair_batch: Some(2),
-        };
+        let config =
+            Config { red_cars: 4, blue_cars: 0, crossings_per_car: 5, fair_batch: Some(2) };
         for paradigm in Paradigm::ALL {
             run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
         }
@@ -533,12 +521,8 @@ mod tests {
 
     #[test]
     fn single_car_each_direction() {
-        let config = Config {
-            red_cars: 1,
-            blue_cars: 1,
-            crossings_per_car: 10,
-            fair_batch: Some(1),
-        };
+        let config =
+            Config { red_cars: 1, blue_cars: 1, crossings_per_car: 10, fair_batch: Some(1) };
         for paradigm in Paradigm::ALL {
             run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
         }

@@ -66,8 +66,7 @@ pub struct Report {
 /// Run with threads using the given strategy.
 pub fn run_threads(config: Config, strategy: Strategy) -> Validated<Report> {
     let n = config.philosophers;
-    let forks: Arc<Vec<Monitor<bool>>> =
-        Arc::new((0..n).map(|_| Monitor::new(false)).collect());
+    let forks: Arc<Vec<Monitor<bool>>> = Arc::new((0..n).map(|_| Monitor::new(false)).collect());
     let log: EventLog<Event> = EventLog::new();
     let waiter = Arc::new(Semaphore::new(n.saturating_sub(1).max(1)));
     let deadlocked = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -200,8 +199,7 @@ impl Actor for PhilosopherActor {
             self.finish(ctx);
             return;
         }
-        self.waiter
-            .send(WaiterMsg::Request { seat: self.seat, philosopher: ctx.self_ref() });
+        self.waiter.send(WaiterMsg::Request { seat: self.seat, philosopher: ctx.self_ref() });
     }
     fn receive(&mut self, PhilMsg::Granted: PhilMsg, ctx: &mut Context<'_, PhilMsg>) {
         self.log.push(Event::StartedEating(self.seat));
@@ -211,8 +209,7 @@ impl Actor for PhilosopherActor {
         if self.meals_left == 0 {
             self.finish(ctx);
         } else {
-            self.waiter
-                .send(WaiterMsg::Request { seat: self.seat, philosopher: ctx.self_ref() });
+            self.waiter.send(WaiterMsg::Request { seat: self.seat, philosopher: ctx.self_ref() });
         }
     }
 }
@@ -399,11 +396,9 @@ mod tests {
         // Run several times: whether or not deadlock strikes, mutual
         // exclusion must hold. (Deadlock is *possible*, not certain.)
         for _ in 0..5 {
-            let report = run_threads(
-                Config { philosophers: 5, meals_per_philosopher: 5 },
-                Strategy::Naive,
-            )
-            .unwrap();
+            let report =
+                run_threads(Config { philosophers: 5, meals_per_philosopher: 5 }, Strategy::Naive)
+                    .unwrap();
             let _ = report.deadlocked; // either outcome is legal
         }
     }

@@ -48,7 +48,10 @@ impl Default for Config {
 pub enum Event {
     Arrived(Guest),
     /// A matched pair leaves together (logged once per pair).
-    LeftTogether { boy: usize, girl: usize },
+    LeftTogether {
+        boy: usize,
+        girl: usize,
+    },
 }
 
 /// Run and validate. Requires `boys == girls` so everyone can leave
@@ -197,11 +200,7 @@ fn run_actors(config: Config) -> Vec<Event> {
     let mut spawn_guest = |guest: Guest| {
         let (promise, resolver) = concur_actors::promise::<()>();
         promises.push(promise);
-        system.spawn(GuestActor {
-            guest,
-            matchmaker: matchmaker.clone(),
-            done: Some(resolver),
-        });
+        system.spawn(GuestActor { guest, matchmaker: matchmaker.clone(), done: Some(resolver) });
     };
     for id in 0..config.boys {
         spawn_guest(Guest { sex: Sex::Boy, id });
@@ -288,10 +287,7 @@ pub fn validate(events: &[Event], config: Config) -> Validated<()> {
             }
             Event::LeftTogether { boy, girl } => {
                 if !arrived.contains(&Guest { sex: Sex::Boy, id: *boy }) {
-                    return Err(Violation::new(
-                        format!("boy {boy} left before arriving"),
-                        Some(i),
-                    ));
+                    return Err(Violation::new(format!("boy {boy} left before arriving"), Some(i)));
                 }
                 if !arrived.contains(&Guest { sex: Sex::Girl, id: *girl }) {
                     return Err(Violation::new(

@@ -313,10 +313,8 @@ mod tests {
 
     #[test]
     fn validator_catches_lost_updates() {
-        let bad = vec![
-            Event::WriteEnd { task: 0, version: 1 },
-            Event::WriteEnd { task: 1, version: 1 },
-        ];
+        let bad =
+            vec![Event::WriteEnd { task: 0, version: 1 }, Event::WriteEnd { task: 1, version: 1 }];
         let config = Config { readers: 0, writers: 2, ops_per_task: 1 };
         assert!(validate(&bad, config).is_err());
     }

@@ -64,7 +64,7 @@ struct Shop {
     waiting: VecDeque<usize>,
     /// customer → barber assignment for hand-off.
     being_served: Vec<Option<usize>>, // indexed by barber: current customer
-    done_cutting: Vec<bool>,          // indexed by customer
+    done_cutting: Vec<bool>, // indexed by customer
     closed: bool,
 }
 
@@ -134,7 +134,7 @@ fn run_threads(config: Config) -> Vec<Event> {
                     return;
                 }
                 shop.notify_all(); // wake a sleeping barber
-                // Wait for the haircut to finish.
+                                   // Wait for the haircut to finish.
                 let mut guard = shop.enter();
                 while !guard.done_cutting[customer] {
                     guard.wait();
@@ -254,9 +254,9 @@ fn run_actors(config: Config) -> Vec<Event> {
 fn run_coroutines(config: Config) -> Vec<Event> {
     let log: EventLog<Event> = EventLog::new();
     let state = Arc::new(concur_threads::Mutex::new((
-        VecDeque::<usize>::new(), // waiting
+        VecDeque::<usize>::new(),      // waiting
         vec![false; config.customers], // done
-        0usize,                   // customers fully handled (served or away)
+        0usize,                        // customers fully handled (served or away)
     )));
     let mut sched = Scheduler::new();
 
@@ -342,10 +342,7 @@ pub fn validate(events: &[Event], config: Config) -> Validated<Report> {
             }
             Event::TurnedAway(c) => {
                 if !away.insert(c) {
-                    return Err(Violation::new(
-                        format!("customer {c} turned away twice"),
-                        Some(i),
-                    ));
+                    return Err(Violation::new(format!("customer {c} turned away twice"), Some(i)));
                 }
             }
             Event::CutStarted { customer, barber } => {
@@ -412,8 +409,7 @@ mod tests {
     fn zero_chairs_turns_everyone_away_unless_instantly_served() {
         let config = Config { barbers: 1, chairs: 0, customers: 10 };
         for paradigm in Paradigm::ALL {
-            let report =
-                run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+            let report = run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
             assert_eq!(report.served + report.turned_away, 10);
             assert_eq!(report.served, 0, "{paradigm}: nobody can sit, nobody is served");
         }
@@ -431,8 +427,7 @@ mod tests {
     fn plenty_of_chairs_serves_everyone() {
         let config = Config { barbers: 2, chairs: 100, customers: 20 };
         for paradigm in Paradigm::ALL {
-            let report =
-                run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
+            let report = run(paradigm, config).unwrap_or_else(|v| panic!("{paradigm}: {v}"));
             assert_eq!(report.served, 20, "{paradigm}");
             assert_eq!(report.turned_away, 0, "{paradigm}");
         }
@@ -440,12 +435,7 @@ mod tests {
 
     #[test]
     fn validator_rejects_overfull_waiting_room() {
-        let bad = vec![
-            Event::Arrived(0),
-            Event::Arrived(1),
-            Event::SatDown(0),
-            Event::SatDown(1),
-        ];
+        let bad = vec![Event::Arrived(0), Event::Arrived(1), Event::SatDown(0), Event::SatDown(1)];
         let config = Config { barbers: 1, chairs: 1, customers: 2 };
         assert!(validate(&bad, config).is_err());
     }

@@ -105,11 +105,7 @@ fn run_actors(config: &Config) -> i64 {
     let system = ActorSystem::new(2);
     let parts = chunks(config);
     let (promise, resolver) = concur_actors::promise::<i64>();
-    let reducer = system.spawn(Reducer {
-        remaining: parts.len(),
-        total: 0,
-        done: Some(resolver),
-    });
+    let reducer = system.spawn(Reducer { remaining: parts.len(), total: 0, done: Some(resolver) });
     for chunk in parts {
         let worker = system.spawn(SumWorker);
         worker.send(SumMsg::Chunk(chunk, reducer.clone()));

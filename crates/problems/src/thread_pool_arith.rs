@@ -117,11 +117,8 @@ impl Actor for ArithReducer {
 fn run_actors(config: Config) -> i64 {
     let system = ActorSystem::new(2);
     let (promise, resolver) = concur_actors::promise::<i64>();
-    let reducer = system.spawn(ArithReducer {
-        remaining: config.tasks,
-        total: 0,
-        done: Some(resolver),
-    });
+    let reducer =
+        system.spawn(ArithReducer { remaining: config.tasks, total: 0, done: Some(resolver) });
     let workers: Vec<_> = (0..config.workers).map(|_| system.spawn(ArithWorker)).collect();
     for i in 0..config.tasks {
         let worker = &workers[i % workers.len()];

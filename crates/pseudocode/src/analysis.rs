@@ -97,7 +97,10 @@ fn stmt_refs(stmt: &Stmt, out: &mut BTreeSet<FootRef>) {
                 stmt_refs(s, out);
             }
         }
-        StmtKind::Return(None) | StmtKind::Wait | StmtKind::Notify | StmtKind::Break
+        StmtKind::Return(None)
+        | StmtKind::Wait
+        | StmtKind::Notify
+        | StmtKind::Break
         | StmtKind::Continue => {}
     }
 }
@@ -206,7 +209,10 @@ pub fn validate(program: &Program) -> Vec<Diagnostic> {
                 for m in &c.methods {
                     if !method_names.insert(&m.name) {
                         v.out.push(Diagnostic::new(
-                            format!("method `{}` is defined more than once in CLASS {}", m.name, c.name),
+                            format!(
+                                "method `{}` is defined more than once in CLASS {}",
+                                m.name, c.name
+                            ),
                             m.span,
                         ));
                     }
@@ -253,7 +259,8 @@ struct Validator {
 
 impl Validator {
     fn func(&mut self, f: &FuncDef, is_method: bool) {
-        let ctx = Ctx { in_function: true, in_method: is_method, in_exc_acc: false, in_loop: false };
+        let ctx =
+            Ctx { in_function: true, in_method: is_method, in_exc_acc: false, in_loop: false };
         for s in &f.body {
             self.stmt(s, &ctx);
         }
@@ -269,7 +276,8 @@ impl Validator {
         match &stmt.kind {
             StmtKind::Wait | StmtKind::Notify => {
                 if !ctx.in_exc_acc {
-                    let name = if matches!(stmt.kind, StmtKind::Wait) { "WAIT()" } else { "NOTIFY()" };
+                    let name =
+                        if matches!(stmt.kind, StmtKind::Wait) { "WAIT()" } else { "NOTIFY()" };
                     self.out.push(
                         Diagnostic::new(
                             format!("{name} may only be called inside an EXC_ACC block"),
@@ -287,20 +295,15 @@ impl Validator {
                     ));
                 }
                 if ctx.in_exc_acc {
-                    self.out.push(Diagnostic::new(
-                        "EXC_ACC blocks may not be nested",
-                        stmt.span,
-                    ));
+                    self.out.push(Diagnostic::new("EXC_ACC blocks may not be nested", stmt.span));
                 }
                 self.block(body, &Ctx { in_exc_acc: true, ..*ctx });
             }
             StmtKind::Break | StmtKind::Continue => {
                 if !ctx.in_loop {
-                    let name = if matches!(stmt.kind, StmtKind::Break) { "BREAK" } else { "CONTINUE" };
-                    self.out.push(Diagnostic::new(
-                        format!("{name} outside of a loop"),
-                        stmt.span,
-                    ));
+                    let name =
+                        if matches!(stmt.kind, StmtKind::Break) { "BREAK" } else { "CONTINUE" };
+                    self.out.push(Diagnostic::new(format!("{name} outside of a loop"), stmt.span));
                 }
             }
             StmtKind::While { cond, body } => {
@@ -360,10 +363,7 @@ impl Validator {
             }
             StmtKind::Return(value) => {
                 if !ctx.in_function {
-                    self.out.push(Diagnostic::new(
-                        "RETURN outside of a function",
-                        stmt.span,
-                    ));
+                    self.out.push(Diagnostic::new("RETURN outside of a function", stmt.span));
                 }
                 if let Some(e) = value {
                     self.check_expr(e, ctx.in_method);
@@ -376,13 +376,12 @@ impl Validator {
     /// Expression-level checks: `SELF` requires a method context.
     fn check_expr(&mut self, expr: &Expr, in_method: bool) {
         match &expr.kind {
-            ExprKind::SelfRef
-                if !in_method => {
-                    self.out.push(Diagnostic::new(
-                        "SELF may only be used inside a class method",
-                        expr.span,
-                    ));
-                }
+            ExprKind::SelfRef if !in_method => {
+                self.out.push(Diagnostic::new(
+                    "SELF may only be used inside a class method",
+                    expr.span,
+                ));
+            }
             ExprKind::Unary(_, e) => self.check_expr(e, in_method),
             ExprKind::Binary(_, l, r) => {
                 self.check_expr(l, in_method);

@@ -68,9 +68,7 @@ impl Program {
                 StmtKind::While { body, .. } | StmtKind::For { body, .. } => count_block(body),
                 StmtKind::Para { tasks } => tasks.iter().map(count_stmt).sum(),
                 StmtKind::ExcAcc { body } => count_block(body),
-                StmtKind::OnReceiving { arms } => {
-                    arms.iter().map(|a| count_block(&a.body)).sum()
-                }
+                StmtKind::OnReceiving { arms } => arms.iter().map(|a| count_block(&a.body)).sum(),
                 StmtKind::Seq(block) => count_block(block),
                 _ => 0,
             }
@@ -143,8 +141,7 @@ impl FuncDef {
             match &stmt.kind {
                 StmtKind::OnReceiving { .. } => true,
                 StmtKind::If { arms, else_ } => {
-                    arms.iter().any(|(_, b)| block_has(b))
-                        || else_.as_ref().is_some_and(block_has)
+                    arms.iter().any(|(_, b)| block_has(b)) || else_.as_ref().is_some_and(block_has)
                 }
                 StmtKind::While { body, .. } | StmtKind::For { body, .. } => block_has(body),
                 StmtKind::ExcAcc { body } | StmtKind::Seq(body) => block_has(body),
@@ -295,15 +292,24 @@ pub enum ExprKind {
     Unary(UnOp, Box<Expr>),
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// `f(args)`, `obj.method(args)`, or a builtin like `LEN(x)`.
-    Call { callee: Callee, args: Vec<Expr> },
+    Call {
+        callee: Callee,
+        args: Vec<Expr>,
+    },
     /// `expr.field`.
     Field(Box<Expr>, String),
     /// `expr[index]`.
     Index(Box<Expr>, Box<Expr>),
     /// `new ClassName(args)`.
-    New { class: String, args: Vec<Expr> },
+    New {
+        class: String,
+        args: Vec<Expr>,
+    },
     /// `MESSAGE.name(args)` — a message value (Figure 5).
-    Message { name: String, args: Vec<Expr> },
+    Message {
+        name: String,
+        args: Vec<Expr>,
+    },
 }
 
 /// Function-call targets.
@@ -405,10 +411,8 @@ mod tests {
         );
         assert!(sum.contains_call());
         assert!(!name("x").contains_call());
-        let msg = Expr::new(
-            ExprKind::Message { name: "h".into(), args: vec![name("v")] },
-            Span::SYNTH,
-        );
+        let msg =
+            Expr::new(ExprKind::Message { name: "h".into(), args: vec![name("v")] }, Span::SYNTH);
         assert!(!msg.contains_call());
     }
 

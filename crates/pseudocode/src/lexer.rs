@@ -299,10 +299,7 @@ mod tests {
 
     #[test]
     fn assignment_line() {
-        assert_eq!(
-            kinds("total = 0"),
-            vec![Ident("total".into()), Assign, Int(0), Newline, Eof]
-        );
+        assert_eq!(kinds("total = 0"), vec![Ident("total".into()), Assign, Int(0), Newline, Eof]);
     }
 
     #[test]
@@ -337,10 +334,7 @@ mod tests {
 
     #[test]
     fn end_followed_by_non_keyword_stays_ident() {
-        assert_eq!(
-            kinds("END x"),
-            vec![Ident("END".into()), Ident("x".into()), Newline, Eof]
-        );
+        assert_eq!(kinds("END x"), vec![Ident("END".into()), Ident("x".into()), Newline, Eof]);
     }
 
     #[test]

@@ -160,17 +160,11 @@ fn lower_stmt(stmt: Stmt, out: &mut Block, gen: &mut TempGen) {
                 body.extend(prelude);
                 body.push(assign_name(&flag, pure_cond, span));
                 out.push(Stmt::new(
-                    StmtKind::While {
-                        cond: Expr::new(ExprKind::Name(flag), span),
-                        body,
-                    },
+                    StmtKind::While { cond: Expr::new(ExprKind::Name(flag), span), body },
                     span,
                 ));
             } else {
-                out.push(Stmt::new(
-                    StmtKind::While { cond, body: lower_block(body, gen) },
-                    span,
-                ));
+                out.push(Stmt::new(StmtKind::While { cond, body: lower_block(body, gen) }, span));
             }
         }
         StmtKind::For { var, from, to, body } => {
@@ -274,19 +268,16 @@ fn lower_lvalue(lvalue: LValue, out: &mut Block, gen: &mut TempGen) -> LValue {
     match lvalue {
         LValue::Name(name) => LValue::Name(name),
         LValue::Field(base, field) => LValue::Field(Box::new(purify(*base, out, gen)), field),
-        LValue::Index(base, index) => LValue::Index(
-            Box::new(purify(*base, out, gen)),
-            Box::new(purify(*index, out, gen)),
-        ),
+        LValue::Index(base, index) => {
+            LValue::Index(Box::new(purify(*base, out, gen)), Box::new(purify(*index, out, gen)))
+        }
     }
 }
 
 fn lower_callee(callee: Callee, out: &mut Block, gen: &mut TempGen) -> Callee {
     match callee {
         Callee::Name(name) => Callee::Name(name),
-        Callee::Method(base, method) => {
-            Callee::Method(Box::new(purify(*base, out, gen)), method)
-        }
+        Callee::Method(base, method) => Callee::Method(Box::new(purify(*base, out, gen)), method),
     }
 }
 
@@ -307,21 +298,13 @@ fn purify(expr: Expr, out: &mut Block, gen: &mut TempGen) -> Expr {
             let callee = lower_callee(callee, out, gen);
             let args: Vec<Expr> = args.into_iter().map(|a| purify(a, out, gen)).collect();
             let temp = gen.fresh();
-            out.push(assign_name(
-                &temp,
-                Expr::new(ExprKind::Call { callee, args }, span),
-                span,
-            ));
+            out.push(assign_name(&temp, Expr::new(ExprKind::Call { callee, args }, span), span));
             Expr::new(ExprKind::Name(temp), span)
         }
         ExprKind::New { class, args } => {
             let args: Vec<Expr> = args.into_iter().map(|a| purify(a, out, gen)).collect();
             let temp = gen.fresh();
-            out.push(assign_name(
-                &temp,
-                Expr::new(ExprKind::New { class, args }, span),
-                span,
-            ));
+            out.push(assign_name(&temp, Expr::new(ExprKind::New { class, args }, span), span));
             Expr::new(ExprKind::Name(temp), span)
         }
         ExprKind::Unary(op, inner) => {
@@ -372,8 +355,10 @@ mod tests {
 
     #[test]
     fn nested_calls_in_assignment_are_hoisted() {
-        let p = parse_and_lower("DEFINE f()\n    RETURN 1\nENDDEF\nDEFINE g()\n    x = f() + f()\nENDDEF\n")
-            .unwrap();
+        let p = parse_and_lower(
+            "DEFINE f()\n    RETURN 1\nENDDEF\nDEFINE g()\n    x = f() + f()\nENDDEF\n",
+        )
+        .unwrap();
         let body = body_of(&p, "g");
         assert_eq!(body.len(), 3, "{body:#?}");
         assert!(matches!(
@@ -389,8 +374,9 @@ mod tests {
 
     #[test]
     fn top_level_call_assign_is_not_hoisted() {
-        let p = parse_and_lower("DEFINE f()\n    RETURN 1\nENDDEF\nDEFINE g()\n    x = f()\nENDDEF\n")
-            .unwrap();
+        let p =
+            parse_and_lower("DEFINE f()\n    RETURN 1\nENDDEF\nDEFINE g()\n    x = f()\nENDDEF\n")
+                .unwrap();
         assert_eq!(body_of(&p, "g").len(), 1);
     }
 

@@ -31,7 +31,14 @@ fn is_block_end(kind: &TokenKind) -> bool {
     use TokenKind::*;
     matches!(
         kind,
-        EndIf | EndWhile | EndFor | EndDef | EndClass | EndPara | EndExcAcc | EndReceiving
+        EndIf
+            | EndWhile
+            | EndFor
+            | EndDef
+            | EndClass
+            | EndPara
+            | EndExcAcc
+            | EndReceiving
             | Else
             | Message
             | Eof
@@ -383,8 +390,9 @@ impl<'t> Parser<'t> {
         let msg = self.expr()?;
         self.expect(TokenKind::RParen)?;
         self.expect(TokenKind::Dot)?;
-        self.expect(TokenKind::To)
-            .map_err(|d| d.with_help("the send statement is written `Send(message).To(receiver)`"))?;
+        self.expect(TokenKind::To).map_err(|d| {
+            d.with_help("the send statement is written `Send(message).To(receiver)`")
+        })?;
         self.expect(TokenKind::LParen)?;
         let to = self.expr()?;
         let end = self.expect(TokenKind::RParen)?;
@@ -535,10 +543,7 @@ impl<'t> Parser<'t> {
                         let args = self.call_args()?;
                         let span = expr.span.merge(self.prev_span());
                         expr = Expr::new(
-                            ExprKind::Call {
-                                callee: Callee::Method(Box::new(expr), name),
-                                args,
-                            },
+                            ExprKind::Call { callee: Callee::Method(Box::new(expr), name), args },
                             span,
                         );
                     } else {
@@ -619,10 +624,7 @@ impl<'t> Parser<'t> {
                 let (name, _) = self.expect_ident()?;
                 self.expect(TokenKind::LParen)?;
                 let args = self.call_args()?;
-                Ok(Expr::new(
-                    ExprKind::Message { name, args },
-                    span.merge(self.prev_span()),
-                ))
+                Ok(Expr::new(ExprKind::Message { name, args }, span.merge(self.prev_span())))
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -667,10 +669,8 @@ mod tests {
 
     #[test]
     fn figure1_assignments() {
-        let program = parse(
-            "total = 0\nname = \"John Smith\"\ncondition = True\nheight = 3.3\n",
-        )
-        .unwrap();
+        let program =
+            parse("total = 0\nname = \"John Smith\"\ncondition = True\nheight = 3.3\n").unwrap();
         assert_eq!(program.main_body().len(), 4);
         match &program.main_body()[3].kind {
             StmtKind::Assign { target: LValue::Name(name), value } => {
@@ -807,10 +807,9 @@ Send(m2).To(r1)
 
     #[test]
     fn paper_figures_6_7_end_para_spelling() {
-        let program = parse(
-            "PARA\n    redCarA.run()\n    redCarB.run()\n    blueCarA.run()\nEND PARA\n",
-        )
-        .unwrap();
+        let program =
+            parse("PARA\n    redCarA.run()\n    redCarB.run()\n    blueCarA.run()\nEND PARA\n")
+                .unwrap();
         match &program.main_body()[0].kind {
             StmtKind::Para { tasks } => assert_eq!(tasks.len(), 3),
             other => panic!("unexpected stmt {other:?}"),
@@ -900,8 +899,10 @@ ENDCLASS
         assert!(matches!(&main[1].kind, StmtKind::Assign { target: LValue::Index(_, _), .. }));
 
         // SELF is only legal inside a class method.
-        let program = parse("CLASS C\n    x = 0\n    DEFINE set(v)\n        SELF.x = v\n    ENDDEF\nENDCLASS\n")
-            .unwrap();
+        let program = parse(
+            "CLASS C\n    x = 0\n    DEFINE set(v)\n        SELF.x = v\n    ENDDEF\nENDCLASS\n",
+        )
+        .unwrap();
         let method = program.class("C").unwrap().method("set").unwrap();
         assert!(matches!(
             &method.body[0].kind,

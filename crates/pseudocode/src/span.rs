@@ -1,7 +1,6 @@
 //! Source spans: byte ranges plus line/column information for
 //! diagnostics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open byte range `[start, end)` into the original source,
@@ -10,7 +9,7 @@ use std::fmt;
 /// Spans are carried on every token, statement and expression so that
 /// diagnostics — and the runtime's execution events — can point back at
 /// the pseudocode the student (or test) wrote.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Span {
     /// Byte offset of the first character.
     pub start: usize,

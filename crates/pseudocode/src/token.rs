@@ -245,10 +245,39 @@ mod tests {
     #[test]
     fn keywords_round_trip_through_lexeme() {
         for word in [
-            "IF", "THEN", "ELSE", "ENDIF", "WHILE", "ENDWHILE", "FOR", "ENDFOR", "DEFINE",
-            "ENDDEF", "CLASS", "ENDCLASS", "PARA", "ENDPARA", "EXC_ACC", "END_EXC_ACC", "WAIT",
-            "NOTIFY", "SPAWN", "MESSAGE", "ON_RECEIVING", "END_RECEIVING", "PRINT", "PRINTLN",
-            "TRUE", "FALSE", "SELF", "AND", "OR", "NOT", "RETURN", "BREAK", "CONTINUE",
+            "IF",
+            "THEN",
+            "ELSE",
+            "ENDIF",
+            "WHILE",
+            "ENDWHILE",
+            "FOR",
+            "ENDFOR",
+            "DEFINE",
+            "ENDDEF",
+            "CLASS",
+            "ENDCLASS",
+            "PARA",
+            "ENDPARA",
+            "EXC_ACC",
+            "END_EXC_ACC",
+            "WAIT",
+            "NOTIFY",
+            "SPAWN",
+            "MESSAGE",
+            "ON_RECEIVING",
+            "END_RECEIVING",
+            "PRINT",
+            "PRINTLN",
+            "TRUE",
+            "FALSE",
+            "SELF",
+            "AND",
+            "OR",
+            "NOT",
+            "RETURN",
+            "BREAK",
+            "CONTINUE",
         ] {
             let kind = TokenKind::keyword(word).unwrap_or_else(|| panic!("{word} is a keyword"));
             assert_eq!(kind.lexeme(), word, "lexeme of {word}");

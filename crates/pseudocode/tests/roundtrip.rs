@@ -44,23 +44,23 @@ fn expr(depth: u32) -> BoxedStrategy<Expr> {
     let inner = expr(depth - 1);
     prop_oneof![
         leaf,
-        (inner.clone(), inner.clone(), binop())
-            .prop_map(|(l, r, op)| e(ExprKind::Binary(op, Box::new(l), Box::new(r)))),
+        (inner.clone(), inner.clone(), binop()).prop_map(|(l, r, op)| e(ExprKind::Binary(
+            op,
+            Box::new(l),
+            Box::new(r)
+        ))),
         (inner.clone(), unop()).prop_map(|(x, op)| e(ExprKind::Unary(op, Box::new(x)))),
         prop::collection::vec(inner.clone(), 0..3).prop_map(|items| e(ExprKind::List(items))),
-        (ident(), ident()).prop_map(|(base, f)| e(ExprKind::Field(
-            Box::new(e(ExprKind::Name(base))),
-            f
-        ))),
+        (ident(), ident())
+            .prop_map(|(base, f)| e(ExprKind::Field(Box::new(e(ExprKind::Name(base))), f))),
         (ident(), inner.clone()).prop_map(|(base, idx)| e(ExprKind::Index(
             Box::new(e(ExprKind::Name(base))),
             Box::new(idx)
         ))),
         (func_name(), prop::collection::vec(inner.clone(), 0..3))
             .prop_map(|(name, args)| e(ExprKind::Call { callee: Callee::Name(name), args })),
-        (ident(), prop::collection::vec(inner, 0..2)).prop_map(|(name, args)| e(
-            ExprKind::Message { name, args }
-        )),
+        (ident(), prop::collection::vec(inner, 0..2))
+            .prop_map(|(name, args)| e(ExprKind::Message { name, args })),
     ]
     .boxed()
 }
@@ -90,10 +90,8 @@ fn unop() -> impl Strategy<Value = UnOp> {
 /// Statements legal anywhere (top level and inside functions).
 fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
     let simple = prop_oneof![
-        (ident(), expr(2)).prop_map(|(n, v)| s(StmtKind::Assign {
-            target: LValue::Name(n),
-            value: v
-        })),
+        (ident(), expr(2))
+            .prop_map(|(n, v)| s(StmtKind::Assign { target: LValue::Name(n), value: v })),
         (ident(), ident(), expr(1)).prop_map(|(b, f, v)| s(StmtKind::Assign {
             target: LValue::Field(Box::new(e(ExprKind::Name(b))), f),
             value: v
@@ -102,10 +100,8 @@ fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
         (func_name(), prop::collection::vec(expr(1), 0..3)).prop_map(|(n, args)| s(
             StmtKind::ExprStmt(e(ExprKind::Call { callee: Callee::Name(n), args }))
         )),
-        (expr(1), ident()).prop_map(|(m, r)| s(StmtKind::Send {
-            msg: m,
-            to: e(ExprKind::Name(r))
-        })),
+        (expr(1), ident())
+            .prop_map(|(m, r)| s(StmtKind::Send { msg: m, to: e(ExprKind::Name(r)) })),
     ];
     if depth == 0 {
         return simple.boxed();
@@ -154,11 +150,8 @@ fn func_stmt() -> impl Strategy<Value = Stmt> {
 }
 
 fn program() -> impl Strategy<Value = Program> {
-    (
-        prop::collection::vec(func_stmt(), 0..4),
-        prop::collection::vec(stmt(2), 1..6),
-    )
-        .prop_map(|(fbody, main)| {
+    (prop::collection::vec(func_stmt(), 0..4), prop::collection::vec(stmt(2), 1..6)).prop_map(
+        |(fbody, main)| {
             let mut items = Vec::new();
             if !fbody.is_empty() {
                 items.push(Item::Func(FuncDef {
@@ -170,7 +163,8 @@ fn program() -> impl Strategy<Value = Program> {
             }
             items.extend(main.into_iter().map(Item::Stmt));
             Program { items }
-        })
+        },
+    )
 }
 
 proptest! {

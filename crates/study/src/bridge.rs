@@ -253,19 +253,13 @@ mod tests {
         let mut sched = RandomScheduler::new(1);
         let result = concur_exec::run(&interp, &mut sched, 100_000).unwrap();
         for label in [SM_RED_A, SM_RED_B, SM_BLUE_A] {
-            assert!(
-                result.state.task_by_label(label).is_some(),
-                "missing task label {label}"
-            );
+            assert!(result.state.task_by_label(label).is_some(), "missing task label {label}");
         }
         let interp = Interp::from_source(BRIDGE_MESSAGE_PASSING).unwrap();
         let mut sched = RandomScheduler::new(1);
         let result = concur_exec::run(&interp, &mut sched, 200_000).unwrap();
         for label in [MP_BRIDGE, MP_RED_A, MP_RED_B, MP_BLUE_A] {
-            assert!(
-                result.state.task_by_label(label).is_some(),
-                "missing task label {label}"
-            );
+            assert!(result.state.task_by_label(label).is_some(), "missing task label {label}");
         }
     }
 }

@@ -81,8 +81,7 @@ pub const COHORT_SIZE: usize = GROUP_S_SIZE + GROUP_D_SIZE;
 /// prior coursework performance).
 pub fn paper_cohort(seed: u64) -> Cohort {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut misconceptions: Vec<BTreeSet<Misconception>> =
-        vec![BTreeSet::new(); COHORT_SIZE];
+    let mut misconceptions: Vec<BTreeSet<Misconception>> = vec![BTreeSet::new(); COHORT_SIZE];
     for m in Misconception::ALL {
         let mut ids: Vec<usize> = (0..COHORT_SIZE).collect();
         ids.shuffle(&mut rng);
@@ -144,12 +143,7 @@ pub fn active_in_session(
     if session == 1 {
         return student.misconceptions.clone();
     }
-    student
-        .misconceptions
-        .iter()
-        .copied()
-        .filter(|_| rng.gen::<f64>() >= learning_drop)
-        .collect()
+    student.misconceptions.iter().copied().filter(|_| rng.gen::<f64>() >= learning_drop).collect()
 }
 
 #[cfg(test)]
@@ -161,11 +155,7 @@ mod tests {
         let cohort = paper_cohort(42);
         assert_eq!(cohort.students.len(), COHORT_SIZE);
         for m in Misconception::ALL {
-            let holders = cohort
-                .students
-                .iter()
-                .filter(|s| s.misconceptions.contains(&m))
-                .count();
+            let holders = cohort.students.iter().filter(|s| s.misconceptions.contains(&m)).count();
             assert_eq!(holders, m.paper_count(), "{m} incidence");
         }
     }
@@ -205,11 +195,7 @@ mod tests {
     #[test]
     fn learning_drops_misconceptions_in_session_two_only() {
         let cohort = paper_cohort(7);
-        let heavy = cohort
-            .students
-            .iter()
-            .max_by_key(|s| s.misconceptions.len())
-            .unwrap();
+        let heavy = cohort.students.iter().max_by_key(|s| s.misconceptions.len()).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let s1 = active_in_session(heavy, 1, 0.9, &mut rng);
         assert_eq!(s1, heavy.misconceptions);

@@ -35,8 +35,7 @@ pub struct Test1Results {
 impl Test1Results {
     /// Mean score over a filtered set of section results.
     pub fn mean_where(&self, pred: impl Fn(&SectionScore) -> bool) -> f64 {
-        let xs: Vec<f64> =
-            self.scores.iter().filter(|s| pred(s)).map(|s| s.score).collect();
+        let xs: Vec<f64> = self.scores.iter().filter(|s| pred(s)).map(|s| s.score).collect();
         crate::stats::mean(&xs)
     }
 
@@ -163,10 +162,7 @@ mod tests {
         let (_, results) = results();
         let s1 = crate::stats::mean(&results.session_scores(1));
         let s2 = crate::stats::mean(&results.session_scores(2));
-        assert!(
-            s2 > s1 + 5.0,
-            "expected a clear session improvement, got {s1:.1} → {s2:.1}"
-        );
+        assert!(s2 > s1 + 5.0, "expected a clear session improvement, got {s1:.1} → {s2:.1}");
     }
 
     #[test]

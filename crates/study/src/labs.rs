@@ -280,11 +280,7 @@ mod tests {
         // both works and deadlocks, depending on the schedule.
         let set = explore(super::HW2_PHILOSOPHERS_NAIVE);
         assert!(set.has_deadlock(), "the circular wait must be reachable");
-        assert_eq!(
-            set.outputs(),
-            vec!["2"],
-            "and the successful interleavings serve both meals"
-        );
+        assert_eq!(set.outputs(), vec!["2"], "and the successful interleavings serve both meals");
     }
 
     #[test]

@@ -12,9 +12,7 @@
 use crate::bridge::*;
 use crate::taxonomy::Misconception;
 use concur_exec::explore::{Answer, Explorer, Limits};
-use concur_exec::{
-    EventKindPattern as EK, EventPattern, Interp, ObjId, StateCond, Value,
-};
+use concur_exec::{EventKindPattern as EK, EventPattern, Interp, ObjId, StateCond, Value};
 use std::sync::OnceLock;
 
 /// Test-1 section.
@@ -263,16 +261,10 @@ pub fn bank() -> Vec<Question> {
                      before redCarA sends redExit?",
             setup: vec![
                 StateCond::ReceivedTotal { task_label: MP_RED_A.into(), times: 1 },
-                StateCond::HasSent {
-                    task_label: MP_BLUE_A.into(),
-                    msg_name: "blueEnter".into(),
-                },
+                StateCond::HasSent { task_label: MP_BLUE_A.into(), msg_name: "blueEnter".into() },
                 StateCond::ReceivedTotal { task_label: MP_BLUE_A.into(), times: 0 },
             ],
-            scenario: vec![
-                received(MP_BLUE_A, "succeedEnter", None),
-                sent(MP_RED_A, "redExit"),
-            ],
+            scenario: vec![received(MP_BLUE_A, "succeedEnter", None), sent(MP_RED_A, "redExit")],
             large_space: false,
             triggers: vec![(M4, true)],
             expected: false,
@@ -353,8 +345,9 @@ pub fn bank() -> Vec<Question> {
 
 /// A question paired with its ground truth — taken from the verified
 /// `expected` field. The `ground_truth` integration test recomputes
-/// every truth with the model checker (exhaustively for all but MP-b,
-/// whose NO is verified to a 400k-state bound).
+/// every truth with the model checker, exhaustively for every
+/// question under the default [`concur_exec::explore::Limits`]
+/// (partial-order reduction makes even MP-b's full-space NO fit).
 #[derive(Debug, Clone)]
 pub struct AnsweredQuestion {
     pub question: Question,
@@ -457,5 +450,4 @@ mod tests {
         assert!(truth("SM-g"));
         assert!(truth("MP-g"));
     }
-
 }

@@ -47,11 +47,7 @@ pub fn run_study(seed: u64) -> StudyReport {
     let cohort = paper_cohort(seed);
     let results = administer_test1(&cohort, seed, DEFAULT_LEARNING_DROP);
     let table2 = compute_table2(&results);
-    let table3 = results
-        .detected
-        .iter()
-        .map(|(m, students)| (*m, students.len()))
-        .collect();
+    let table3 = results.detected.iter().map(|(m, students)| (*m, students.len())).collect();
     let homework_poll = difficulty_poll(&cohort, &full_participation(&cohort));
     let lab_poll = difficulty_poll(&cohort, &lab_participation(&cohort, seed));
     let participation = post_test_participation(&cohort, seed);
@@ -62,9 +58,7 @@ pub fn run_study(seed: u64) -> StudyReport {
 /// Compute Table II from graded results.
 pub fn compute_table2(results: &Test1Results) -> TableII {
     let mean_of = |group: Option<Group>, section: Section| {
-        results.mean_where(|s| {
-            s.section == section && group.map(|g| s.group == g).unwrap_or(true)
-        })
+        results.mean_where(|s| s.section == section && group.map(|g| s.group == g).unwrap_or(true))
     };
     let s1 = results.session_scores(1);
     let s2 = results.session_scores(2);
@@ -97,12 +91,14 @@ pub fn render_table1() -> String {
 /// Render Table II next to the paper's numbers.
 pub fn render_table2(t: &TableII) -> String {
     let mut out = String::from("TABLE II. PERFORMANCES ON TEST 1 (simulated vs paper)\n");
-    let _ = writeln!(
+    let _ =
+        writeln!(
         out,
         "group S ({}): shared memory {:>5.2} (paper 56.67), message passing {:>5.2} (paper 81.72)",
         crate::cohort::GROUP_S_SIZE, t.s_shared_memory, t.s_message_passing
     );
-    let _ = writeln!(
+    let _ =
+        writeln!(
         out,
         "group D ({}): shared memory {:>5.2} (paper 76.14), message passing {:>5.2} (paper 65.93)",
         crate::cohort::GROUP_D_SIZE, t.d_shared_memory, t.d_message_passing
@@ -122,8 +118,7 @@ pub fn render_table2(t: &TableII) -> String {
 
 /// Render Table III (detected counts vs the paper's).
 pub fn render_table3(table3: &BTreeMap<Misconception, usize>) -> String {
-    let mut out =
-        String::from("TABLE III. MISCONCEPTIONS SHOWN IN TEST 1 (detected / paper)\n");
+    let mut out = String::from("TABLE III. MISCONCEPTIONS SHOWN IN TEST 1 (detected / paper)\n");
     out.push_str("Message Passing\n");
     for m in Misconception::MESSAGE_PASSING {
         let detected = table3.get(&m).copied().unwrap_or(0);
@@ -236,10 +231,7 @@ mod tests {
             }
         }
         for dominant in [M3, M4] {
-            assert!(
-                count(dominant) > count(M2),
-                "{dominant} should outnumber M2"
-            );
+            assert!(count(dominant) > count(M2), "{dominant} should outnumber M2");
         }
         // Detection never exceeds the number of holders.
         for m in Misconception::ALL {

@@ -51,8 +51,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
         return None;
     }
     let t = (ma - mb) / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let p = two_tailed_p(t, df);
     Some(TTest { t, df, p })
 }
@@ -105,8 +104,7 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry relation to keep the continued fraction
     // convergent.

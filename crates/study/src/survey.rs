@@ -145,20 +145,13 @@ pub fn post_test_survey(
         if choice == Section::MessagePassing {
             chose_mp += 1;
         }
-        let chosen_score =
-            if choice == Section::MessagePassing { mp_score } else { sm_score };
-        let other_score =
-            if choice == Section::MessagePassing { sm_score } else { mp_score };
+        let chosen_score = if choice == Section::MessagePassing { mp_score } else { sm_score };
+        let other_score = if choice == Section::MessagePassing { sm_score } else { mp_score };
         if chosen_score >= other_score {
             chose_correctly += 1;
         }
     }
-    PostTestSurvey {
-        difficulty,
-        chose_message_passing: chose_mp,
-        chose_correctly,
-        respondents,
-    }
+    PostTestSurvey { difficulty, chose_message_passing: chose_mp, chose_correctly, respondents }
 }
 
 #[cfg(test)]
@@ -209,10 +202,7 @@ mod tests {
         let cohort = paper_cohort(42);
         let poll = difficulty_poll(&cohort, &lab_participation(&cohort, 42));
         assert_eq!(poll.respondents, 11);
-        assert!(
-            poll.shared_memory_harder > poll.message_passing_harder,
-            "{poll:?}"
-        );
+        assert!(poll.shared_memory_harder > poll.message_passing_harder, "{poll:?}");
     }
 
     #[test]

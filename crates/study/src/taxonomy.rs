@@ -3,11 +3,10 @@
 //! passing, S1–S8 for shared memory), with the paper's student counts
 //! for calibration.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Table I: the five-level misconception hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Level {
     /// D1 — misconceptions of the system and/or problem descriptions.
     Description,
@@ -64,9 +63,7 @@ impl Level {
 }
 
 /// The concrete misconceptions of Table III.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Misconception {
     // Message passing.
     /// \[D1\] Question-setting confusion.
@@ -195,10 +192,14 @@ impl Misconception {
         match self {
             M1 => "Question setting",
             M2 => "Misinterpret \"race condition\" as \"different order of messages\"",
-            M3 => "Send semantics: assume ability to send depends on condition at receiver \
-                   or interpret send as a synchronous method call",
-            M4 => "Receive semantics: assume receipt of acknowledgement message is \
-                   synchronous with the occurrence of the event",
+            M3 => {
+                "Send semantics: assume ability to send depends on condition at receiver \
+                   or interpret send as a synchronous method call"
+            }
+            M4 => {
+                "Receive semantics: assume receipt of acknowledgement message is \
+                   synchronous with the occurrence of the event"
+            }
             M5 => "Conflate message sending order with receiving order",
             M6 => "Uncertainty: increased size of state space causes illogical reasoning",
             S1 => "Conflate order of cars with their thread's name",
@@ -234,10 +235,8 @@ mod tests {
         assert_eq!(Misconception::S7.paper_count(), 10);
         assert_eq!(Misconception::S5.paper_count(), 9);
         assert_eq!(Misconception::M3.paper_count(), 7);
-        let mp_total: usize =
-            Misconception::MESSAGE_PASSING.iter().map(|m| m.paper_count()).sum();
-        let sm_total: usize =
-            Misconception::SHARED_MEMORY.iter().map(|m| m.paper_count()).sum();
+        let mp_total: usize = Misconception::MESSAGE_PASSING.iter().map(|m| m.paper_count()).sum();
+        let sm_total: usize = Misconception::SHARED_MEMORY.iter().map(|m| m.paper_count()).sum();
         assert_eq!(mp_total, 34);
         assert_eq!(sm_total, 32);
     }

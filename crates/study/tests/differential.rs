@@ -1,0 +1,115 @@
+//! Differential soundness harness for the reduced explorer.
+//!
+//! Partial-order reduction and corridor compression claim to preserve
+//! the terminal set — every possible normalized output *and* the
+//! deadlock/quiescence classification of each. This suite checks that
+//! claim the blunt way: run the same program through the reduced and
+//! the naive (unreduced, uncompressed) explorer under matched
+//! [`Limits`] and require identical [`Terminal`] sets.
+//!
+//! The corpus is every paper figure (1–5), both bridge programs
+//! (Figures 6–7) and the lab/homework programs — shared-memory and
+//! message-passing, with and without deadlocks. The message-passing
+//! bridge is the one program whose naive space is intractable
+//! (millions of states); there the naive search runs truncated and
+//! the check weakens to containment: everything the bounded naive
+//! search reached must appear in the reduced explorer's *complete*
+//! set.
+
+use concur_exec::explore::{Explorer, Limits};
+use concur_exec::{figures, Interp};
+use concur_study::bridge::{BRIDGE_MESSAGE_PASSING, BRIDGE_SHARED_MEMORY};
+use concur_study::labs;
+
+/// Bounds comfortably above every tractable corpus member's full
+/// space (largest: hw3 bounded buffer, 5,075 naive states).
+const MATCHED: Limits = Limits { max_states: 200_000, max_depth: 20_000, max_setup_states: 4096 };
+
+fn assert_same_terminals(name: &str, src: &str) {
+    let interp =
+        Interp::from_source(src).unwrap_or_else(|e| panic!("{name}: failed to compile: {e}"));
+    let reduced = Explorer::with_limits(&interp, MATCHED).terminals().unwrap();
+    let naive = Explorer::with_limits(&interp, MATCHED).without_por().terminals().unwrap();
+    assert!(!naive.stats.truncated, "{name}: naive search truncated — corpus bug");
+    assert!(!reduced.stats.truncated, "{name}: reduced search truncated");
+    assert_eq!(
+        reduced.terminals, naive.terminals,
+        "{name}: reduced and naive terminal sets differ"
+    );
+    assert!(
+        reduced.stats.states_visited <= naive.stats.states_visited,
+        "{name}: reduction visited more states ({} > {}) than the naive search",
+        reduced.stats.states_visited,
+        naive.stats.states_visited,
+    );
+}
+
+#[test]
+fn figures_1_to_5_terminals_match_naive() {
+    for (name, src) in [
+        ("fig1_assignments", figures::FIG1_ASSIGNMENTS),
+        ("fig2_conditional", figures::FIG2_CONDITIONAL),
+        ("fig3_two_prints", figures::FIG3_TWO_PRINTS),
+        ("fig3_sequential_fn", figures::FIG3_SEQUENTIAL_FN),
+        ("fig3_interleaved", figures::FIG3_INTERLEAVED),
+        ("fig4_exc_acc", figures::FIG4_EXC_ACC),
+        ("fig4_wait_notify", figures::FIG4_WAIT_NOTIFY),
+        ("fig4_race_control", figures::FIG4_RACE_CONTROL),
+        ("fig5_message_passing", figures::FIG5_MESSAGE_PASSING),
+    ] {
+        assert_same_terminals(name, src);
+    }
+}
+
+#[test]
+fn shared_memory_bridge_terminals_match_naive() {
+    assert_same_terminals("bridge_shared_memory", BRIDGE_SHARED_MEMORY);
+}
+
+#[test]
+fn lab_programs_terminals_match_naive() {
+    for (name, src) in [
+        ("hw2_bounded_buffer_sm", labs::HW2_BOUNDED_BUFFER_SM),
+        ("hw2_philosophers_naive", labs::HW2_PHILOSOPHERS_NAIVE),
+        ("hw2_philosophers_ordered", labs::HW2_PHILOSOPHERS_ORDERED),
+        ("hw3_bounded_buffer_mp", labs::HW3_BOUNDED_BUFFER_MP),
+        ("quiz_readers_writers", labs::QUIZ_READERS_WRITERS),
+    ] {
+        assert_same_terminals(name, src);
+    }
+}
+
+/// The philosophers corpus member exists to keep a deadlocking
+/// program in the differential net: both explorers must agree not
+/// just on outputs but on the existence of the deadlock.
+#[test]
+fn differential_corpus_includes_a_deadlock() {
+    let interp = Interp::from_source(labs::HW2_PHILOSOPHERS_NAIVE).unwrap();
+    let reduced = Explorer::with_limits(&interp, MATCHED).terminals().unwrap();
+    let naive = Explorer::with_limits(&interp, MATCHED).without_por().terminals().unwrap();
+    assert!(naive.has_deadlock(), "corpus lost its deadlocking member");
+    assert!(reduced.has_deadlock(), "reduction hid the deadlock");
+}
+
+/// The message-passing bridge: the naive space is out of reach
+/// (truncates in the millions), so the naive side runs bounded and
+/// the check is containment — every terminal the bounded naive
+/// search finds must be in the reduced explorer's complete set.
+#[test]
+fn message_passing_bridge_naive_sample_is_contained() {
+    let interp = Interp::from_source(BRIDGE_MESSAGE_PASSING).unwrap();
+    let reduced = Explorer::with_limits(&interp, MATCHED).terminals().unwrap();
+    assert!(
+        !reduced.stats.truncated,
+        "reduced exploration of the message-passing bridge should be complete"
+    );
+    let bounded = Limits { max_states: 20_000, max_depth: 20_000, max_setup_states: 4096 };
+    let naive = Explorer::with_limits(&interp, bounded).without_por().terminals().unwrap();
+    assert!(naive.stats.truncated, "naive search unexpectedly finished — tighten docs");
+    for t in &naive.terminals {
+        assert!(
+            reduced.terminals.contains(t),
+            "naive-reachable terminal missing from reduced set: {t:?}"
+        );
+    }
+}

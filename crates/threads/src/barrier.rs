@@ -113,11 +113,8 @@ mod tests {
         // Phased computation: nobody may enter phase 2 before all
         // finish phase 1, across 3 generations.
         let barrier = Arc::new(Barrier::new(3));
-        let phase_counts = Arc::new([
-            AtomicUsize::new(0),
-            AtomicUsize::new(0),
-            AtomicUsize::new(0),
-        ]);
+        let phase_counts =
+            Arc::new([AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)]);
         let handles: Vec<_> = (0..3)
             .map(|_| {
                 let (b, pc) = (Arc::clone(&barrier), Arc::clone(&phase_counts));

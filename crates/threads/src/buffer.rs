@@ -190,10 +190,7 @@ mod tests {
             p.join().unwrap();
         }
         buf.close();
-        let mut all: Vec<i32> = consumers
-            .into_iter()
-            .flat_map(|c| c.join().unwrap())
-            .collect();
+        let mut all: Vec<i32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
         all.sort();
         let mut expected: Vec<i32> =
             (0..3).flat_map(|p| (0..100).map(move |i| p * 1000 + i)).collect();
@@ -233,10 +230,7 @@ mod tests {
         let buf: BoundedBuffer<u8> = BoundedBuffer::new(1);
         assert_eq!(buf.take_timeout(Duration::from_millis(10)), Err(()));
         buf.put(1).unwrap();
-        assert_eq!(
-            buf.put_timeout(2, Duration::from_millis(10)),
-            Err(PutError::Timeout(2))
-        );
+        assert_eq!(buf.put_timeout(2, Duration::from_millis(10)), Err(PutError::Timeout(2)));
         assert_eq!(buf.take_timeout(Duration::from_millis(10)), Ok(Some(1)));
     }
 }

@@ -3,9 +3,9 @@
 //! guarantee is claimed — callers must re-check their condition in a
 //! loop, exactly as Java's `wait()` requires).
 
-use crate::raw::MutexGuard;
 #[cfg(test)]
 use crate::raw::Mutex;
+use crate::raw::MutexGuard;
 use crate::spin::SpinLock;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,9 +64,7 @@ impl CondVar {
         let mutex = guard.mutex();
         let woken = Arc::new(AtomicBool::new(false));
         let me = thread::current();
-        self.waiters
-            .lock()
-            .push_back(Waiter { thread: me.clone(), woken: Arc::clone(&woken) });
+        self.waiters.lock().push_back(Waiter { thread: me.clone(), woken: Arc::clone(&woken) });
         drop(guard);
         let deadline = Instant::now() + timeout;
         let mut timed_out = false;

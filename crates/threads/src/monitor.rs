@@ -74,11 +74,7 @@ impl<T: ?Sized> Monitor<T> {
 
     /// Enter and block until `ready` holds, then run `f`. All in one
     /// critical section; notifies afterwards.
-    pub fn when<R>(
-        &self,
-        mut ready: impl FnMut(&T) -> bool,
-        f: impl FnOnce(&mut T) -> R,
-    ) -> R {
+    pub fn when<R>(&self, mut ready: impl FnMut(&T) -> bool, f: impl FnOnce(&mut T) -> R) -> R {
         let mut guard = self.enter();
         while !ready(&guard) {
             guard.wait();

@@ -37,10 +37,7 @@ impl<T: ?Sized> PetersonLock<T> {
     /// claimed (Peterson's algorithm is strictly two-party).
     pub fn side(&self, side: usize) -> Side<'_, T> {
         assert!(side < 2, "Peterson's algorithm has exactly two sides");
-        assert!(
-            !self.claimed[side].swap(true, Ordering::SeqCst),
-            "side {side} already claimed"
-        );
+        assert!(!self.claimed[side].swap(true, Ordering::SeqCst), "side {side} already claimed");
         Side { lock: self, side }
     }
 }

@@ -32,9 +32,7 @@ impl Semaphore {
 
     /// Timed acquire; returns whether a permit was obtained.
     pub fn acquire_timeout(&self, timeout: Duration) -> bool {
-        self.permits
-            .when_timeout(|p| *p > 0, timeout, |p| *p -= 1)
-            .is_some()
+        self.permits.when_timeout(|p| *p > 0, timeout, |p| *p -= 1).is_some()
     }
 
     /// Return a permit and wake waiters.
@@ -80,7 +78,8 @@ mod tests {
         let peak = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..8)
             .map(|_| {
-                let (sem, inside, peak) = (Arc::clone(&sem), Arc::clone(&inside), Arc::clone(&peak));
+                let (sem, inside, peak) =
+                    (Arc::clone(&sem), Arc::clone(&inside), Arc::clone(&peak));
                 thread::spawn(move || {
                     for _ in 0..50 {
                         let _permit = sem.permit();

@@ -59,10 +59,7 @@ impl<T> SpinLock<T> {
     pub const fn new(data: T) -> Self {
         SpinLock {
             locked: AtomicBool::new(false),
-            stats: LockStats {
-                acquisitions: AtomicU64::new(0),
-                contended: AtomicU64::new(0),
-            },
+            stats: LockStats { acquisitions: AtomicU64::new(0), contended: AtomicU64::new(0) },
             data: UnsafeCell::new(data),
         }
     }
@@ -105,11 +102,7 @@ impl<T: ?Sized> SpinLock<T> {
 
     /// Try to acquire without spinning.
     pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
-        if self
-            .locked
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
-        {
+        if self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
             self.stats.acquisitions.fetch_add(1, Ordering::Relaxed);
             Some(SpinGuard { lock: self })
         } else {
@@ -171,10 +164,7 @@ impl<T> TicketLock<T> {
         TicketLock {
             next_ticket: AtomicUsize::new(0),
             now_serving: AtomicUsize::new(0),
-            stats: LockStats {
-                acquisitions: AtomicU64::new(0),
-                contended: AtomicU64::new(0),
-            },
+            stats: LockStats { acquisitions: AtomicU64::new(0), contended: AtomicU64::new(0) },
             data: UnsafeCell::new(data),
         }
     }

@@ -2,8 +2,8 @@
 //! heavier and more adversarial schedules than the unit tests use.
 
 use concur_threads::{
-    Barrier, BoundedBuffer, CountDownLatch, Monitor, Mutex, Policy, RwLock, Semaphore,
-    SpinLock, ThreadPool,
+    Barrier, BoundedBuffer, CountDownLatch, Monitor, Mutex, Policy, RwLock, Semaphore, SpinLock,
+    ThreadPool,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -115,8 +115,7 @@ fn semaphore_as_connection_pool() {
     let peak = Arc::new(AtomicU64::new(0));
     let handles: Vec<_> = (0..10)
         .map(|_| {
-            let (sem, active, peak) =
-                (Arc::clone(&sem), Arc::clone(&active), Arc::clone(&peak));
+            let (sem, active, peak) = (Arc::clone(&sem), Arc::clone(&active), Arc::clone(&peak));
             std::thread::spawn(move || {
                 for _ in 0..50 {
                     let _permit = sem.permit();
@@ -167,8 +166,7 @@ fn latch_gates_a_fleet() {
     let flag = Arc::new(SpinLock::new(false));
     let handles: Vec<_> = (0..6)
         .map(|_| {
-            let (start, ready, flag) =
-                (Arc::clone(&start), Arc::clone(&ready), Arc::clone(&flag));
+            let (start, ready, flag) = (Arc::clone(&start), Arc::clone(&ready), Arc::clone(&flag));
             std::thread::spawn(move || {
                 ready.count_down();
                 start.wait();

@@ -10,10 +10,7 @@ use concur::study::report::{
 };
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42u64);
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42u64);
     println!("Simulated course study (seed {seed})\n");
 
     let report = run_study(seed);
@@ -32,30 +29,21 @@ fn main() {
         ),
         (
             "each group does better on its second (session-2) section",
-            t.s_message_passing > t.s_shared_memory
-                && t.d_shared_memory > t.d_message_passing,
+            t.s_message_passing > t.s_shared_memory && t.d_shared_memory > t.d_message_passing,
         ),
-        (
-            "the session effect is statistically significant (p < 0.05)",
-            t.session_p < 0.05,
-        ),
-        (
-            "S7 and S5 are the dominant shared-memory misconceptions",
-            {
-                let c = |m| report.table3.get(&m).copied().unwrap_or(0);
-                use concur::study::Misconception::*;
-                c(S7) >= c(S1) && c(S7) >= c(S4) && c(S5) >= c(S1)
-            },
-        ),
+        ("the session effect is statistically significant (p < 0.05)", t.session_p < 0.05),
+        ("S7 and S5 are the dominant shared-memory misconceptions", {
+            let c = |m| report.table3.get(&m).copied().unwrap_or(0);
+            use concur::study::Misconception::*;
+            c(S7) >= c(S1) && c(S7) >= c(S4) && c(S5) >= c(S1)
+        }),
         (
             "most students find shared memory harder",
-            report.post_test.difficulty.shared_memory_harder
-                > report.post_test.respondents / 2,
+            report.post_test.difficulty.shared_memory_harder > report.post_test.respondents / 2,
         ),
         (
             "most students choose the section they scored better on",
-            report.post_test.chose_correctly as f64
-                >= 0.75 * report.post_test.respondents as f64,
+            report.post_test.chose_correctly as f64 >= 0.75 * report.post_test.respondents as f64,
         ),
     ];
     println!("Paper claims, reproduced:");

@@ -22,9 +22,7 @@ fn main() {
         let terminals = explorer.terminals().expect("figure runs");
         println!(
             "  model checker: {} state(s), {} transition(s), exhaustive = {}",
-            terminals.stats.states_visited,
-            terminals.stats.transitions,
-            !terminals.stats.truncated
+            terminals.stats.states_visited, terminals.stats.transitions, !terminals.stats.truncated
         );
         println!("  possibilities:");
         for output in terminals.outputs() {
@@ -32,18 +30,14 @@ fn main() {
         }
 
         // The paper's listed possibilities must match exactly.
-        let mut expected: Vec<String> =
-            paper_possibilities.iter().map(|s| s.to_string()).collect();
+        let mut expected: Vec<String> = paper_possibilities.iter().map(|s| s.to_string()).collect();
         expected.sort();
         assert_eq!(terminals.outputs(), expected, "{name} disagrees with the paper");
 
         // And 40 random-scheduler runs stay inside the set.
         let observed = output_set(source, 40, 100_000).expect("random runs");
         for output in &observed {
-            assert!(
-                expected.contains(output),
-                "{name}: random run escaped the possibility set"
-            );
+            assert!(expected.contains(output), "{name}: random run escaped the possibility set");
         }
         println!(
             "  random check : {} distinct output(s) over 40 seeded runs — all inside\n",

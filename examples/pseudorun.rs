@@ -27,8 +27,8 @@ fn main() {
         _ => die("usage: pseudorun <run|explore|trace> <file.pc> [seed]"),
     };
 
-    let source = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let source =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let interp = match Interp::from_source(&source) {
         Ok(interp) => interp,
         Err(message) => die(&format!("compile error:\n{message}")),

@@ -14,8 +14,10 @@ use std::time::Instant;
 
 fn main() {
     let config = Config { producers: 3, consumers: 2, items_per_producer: 200, capacity: 8 };
-    println!("bounded buffer: {} producers, {} consumers, {} items each, capacity {}\n",
-        config.producers, config.consumers, config.items_per_producer, config.capacity);
+    println!(
+        "bounded buffer: {} producers, {} consumers, {} items each, capacity {}\n",
+        config.producers, config.consumers, config.items_per_producer, config.capacity
+    );
 
     for paradigm in Paradigm::ALL {
         let start = Instant::now();

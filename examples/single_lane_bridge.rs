@@ -18,12 +18,8 @@ use concur::study::questions::{bank, model_check, Section};
 fn main() {
     // ----- part 1: Test 2, the implementation exercise ------------------
     println!("Part 1 — the bridge as a running system (Test 2)\n");
-    let fair = bridge::Config {
-        red_cars: 4,
-        blue_cars: 4,
-        crossings_per_car: 6,
-        fair_batch: Some(2),
-    };
+    let fair =
+        bridge::Config { red_cars: 4, blue_cars: 4, crossings_per_car: 6, fair_batch: Some(2) };
     let greedy = bridge::Config { fair_batch: None, ..fair };
 
     for paradigm in Paradigm::ALL {

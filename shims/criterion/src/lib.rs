@@ -1,0 +1,239 @@
+//! Minimal in-repo replacement for `criterion` (no registry access in
+//! the build environment — see `shims/README.md`).
+//!
+//! Implements the group/bench-function/iter surface the workspace's
+//! benches use, with a simple median-of-samples wall-clock
+//! measurement. `cargo bench -- --test` runs every closure once as a
+//! smoke test, exactly like criterion's test mode.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How many timed samples to take per benchmark (each sample runs the
+/// closure enough times to cover ~`SAMPLE_TARGET`).
+const DEFAULT_SAMPLES: usize = 10;
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Top-level driver, handed to every registered bench function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: DEFAULT_SAMPLES }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_benchmark(&label, self.test_mode, DEFAULT_SAMPLES, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion semantics: number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Recorded for API compatibility; the shim reports plain times.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.criterion.test_mode, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Workload size hint (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function_id}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the
+/// workload.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Total time spent inside `iter` closures and iterations run, for
+    /// the caller to aggregate.
+    elapsed: Duration,
+    iters: u64,
+}
+
+enum BenchMode {
+    /// Run the closure exactly once (smoke test).
+    TestOnce,
+    /// Run the closure repeatedly until the sample target is covered.
+    Timed,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::TestOnce => {
+                std::hint::black_box(f());
+                self.iters += 1;
+            }
+            BenchMode::Timed => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                loop {
+                    std::hint::black_box(f());
+                    iters += 1;
+                    if start.elapsed() >= SAMPLE_TARGET {
+                        break;
+                    }
+                }
+                self.elapsed = start.elapsed();
+                self.iters = iters;
+            }
+        }
+    }
+
+    /// Criterion's self-timed variant: the closure receives an
+    /// iteration count and returns the measured duration for exactly
+    /// that many iterations (used when setup must sit outside the
+    /// timed region).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::TestOnce => {
+                std::hint::black_box(f(1));
+                self.iters += 1;
+            }
+            BenchMode::Timed => {
+                let mut iters = 1u64;
+                let mut spent = f(iters);
+                // Grow geometrically until one batch covers the target.
+                while spent < SAMPLE_TARGET && iters < u64::MAX / 2 {
+                    iters *= 2;
+                    spent = f(iters);
+                }
+                self.elapsed = spent;
+                self.iters = iters;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, samples: usize, mut f: F) {
+    if test_mode {
+        let mut bencher = Bencher { mode: BenchMode::TestOnce, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        println!("testing {label} ... ok");
+        return;
+    }
+    // One warm-up sample, then `samples` timed samples; report the
+    // median per-iteration time.
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples + 1);
+    for _ in 0..samples + 1 {
+        let mut bencher = Bencher { mode: BenchMode::Timed, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+        }
+    }
+    per_iter.remove(0); // warm-up
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{label:<48} time: [{}]", format_time(median));
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Mirrors criterion's `black_box` re-export.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Registers a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,38 @@
+//! Minimal in-repo replacement for `parking_lot` (no registry access
+//! in the build environment — see `shims/README.md`). Only the
+//! `Mutex` surface the benches use; backed by `std::sync::Mutex` with
+//! poisoning ignored, which matches parking_lot's no-poisoning
+//! behavior.
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex { inner: StdMutex::new(value) }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(0u64);
+        *m.lock() += 41;
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+    }
+}

@@ -1,0 +1,172 @@
+//! Minimal in-repo replacement for `proptest` (no registry access in
+//! the build environment — see `shims/README.md`).
+//!
+//! Generate-only property testing: the `proptest!` macro runs each
+//! test body `ProptestConfig::cases` times with inputs drawn from
+//! `Strategy` values. There is no shrinking — a failing case panics
+//! with its deterministic case index so it can be replayed (cases are
+//! seeded from the test's module path and index, stable run-to-run).
+
+pub mod strategy;
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+
+pub mod string {
+    //! Pattern-string strategies live on `&str` directly (see
+    //! `strategy::StrPattern`); nothing else is needed here.
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// `any::<T>()` — the `Standard`-ish strategy for a type.
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: ArbitraryShim>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Types `any::<T>()` supports.
+    pub trait ArbitraryShim {
+        fn generate(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryShim for bool {
+        fn generate(rng: &mut TestRng) -> Self {
+            rng.next() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryShim for $t {
+                fn generate(rng: &mut TestRng) -> Self {
+                    rng.next() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: ArbitraryShim> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::generate(rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Subset of proptest's config: only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop::{collection, sample,
+    /// option}`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Runs each test body `config.cases` times with generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::strategy::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case as u64,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(
+                        &$strat,
+                        &mut __proptest_rng,
+                    );)*
+                    let __proptest_result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(panic) = __proptest_result {
+                        eprintln!(
+                            "proptest case {case} of {} failed (deterministic; rerun reproduces it)",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}

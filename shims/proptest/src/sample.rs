@@ -1,0 +1,21 @@
+//! `prop::sample` — uniform selection from a fixed set.
+
+use crate::strategy::{Strategy, TestRng};
+
+#[derive(Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "sample::select needs at least one value");
+    Select { values }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.below(self.values.len() as u64) as usize].clone()
+    }
+}

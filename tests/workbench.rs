@@ -56,12 +56,7 @@ fn pseudocode_bridge_and_rust_bridge_agree_on_safety() {
 
     let events = bridge::run(
         Paradigm::Threads,
-        bridge::Config {
-            red_cars: 2,
-            blue_cars: 1,
-            crossings_per_car: 1,
-            fair_batch: None,
-        },
+        bridge::Config { red_cars: 2, blue_cars: 1, crossings_per_car: 1, fair_batch: None },
     )
     .expect("Rust bridge is safe");
     assert_eq!(events.len(), 6, "2 reds + 1 blue, one crossing each");
@@ -80,10 +75,8 @@ fn study_pipeline_end_to_end() {
 
 #[test]
 fn figure_programs_run_through_the_facade() {
-    let outputs = concur::exec::explore::terminal_outputs(
-        concur::exec::figures::FIG4_WAIT_NOTIFY,
-    )
-    .expect("figure runs");
+    let outputs = concur::exec::explore::terminal_outputs(concur::exec::figures::FIG4_WAIT_NOTIFY)
+        .expect("figure runs");
     assert_eq!(outputs, vec!["0"]);
 }
 
