@@ -10,44 +10,77 @@ use concur_threads::Monitor;
 use std::sync::Arc;
 use std::time::Duration;
 
+struct PromiseState<T> {
+    value: Option<T>,
+    /// Set when the resolver is dropped unresolved — e.g. the message
+    /// carrying it was dead-lettered because the target actor stopped.
+    broken: bool,
+}
+
 /// Create a linked promise/resolver pair.
 pub fn promise<T: Send + 'static>() -> (Promise<T>, Resolver<T>) {
-    let slot = Arc::new(Monitor::new(Option::<T>::None));
-    (Promise { slot: Arc::clone(&slot) }, Resolver { slot })
+    let slot = Arc::new(Monitor::new(PromiseState::<T> { value: None, broken: false }));
+    (Promise { slot: Arc::clone(&slot) }, Resolver { slot: Some(slot) })
 }
 
 /// The receiving half: blocks until resolved.
 pub struct Promise<T> {
-    slot: Arc<Monitor<Option<T>>>,
+    slot: Arc<Monitor<PromiseState<T>>>,
 }
 
 impl<T: Send + 'static> Promise<T> {
     /// Block until the resolver fires.
+    ///
+    /// # Panics
+    /// Panics if the resolver was dropped unresolved (the reply can
+    /// never arrive; blocking forever would hide the lost message).
     pub fn get(self) -> T {
-        self.slot.when(|s| s.is_some(), |s| s.take().expect("resolved"))
+        self.slot.when(
+            |s| s.value.is_some() || s.broken,
+            |s| s.value.take().expect("ask resolver dropped without resolving"),
+        )
     }
 
-    /// Block with a deadline; `None` on timeout.
+    /// Block with a deadline; `None` on timeout **or** when the
+    /// resolver is dropped unresolved — a dead-lettered request fails
+    /// fast instead of stalling the asker for the full timeout.
     pub fn get_timeout(self, timeout: Duration) -> Option<T> {
-        self.slot.when_timeout(|s| s.is_some(), timeout, |s| s.take().expect("resolved"))
+        self.slot
+            .when_timeout(|s| s.value.is_some() || s.broken, timeout, |s| s.value.take())
+            .flatten()
     }
 
     /// Non-blocking poll.
     pub fn try_get(&self) -> Option<T> {
-        self.slot.with_quiet(|s| s.take())
+        self.slot.with_quiet(|s| s.value.take())
+    }
+
+    /// Whether the resolver was dropped without resolving.
+    pub fn is_broken(&self) -> bool {
+        self.slot.with_quiet(|s| s.broken && s.value.is_none())
     }
 }
 
 /// The sending half: embed it in a message; the handler calls
-/// [`Resolver::resolve`].
+/// [`Resolver::resolve`]. Dropping it unresolved *breaks* the promise,
+/// waking the asker immediately (see [`Promise::get_timeout`]).
 pub struct Resolver<T> {
-    slot: Arc<Monitor<Option<T>>>,
+    slot: Option<Arc<Monitor<PromiseState<T>>>>,
 }
 
 impl<T: Send + 'static> Resolver<T> {
     /// Fulfil the promise and wake the asker.
-    pub fn resolve(self, value: T) {
-        self.slot.with(|s| *s = Some(value));
+    pub fn resolve(mut self, value: T) {
+        let slot = self.slot.take().expect("resolve consumes the resolver");
+        slot.with(|s| s.value = Some(value));
+    }
+}
+
+impl<T> Drop for Resolver<T> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            slot.with(|s| s.broken = true);
+        }
     }
 }
 

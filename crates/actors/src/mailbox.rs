@@ -71,6 +71,21 @@ impl<T> Mailbox<T> {
         }
     }
 
+    /// Dequeue the `idx`-th queued message (0 = front), preserving the
+    /// relative order of the rest. `None` if `idx` is out of range.
+    ///
+    /// This is the conformance harness's controlled-delivery hook: a
+    /// deterministic scheduler picks the index, so the Actor model's
+    /// arrival-order freedom becomes an explicit, recordable and
+    /// replayable decision instead of an accident of timing.
+    pub fn pop_nth(&self, idx: usize) -> Option<T> {
+        let mut s = self.state.lock();
+        if idx >= s.queue.len() {
+            return None;
+        }
+        s.queue.remove(idx)
+    }
+
     /// Mark dead and drain the remaining messages (they become dead
     /// letters).
     pub fn kill(&self) -> Vec<T> {

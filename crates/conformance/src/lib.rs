@@ -1,0 +1,45 @@
+//! # concur-conformance
+//!
+//! Cross-model conformance harness: the three runtimes' behaviours,
+//! checked against the explorer's exhaustive possibility sets.
+//!
+//! The paper's evaluation instrument asks *what could happen* — each
+//! figure lists a program's possible outputs, and the explorer in
+//! `concur-exec` computes those lists mechanically. This crate closes
+//! the loop in the other direction: it **runs** the classical problems
+//! under all three programming models on a controlled, deterministic
+//! scheduler, fuzzes the schedule space, and asserts that
+//!
+//! 1. every observed terminal state is a member of the explorer's
+//!    exhaustively computed terminal set for the matching pseudocode
+//!    model (*membership*),
+//! 2. a run deadlocks only if the model provably can (*deadlock
+//!    conformance*), and
+//! 3. the observable-output sets of the three models agree with each
+//!    other (*cross-model agreement*).
+//!
+//! Every fuzzed schedule is a recorded decision vector, so a failing
+//! schedule replays deterministically and shrinks to a minimal
+//! counterexample (see [`fuzz`]).
+//!
+//! | module | role |
+//! |---|---|
+//! | [`exec`] | deterministic serial executor + schedulers |
+//! | [`sync`] | modelled shared-memory primitives (per-discipline granularity) |
+//! | [`sim`] | modelled actor mailboxes with chosen delivery order |
+//! | [`models`] | pseudocode models of the classical problems |
+//! | [`problems`] | the problems on the controlled executor, ×3 disciplines |
+//! | [`fuzz`] | schedule fuzzing, membership oracle, shrinking |
+//! | [`real`] | spot-checks of the *real* runtimes against the same models |
+
+pub mod exec;
+pub mod fuzz;
+pub mod models;
+pub mod problems;
+pub mod real;
+pub mod sim;
+pub mod sync;
+
+pub use exec::{BoundedSched, Harness, RandomSched, ReplaySched, Run, Sched, TaskCtx};
+pub use fuzz::{fuzz_all, fuzz_problem, ConformanceError, FuzzConfig, ProblemReport};
+pub use problems::{Discipline, Fixture, Outcome, FIXTURES};

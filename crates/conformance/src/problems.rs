@@ -1,0 +1,1200 @@
+//! The classical problems on the controlled executor, in all three
+//! programming models.
+//!
+//! Every fixture pairs a pseudocode model from [`crate::models`] with a
+//! `run` function that executes the same problem under a
+//! scheduler-controlled [`Harness`] in one of three disciplines:
+//!
+//! * **Threads** — fine-grained preemption: a modelled lock
+//!   ([`Mon`] with [`Disc::Fine`]) serializes critical sections, and
+//!   scheduling points sit at every lock operation;
+//! * **Coroutines** — cooperative: sections are atomic, control moves
+//!   only at explicit yield/block points ([`Disc::Coop`]);
+//! * **Actors** — message passing: shared state lives inside an actor
+//!   task, and the scheduler picks mailbox delivery order through
+//!   [`SimBox`].
+//!
+//! Each run produces an [`Outcome`]: the recorded decision vector (for
+//! replay), the observation string (same token vocabulary as the
+//! model's printed output), and any violation found by the
+//! corresponding `concur-problems` validator on the typed event log
+//! the run collected along the way.
+
+use crate::exec::{Harness, Run, Sched};
+use crate::models;
+use crate::sim::SimBox;
+use crate::sync::{Disc, Mon, Recorder, Shared};
+use concur_problems::{
+    book_inventory, bounded_buffer, bridge, dining, party_matching, readers_writers,
+    sleeping_barber, thread_pool_arith,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which programming model a controlled run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Discipline {
+    Threads,
+    Actors,
+    Coroutines,
+}
+
+impl Discipline {
+    pub const ALL: [Discipline; 3] =
+        [Discipline::Threads, Discipline::Actors, Discipline::Coroutines];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Discipline::Threads => "threads",
+            Discipline::Actors => "actors",
+            Discipline::Coroutines => "coroutines",
+        }
+    }
+}
+
+fn disc(d: Discipline) -> Disc {
+    match d {
+        Discipline::Threads => Disc::Fine,
+        Discipline::Coroutines => Disc::Coop,
+        Discipline::Actors => unreachable!("actors use mailboxes, not monitors"),
+    }
+}
+
+/// Result of one controlled run of one fixture under one discipline.
+pub struct Outcome {
+    pub run: Run,
+    /// Observation string (model output vocabulary); `None` when the
+    /// run deadlocked or diverged, in which case there is no terminal
+    /// observation to check.
+    pub obs: Option<String>,
+    /// Violation reported by the problem's invariant validator, if any.
+    pub violation: Option<String>,
+}
+
+fn outcome(run: Run, rec: &Recorder, violation: Option<String>) -> Outcome {
+    let obs = if run.deadlocked || run.diverged { None } else { Some(rec.render()) };
+    Outcome { run, obs, violation }
+}
+
+/// A classical problem: its pseudocode model plus its controlled
+/// runtime implementations.
+pub struct Fixture {
+    pub name: &'static str,
+    pub model: &'static str,
+    /// Whether the model admits a deadlock (checked against the
+    /// explorer, and the only condition under which a deadlocked
+    /// runtime run is accepted).
+    pub can_deadlock: bool,
+    pub run: fn(Discipline, &mut dyn Sched) -> Outcome,
+}
+
+pub static FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "dining_ordered",
+        model: models::DINING_ORDERED,
+        can_deadlock: false,
+        run: run_dining_ordered,
+    },
+    Fixture {
+        name: "dining_naive",
+        model: models::DINING_NAIVE,
+        can_deadlock: true,
+        run: run_dining_naive,
+    },
+    Fixture {
+        name: "bounded_buffer",
+        model: models::BOUNDED_BUFFER,
+        can_deadlock: false,
+        run: run_bounded_buffer,
+    },
+    Fixture {
+        name: "readers_writers",
+        model: models::READERS_WRITERS,
+        can_deadlock: false,
+        run: run_readers_writers,
+    },
+    Fixture {
+        name: "sleeping_barber",
+        model: models::SLEEPING_BARBER,
+        can_deadlock: false,
+        run: run_sleeping_barber,
+    },
+    Fixture { name: "bridge", model: models::BRIDGE, can_deadlock: false, run: run_bridge },
+    Fixture {
+        name: "party_matching",
+        model: models::PARTY_MATCHING,
+        can_deadlock: false,
+        run: run_party_matching,
+    },
+    Fixture {
+        name: "book_inventory",
+        model: models::BOOK_INVENTORY,
+        can_deadlock: false,
+        run: run_book_inventory,
+    },
+    Fixture {
+        name: "sum_workers",
+        model: models::SUM_WORKERS,
+        can_deadlock: false,
+        run: run_sum_workers,
+    },
+    Fixture {
+        name: "thread_pool",
+        model: models::THREAD_POOL,
+        can_deadlock: false,
+        run: run_thread_pool,
+    },
+];
+
+// --- dining philosophers ----------------------------------------------------
+
+fn run_dining_ordered(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    dining_fixture(d, sched, false)
+}
+
+fn run_dining_naive(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    dining_fixture(d, sched, true)
+}
+
+fn dining_fixture(d: Discipline, sched: &mut dyn Sched, naive: bool) -> Outcome {
+    let rec = Recorder::new();
+    let events: Shared<Vec<dining::Event>> = Shared::new(Vec::new());
+    // (token, seat, first fork, second fork)
+    let seats: [(i64, usize, usize, usize); 2] =
+        if naive { [(1, 0, 0, 1), (2, 1, 1, 0)] } else { [(1, 0, 0, 1), (2, 1, 0, 1)] };
+
+    let run = match d {
+        Discipline::Actors => {
+            // One actor per fork with a grant queue: Take requests
+            // carry the philosopher's reply box; the fork grants one,
+            // then waits for the matching Put before granting again.
+            let mut h = Harness::new();
+            let takes: Vec<SimBox<SimBox<u8>>> = vec![SimBox::new(), SimBox::new()];
+            let puts: Vec<SimBox<u8>> = vec![SimBox::new(), SimBox::new()];
+            for f in 0..2 {
+                let takes = takes[f].clone();
+                let puts = puts[f].clone();
+                h.spawn(move |ctx| {
+                    for _ in 0..2 {
+                        let grant = takes.recv(ctx);
+                        grant.send(0);
+                        puts.recv(ctx);
+                    }
+                });
+            }
+            for (token, seat, first, second) in seats {
+                let take_a = takes[first].clone();
+                let take_b = takes[second].clone();
+                let put_a = puts[first].clone();
+                let put_b = puts[second].clone();
+                let rec = rec.clone();
+                let events = events.clone();
+                h.spawn(move |ctx| {
+                    let grant: SimBox<u8> = SimBox::new();
+                    take_a.send(grant.clone());
+                    grant.recv(ctx);
+                    take_b.send(grant.clone());
+                    grant.recv(ctx);
+                    events.with(|e| e.push(dining::Event::StartedEating(seat)));
+                    rec.push(token);
+                    ctx.pause();
+                    events.with(|e| e.push(dining::Event::FinishedEating(seat)));
+                    put_b.send(0);
+                    put_a.send(0);
+                });
+            }
+            h.run(sched)
+        }
+        _ => {
+            let mon = Mon::new(disc(d));
+            let forks: Shared<Vec<bool>> = Shared::new(vec![false, false]);
+            let mut h = Harness::new();
+            for (token, seat, first, second) in seats {
+                let mon = mon.clone();
+                let forks = forks.clone();
+                let rec = rec.clone();
+                let events = events.clone();
+                h.spawn(move |ctx| {
+                    for i in [first, second] {
+                        let pf = forks.clone();
+                        let sf = forks.clone();
+                        mon.section_when(
+                            ctx,
+                            move || !pf.with(|v| v[i]),
+                            move || sf.with(|v| v[i] = true),
+                        );
+                    }
+                    let ev = events.clone();
+                    let rc = rec.clone();
+                    mon.section(ctx, move || {
+                        ev.with(|e| e.push(dining::Event::StartedEating(seat)));
+                        rc.push(token);
+                    });
+                    let ev = events.clone();
+                    mon.section(ctx, move || {
+                        ev.with(|e| e.push(dining::Event::FinishedEating(seat)));
+                    });
+                    for i in [second, first] {
+                        let sf = forks.clone();
+                        mon.section(ctx, move || sf.with(|v| v[i] = false));
+                    }
+                });
+            }
+            h.run(sched)
+        }
+    };
+
+    let config = dining::Config { philosophers: 2, meals_per_philosopher: 1 };
+    let violation = if run.deadlocked || run.diverged {
+        None
+    } else {
+        events.with(|e| dining::validate(e, config).err().map(|v| v.to_string()))
+    };
+    outcome(run, &rec, violation)
+}
+
+// --- bounded buffer ---------------------------------------------------------
+
+enum BufMsg {
+    Put(i64, bounded_buffer::Item, SimBox<u8>),
+    Take(SimBox<i64>),
+}
+
+fn run_bounded_buffer(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    const CAP: usize = 1;
+    let rec = Recorder::new();
+    let events: Shared<Vec<bounded_buffer::Event>> = Shared::new(Vec::new());
+
+    let run = match d {
+        Discipline::Actors => {
+            let boxed: SimBox<BufMsg> = SimBox::new();
+            let mut h = Harness::new();
+            {
+                let boxed = boxed.clone();
+                let events = events.clone();
+                h.spawn(move |ctx| {
+                    let mut items: VecDeque<(i64, bounded_buffer::Item)> = VecDeque::new();
+                    let mut pending_puts: Vec<(i64, bounded_buffer::Item, SimBox<u8>)> = Vec::new();
+                    let mut pending_takes: Vec<SimBox<i64>> = Vec::new();
+                    for _ in 0..8 {
+                        match boxed.recv(ctx) {
+                            BufMsg::Put(tok, item, ack) => pending_puts.push((tok, item, ack)),
+                            BufMsg::Take(reply) => pending_takes.push(reply),
+                        }
+                        loop {
+                            let mut progressed = false;
+                            if !pending_takes.is_empty() && !items.is_empty() {
+                                let reply = pending_takes.remove(0);
+                                let (tok, item) = items.pop_front().expect("non-empty");
+                                events.with(|e| e.push(bounded_buffer::Event::Consumed(item)));
+                                reply.send(tok);
+                                progressed = true;
+                            }
+                            if items.len() < CAP && !pending_puts.is_empty() {
+                                let i = ctx.choose(pending_puts.len());
+                                let (tok, item, ack) = pending_puts.remove(i);
+                                items.push_back((tok, item));
+                                events.with(|e| e.push(bounded_buffer::Event::Produced(item)));
+                                ack.send(0);
+                                progressed = true;
+                            }
+                            if !progressed {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            for p in 0..2usize {
+                let boxed = boxed.clone();
+                h.spawn(move |ctx| {
+                    for s in 0..2usize {
+                        let token = (10 * (p + 1) + s + 1) as i64;
+                        let item = bounded_buffer::Item { producer: p, seq: s };
+                        let ack: SimBox<u8> = SimBox::new();
+                        boxed.send(BufMsg::Put(token, item, ack.clone()));
+                        ack.recv(ctx);
+                    }
+                });
+            }
+            {
+                let boxed = boxed.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| {
+                    for _ in 0..4 {
+                        let reply: SimBox<i64> = SimBox::new();
+                        boxed.send(BufMsg::Take(reply.clone()));
+                        let tok = reply.recv(ctx);
+                        rec.push(tok);
+                    }
+                });
+            }
+            h.run(sched)
+        }
+        _ => {
+            let mon = Mon::new(disc(d));
+            let buf: Shared<VecDeque<(i64, bounded_buffer::Item)>> = Shared::new(VecDeque::new());
+            let mut h = Harness::new();
+            for p in 0..2usize {
+                let mon = mon.clone();
+                let buf = buf.clone();
+                let events = events.clone();
+                h.spawn(move |ctx| {
+                    for s in 0..2usize {
+                        let token = (10 * (p + 1) + s + 1) as i64;
+                        let item = bounded_buffer::Item { producer: p, seq: s };
+                        let pb = buf.clone();
+                        let sb = buf.clone();
+                        let ev = events.clone();
+                        mon.section_when(
+                            ctx,
+                            move || pb.with(|b| b.len() < CAP),
+                            move || {
+                                sb.with(|b| b.push_back((token, item)));
+                                ev.with(|e| e.push(bounded_buffer::Event::Produced(item)));
+                            },
+                        );
+                    }
+                });
+            }
+            {
+                let mon = mon.clone();
+                let buf = buf.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| {
+                    for _ in 0..4 {
+                        let pb = buf.clone();
+                        let sb = buf.clone();
+                        let ev = events.clone();
+                        let token = mon.section_when(
+                            ctx,
+                            move || pb.with(|b| !b.is_empty()),
+                            move || {
+                                let (tok, item) = sb.with(|b| b.pop_front().expect("non-empty"));
+                                ev.with(|e| e.push(bounded_buffer::Event::Consumed(item)));
+                                tok
+                            },
+                        );
+                        rec.push(token);
+                    }
+                });
+            }
+            h.run(sched)
+        }
+    };
+
+    let config =
+        bounded_buffer::Config { producers: 2, consumers: 1, items_per_producer: 2, capacity: CAP };
+    let violation = if run.deadlocked || run.diverged {
+        None
+    } else {
+        events.with(|e| bounded_buffer::validate(e, config).err().map(|v| v.to_string()))
+    };
+    outcome(run, &rec, violation)
+}
+
+// --- readers-writers --------------------------------------------------------
+
+enum RwMsg {
+    Get(SimBox<u64>),
+    Inc(SimBox<u64>),
+}
+
+fn run_readers_writers(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    let rec = Recorder::new();
+    let events: Shared<Vec<readers_writers::Event>> = Shared::new(Vec::new());
+
+    let run = match d {
+        Discipline::Actors => {
+            let boxed: SimBox<RwMsg> = SimBox::new();
+            let mut h = Harness::new();
+            {
+                let boxed = boxed.clone();
+                h.spawn(move |ctx| {
+                    let mut version = 0u64;
+                    for _ in 0..3 {
+                        match boxed.recv(ctx) {
+                            RwMsg::Get(reply) => reply.send(version),
+                            RwMsg::Inc(reply) => {
+                                version += 1;
+                                reply.send(version);
+                            }
+                        }
+                    }
+                });
+            }
+            for task in 0..2usize {
+                let boxed = boxed.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| {
+                    events.with(|e| e.push(readers_writers::Event::ReadStart { task }));
+                    let reply: SimBox<u64> = SimBox::new();
+                    boxed.send(RwMsg::Get(reply.clone()));
+                    let seen = reply.recv(ctx);
+                    // Logging the read is a separate step, as in the
+                    // real runtimes (the log entry lags the read).
+                    ctx.pause();
+                    events
+                        .with(|e| e.push(readers_writers::Event::ReadEnd { task, version: seen }));
+                    rec.push(seen as i64);
+                });
+            }
+            {
+                let boxed = boxed.clone();
+                let events = events.clone();
+                h.spawn(move |ctx| {
+                    events.with(|e| e.push(readers_writers::Event::WriteStart { task: 2 }));
+                    let reply: SimBox<u64> = SimBox::new();
+                    boxed.send(RwMsg::Inc(reply.clone()));
+                    let v = reply.recv(ctx);
+                    events
+                        .with(|e| e.push(readers_writers::Event::WriteEnd { task: 2, version: v }));
+                });
+            }
+            h.run(sched)
+        }
+        _ => {
+            let mon = Mon::new(disc(d));
+            let version: Shared<u64> = Shared::new(0);
+            let mut h = Harness::new();
+            for task in 0..2usize {
+                let mon = mon.clone();
+                let version = version.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| {
+                    let ev = events.clone();
+                    let vr = version.clone();
+                    let seen = mon.section(ctx, move || {
+                        ev.with(|e| e.push(readers_writers::Event::ReadStart { task }));
+                        vr.with(|v| *v)
+                    });
+                    let ev = events.clone();
+                    let rc = rec.clone();
+                    mon.section(ctx, move || {
+                        ev.with(|e| {
+                            e.push(readers_writers::Event::ReadEnd { task, version: seen })
+                        });
+                        rc.push(seen as i64);
+                    });
+                });
+            }
+            {
+                let mon = mon.clone();
+                let version = version.clone();
+                let events = events.clone();
+                h.spawn(move |ctx| {
+                    let ev = events.clone();
+                    mon.section(ctx, move || {
+                        ev.with(|e| e.push(readers_writers::Event::WriteStart { task: 2 }));
+                        let nv = version.with(|v| {
+                            *v += 1;
+                            *v
+                        });
+                        ev.with(|e| {
+                            e.push(readers_writers::Event::WriteEnd { task: 2, version: nv })
+                        });
+                    });
+                });
+            }
+            h.run(sched)
+        }
+    };
+
+    let config = readers_writers::Config { readers: 2, writers: 1, ops_per_task: 1 };
+    let violation = if run.deadlocked || run.diverged {
+        None
+    } else {
+        events.with(|e| readers_writers::validate(e, config).err().map(|v| v.to_string()))
+    };
+    outcome(run, &rec, violation)
+}
+
+// --- sleeping barber --------------------------------------------------------
+
+fn run_sleeping_barber(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    const CUSTOMERS: i64 = 2;
+    let rec = Recorder::new();
+    let events: Shared<Vec<sleeping_barber::Event>> = Shared::new(Vec::new());
+
+    let run = match d {
+        Discipline::Actors => {
+            // The single waiting chair is a bounded mailbox: a customer
+            // checks its length atomically on arrival, and the barber
+            // pops from it to cut.
+            let chair: SimBox<(usize, SimBox<u8>)> = SimBox::new();
+            let handled: Shared<i64> = Shared::new(0);
+            let mut h = Harness::new();
+            {
+                let chair = chair.clone();
+                let handled = handled.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| loop {
+                    let cb = chair.clone();
+                    let hb = handled.clone();
+                    ctx.block_until(move || !cb.is_empty() || hb.with(|h| *h >= CUSTOMERS));
+                    if chair.is_empty() {
+                        break;
+                    }
+                    let (c, reply) = chair.recv(ctx);
+                    events.with(|e| {
+                        e.push(sleeping_barber::Event::CutStarted { customer: c, barber: 0 })
+                    });
+                    rec.push(10 + c as i64);
+                    events.with(|e| {
+                        e.push(sleeping_barber::Event::CutFinished { customer: c, barber: 0 })
+                    });
+                    handled.with(|h| *h += 1);
+                    reply.send(0);
+                });
+            }
+            for id in 0..2usize {
+                let chair = chair.clone();
+                let handled = handled.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| {
+                    ctx.pause();
+                    events.with(|e| e.push(sleeping_barber::Event::Arrived(id)));
+                    if chair.is_empty() {
+                        events.with(|e| e.push(sleeping_barber::Event::SatDown(id)));
+                        let reply: SimBox<u8> = SimBox::new();
+                        chair.send((id, reply.clone()));
+                        reply.recv(ctx);
+                    } else {
+                        handled.with(|h| *h += 1);
+                        events.with(|e| e.push(sleeping_barber::Event::TurnedAway(id)));
+                        rec.push(20 + id as i64);
+                    }
+                });
+            }
+            h.run(sched)
+        }
+        _ => {
+            let mon = Mon::new(disc(d));
+            let waiting: Shared<VecDeque<usize>> = Shared::new(VecDeque::new());
+            let done: Shared<Vec<bool>> = Shared::new(vec![false, false]);
+            let handled: Shared<i64> = Shared::new(0);
+            let mut h = Harness::new();
+            {
+                let mon = mon.clone();
+                let waiting = waiting.clone();
+                let done = done.clone();
+                let handled = handled.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| loop {
+                    let wp = waiting.clone();
+                    let hp = handled.clone();
+                    let wq = waiting.clone();
+                    let dn = done.clone();
+                    let hd = handled.clone();
+                    let ev = events.clone();
+                    let rc = rec.clone();
+                    let closed = mon.section_when(
+                        ctx,
+                        move || wp.with(|w| !w.is_empty()) || hp.with(|h| *h >= CUSTOMERS),
+                        move || {
+                            if let Some(c) = wq.with(|w| w.pop_front()) {
+                                hd.with(|h| *h += 1);
+                                ev.with(|e| {
+                                    e.push(sleeping_barber::Event::CutStarted {
+                                        customer: c,
+                                        barber: 0,
+                                    })
+                                });
+                                rc.push(10 + c as i64);
+                                ev.with(|e| {
+                                    e.push(sleeping_barber::Event::CutFinished {
+                                        customer: c,
+                                        barber: 0,
+                                    })
+                                });
+                                dn.with(|d| d[c] = true);
+                                false
+                            } else {
+                                true
+                            }
+                        },
+                    );
+                    if closed {
+                        break;
+                    }
+                });
+            }
+            for id in 0..2usize {
+                let mon = mon.clone();
+                let waiting = waiting.clone();
+                let done = done.clone();
+                let handled = handled.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| {
+                    let wq = waiting.clone();
+                    let hd = handled.clone();
+                    let ev = events.clone();
+                    let rc = rec.clone();
+                    let seated = mon.section(ctx, move || {
+                        ev.with(|e| e.push(sleeping_barber::Event::Arrived(id)));
+                        if wq.with(|w| w.len()) < 1 {
+                            wq.with(|w| w.push_back(id));
+                            ev.with(|e| e.push(sleeping_barber::Event::SatDown(id)));
+                            true
+                        } else {
+                            hd.with(|h| *h += 1);
+                            ev.with(|e| e.push(sleeping_barber::Event::TurnedAway(id)));
+                            rc.push(20 + id as i64);
+                            false
+                        }
+                    });
+                    if seated {
+                        let dn = done.clone();
+                        mon.section_when(ctx, move || dn.with(|d| d[id]), || {});
+                    }
+                });
+            }
+            h.run(sched)
+        }
+    };
+
+    let config = sleeping_barber::Config { barbers: 1, chairs: 1, customers: 2 };
+    let violation = if run.deadlocked || run.diverged {
+        None
+    } else {
+        events.with(|e| sleeping_barber::validate(e, config).err().map(|v| v.to_string()))
+    };
+    outcome(run, &rec, violation)
+}
+
+// --- one-lane bridge --------------------------------------------------------
+
+enum BrMsg {
+    Enter { car: usize, d: i64, reply: SimBox<u8> },
+    Exit { car: usize, d: i64 },
+}
+
+fn to_dir(d: i64) -> bridge::Dir {
+    if d == 1 {
+        bridge::Dir::Red
+    } else {
+        bridge::Dir::Blue
+    }
+}
+
+fn run_bridge(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    let rec = Recorder::new();
+    let events: Shared<Vec<bridge::Event>> = Shared::new(Vec::new());
+    // (car id, direction token): two red (1), one blue (2)
+    let cars: [(usize, i64); 3] = [(0, 1), (1, 1), (2, 2)];
+
+    let run = match d {
+        Discipline::Actors => {
+            let boxed: SimBox<BrMsg> = SimBox::new();
+            let mut h = Harness::new();
+            {
+                let boxed = boxed.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| {
+                    let mut cars_on = 0i64;
+                    let mut dir = 0i64;
+                    let mut pending: Vec<(usize, i64, SimBox<u8>)> = Vec::new();
+                    for _ in 0..6 {
+                        match boxed.recv(ctx) {
+                            BrMsg::Enter { car, d, reply } => pending.push((car, d, reply)),
+                            BrMsg::Exit { car, d } => {
+                                cars_on -= 1;
+                                events.with(|e| {
+                                    e.push(bridge::Event::Exited { car, dir: to_dir(d) })
+                                });
+                            }
+                        }
+                        // Grant every currently-admissible request, in
+                        // a scheduler-chosen order.
+                        loop {
+                            let eligible: Vec<usize> = pending
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &(_, pd, _))| cars_on == 0 || pd == dir)
+                                .map(|(i, _)| i)
+                                .collect();
+                            if eligible.is_empty() {
+                                break;
+                            }
+                            let pick = eligible[ctx.choose(eligible.len())];
+                            let (car, pd, reply) = pending.remove(pick);
+                            dir = pd;
+                            cars_on += 1;
+                            events
+                                .with(|e| e.push(bridge::Event::Entered { car, dir: to_dir(pd) }));
+                            rec.push(pd);
+                            reply.send(0);
+                        }
+                    }
+                });
+            }
+            for (car, dtok) in cars {
+                let boxed = boxed.clone();
+                h.spawn(move |ctx| {
+                    let reply: SimBox<u8> = SimBox::new();
+                    boxed.send(BrMsg::Enter { car, d: dtok, reply: reply.clone() });
+                    reply.recv(ctx);
+                    ctx.pause();
+                    boxed.send(BrMsg::Exit { car, d: dtok });
+                });
+            }
+            h.run(sched)
+        }
+        _ => {
+            let mon = Mon::new(disc(d));
+            let cars_on: Shared<i64> = Shared::new(0);
+            let dir: Shared<i64> = Shared::new(0);
+            let mut h = Harness::new();
+            for (car, dtok) in cars {
+                let mon = mon.clone();
+                let cars_on = cars_on.clone();
+                let dir = dir.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| {
+                    let cp = cars_on.clone();
+                    let dp = dir.clone();
+                    let cs = cars_on.clone();
+                    let ds = dir.clone();
+                    let ev = events.clone();
+                    let rc = rec.clone();
+                    mon.section_when(
+                        ctx,
+                        move || cp.with(|c| *c == 0) || dp.with(|v| *v == dtok),
+                        move || {
+                            ds.with(|v| *v = dtok);
+                            cs.with(|c| *c += 1);
+                            ev.with(|e| e.push(bridge::Event::Entered { car, dir: to_dir(dtok) }));
+                            rc.push(dtok);
+                        },
+                    );
+                    let cs = cars_on.clone();
+                    let ev = events.clone();
+                    mon.section(ctx, move || {
+                        cs.with(|c| *c -= 1);
+                        ev.with(|e| e.push(bridge::Event::Exited { car, dir: to_dir(dtok) }));
+                    });
+                });
+            }
+            h.run(sched)
+        }
+    };
+
+    let config =
+        bridge::Config { red_cars: 2, blue_cars: 1, crossings_per_car: 1, fair_batch: None };
+    let violation = if run.deadlocked || run.diverged {
+        None
+    } else {
+        events.with(|e| bridge::validate(e, config).err().map(|v| v.to_string()))
+    };
+    outcome(run, &rec, violation)
+}
+
+// --- party matching ---------------------------------------------------------
+
+struct PartyArrive {
+    sex: party_matching::Sex,
+    id: usize,
+    reply: SimBox<u8>,
+}
+
+fn run_party_matching(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    use party_matching::{Event, Guest, Sex};
+    let rec = Recorder::new();
+    let events: Shared<Vec<Event>> = Shared::new(Vec::new());
+    let guests: [(Sex, usize); 4] = [(Sex::Boy, 0), (Sex::Boy, 1), (Sex::Girl, 0), (Sex::Girl, 1)];
+    let token = |b: usize, g: usize| ((b + 1) * 10 + g + 1) as i64;
+
+    let run =
+        match d {
+            Discipline::Actors => {
+                let boxed: SimBox<PartyArrive> = SimBox::new();
+                let mut h = Harness::new();
+                {
+                    let boxed = boxed.clone();
+                    let events = events.clone();
+                    let rec = rec.clone();
+                    h.spawn(move |ctx| {
+                        let mut wait_b: Vec<(usize, SimBox<u8>)> = Vec::new();
+                        let mut wait_g: Vec<(usize, SimBox<u8>)> = Vec::new();
+                        for _ in 0..4 {
+                            let m = boxed.recv(ctx);
+                            events.with(|e| e.push(Event::Arrived(Guest { sex: m.sex, id: m.id })));
+                            match m.sex {
+                                Sex::Boy => {
+                                    if wait_g.is_empty() {
+                                        wait_b.push((m.id, m.reply));
+                                    } else {
+                                        let (g, greply) = wait_g.remove(0);
+                                        events.with(|e| {
+                                            e.push(Event::LeftTogether { boy: m.id, girl: g })
+                                        });
+                                        rec.push(token(m.id, g));
+                                        m.reply.send(0);
+                                        greply.send(0);
+                                    }
+                                }
+                                Sex::Girl => {
+                                    if wait_b.is_empty() {
+                                        wait_g.push((m.id, m.reply));
+                                    } else {
+                                        let (b, breply) = wait_b.remove(0);
+                                        events.with(|e| {
+                                            e.push(Event::LeftTogether { boy: b, girl: m.id })
+                                        });
+                                        rec.push(token(b, m.id));
+                                        m.reply.send(0);
+                                        breply.send(0);
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+                for (sex, id) in guests {
+                    let boxed = boxed.clone();
+                    h.spawn(move |ctx| {
+                        ctx.pause();
+                        let reply: SimBox<u8> = SimBox::new();
+                        boxed.send(PartyArrive { sex, id, reply: reply.clone() });
+                        reply.recv(ctx);
+                    });
+                }
+                h.run(sched)
+            }
+            _ => {
+                let mon = Mon::new(disc(d));
+                let wait_b: Shared<Vec<usize>> = Shared::new(Vec::new());
+                let wait_g: Shared<Vec<usize>> = Shared::new(Vec::new());
+                let left_b: Shared<Vec<bool>> = Shared::new(vec![false, false]);
+                let left_g: Shared<Vec<bool>> = Shared::new(vec![false, false]);
+                let mut h = Harness::new();
+                for (sex, id) in guests {
+                    let mon = mon.clone();
+                    let wait_b = wait_b.clone();
+                    let wait_g = wait_g.clone();
+                    let left_b = left_b.clone();
+                    let left_g = left_g.clone();
+                    let events = events.clone();
+                    let rec = rec.clone();
+                    h.spawn(move |ctx| {
+                        let (own_wait, other_wait, own_left, other_left) = match sex {
+                            Sex::Boy => {
+                                (wait_b.clone(), wait_g.clone(), left_b.clone(), left_g.clone())
+                            }
+                            Sex::Girl => {
+                                (wait_g.clone(), wait_b.clone(), left_g.clone(), left_b.clone())
+                            }
+                        };
+                        let ev = events.clone();
+                        let rc = rec.clone();
+                        mon.section(ctx, move || {
+                            ev.with(|e| e.push(Event::Arrived(Guest { sex, id })));
+                            let partner = other_wait.with(|w| {
+                                if w.is_empty() {
+                                    None
+                                } else {
+                                    Some(w.remove(0))
+                                }
+                            });
+                            match partner {
+                                Some(p) => {
+                                    other_left.with(|l| l[p] = true);
+                                    own_left.with(|l| l[id] = true);
+                                    let (b, g) = match sex {
+                                        Sex::Boy => (id, p),
+                                        Sex::Girl => (p, id),
+                                    };
+                                    ev.with(|e| e.push(Event::LeftTogether { boy: b, girl: g }));
+                                    rc.push(token(b, g));
+                                }
+                                None => own_wait.with(|w| w.push(id)),
+                            }
+                        });
+                        let ol = match sex {
+                            Sex::Boy => left_b.clone(),
+                            Sex::Girl => left_g.clone(),
+                        };
+                        mon.section_when(ctx, move || ol.with(|l| l[id]), || {});
+                    });
+                }
+                h.run(sched)
+            }
+        };
+
+    let config = party_matching::Config { boys: 2, girls: 2 };
+    let violation = if run.deadlocked || run.diverged {
+        None
+    } else {
+        events.with(|e| party_matching::validate(e, config).err().map(|v| v.to_string()))
+    };
+    outcome(run, &rec, violation)
+}
+
+// --- book inventory ---------------------------------------------------------
+
+enum InvMsg {
+    Restock { client: usize },
+    Order { client: usize, token: i64, reply: SimBox<u8> },
+}
+
+fn run_book_inventory(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    use book_inventory::Event;
+    let rec = Recorder::new();
+    let events: Shared<Vec<Event>> = Shared::new(Vec::new());
+    let final_stock: Shared<i64> = Shared::new(0);
+
+    let run = match d {
+        Discipline::Actors => {
+            let boxed: SimBox<InvMsg> = SimBox::new();
+            let mut h = Harness::new();
+            {
+                let boxed = boxed.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                let final_stock = final_stock.clone();
+                h.spawn(move |ctx| {
+                    let mut stock = 1i64;
+                    let mut pending: Vec<(usize, i64, SimBox<u8>)> = Vec::new();
+                    for _ in 0..4 {
+                        match boxed.recv(ctx) {
+                            InvMsg::Restock { client } => {
+                                stock += 1;
+                                events.with(|e| e.push(Event::Restocked { title: 0, client }));
+                            }
+                            InvMsg::Order { client, token, reply } => {
+                                pending.push((client, token, reply));
+                            }
+                        }
+                        while stock > 0 && !pending.is_empty() {
+                            let i = ctx.choose(pending.len());
+                            let (client, token, reply) = pending.remove(i);
+                            stock -= 1;
+                            events.with(|e| e.push(Event::Sold { title: 0, client }));
+                            rec.push(token);
+                            reply.send(0);
+                        }
+                    }
+                    final_stock.with(|s| *s = stock);
+                });
+            }
+            for client in 0..2usize {
+                let boxed = boxed.clone();
+                h.spawn(move |ctx| {
+                    let token = (client + 1) as i64;
+                    boxed.send(InvMsg::Restock { client });
+                    ctx.pause();
+                    let reply: SimBox<u8> = SimBox::new();
+                    boxed.send(InvMsg::Order { client, token, reply: reply.clone() });
+                    reply.recv(ctx);
+                });
+            }
+            h.run(sched)
+        }
+        _ => {
+            let mon = Mon::new(disc(d));
+            let stock: Shared<i64> = Shared::new(1);
+            let mut h = Harness::new();
+            for client in 0..2usize {
+                let mon = mon.clone();
+                let stock = stock.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                h.spawn(move |ctx| {
+                    let token = (client + 1) as i64;
+                    let sk = stock.clone();
+                    let ev = events.clone();
+                    mon.section(ctx, move || {
+                        sk.with(|s| *s += 1);
+                        ev.with(|e| e.push(Event::Restocked { title: 0, client }));
+                    });
+                    let sp = stock.clone();
+                    let sk = stock.clone();
+                    let ev = events.clone();
+                    let rc = rec.clone();
+                    mon.section_when(
+                        ctx,
+                        move || sp.with(|s| *s > 0),
+                        move || {
+                            sk.with(|s| *s -= 1);
+                            ev.with(|e| e.push(Event::Sold { title: 0, client }));
+                            rc.push(token);
+                        },
+                    );
+                });
+            }
+            let run = h.run(sched);
+            final_stock.with(|fs| *fs = stock.with(|s| *s));
+            run
+        }
+    };
+
+    let config = book_inventory::Config {
+        titles: 1,
+        initial_stock: 1,
+        clients: 2,
+        orders_per_client: 1,
+        restocks_per_client: 1,
+    };
+    let violation = if run.deadlocked || run.diverged {
+        None
+    } else {
+        let report = book_inventory::Report {
+            events: events.with(|e| e.clone()),
+            final_stock: BTreeMap::from([(0usize, final_stock.with(|s| *s) as u32)]),
+        };
+        book_inventory::validate(&report, config).err().map(|v| v.to_string())
+    };
+    outcome(run, &rec, violation)
+}
+
+// --- sum with workers -------------------------------------------------------
+
+fn run_sum_workers(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    const EXPECTED: i64 = 30;
+    let sum: Shared<i64> = Shared::new(0);
+
+    let run = match d {
+        Discipline::Actors => {
+            let boxed: SimBox<i64> = SimBox::new();
+            let mut h = Harness::new();
+            {
+                let boxed = boxed.clone();
+                let sum = sum.clone();
+                h.spawn(move |ctx| {
+                    let mut acc = 0i64;
+                    for _ in 0..4 {
+                        acc += boxed.recv(ctx);
+                    }
+                    sum.with(|s| *s = acc);
+                });
+            }
+            for k in [5i64, 10] {
+                let boxed = boxed.clone();
+                h.spawn(move |ctx| {
+                    for _ in 0..2 {
+                        ctx.pause();
+                        boxed.send(k);
+                    }
+                });
+            }
+            h.run(sched)
+        }
+        _ => {
+            let mon = Mon::new(disc(d));
+            let mut h = Harness::new();
+            for k in [5i64, 10] {
+                let mon = mon.clone();
+                let sum = sum.clone();
+                h.spawn(move |ctx| {
+                    for _ in 0..2 {
+                        let sk = sum.clone();
+                        mon.section(ctx, move || sk.with(|s| *s += k));
+                    }
+                });
+            }
+            h.run(sched)
+        }
+    };
+
+    let total = sum.with(|s| *s);
+    let obs = if run.deadlocked || run.diverged { None } else { Some(total.to_string()) };
+    let violation = (!run.deadlocked && !run.diverged && total != EXPECTED)
+        .then(|| format!("sum {total} != expected {EXPECTED} (lost update)"));
+    Outcome { run, obs, violation }
+}
+
+// --- thread pool arithmetic -------------------------------------------------
+
+fn run_thread_pool(d: Discipline, sched: &mut dyn Sched) -> Outcome {
+    let rec = Recorder::new();
+    let total: Shared<i64> = Shared::new(0);
+    let evaluate = |t: i64| thread_pool_arith::ArithTask { x: t - 1 }.evaluate();
+
+    let run = match d {
+        Discipline::Actors => {
+            // Pull-based: workers request the next task from a queue
+            // actor; 0 means "no more work".
+            let reqs: SimBox<SimBox<i64>> = SimBox::new();
+            let mut h = Harness::new();
+            {
+                let reqs = reqs.clone();
+                h.spawn(move |ctx| {
+                    let mut next = 1i64;
+                    for _ in 0..5 {
+                        let reply = reqs.recv(ctx);
+                        if next <= 3 {
+                            reply.send(next);
+                            next += 1;
+                        } else {
+                            reply.send(0);
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let reqs = reqs.clone();
+                let rec = rec.clone();
+                let total = total.clone();
+                h.spawn(move |ctx| loop {
+                    let reply: SimBox<i64> = SimBox::new();
+                    reqs.send(reply.clone());
+                    let t = reply.recv(ctx);
+                    if t == 0 {
+                        break;
+                    }
+                    let r = evaluate(t);
+                    ctx.pause();
+                    total.with(|s| *s += r);
+                    rec.push(r);
+                });
+            }
+            h.run(sched)
+        }
+        _ => {
+            let mon = Mon::new(disc(d));
+            let queue: Shared<VecDeque<i64>> = Shared::new(VecDeque::from([1, 2, 3]));
+            let mut h = Harness::new();
+            for _ in 0..2 {
+                let mon = mon.clone();
+                let queue = queue.clone();
+                let rec = rec.clone();
+                let total = total.clone();
+                h.spawn(move |ctx| loop {
+                    let qk = queue.clone();
+                    let t = mon.section(ctx, move || qk.with(|q| q.pop_front()));
+                    let Some(t) = t else { break };
+                    let r = evaluate(t);
+                    let tk = total.clone();
+                    let rc = rec.clone();
+                    mon.section(ctx, move || {
+                        tk.with(|s| *s += r);
+                        rc.push(r);
+                    });
+                });
+            }
+            h.run(sched)
+        }
+    };
+
+    let expected =
+        thread_pool_arith::sequential_total(thread_pool_arith::Config { tasks: 3, workers: 2 });
+    let grand = total.with(|s| *s);
+    let obs = if run.deadlocked || run.diverged {
+        None
+    } else {
+        let mut tokens = rec.tokens();
+        tokens.push(grand);
+        Some(tokens.iter().map(i64::to_string).collect::<Vec<_>>().join(" "))
+    };
+    let violation = (!run.deadlocked && !run.diverged && grand != expected)
+        .then(|| format!("total {grand} != sequential oracle {expected}"));
+    Outcome { run, obs, violation }
+}

@@ -1,0 +1,356 @@
+//! Spot-checks of the *real* runtimes against the pseudocode models.
+//!
+//! The controlled executor in [`crate::problems`] explores schedules
+//! cheaply but is still a model of the runtimes. This module closes
+//! the last gap: it runs the actual `concur-problems` implementations —
+//! real OS threads behind `concur-threads` locks, the real
+//! `concur-actors` mailboxes, the real `concur-coroutines`
+//! scheduler — on the same tiny configurations, maps their event logs
+//! to the models' token vocabulary, and asserts membership in the
+//! explorer's exhaustive output sets.
+//!
+//! Real-thread runs on a quiet machine tend to collapse onto one
+//! schedule, so each iteration arms `concur_threads::chaos` with a
+//! fresh seed: lock acquisitions then occasionally yield the time
+//! slice, shaking out different interleavings while staying a valid
+//! execution.
+
+use crate::models;
+use concur_exec::{Explorer, Interp, TerminalSet};
+use concur_problems::{
+    book_inventory, bounded_buffer, bridge, dining, party_matching, readers_writers,
+    sleeping_barber, sum_workers, thread_pool_arith, Paradigm,
+};
+use std::collections::BTreeSet;
+
+/// Outcome of the spot-check for one problem.
+#[derive(Debug)]
+pub struct SpotReport {
+    pub name: &'static str,
+    /// Distinct observations seen across all paradigms and seeds.
+    pub observed: BTreeSet<String>,
+    pub runs: usize,
+}
+
+fn explore(src: &str) -> Result<TerminalSet, String> {
+    let interp = Interp::from_source(src).map_err(|e| format!("model parse: {e}"))?;
+    let set = Explorer::new(&interp).terminals().map_err(|e| format!("model explore: {e}"))?;
+    if set.stats.truncated {
+        return Err("model exploration truncated".into());
+    }
+    Ok(set)
+}
+
+fn render(tokens: &[i64]) -> String {
+    tokens.iter().map(i64::to_string).collect::<Vec<_>>().join(" ")
+}
+
+fn require_member(
+    name: &str,
+    what: &str,
+    model: &TerminalSet,
+    tokens: &[i64],
+) -> Result<String, String> {
+    let obs = render(tokens);
+    if model.contains_output(&obs) {
+        Ok(obs)
+    } else {
+        Err(format!("{name}: real {what} produced \"{obs}\", not in the model's terminal set"))
+    }
+}
+
+/// One full spot-check sweep: every problem, every paradigm,
+/// `iters` chaos seeds derived from `seed`.
+pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String> {
+    let mut reports = Vec::new();
+    let dining_ordered = explore(models::DINING_ORDERED)?;
+    let dining_naive = explore(models::DINING_NAIVE)?;
+    let bounded = explore(models::BOUNDED_BUFFER)?;
+    let rw = explore(models::READERS_WRITERS)?;
+    let barber = explore(models::SLEEPING_BARBER)?;
+    let bridge_m = explore(models::BRIDGE)?;
+    let party = explore(models::PARTY_MATCHING)?;
+    let book = explore(models::BOOK_INVENTORY)?;
+    let sum_m = explore(models::SUM_WORKERS)?;
+
+    let mut push = |name: &'static str, observed: BTreeSet<String>, runs: usize| {
+        reports.push(SpotReport { name, observed, runs });
+    };
+
+    let paradigms = Paradigm::ALL;
+    let chaos_seed = |i: usize, p: usize| seed ^ ((i as u64) << 8) ^ (p as u64) | 1;
+
+    // --- dining (ordered + naive, threads strategies) ----------------
+    {
+        let config = dining::Config { philosophers: 2, meals_per_philosopher: 1 };
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            for (p, paradigm) in paradigms.iter().enumerate() {
+                concur_threads::chaos::install(chaos_seed(i, p));
+                let report = dining::run(*paradigm, config)
+                    .map_err(|v| format!("dining_ordered/{paradigm}: {v}"))?;
+                concur_threads::chaos::uninstall();
+                if report.deadlocked {
+                    return Err("dining_ordered: ordered strategy deadlocked".into());
+                }
+                let tokens: Vec<i64> = report
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        dining::Event::StartedEating(seat) => Some(*seat as i64 + 1),
+                        _ => None,
+                    })
+                    .collect();
+                observed.insert(require_member("dining_ordered", "run", &dining_ordered, &tokens)?);
+                runs += 1;
+            }
+        }
+        push("dining_ordered", observed, runs);
+    }
+    {
+        let config = dining::Config { philosophers: 2, meals_per_philosopher: 1 };
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            concur_threads::chaos::install(chaos_seed(i, 7));
+            let report = dining::run_threads(config, dining::Strategy::Naive)
+                .map_err(|v| format!("dining_naive: {v}"))?;
+            concur_threads::chaos::uninstall();
+            if report.deadlocked {
+                // Accepted: the model proves the deadlock reachable.
+                if !dining_naive.has_deadlock() {
+                    return Err("dining_naive: model claims no deadlock".into());
+                }
+                observed.insert("<deadlock>".to_string());
+            } else {
+                let tokens: Vec<i64> = report
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        dining::Event::StartedEating(seat) => Some(*seat as i64 + 1),
+                        _ => None,
+                    })
+                    .collect();
+                observed.insert(require_member("dining_naive", "run", &dining_naive, &tokens)?);
+            }
+            runs += 1;
+        }
+        push("dining_naive", observed, runs);
+    }
+
+    // --- bounded buffer ----------------------------------------------
+    {
+        let config = bounded_buffer::Config {
+            producers: 2,
+            consumers: 1,
+            items_per_producer: 2,
+            capacity: 1,
+        };
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            for (p, paradigm) in paradigms.iter().enumerate() {
+                concur_threads::chaos::install(chaos_seed(i, p));
+                let events = bounded_buffer::run(*paradigm, config)
+                    .map_err(|v| format!("bounded_buffer/{paradigm}: {v}"))?;
+                concur_threads::chaos::uninstall();
+                let tokens: Vec<i64> = events
+                    .iter()
+                    .filter_map(|e| match e {
+                        bounded_buffer::Event::Consumed(item) => {
+                            Some((10 * (item.producer + 1) + item.seq + 1) as i64)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                observed.insert(require_member("bounded_buffer", "run", &bounded, &tokens)?);
+                runs += 1;
+            }
+        }
+        push("bounded_buffer", observed, runs);
+    }
+
+    // --- readers-writers ---------------------------------------------
+    {
+        let config = readers_writers::Config { readers: 2, writers: 1, ops_per_task: 1 };
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            for (p, paradigm) in paradigms.iter().enumerate() {
+                concur_threads::chaos::install(chaos_seed(i, p));
+                let events = readers_writers::run(*paradigm, config)
+                    .map_err(|v| format!("readers_writers/{paradigm}: {v}"))?;
+                concur_threads::chaos::uninstall();
+                let tokens: Vec<i64> = events
+                    .iter()
+                    .filter_map(|e| match e {
+                        readers_writers::Event::ReadEnd { version, .. } => Some(*version as i64),
+                        _ => None,
+                    })
+                    .collect();
+                observed.insert(require_member("readers_writers", "run", &rw, &tokens)?);
+                runs += 1;
+            }
+        }
+        push("readers_writers", observed, runs);
+    }
+
+    // --- sleeping barber ---------------------------------------------
+    {
+        let config = sleeping_barber::Config { barbers: 1, chairs: 1, customers: 2 };
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            for (p, paradigm) in paradigms.iter().enumerate() {
+                concur_threads::chaos::install(chaos_seed(i, p));
+                let report = sleeping_barber::run(*paradigm, config)
+                    .map_err(|v| format!("sleeping_barber/{paradigm}: {v}"))?;
+                concur_threads::chaos::uninstall();
+                let tokens: Vec<i64> = report
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        sleeping_barber::Event::CutFinished { customer, .. } => {
+                            Some(10 + *customer as i64)
+                        }
+                        sleeping_barber::Event::TurnedAway(c) => Some(20 + *c as i64),
+                        _ => None,
+                    })
+                    .collect();
+                observed.insert(require_member("sleeping_barber", "run", &barber, &tokens)?);
+                runs += 1;
+            }
+        }
+        push("sleeping_barber", observed, runs);
+    }
+
+    // --- bridge ------------------------------------------------------
+    {
+        let config =
+            bridge::Config { red_cars: 2, blue_cars: 1, crossings_per_car: 1, fair_batch: None };
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            for (p, paradigm) in paradigms.iter().enumerate() {
+                concur_threads::chaos::install(chaos_seed(i, p));
+                let events = bridge::run(*paradigm, config)
+                    .map_err(|v| format!("bridge/{paradigm}: {v}"))?;
+                concur_threads::chaos::uninstall();
+                let tokens: Vec<i64> = events
+                    .iter()
+                    .filter_map(|e| match e {
+                        bridge::Event::Entered { dir, .. } => {
+                            Some(if *dir == bridge::Dir::Red { 1 } else { 2 })
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                observed.insert(require_member("bridge", "run", &bridge_m, &tokens)?);
+                runs += 1;
+            }
+        }
+        push("bridge", observed, runs);
+    }
+
+    // --- party matching ----------------------------------------------
+    {
+        let config = party_matching::Config { boys: 2, girls: 2 };
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            for (p, paradigm) in paradigms.iter().enumerate() {
+                concur_threads::chaos::install(chaos_seed(i, p));
+                let events = party_matching::run(*paradigm, config)
+                    .map_err(|v| format!("party_matching/{paradigm}: {v}"))?;
+                concur_threads::chaos::uninstall();
+                let tokens: Vec<i64> = events
+                    .iter()
+                    .filter_map(|e| match e {
+                        party_matching::Event::LeftTogether { boy, girl } => {
+                            Some(((boy + 1) * 10 + girl + 1) as i64)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                observed.insert(require_member("party_matching", "run", &party, &tokens)?);
+                runs += 1;
+            }
+        }
+        push("party_matching", observed, runs);
+    }
+
+    // --- book inventory ----------------------------------------------
+    {
+        let config = book_inventory::Config {
+            titles: 1,
+            initial_stock: 1,
+            clients: 2,
+            orders_per_client: 1,
+            restocks_per_client: 1,
+        };
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            for (p, paradigm) in paradigms.iter().enumerate() {
+                concur_threads::chaos::install(chaos_seed(i, p));
+                let report = book_inventory::run(*paradigm, config)
+                    .map_err(|v| format!("book_inventory/{paradigm}: {v}"))?;
+                concur_threads::chaos::uninstall();
+                let tokens: Vec<i64> = report
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        book_inventory::Event::Sold { client, .. } => Some(*client as i64 + 1),
+                        _ => None,
+                    })
+                    .collect();
+                observed.insert(require_member("book_inventory", "run", &book, &tokens)?);
+                runs += 1;
+            }
+        }
+        push("book_inventory", observed, runs);
+    }
+
+    // --- sum with workers (deterministic total) ----------------------
+    {
+        let config = sum_workers::Config { values: vec![5, 5, 10, 10], workers: 2 };
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            for (p, paradigm) in paradigms.iter().enumerate() {
+                concur_threads::chaos::install(chaos_seed(i, p));
+                let total = sum_workers::run(*paradigm, &config);
+                concur_threads::chaos::uninstall();
+                observed.insert(require_member("sum_workers", "total", &sum_m, &[total])?);
+                runs += 1;
+            }
+        }
+        push("sum_workers", observed, runs);
+    }
+
+    // --- thread pool (scalar oracle; no event log) -------------------
+    {
+        let config = thread_pool_arith::Config { tasks: 3, workers: 2 };
+        let expected = thread_pool_arith::sequential_total(config);
+        let mut observed = BTreeSet::new();
+        let mut runs = 0;
+        for i in 0..iters {
+            for (p, paradigm) in paradigms.iter().enumerate() {
+                concur_threads::chaos::install(chaos_seed(i, p));
+                let total = thread_pool_arith::run(*paradigm, config);
+                concur_threads::chaos::uninstall();
+                if total != expected {
+                    return Err(format!(
+                        "thread_pool/{paradigm}: total {total} != sequential oracle {expected}"
+                    ));
+                }
+                observed.insert(total.to_string());
+                runs += 1;
+            }
+        }
+        push("thread_pool", observed, runs);
+    }
+
+    Ok(reports)
+}

@@ -1,0 +1,255 @@
+//! Modelled shared-memory primitives for the controlled executor.
+//!
+//! The executor is strictly serial, so these are not real
+//! synchronization — they are *models* of it: a [`MLock`] decides the
+//! order in which tasks pass through critical sections, and the
+//! [`Mon`] wrapper expresses the granularity difference between the
+//! two shared-memory disciplines:
+//!
+//! * **Fine** (the threads model): a scheduling point before every
+//!   lock operation and inside every critical section — preemption can
+//!   strike anywhere, only the lock serializes sections;
+//! * **Coop** (the coroutines model): no lock at all — a section is
+//!   atomic because a cooperative task only loses control at explicit
+//!   yield/block points, exactly the property the paper quotes for
+//!   coroutines ("coroutine code needs no locks between yield
+//!   points").
+
+use crate::exec::TaskCtx;
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Shared mutable state between tasks. The inner mutex is never
+/// contended (the executor is serial); it exists to make the handle
+/// `Send` for the coroutine carrier threads.
+pub struct Shared<T>(Arc<StdMutex<T>>);
+
+impl<T> Shared<T> {
+    pub fn new(value: T) -> Self {
+        Shared(Arc::new(StdMutex::new(value)))
+    }
+
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.0.lock().expect("serial executor cannot poison"))
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+/// Observation recorder: the tokens a run emits, in order. Rendered
+/// identically to the explorer's normalized output (tokens joined by
+/// single spaces) so membership is a string comparison.
+#[derive(Clone)]
+pub struct Recorder(Shared<Vec<i64>>);
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Recorder(Shared::new(Vec::new()))
+    }
+
+    pub fn push(&self, token: i64) {
+        self.0.with(|v| v.push(token));
+    }
+
+    pub fn tokens(&self) -> Vec<i64> {
+        self.0.with(|v| v.clone())
+    }
+
+    pub fn render(&self) -> String {
+        self.0.with(|v| v.iter().map(i64::to_string).collect::<Vec<_>>().join(" "))
+    }
+}
+
+/// A modelled mutex: decides section order, blocks losers.
+#[derive(Clone)]
+pub struct MLock {
+    held: Shared<bool>,
+}
+
+impl Default for MLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MLock {
+    pub fn new() -> Self {
+        MLock { held: Shared::new(false) }
+    }
+
+    pub fn acquire(&self, ctx: &mut TaskCtx<'_>) {
+        loop {
+            ctx.pause();
+            let taken = self.held.with(|h| {
+                if *h {
+                    false
+                } else {
+                    *h = true;
+                    true
+                }
+            });
+            if taken {
+                return;
+            }
+            let held = self.held.clone();
+            ctx.block_until(move || held.with(|h| !*h));
+        }
+    }
+
+    pub fn release(&self) {
+        self.held.with(|h| *h = false);
+    }
+}
+
+/// Shared-memory discipline: where scheduling points live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disc {
+    /// Preemptive threads: scheduling points at every lock operation
+    /// and inside sections.
+    Fine,
+    /// Cooperative coroutines: sections are atomic; control moves only
+    /// at explicit yield/block points.
+    Coop,
+}
+
+/// A modelled monitor bundling the discipline with its lock.
+#[derive(Clone)]
+pub struct Mon {
+    disc: Disc,
+    lock: MLock,
+}
+
+impl Mon {
+    pub fn new(disc: Disc) -> Self {
+        Mon { disc, lock: MLock::new() }
+    }
+
+    /// Run `f` as a critical section.
+    pub fn section<R>(&self, ctx: &mut TaskCtx<'_>, f: impl FnOnce() -> R) -> R {
+        match self.disc {
+            Disc::Fine => {
+                self.lock.acquire(ctx);
+                ctx.pause();
+                let r = f();
+                self.lock.release();
+                r
+            }
+            Disc::Coop => {
+                // A cooperative task yields before each section; the
+                // section body itself is atomic (no lock needed).
+                ctx.pause();
+                f()
+            }
+        }
+    }
+
+    /// Run `f` as a critical section entered only once `pred` holds —
+    /// the modelled `WAIT()` loop. `pred` is re-checked after every
+    /// wake-up, under the lock (Fine) or atomically (Coop).
+    pub fn section_when<R>(
+        &self,
+        ctx: &mut TaskCtx<'_>,
+        pred: impl Fn() -> bool + Send + Clone + 'static,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        match self.disc {
+            Disc::Fine => {
+                self.lock.acquire(ctx);
+                while !pred() {
+                    self.lock.release();
+                    let p = pred.clone();
+                    ctx.block_until(p);
+                    self.lock.acquire(ctx);
+                }
+                ctx.pause();
+                let r = f();
+                self.lock.release();
+                r
+            }
+            Disc::Coop => {
+                ctx.pause();
+                while !pred() {
+                    let p = pred.clone();
+                    ctx.block_until(p);
+                }
+                f()
+            }
+        }
+    }
+
+    /// An explicit scheduling point — a `yield` in the coroutine
+    /// world, any instruction boundary in the threads world.
+    pub fn yield_point(&self, ctx: &mut TaskCtx<'_>) {
+        ctx.pause();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Harness, RandomSched};
+
+    #[test]
+    fn lock_serializes_sections_under_fine_discipline() {
+        // Two tasks each do read-modify-write with a pause inside the
+        // section; without the lock the increments could be lost.
+        for seed in 0..30 {
+            let mon = Mon::new(Disc::Fine);
+            let counter = Shared::new(0i64);
+            let mut h = Harness::new();
+            for _ in 0..2 {
+                let mon = mon.clone();
+                let counter = counter.clone();
+                h.spawn(move |ctx| {
+                    for _ in 0..3 {
+                        mon.section(ctx, || counter.with(|c| *c += 1));
+                    }
+                });
+            }
+            let run = h.run(&mut RandomSched::new(seed));
+            assert!(!run.deadlocked && !run.diverged);
+            assert_eq!(counter.with(|c| *c), 6, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn section_when_waits_for_the_condition() {
+        for disc in [Disc::Fine, Disc::Coop] {
+            for seed in 0..10 {
+                let mon = Mon::new(disc);
+                let stock = Shared::new(0i64);
+                let got = Shared::new(false);
+                let mut h = Harness::new();
+                let (m1, s1, g1) = (mon.clone(), stock.clone(), got.clone());
+                h.spawn(move |ctx| {
+                    let s = s1.clone();
+                    m1.section_when(
+                        ctx,
+                        move || s.with(|v| *v > 0),
+                        || {
+                            s1.with(|v| *v -= 1);
+                            g1.with(|v| *v = true);
+                        },
+                    );
+                });
+                let (m2, s2) = (mon.clone(), stock.clone());
+                h.spawn(move |ctx| {
+                    m2.section(ctx, || s2.with(|v| *v += 1));
+                });
+                let run = h.run(&mut RandomSched::new(seed));
+                assert!(!run.deadlocked, "{disc:?} seed {seed}");
+                assert!(got.with(|v| *v), "{disc:?} seed {seed}");
+                assert_eq!(stock.with(|v| *v), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Satellite to the conformance campaign: per-problem safety
+//! invariants under the controlled scheduler, one test per classical
+//! problem so a regression names its problem directly.
+//!
+//! Each test drives the fixture's three disciplines over a batch of
+//! random seeds and asserts the problem's own validator found no
+//! violation, no run diverged, and deadlock only ever appeared where
+//! the model proves it reachable. This is narrower than the full
+//! differential campaign in `conformance.rs` (no model membership),
+//! which keeps it fast enough to run per-problem during development.
+
+use concur_conformance::{Discipline, RandomSched, FIXTURES};
+
+const SEEDS: u64 = 150;
+
+fn check(name: &str) {
+    let fixture = FIXTURES
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("no fixture named {name}"));
+    for discipline in Discipline::ALL {
+        let mut deadlocks = 0usize;
+        for seed in 0..SEEDS {
+            let mut sched = RandomSched::new(0x5EED_0000 ^ seed);
+            let out = (fixture.run)(discipline, &mut sched);
+            assert!(!out.run.diverged, "{name}/{}: diverged at seed {seed}", discipline.label());
+            if let Some(v) = &out.violation {
+                panic!(
+                    "{name}/{}: invariant violation at seed {seed}: {v}\nreplay decisions: {:?}",
+                    discipline.label(),
+                    out.run.decisions
+                );
+            }
+            if out.run.deadlocked {
+                deadlocks += 1;
+                assert!(
+                    fixture.can_deadlock,
+                    "{name}/{}: unexpected deadlock at seed {seed}\nreplay decisions: {:?}",
+                    discipline.label(),
+                    out.run.decisions
+                );
+            } else {
+                assert!(
+                    out.obs.is_some(),
+                    "{name}/{}: seed {seed} finished without an observation",
+                    discipline.label()
+                );
+            }
+        }
+        if fixture.can_deadlock {
+            assert!(
+                deadlocks > 0,
+                "{name}/{}: deadlock is reachable in the model but never hit in {SEEDS} seeds",
+                discipline.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn dining_ordered_invariants() {
+    check("dining_ordered");
+}
+
+#[test]
+fn dining_naive_invariants() {
+    check("dining_naive");
+}
+
+#[test]
+fn bounded_buffer_invariants() {
+    check("bounded_buffer");
+}
+
+#[test]
+fn readers_writers_invariants() {
+    check("readers_writers");
+}
+
+#[test]
+fn sleeping_barber_invariants() {
+    check("sleeping_barber");
+}
+
+#[test]
+fn bridge_invariants() {
+    check("bridge");
+}
+
+#[test]
+fn party_matching_invariants() {
+    check("party_matching");
+}
+
+#[test]
+fn book_inventory_invariants() {
+    check("book_inventory");
+}
+
+#[test]
+fn sum_workers_invariants() {
+    check("sum_workers");
+}
+
+#[test]
+fn thread_pool_invariants() {
+    check("thread_pool");
+}
+
+#[test]
+fn every_fixture_has_an_invariant_test() {
+    // Guard against a new fixture silently missing from this file.
+    let tested = [
+        "dining_ordered",
+        "dining_naive",
+        "bounded_buffer",
+        "readers_writers",
+        "sleeping_barber",
+        "bridge",
+        "party_matching",
+        "book_inventory",
+        "sum_workers",
+        "thread_pool",
+    ];
+    for f in FIXTURES {
+        assert!(tested.contains(&f.name), "fixture {} has no invariant test", f.name);
+    }
+}

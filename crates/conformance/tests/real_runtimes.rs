@@ -1,0 +1,16 @@
+//! Spot-checks of the real runtimes (OS threads, actor mailboxes, the
+//! coroutine scheduler) against the same explorer oracles used by the
+//! controlled fuzzer. See `concur_conformance::real`.
+
+use concur_conformance::real::spot_check_all;
+
+#[test]
+fn real_runtime_observations_are_members_of_the_model_sets() {
+    let reports = spot_check_all(4, 0xBADC_0FFE).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(reports.len(), 10);
+    for r in &reports {
+        println!("{:<16} runs={:<3} observed={:?}", r.name, r.runs, r.observed);
+        assert!(r.runs > 0);
+        assert!(!r.observed.is_empty(), "{}: no observations recorded", r.name);
+    }
+}

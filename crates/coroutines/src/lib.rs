@@ -36,6 +36,9 @@ pub mod stackless;
 pub mod symmetric;
 
 pub use crate::core::{Coroutine, GenIter, Generator, Resume, Yielder};
-pub use sched::{CoChannel, Deadlock, SchedStats, Scheduler, TaskCtx, TaskId};
+pub use sched::{
+    CoChannel, Deadlock, PickPolicy, RoundRobinPick, SchedStats, Scheduler, SeededPick, TaskCtx,
+    TaskId,
+};
 pub use stackless::{Step, StepCoroutine, StepIter};
 pub use symmetric::{CoId, SymCtx, SymmetricSet};

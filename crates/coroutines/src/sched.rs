@@ -150,6 +150,61 @@ impl<T> CoChannel<T> {
     }
 }
 
+/// Chooses which ready task runs next — the cooperative scheduler's
+/// one degree of nondeterministic freedom, made pluggable so the
+/// conformance harness can drive it from a seed (and replay it).
+///
+/// `ready` lists the runnable task ids in queue order; the policy
+/// returns a *position* into that slice. Returning an out-of-range
+/// position is clamped to the last entry.
+pub trait PickPolicy: Send {
+    fn pick(&mut self, ready: &[usize]) -> usize;
+
+    /// Name used in reports.
+    fn name(&self) -> &'static str {
+        "policy"
+    }
+}
+
+/// The default policy: always run the front of the ready queue —
+/// strict round-robin, the fairness baseline.
+#[derive(Debug, Default)]
+pub struct RoundRobinPick;
+
+impl PickPolicy for RoundRobinPick {
+    fn pick(&mut self, _ready: &[usize]) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Seed-deterministic uniformly random pick — the schedule-fuzzing
+/// workhorse: every run with the same seed replays the same schedule.
+pub struct SeededPick {
+    rng: rand::rngs::StdRng,
+}
+
+impl SeededPick {
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        SeededPick { rng: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl PickPolicy for SeededPick {
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        use rand::Rng;
+        self.rng.gen_range(0..ready.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "seeded"
+    }
+}
+
 /// Outcome counters from a scheduler run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedStats {
@@ -184,6 +239,7 @@ pub struct Scheduler {
     blocked: Vec<(usize, Box<dyn FnMut() -> bool + Send>)>,
     injector: Arc<Mutex<Vec<TaskBody>>>,
     completed: usize,
+    policy: Box<dyn PickPolicy>,
 }
 
 impl Default for Scheduler {
@@ -194,12 +250,19 @@ impl Default for Scheduler {
 
 impl Scheduler {
     pub fn new() -> Self {
+        Self::with_policy(Box::new(RoundRobinPick))
+    }
+
+    /// A scheduler driven by an explicit pick policy (seeded fuzzing,
+    /// scripted replay). [`Scheduler::new`] is round-robin.
+    pub fn with_policy(policy: Box<dyn PickPolicy>) -> Self {
         Scheduler {
             tasks: Vec::new(),
             ready: VecDeque::new(),
             blocked: Vec::new(),
             injector: Arc::new(Mutex::new(Vec::new())),
             completed: 0,
+            policy,
         }
     }
 
@@ -243,6 +306,17 @@ impl Scheduler {
             }
             self.blocked = still_blocked;
 
+            // Let the policy choose among every ready task. The ready
+            // queue is consulted in order, so position 0 (the default
+            // policy) is exactly the historical round-robin behaviour.
+            if self.ready.len() > 1 {
+                let snapshot: Vec<usize> = self.ready.iter().copied().collect();
+                let pos = self.policy.pick(&snapshot).min(snapshot.len() - 1);
+                if pos > 0 {
+                    let id = self.ready.remove(pos).expect("in-range position");
+                    self.ready.push_front(id);
+                }
+            }
             let Some(id) = self.ready.pop_front() else {
                 if self.blocked.is_empty() && self.injector.lock().expect("lock").is_empty() {
                     return Ok(SchedStats { steps, completed: self.completed });

@@ -117,6 +117,20 @@ impl TerminalSet {
             .collect()
     }
 
+    /// [`TerminalSet::outputs`] as an owned set — the membership oracle
+    /// the conformance harness queries once per fuzzed schedule.
+    pub fn output_set(&self) -> BTreeSet<String> {
+        self.outputs().into_iter().collect()
+    }
+
+    /// Membership query: is `output` the normalized output of some
+    /// *successful* terminal? This is the differential oracle's inner
+    /// check — an observed runtime terminal state conforms exactly when
+    /// its canonical observation is in this set.
+    pub fn contains_output(&self, output: &str) -> bool {
+        self.terminals.iter().any(|t| t.outcome != TerminalKind::Deadlock && t.output == output)
+    }
+
     /// Whether any interleaving deadlocks.
     pub fn has_deadlock(&self) -> bool {
         self.terminals.iter().any(|t| t.outcome == TerminalKind::Deadlock)
@@ -384,6 +398,21 @@ impl<'i> Explorer<'i> {
         }
         stats.wall = begin.elapsed();
         Ok((found, stats))
+    }
+
+    /// Trace-ingest membership query: could a *recorded runtime trace*
+    /// (projected to event patterns) occur, in order, as a subsequence
+    /// of some execution of this program from its initial state?
+    ///
+    /// This is the conformance harness's entry point: a runtime under
+    /// a controlled scheduler records its execution in the explorer's
+    /// event vocabulary, projects it to [`EventPattern`]s, and asks the
+    /// model whether that behaviour is inside the explored space. A
+    /// definitive [`Answer::No`] means the runtime exhibited a
+    /// behaviour the model proves impossible — a conformance bug on
+    /// one side or the other.
+    pub fn admits_trace(&self, trace: &[EventPattern]) -> Result<Answer, RuntimeError> {
+        self.can_happen(&[], trace)
     }
 
     /// Answer a Test-1-style question: from some reachable state where

@@ -41,7 +41,7 @@ pub mod state;
 pub mod value;
 
 pub use event::{Event, EventKindPattern, EventPattern, StateCond};
-pub use explore::{Answer, Explorer, Limits, Stats, TerminalKind};
+pub use explore::{Answer, Explorer, Limits, Stats, Terminal, TerminalKind, TerminalSet};
 pub use footprint::{EventMask, Footprint, Resource, StaticResource};
 pub use interp::{Choice, Interp, Outcome};
 pub use program::{compile, compile_source, Compiled};

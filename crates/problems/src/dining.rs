@@ -317,6 +317,16 @@ pub fn run(paradigm: Paradigm, config: Config) -> Validated<Report> {
 
 // --- validation ------------------------------------------------------------
 
+/// Combined safety check — neighbour exclusion plus meal accounting —
+/// public so external harnesses (the conformance crate) can validate
+/// event logs they collected themselves. Only meaningful for complete
+/// (non-deadlocked) runs: a deadlocked log fails the meal count by
+/// construction.
+pub fn validate(events: &[Event], config: Config) -> Validated<()> {
+    validate_exclusion(events, config.philosophers)?;
+    validate_meals(events, config)
+}
+
 /// No two adjacent philosophers eat at the same time.
 fn validate_exclusion(events: &[Event], n: usize) -> Validated<()> {
     let mut eating = vec![false; n];

@@ -303,4 +303,22 @@ mod tests {
         assert!(!set.has_deadlock(), "{:?}", set.terminals);
         assert_eq!(set.outputs(), vec!["7"], "the write always lands");
     }
+
+    #[test]
+    fn output_membership_queries_answer_grading_questions() {
+        // The conformance-harness entry points double as a grading
+        // oracle: "could a correct run have printed X?" is a single
+        // membership query instead of an eyeball over the terminal set.
+        let set = explore(super::HW2_BOUNDED_BUFFER_SM);
+        assert!(set.contains_output("6"));
+        assert!(!set.contains_output("5"), "a lost update cannot be a correct run");
+        assert_eq!(set.output_set().len(), 1, "the sum is schedule-independent");
+
+        // For the naive philosophers the deadlock terminal is *not* an
+        // output: membership is about completed runs only.
+        let naive = explore(super::HW2_PHILOSOPHERS_NAIVE);
+        assert!(naive.has_deadlock());
+        assert!(naive.contains_output("2"));
+        assert!(!naive.contains_output(""), "the deadlocked prefix is not a terminal output");
+    }
 }

@@ -1,0 +1,73 @@
+//! Seeded schedule perturbation for real-thread runs.
+//!
+//! The OS scheduler on a quiet machine explores very few
+//! interleavings: the same thread tends to win every race. The
+//! conformance harness (`concur-conformance`) wants the *real*
+//! runtimes to visit diverse schedules, so this module plants a tiny
+//! deterministic-ish chaos source at the locking boundary:
+//! [`install`] arms a global splitmix64 stream, and
+//! [`perturb`] — called on every [`crate::raw::RawMutex::lock`]
+//! entry — occasionally yields the time slice, shuffling which thread
+//! reaches the lock first.
+//!
+//! The stream state is updated with relaxed atomics and no
+//! compare-exchange: lost updates under contention just add entropy,
+//! which is the point. When not installed (the default), `perturb` is
+//! a single relaxed load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CHAOS: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Arm the perturbation stream. `seed` is forced odd so an armed
+/// stream is never mistaken for the disarmed zero state.
+pub fn install(seed: u64) {
+    CHAOS.store(seed | 1, Ordering::Relaxed);
+}
+
+/// Disarm; `perturb` becomes (almost) free again.
+pub fn uninstall() {
+    CHAOS.store(0, Ordering::Relaxed);
+}
+
+pub fn is_installed() -> bool {
+    CHAOS.load(Ordering::Relaxed) != 0
+}
+
+/// One perturbation point: advance the stream and, roughly one call in
+/// seven, yield the current time slice.
+#[inline]
+pub fn perturb() {
+    let cur = CHAOS.load(Ordering::Relaxed);
+    if cur == 0 {
+        return;
+    }
+    let next = splitmix64(cur);
+    CHAOS.store(next | 1, Ordering::Relaxed);
+    if next.is_multiple_of(7) {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_arms_and_uninstall_disarms() {
+        assert!(!is_installed());
+        install(0); // even seed still arms (forced odd)
+        assert!(is_installed());
+        perturb(); // must not panic or disarm
+        assert!(is_installed());
+        uninstall();
+        assert!(!is_installed());
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod barrier;
 pub mod buffer;
+pub mod chaos;
 pub mod condvar;
 pub mod monitor;
 pub mod peterson;

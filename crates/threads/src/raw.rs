@@ -34,6 +34,7 @@ impl RawMutex {
 
     /// Acquire, parking the thread while the lock is held elsewhere.
     pub fn lock(&self) {
+        crate::chaos::perturb();
         // Fast path.
         if self.try_acquire() {
             return;
