@@ -8,9 +8,8 @@
 //! mode to realize all four reordering scenarios the paper lists under
 //! misconception M5 (same/different sender × same/different receiver).
 
+use concur_decide::{ChoiceSource, DecisionKind, RandomSource};
 use concur_threads::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// Delivery order for one actor's mailbox.
@@ -26,7 +25,10 @@ pub enum DeliveryMode {
 
 struct MailboxState<T> {
     queue: VecDeque<T>,
-    rng: Option<StdRng>,
+    /// Chaos mode's delivery-decision source (a kernel
+    /// `DecisionKind::Delivery` consumer, like every other delivery
+    /// pick in the workspace).
+    source: Option<RandomSource>,
     /// Set once the actor terminates: further pushes are dead letters.
     dead: bool,
 }
@@ -38,11 +40,11 @@ pub struct Mailbox<T> {
 
 impl<T> Mailbox<T> {
     pub fn new(mode: DeliveryMode) -> Self {
-        let rng = match mode {
+        let source = match mode {
             DeliveryMode::Fifo => None,
-            DeliveryMode::Chaos(seed) => Some(StdRng::seed_from_u64(seed)),
+            DeliveryMode::Chaos(seed) => Some(RandomSource::new(seed)),
         };
-        Mailbox { state: Mutex::new(MailboxState { queue: VecDeque::new(), rng, dead: false }) }
+        Mailbox { state: Mutex::new(MailboxState { queue: VecDeque::new(), source, dead: false }) }
     }
 
     /// Enqueue; `Err(msg)` if the actor is dead (caller dead-letters).
@@ -62,13 +64,30 @@ impl<T> Mailbox<T> {
             return None;
         }
         let len = s.queue.len();
-        match &mut s.rng {
+        match &mut s.source {
             None => s.queue.pop_front(),
-            Some(rng) => {
-                let idx = rng.gen_range(0..len);
+            Some(source) => {
+                let idx = source.decide(DecisionKind::Delivery, len, None);
                 s.queue.swap_remove_front(idx)
             }
         }
+    }
+
+    /// Dequeue a message picked by an external decision source — the
+    /// unified form of [`Mailbox::pop_nth`]: the Actor model's
+    /// arrival-order freedom becomes one `DecisionKind::Delivery`
+    /// decision, clamped centrally by the kernel, so a controlling
+    /// scheduler (or a replayed trace) names the delivery order in the
+    /// same vocabulary every other layer uses. Preserves the relative
+    /// order of the remaining messages. `None` when empty.
+    pub fn pop_with(&self, source: &mut dyn ChoiceSource) -> Option<T> {
+        let mut s = self.state.lock();
+        let len = s.queue.len();
+        if len == 0 {
+            return None;
+        }
+        let idx = source.decide(DecisionKind::Delivery, len, None);
+        s.queue.remove(idx)
     }
 
     /// Dequeue the `idx`-th queued message (0 = front), preserving the
@@ -157,6 +176,22 @@ mod tests {
             std::iter::from_fn(|| m.pop()).collect::<Vec<_>>()
         };
         assert_eq!(order(3), order(3));
+    }
+
+    #[test]
+    fn pop_with_routes_delivery_through_a_kernel_source() {
+        use concur_decide::ReplaySource;
+        let m = Mailbox::new(DeliveryMode::Fifo);
+        for i in 0..4 {
+            m.push(i).unwrap();
+        }
+        // Picks 2, 99 (clamped to the new tail), then padding 0s.
+        let mut source = ReplaySource::new(vec![2, 99]);
+        assert_eq!(m.pop_with(&mut source), Some(2));
+        assert_eq!(m.pop_with(&mut source), Some(3), "out-of-range pick clamps centrally");
+        assert_eq!(m.pop_with(&mut source), Some(0), "exhausted trace defaults to the front");
+        assert_eq!(m.pop_with(&mut source), Some(1));
+        assert_eq!(m.pop_with(&mut source), None);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Decision-kernel microbenchmarks: what one scheduling decision
+//! costs through each canonical `ChoiceSource`, and what the
+//! record-for-replay wrapper adds on top.
+//!
+//! Every task pick in the explorer, every mailbox delivery in the
+//! controlled executor, and every chaos perturbation in the real
+//! runtimes is one `decide` call, so the per-decision cost here bounds
+//! the kernel's overhead on everything else in the workspace.
+
+use concur_decide::{
+    BoundedSource, ChoiceSource, DecisionKind, FixedSource, RandomSource, Recording, ReplaySource,
+    RoundRobinSource,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const ARITY: usize = 4;
+
+fn bench_sources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide_per_decision");
+
+    let mut random = RandomSource::new(42);
+    group.bench_function("random", |b| {
+        b.iter(|| random.decide(DecisionKind::TaskPick, ARITY, None))
+    });
+
+    // A long recorded vector, re-armed per batch via iter_custom so
+    // steady-state replay (not exhausted-padding) dominates.
+    group.bench_function("replay", |b| {
+        b.iter_custom(|iters| {
+            let picks: Vec<usize> = (0..iters as usize).map(|i| i % ARITY).collect();
+            let mut replay = ReplaySource::new(picks);
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                replay.decide(DecisionKind::TaskPick, ARITY, None);
+            }
+            start.elapsed()
+        })
+    });
+
+    group.bench_function("replay_exhausted_pad0", |b| {
+        let mut replay = ReplaySource::new(Vec::new());
+        b.iter(|| replay.decide(DecisionKind::TaskPick, ARITY, None))
+    });
+
+    // Systematic enumeration: one schedule drawn from the middle of a
+    // preemption-bounded space (decode + budget bookkeeping per call).
+    group.bench_function("systematic_bounded", |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            let mut idx = 0u64;
+            let mut left = iters;
+            while left > 0 {
+                let batch = left.min(64);
+                let mut bounded = BoundedSource::new(idx, 2);
+                idx += 1;
+                let start = std::time::Instant::now();
+                for _ in 0..batch {
+                    bounded.decide(DecisionKind::TaskPick, ARITY, Some(0));
+                }
+                total += start.elapsed();
+                left -= batch;
+            }
+            total
+        })
+    });
+
+    let mut fixed = FixedSource::new(0);
+    group.bench_function("fixed", |b| b.iter(|| fixed.decide(DecisionKind::TaskPick, ARITY, None)));
+
+    let mut rr = RoundRobinSource::new();
+    group.bench_function("round_robin", |b| {
+        b.iter(|| rr.decide(DecisionKind::TaskPick, ARITY, None))
+    });
+
+    group.finish();
+}
+
+fn bench_recording_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide_recording_overhead");
+
+    let mut bare = RandomSource::new(42);
+    group.bench_function("random_bare", |b| {
+        b.iter(|| bare.decide(DecisionKind::TaskPick, ARITY, None))
+    });
+
+    // Recording appends to the trace, so bound the batch to keep the
+    // trace allocation out of steady state measurements.
+    group.bench_function("random_recorded", |b| {
+        b.iter_custom(|iters| {
+            let mut inner = RandomSource::new(42);
+            let mut rec = Recording::new(&mut inner);
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                rec.decide(DecisionKind::TaskPick, ARITY, None);
+            }
+            start.elapsed()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sources, bench_recording_overhead);
+criterion_main!(benches);

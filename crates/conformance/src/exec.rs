@@ -13,18 +13,38 @@
 //! Decisions are recorded **only** where more than one alternative
 //! exists, so a recorded vector is exactly the run's nondeterminism
 //! and nothing else.
+//!
+//! The policies themselves — seeded random, recorded replay,
+//! preemption-bounded systematic — live in the workspace decision
+//! kernel (`concur-decide`); this module re-exports them under their
+//! historical names. The executor consults any [`Sched`] through
+//! [`ChoiceSource::decide`] (the kernel's central clamping point) and
+//! records the resolved picks into a [`DecisionTrace`].
 
 use concur_coroutines::{Coroutine, Resume, Yielder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use concur_decide::{ChoiceSource, DecisionKind, DecisionTrace, Recording};
+
+/// Preemption-bounded systematic schedules (kernel [`concur_decide::BoundedSource`]).
+pub use concur_decide::BoundedSource as BoundedSched;
+/// The scheduling-policy vocabulary, shared with every other layer of
+/// the workspace. `pick_task`/`pick_choice` of the pre-kernel trait
+/// are now `decide(DecisionKind::TaskPick, ..)` /
+/// `decide(DecisionKind::Choice, ..)`.
+pub use concur_decide::ChoiceSource as Sched;
+/// Seeded uniformly random schedules (kernel [`concur_decide::RandomSource`]).
+pub use concur_decide::RandomSource as RandomSched;
+/// Recorded-vector replay, truncation defaults to 0 (kernel
+/// [`concur_decide::ReplaySource`]).
+pub use concur_decide::ReplaySource as ReplaySched;
 
 /// What a task yields to the executor.
 pub enum Req {
     /// A scheduling point: any ready task may run next.
     Pause,
-    /// An internal nondeterministic choice among `0..n`; the scheduler
-    /// picks, and the task is resumed immediately with the pick.
-    Choose(usize),
+    /// An internal nondeterministic choice among `0..n` of the given
+    /// kind; the scheduler picks, and the task is resumed immediately
+    /// with the pick.
+    Choose(DecisionKind, usize),
     /// Suspend until the predicate holds (re-evaluated by the executor
     /// before each scheduling round).
     Block(Box<dyn FnMut() -> bool + Send>),
@@ -47,10 +67,23 @@ impl TaskCtx<'_> {
     /// choice). The task keeps running — this is internal
     /// nondeterminism, not a context switch.
     pub fn choose(&mut self, n: usize) -> usize {
+        self.choose_kind(DecisionKind::Choice, n)
+    }
+
+    /// [`TaskCtx::choose`] for a message-delivery pick: which queued
+    /// message a mailbox delivers next. Identical mechanics, but the
+    /// recorded trace names the decision for what it is.
+    pub fn choose_delivery(&mut self, n: usize) -> usize {
+        self.choose_kind(DecisionKind::Delivery, n)
+    }
+
+    fn choose_kind(&mut self, kind: DecisionKind, n: usize) -> usize {
         if n <= 1 {
             0
         } else {
-            self.y.yield_(Req::Choose(n)).min(n - 1)
+            // The executor resolves the pick through the kernel's
+            // clamping `decide`, so the answer is already in range.
+            self.y.yield_(Req::Choose(kind, n))
         }
     }
 
@@ -58,112 +91,6 @@ impl TaskCtx<'_> {
     /// function of shared state (the executor calls it between steps).
     pub fn block_until(&mut self, pred: impl FnMut() -> bool + Send + 'static) {
         self.y.yield_(Req::Block(Box::new(pred)));
-    }
-}
-
-/// A scheduling policy: resolves task picks and internal choices.
-///
-/// Both methods receive the number of alternatives and must return a
-/// value in `0..n` (out-of-range picks are clamped). `pick_task`
-/// additionally sees the position of the previously-running task in
-/// the ready list (when it is still ready) so preemption-bounded
-/// policies can prefer to continue it.
-pub trait Sched {
-    fn pick_task(&mut self, n: usize, current: Option<usize>) -> usize;
-    fn pick_choice(&mut self, n: usize) -> usize;
-}
-
-/// Uniformly random decisions from a seed. The workhorse of the fuzz
-/// driver: one `u64` names an entire schedule.
-pub struct RandomSched {
-    rng: StdRng,
-}
-
-impl RandomSched {
-    pub fn new(seed: u64) -> Self {
-        RandomSched { rng: StdRng::seed_from_u64(seed) }
-    }
-}
-
-impl Sched for RandomSched {
-    fn pick_task(&mut self, n: usize, _current: Option<usize>) -> usize {
-        self.rng.gen_range(0..n)
-    }
-    fn pick_choice(&mut self, n: usize) -> usize {
-        self.rng.gen_range(0..n)
-    }
-}
-
-/// Replays a recorded decision vector; missing entries default to `0`
-/// (first alternative), which is what makes truncation a valid
-/// shrinking move.
-pub struct ReplaySched {
-    decisions: Vec<usize>,
-    pos: usize,
-}
-
-impl ReplaySched {
-    pub fn new(decisions: Vec<usize>) -> Self {
-        ReplaySched { decisions, pos: 0 }
-    }
-
-    fn next(&mut self) -> usize {
-        let d = self.decisions.get(self.pos).copied().unwrap_or(0);
-        self.pos += 1;
-        d
-    }
-}
-
-impl Sched for ReplaySched {
-    fn pick_task(&mut self, _n: usize, _current: Option<usize>) -> usize {
-        self.next()
-    }
-    fn pick_choice(&mut self, _n: usize) -> usize {
-        self.next()
-    }
-}
-
-/// Systematic preemption-bounded schedules: the index `k` is decoded
-/// digit-by-digit in the mixed radix of the decisions encountered, so
-/// consecutive indices enumerate distinct low-order schedule
-/// variations; once the preemption budget is spent, the running task
-/// is continued whenever it is still ready (the classic
-/// preemption-bounding heuristic — most bugs need few preemptions).
-pub struct BoundedSched {
-    digits: u64,
-    preemptions_left: usize,
-}
-
-impl BoundedSched {
-    pub fn new(index: u64, preemption_bound: usize) -> Self {
-        BoundedSched { digits: index, preemptions_left: preemption_bound }
-    }
-
-    fn decode(&mut self, n: usize) -> usize {
-        let d = (self.digits % n as u64) as usize;
-        self.digits /= n as u64;
-        d
-    }
-}
-
-impl Sched for BoundedSched {
-    fn pick_task(&mut self, n: usize, current: Option<usize>) -> usize {
-        if let Some(cur) = current {
-            if self.preemptions_left == 0 {
-                return cur;
-            }
-            let d = self.decode(n);
-            if d != cur {
-                self.preemptions_left -= 1;
-            }
-            d
-        } else {
-            self.decode(n)
-        }
-    }
-
-    fn pick_choice(&mut self, n: usize) -> usize {
-        self.decode(n)
     }
 }
 
@@ -177,6 +104,10 @@ pub struct Run {
     /// Every decision taken where >1 alternative existed, in order.
     /// Feeding this to [`ReplaySched`] reproduces the run exactly.
     pub decisions: Vec<usize>,
+    /// The same decisions with their kind/arity metadata — the
+    /// kernel's full record, artifact-dumpable via
+    /// [`concur_decide::TraceArtifact`].
+    pub trace: DecisionTrace,
     /// Total coroutine resumptions.
     pub steps: usize,
 }
@@ -228,9 +159,17 @@ impl Harness {
             })
             .collect();
 
-        let mut decisions = Vec::new();
+        // Every consulted decision is recorded (clamped) by the kernel
+        // wrapper; `decide` skips degenerate one-way decisions, so the
+        // trace is exactly the run's nondeterminism.
+        let mut rec = Recording::new(sched);
         let mut steps = 0usize;
         let mut last: Option<usize> = None;
+
+        let finish = |rec: Recording<'_>, deadlocked: bool, diverged: bool, steps: usize| {
+            let trace = rec.into_trace();
+            Run { deadlocked, diverged, decisions: trace.picks(), trace, steps }
+        };
 
         loop {
             let mut ready = Vec::new();
@@ -249,17 +188,11 @@ impl Harness {
             }
             if ready.is_empty() {
                 let live = slots.iter().any(|s| s.co.is_some());
-                return Run { deadlocked: live, diverged: false, decisions, steps };
+                return finish(rec, live, false, steps);
             }
 
             let current = last.and_then(|l| ready.iter().position(|&i| i == l));
-            let pos = if ready.len() == 1 {
-                0
-            } else {
-                let p = sched.pick_task(ready.len(), current).min(ready.len() - 1);
-                decisions.push(p);
-                p
-            };
+            let pos = rec.decide(DecisionKind::TaskPick, ready.len(), current);
             let ti = ready[pos];
             slots[ti].status = Status::Ready;
             last = Some(ti);
@@ -268,19 +201,13 @@ impl Harness {
             loop {
                 steps += 1;
                 if steps > MAX_STEPS {
-                    return Run { deadlocked: false, diverged: true, decisions, steps };
+                    return finish(rec, false, true, steps);
                 }
                 let co = slots[ti].co.as_mut().expect("ready task is live");
                 match co.resume(input) {
                     Resume::Yield(Req::Pause) => break,
-                    Resume::Yield(Req::Choose(n)) => {
-                        input = if n <= 1 {
-                            0
-                        } else {
-                            let c = sched.pick_choice(n).min(n - 1);
-                            decisions.push(c);
-                            c
-                        };
+                    Resume::Yield(Req::Choose(kind, n)) => {
+                        input = rec.decide(kind, n, None);
                     }
                     Resume::Yield(Req::Block(pred)) => {
                         slots[ti].status = Status::Blocked(pred);

@@ -23,8 +23,9 @@
 //!
 //! A failing schedule is first replayed from its recorded decision
 //! vector (replay determinism is itself asserted), then shrunk to a
-//! minimal failing vector by prefix truncation and entry zeroing, and
-//! finally dumped as a replayable artifact under
+//! minimal failing vector by the kernel's [`concur_decide::shrink`]
+//! (prefix truncation + entry zeroing), and finally dumped in the
+//! universal trace-artifact format ([`concur_decide::artifact`]) under
 //! `$CONFORMANCE_ARTIFACT_DIR` (default `target/conformance/`).
 //!
 //! After all schedules pass, the observable-output sets of the three
@@ -35,6 +36,7 @@
 
 use crate::exec::{BoundedSched, RandomSched, ReplaySched};
 use crate::problems::{Discipline, Fixture, Outcome, FIXTURES};
+use concur_decide::{shrink, TraceArtifact};
 use concur_exec::{EventKindPattern, EventPattern, Explorer, Interp, TerminalSet};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -186,75 +188,36 @@ fn derive_seed(base: u64, name: &str, discipline: Discipline, iter: usize) -> u6
     splitmix64(h ^ iter as u64)
 }
 
-/// Shrink a failing decision vector: repeatedly try shorter prefixes
-/// (replay pads with 0, so truncation is always a valid schedule) and
-/// zeroed entries, keeping any candidate that still fails. Trailing
-/// zeros are dropped for free — padding makes them no-ops.
-fn shrink(decisions: Vec<usize>, mut still_fails: impl FnMut(&[usize]) -> bool) -> Vec<usize> {
-    let trim = |mut v: Vec<usize>| {
-        while v.last() == Some(&0) {
-            v.pop();
-        }
-        v
-    };
-    let mut cur = trim(decisions);
-    loop {
-        let mut improved = false;
-        let len = cur.len();
-        for keep in [0, len / 4, len / 2, (3 * len) / 4, len.saturating_sub(1)] {
-            if keep < len && still_fails(&cur[..keep]) {
-                cur = trim(cur[..keep].to_vec());
-                improved = true;
-                break;
-            }
-        }
-        if !improved {
-            for i in 0..cur.len() {
-                if cur[i] != 0 {
-                    let mut cand = cur.clone();
-                    cand[i] = 0;
-                    if still_fails(&cand) {
-                        cur = trim(cand);
-                        improved = true;
-                        break;
-                    }
-                }
-            }
-        }
-        if !improved {
-            return cur;
-        }
-    }
-}
-
-fn artifact_dir() -> PathBuf {
+/// Artifact directory shared by every trace dumper in this crate
+/// (fuzzer failures here, real-runtime chaos failures in
+/// [`crate::real`]): `$CONFORMANCE_ARTIFACT_DIR`, default
+/// `target/conformance/`.
+pub(crate) fn artifact_dir() -> PathBuf {
     std::env::var("CONFORMANCE_ARTIFACT_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("target/conformance"))
 }
 
-/// Best-effort dump of a shrunk failing schedule as a replayable
-/// artifact. IO failures are swallowed — the decision vector is also
-/// in the error itself.
+/// Best-effort write of a universal trace artifact (see
+/// `concur_decide::artifact`). IO failures are swallowed — the
+/// decision vector is also in the error itself.
+pub(crate) fn write_artifact(file_stem: &str, artifact: &TraceArtifact) -> Option<PathBuf> {
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{file_stem}.schedule.txt"));
+    std::fs::write(&path, artifact.render()).ok()?;
+    Some(path)
+}
+
+/// Dump a shrunk failing fuzzer schedule as a replayable artifact.
 fn dump_artifact(
     fixture: &Fixture,
     discipline: Discipline,
     detail: &str,
     decisions: &[usize],
 ) -> Option<PathBuf> {
-    let dir = artifact_dir();
-    std::fs::create_dir_all(&dir).ok()?;
-    let path = dir.join(format!("{}-{}.schedule.txt", fixture.name, discipline.label()));
-    let body = format!(
-        "problem: {}\ndiscipline: {}\nfailure: {}\ndecisions: {:?}\n\nreplay: run the fixture with \
-         concur_conformance::ReplaySched::new(decisions)\n",
-        fixture.name,
-        discipline.label(),
-        detail,
-        decisions,
-    );
-    std::fs::write(&path, body).ok()?;
-    Some(path)
+    let artifact = TraceArtifact::from_picks(fixture.name, discipline.label(), detail, decisions);
+    write_artifact(&format!("{}-{}", fixture.name, discipline.label()), &artifact)
 }
 
 fn fail(
@@ -450,22 +413,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn shrink_prefers_short_prefixes() {
-        // Fails whenever the vector contains a nonzero entry at or
-        // after index 2.
-        let fails = |d: &[usize]| d.iter().skip(2).any(|&x| x != 0);
-        let shrunk = shrink(vec![3, 1, 4, 1, 5, 9, 2, 6], fails);
-        // Minimal forms are three entries ending in a nonzero.
-        assert_eq!(shrunk.len(), 3, "shrunk to {shrunk:?}");
-        assert!(shrunk[2] != 0);
-    }
-
-    #[test]
-    fn shrink_zeroes_irrelevant_entries() {
-        // Fails iff index 1 is exactly 7; everything else is noise.
-        let fails = |d: &[usize]| d.get(1) == Some(&7);
-        let shrunk = shrink(vec![5, 7, 3, 2, 8], fails);
-        assert_eq!(shrunk, vec![0, 7]);
+    fn dumped_artifacts_parse_back_as_universal_trace_artifacts() {
+        let art = TraceArtifact::from_picks("p", "threads", "boom", &[1, 0, 2]);
+        let parsed = TraceArtifact::parse(&art.render()).expect("round-trips");
+        assert_eq!(parsed.decisions, vec![1, 0, 2]);
     }
 
     #[test]

@@ -13,9 +13,17 @@
 //! schedule, so each iteration arms `concur_threads::chaos` with a
 //! fresh seed: lock acquisitions then occasionally yield the time
 //! slice, shaking out different interleavings while staying a valid
-//! execution.
+//! execution. The chaos kernel records every perturbation decision it
+//! makes, and the `with_chaos` wrapper below dumps the recorded trace
+//! as a universal artifact (see [`concur_decide::TraceArtifact`]) when
+//! a spot check fails — the same replayable format the controlled
+//! fuzzer writes,
+//! so a real-runtime failure leaves behind a
+//! `concur_threads::chaos::install_replay`-able schedule instead of
+//! vanishing with the OS scheduler's mood.
 
 use crate::models;
+use concur_decide::TraceArtifact;
 use concur_exec::{Explorer, Interp, TerminalSet};
 use concur_problems::{
     book_inventory, bounded_buffer, bridge, dining, party_matching, readers_writers,
@@ -59,6 +67,30 @@ fn require_member(
     }
 }
 
+/// Run `body` under an armed chaos kernel seeded with `seed`,
+/// guaranteeing the kernel is disarmed afterwards (the pre-kernel code
+/// leaked an armed stream on every `?` error path). On failure, the
+/// recorded perturbation trace is dumped through the same artifact
+/// path the controlled fuzzer uses; feed its `decisions` to
+/// `concur_threads::chaos::install_replay` to re-apply the schedule
+/// (exact for single-threaded runs, best-effort under real races).
+fn with_chaos<T>(
+    problem: &str,
+    seed: u64,
+    body: impl FnOnce() -> Result<T, String>,
+) -> Result<T, String> {
+    concur_threads::chaos::install(seed);
+    let result = body();
+    let trace = concur_threads::chaos::uninstall();
+    result.map_err(|detail| {
+        let artifact = TraceArtifact::from_trace(problem, "real-chaos", &detail, &trace);
+        match crate::fuzz::write_artifact(&format!("{problem}-real-chaos"), &artifact) {
+            Some(path) => format!("{detail} (chaos trace dumped to {})", path.display()),
+            None => detail,
+        }
+    })
+}
+
 /// One full spot-check sweep: every problem, every paradigm,
 /// `iters` chaos seeds derived from `seed`.
 pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String> {
@@ -87,22 +119,23 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut runs = 0;
         for i in 0..iters {
             for (p, paradigm) in paradigms.iter().enumerate() {
-                concur_threads::chaos::install(chaos_seed(i, p));
-                let report = dining::run(*paradigm, config)
-                    .map_err(|v| format!("dining_ordered/{paradigm}: {v}"))?;
-                concur_threads::chaos::uninstall();
-                if report.deadlocked {
-                    return Err("dining_ordered: ordered strategy deadlocked".into());
-                }
-                let tokens: Vec<i64> = report
-                    .events
-                    .iter()
-                    .filter_map(|e| match e {
-                        dining::Event::StartedEating(seat) => Some(*seat as i64 + 1),
-                        _ => None,
-                    })
-                    .collect();
-                observed.insert(require_member("dining_ordered", "run", &dining_ordered, &tokens)?);
+                let obs = with_chaos("dining_ordered", chaos_seed(i, p), || {
+                    let report = dining::run(*paradigm, config)
+                        .map_err(|v| format!("dining_ordered/{paradigm}: {v}"))?;
+                    if report.deadlocked {
+                        return Err("dining_ordered: ordered strategy deadlocked".into());
+                    }
+                    let tokens: Vec<i64> = report
+                        .events
+                        .iter()
+                        .filter_map(|e| match e {
+                            dining::Event::StartedEating(seat) => Some(*seat as i64 + 1),
+                            _ => None,
+                        })
+                        .collect();
+                    require_member("dining_ordered", "run", &dining_ordered, &tokens)
+                })?;
+                observed.insert(obs);
                 runs += 1;
             }
         }
@@ -113,17 +146,16 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut observed = BTreeSet::new();
         let mut runs = 0;
         for i in 0..iters {
-            concur_threads::chaos::install(chaos_seed(i, 7));
-            let report = dining::run_threads(config, dining::Strategy::Naive)
-                .map_err(|v| format!("dining_naive: {v}"))?;
-            concur_threads::chaos::uninstall();
-            if report.deadlocked {
-                // Accepted: the model proves the deadlock reachable.
-                if !dining_naive.has_deadlock() {
-                    return Err("dining_naive: model claims no deadlock".into());
+            let obs = with_chaos("dining_naive", chaos_seed(i, 7), || {
+                let report = dining::run_threads(config, dining::Strategy::Naive)
+                    .map_err(|v| format!("dining_naive: {v}"))?;
+                if report.deadlocked {
+                    // Accepted: the model proves the deadlock reachable.
+                    if !dining_naive.has_deadlock() {
+                        return Err("dining_naive: model claims no deadlock".into());
+                    }
+                    return Ok("<deadlock>".to_string());
                 }
-                observed.insert("<deadlock>".to_string());
-            } else {
                 let tokens: Vec<i64> = report
                     .events
                     .iter()
@@ -132,8 +164,9 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
                         _ => None,
                     })
                     .collect();
-                observed.insert(require_member("dining_naive", "run", &dining_naive, &tokens)?);
-            }
+                require_member("dining_naive", "run", &dining_naive, &tokens)
+            })?;
+            observed.insert(obs);
             runs += 1;
         }
         push("dining_naive", observed, runs);
@@ -151,20 +184,21 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut runs = 0;
         for i in 0..iters {
             for (p, paradigm) in paradigms.iter().enumerate() {
-                concur_threads::chaos::install(chaos_seed(i, p));
-                let events = bounded_buffer::run(*paradigm, config)
-                    .map_err(|v| format!("bounded_buffer/{paradigm}: {v}"))?;
-                concur_threads::chaos::uninstall();
-                let tokens: Vec<i64> = events
-                    .iter()
-                    .filter_map(|e| match e {
-                        bounded_buffer::Event::Consumed(item) => {
-                            Some((10 * (item.producer + 1) + item.seq + 1) as i64)
-                        }
-                        _ => None,
-                    })
-                    .collect();
-                observed.insert(require_member("bounded_buffer", "run", &bounded, &tokens)?);
+                let obs = with_chaos("bounded_buffer", chaos_seed(i, p), || {
+                    let events = bounded_buffer::run(*paradigm, config)
+                        .map_err(|v| format!("bounded_buffer/{paradigm}: {v}"))?;
+                    let tokens: Vec<i64> = events
+                        .iter()
+                        .filter_map(|e| match e {
+                            bounded_buffer::Event::Consumed(item) => {
+                                Some((10 * (item.producer + 1) + item.seq + 1) as i64)
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    require_member("bounded_buffer", "run", &bounded, &tokens)
+                })?;
+                observed.insert(obs);
                 runs += 1;
             }
         }
@@ -178,18 +212,21 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut runs = 0;
         for i in 0..iters {
             for (p, paradigm) in paradigms.iter().enumerate() {
-                concur_threads::chaos::install(chaos_seed(i, p));
-                let events = readers_writers::run(*paradigm, config)
-                    .map_err(|v| format!("readers_writers/{paradigm}: {v}"))?;
-                concur_threads::chaos::uninstall();
-                let tokens: Vec<i64> = events
-                    .iter()
-                    .filter_map(|e| match e {
-                        readers_writers::Event::ReadEnd { version, .. } => Some(*version as i64),
-                        _ => None,
-                    })
-                    .collect();
-                observed.insert(require_member("readers_writers", "run", &rw, &tokens)?);
+                let obs = with_chaos("readers_writers", chaos_seed(i, p), || {
+                    let events = readers_writers::run(*paradigm, config)
+                        .map_err(|v| format!("readers_writers/{paradigm}: {v}"))?;
+                    let tokens: Vec<i64> = events
+                        .iter()
+                        .filter_map(|e| match e {
+                            readers_writers::Event::ReadEnd { version, .. } => {
+                                Some(*version as i64)
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    require_member("readers_writers", "run", &rw, &tokens)
+                })?;
+                observed.insert(obs);
                 runs += 1;
             }
         }
@@ -203,22 +240,23 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut runs = 0;
         for i in 0..iters {
             for (p, paradigm) in paradigms.iter().enumerate() {
-                concur_threads::chaos::install(chaos_seed(i, p));
-                let report = sleeping_barber::run(*paradigm, config)
-                    .map_err(|v| format!("sleeping_barber/{paradigm}: {v}"))?;
-                concur_threads::chaos::uninstall();
-                let tokens: Vec<i64> = report
-                    .events
-                    .iter()
-                    .filter_map(|e| match e {
-                        sleeping_barber::Event::CutFinished { customer, .. } => {
-                            Some(10 + *customer as i64)
-                        }
-                        sleeping_barber::Event::TurnedAway(c) => Some(20 + *c as i64),
-                        _ => None,
-                    })
-                    .collect();
-                observed.insert(require_member("sleeping_barber", "run", &barber, &tokens)?);
+                let obs = with_chaos("sleeping_barber", chaos_seed(i, p), || {
+                    let report = sleeping_barber::run(*paradigm, config)
+                        .map_err(|v| format!("sleeping_barber/{paradigm}: {v}"))?;
+                    let tokens: Vec<i64> = report
+                        .events
+                        .iter()
+                        .filter_map(|e| match e {
+                            sleeping_barber::Event::CutFinished { customer, .. } => {
+                                Some(10 + *customer as i64)
+                            }
+                            sleeping_barber::Event::TurnedAway(c) => Some(20 + *c as i64),
+                            _ => None,
+                        })
+                        .collect();
+                    require_member("sleeping_barber", "run", &barber, &tokens)
+                })?;
+                observed.insert(obs);
                 runs += 1;
             }
         }
@@ -233,20 +271,21 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut runs = 0;
         for i in 0..iters {
             for (p, paradigm) in paradigms.iter().enumerate() {
-                concur_threads::chaos::install(chaos_seed(i, p));
-                let events = bridge::run(*paradigm, config)
-                    .map_err(|v| format!("bridge/{paradigm}: {v}"))?;
-                concur_threads::chaos::uninstall();
-                let tokens: Vec<i64> = events
-                    .iter()
-                    .filter_map(|e| match e {
-                        bridge::Event::Entered { dir, .. } => {
-                            Some(if *dir == bridge::Dir::Red { 1 } else { 2 })
-                        }
-                        _ => None,
-                    })
-                    .collect();
-                observed.insert(require_member("bridge", "run", &bridge_m, &tokens)?);
+                let obs = with_chaos("bridge", chaos_seed(i, p), || {
+                    let events = bridge::run(*paradigm, config)
+                        .map_err(|v| format!("bridge/{paradigm}: {v}"))?;
+                    let tokens: Vec<i64> = events
+                        .iter()
+                        .filter_map(|e| match e {
+                            bridge::Event::Entered { dir, .. } => {
+                                Some(if *dir == bridge::Dir::Red { 1 } else { 2 })
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    require_member("bridge", "run", &bridge_m, &tokens)
+                })?;
+                observed.insert(obs);
                 runs += 1;
             }
         }
@@ -260,20 +299,21 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut runs = 0;
         for i in 0..iters {
             for (p, paradigm) in paradigms.iter().enumerate() {
-                concur_threads::chaos::install(chaos_seed(i, p));
-                let events = party_matching::run(*paradigm, config)
-                    .map_err(|v| format!("party_matching/{paradigm}: {v}"))?;
-                concur_threads::chaos::uninstall();
-                let tokens: Vec<i64> = events
-                    .iter()
-                    .filter_map(|e| match e {
-                        party_matching::Event::LeftTogether { boy, girl } => {
-                            Some(((boy + 1) * 10 + girl + 1) as i64)
-                        }
-                        _ => None,
-                    })
-                    .collect();
-                observed.insert(require_member("party_matching", "run", &party, &tokens)?);
+                let obs = with_chaos("party_matching", chaos_seed(i, p), || {
+                    let events = party_matching::run(*paradigm, config)
+                        .map_err(|v| format!("party_matching/{paradigm}: {v}"))?;
+                    let tokens: Vec<i64> = events
+                        .iter()
+                        .filter_map(|e| match e {
+                            party_matching::Event::LeftTogether { boy, girl } => {
+                                Some(((boy + 1) * 10 + girl + 1) as i64)
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    require_member("party_matching", "run", &party, &tokens)
+                })?;
+                observed.insert(obs);
                 runs += 1;
             }
         }
@@ -293,19 +333,20 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut runs = 0;
         for i in 0..iters {
             for (p, paradigm) in paradigms.iter().enumerate() {
-                concur_threads::chaos::install(chaos_seed(i, p));
-                let report = book_inventory::run(*paradigm, config)
-                    .map_err(|v| format!("book_inventory/{paradigm}: {v}"))?;
-                concur_threads::chaos::uninstall();
-                let tokens: Vec<i64> = report
-                    .events
-                    .iter()
-                    .filter_map(|e| match e {
-                        book_inventory::Event::Sold { client, .. } => Some(*client as i64 + 1),
-                        _ => None,
-                    })
-                    .collect();
-                observed.insert(require_member("book_inventory", "run", &book, &tokens)?);
+                let obs = with_chaos("book_inventory", chaos_seed(i, p), || {
+                    let report = book_inventory::run(*paradigm, config)
+                        .map_err(|v| format!("book_inventory/{paradigm}: {v}"))?;
+                    let tokens: Vec<i64> = report
+                        .events
+                        .iter()
+                        .filter_map(|e| match e {
+                            book_inventory::Event::Sold { client, .. } => Some(*client as i64 + 1),
+                            _ => None,
+                        })
+                        .collect();
+                    require_member("book_inventory", "run", &book, &tokens)
+                })?;
+                observed.insert(obs);
                 runs += 1;
             }
         }
@@ -319,10 +360,11 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut runs = 0;
         for i in 0..iters {
             for (p, paradigm) in paradigms.iter().enumerate() {
-                concur_threads::chaos::install(chaos_seed(i, p));
-                let total = sum_workers::run(*paradigm, &config);
-                concur_threads::chaos::uninstall();
-                observed.insert(require_member("sum_workers", "total", &sum_m, &[total])?);
+                let obs = with_chaos("sum_workers", chaos_seed(i, p), || {
+                    let total = sum_workers::run(*paradigm, &config);
+                    require_member("sum_workers", "total", &sum_m, &[total])
+                })?;
+                observed.insert(obs);
                 runs += 1;
             }
         }
@@ -337,15 +379,16 @@ pub fn spot_check_all(iters: usize, seed: u64) -> Result<Vec<SpotReport>, String
         let mut runs = 0;
         for i in 0..iters {
             for (p, paradigm) in paradigms.iter().enumerate() {
-                concur_threads::chaos::install(chaos_seed(i, p));
-                let total = thread_pool_arith::run(*paradigm, config);
-                concur_threads::chaos::uninstall();
-                if total != expected {
-                    return Err(format!(
-                        "thread_pool/{paradigm}: total {total} != sequential oracle {expected}"
-                    ));
-                }
-                observed.insert(total.to_string());
+                let obs = with_chaos("thread_pool", chaos_seed(i, p), || {
+                    let total = thread_pool_arith::run(*paradigm, config);
+                    if total != expected {
+                        return Err(format!(
+                            "thread_pool/{paradigm}: total {total} != sequential oracle {expected}"
+                        ));
+                    }
+                    Ok(total.to_string())
+                })?;
+                observed.insert(obs);
                 runs += 1;
             }
         }

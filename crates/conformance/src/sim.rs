@@ -4,7 +4,8 @@
 //! [`crate::sync::MLock`]: instead of deciding *who enters a section*,
 //! the scheduler decides *which pending message is delivered next*.
 //! `recv` exposes the full mailbox to the scheduler via
-//! [`TaskCtx::choose`], so the fuzzer explores every delivery order —
+//! [`TaskCtx::choose_delivery`] (a `DecisionKind::Delivery` entry in
+//! the recorded trace), so the fuzzer explores every delivery order —
 //! the same nondeterminism the real `concur-actors` mailbox exhibits
 //! when several senders race, surfaced through
 //! `concur_actors::Mailbox::pop_nth` on the real side.
@@ -57,7 +58,7 @@ impl<M> SimBox<M> {
         let inner = self.inner.clone();
         ctx.block_until(move || inner.with(|q| !q.is_empty()));
         let n = self.len();
-        let idx = ctx.choose(n);
+        let idx = ctx.choose_delivery(n);
         self.inner.with(|q| q.remove(idx)).expect("chosen index is within the mailbox")
     }
 
@@ -67,7 +68,7 @@ impl<M> SimBox<M> {
         if n == 0 {
             return None;
         }
-        let idx = ctx.choose(n);
+        let idx = ctx.choose_delivery(n);
         self.inner.with(|q| q.remove(idx))
     }
 }

@@ -1,0 +1,176 @@
+//! Cross-discipline determinism of the decision kernel.
+//!
+//! The decision substrate (`concur-decide`) promises that *all*
+//! nondeterminism in a controlled run flows through one recorded
+//! `ChoiceSource`. These tests pin the three consequences the rest of
+//! the workbench relies on:
+//!
+//! 1. **Seed determinism** — the same seed drives byte-identical runs
+//!    (observations *and* decision traces) in every discipline, and a
+//!    recorded trace replays to the identical observation.
+//! 2. **Truncation validity** — any prefix of a valid trace, replayed
+//!    with the kernel's pad-with-0 convention, is again a valid
+//!    schedule: the run terminates and its observation stays inside
+//!    the model's exhaustive terminal set. This is what makes
+//!    truncation a sound shrinking move.
+//! 3. **Real-runtime replay** — the same guarantees hold for the
+//!    chaos kernel armed under real `concur-threads` locks, for a
+//!    deterministic (single-worker) scenario.
+
+use concur_conformance::{Discipline, Fixture, RandomSched, ReplaySched, FIXTURES};
+use concur_exec::{Explorer, Interp, TerminalSet};
+
+const SEED: u64 = 0xD00D_FEED;
+
+fn fixture(name: &str) -> &'static Fixture {
+    FIXTURES.iter().find(|f| f.name == name).unwrap_or_else(|| panic!("no fixture {name}"))
+}
+
+fn terminals(f: &Fixture) -> TerminalSet {
+    let interp = Interp::from_source(f.model).expect("model parses");
+    let set = Explorer::new(&interp).terminals().expect("model explores");
+    assert!(!set.stats.truncated, "{}: model exploration truncated", f.name);
+    set
+}
+
+#[test]
+fn every_discipline_is_seed_deterministic_and_trace_replayable() {
+    for f in FIXTURES {
+        for d in Discipline::ALL {
+            let first = (f.run)(d, &mut RandomSched::new(SEED));
+            let second = (f.run)(d, &mut RandomSched::new(SEED));
+            assert_eq!(
+                first.obs,
+                second.obs,
+                "{}/{}: same seed, different observations",
+                f.name,
+                d.label()
+            );
+            assert_eq!(
+                first.run.trace,
+                second.run.trace,
+                "{}/{}: same seed, different decision traces",
+                f.name,
+                d.label()
+            );
+
+            let replayed = (f.run)(d, &mut ReplaySched::new(first.run.trace.picks()));
+            assert_eq!(
+                replayed.obs,
+                first.obs,
+                "{}/{}: recorded trace did not replay to the same observation",
+                f.name,
+                d.label()
+            );
+            assert_eq!(
+                replayed.run.trace.picks(),
+                first.run.trace.picks(),
+                "{}/{}: replay re-recorded a different decision vector",
+                f.name,
+                d.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn truncating_a_valid_trace_yields_a_valid_schedule_in_every_discipline() {
+    // One deadlock-free, choice-rich fixture and the one fixture whose
+    // model admits deadlock (the prefix-replay of a deadlock-capable
+    // program may legitimately end in that deadlock).
+    for f in [fixture("bounded_buffer"), fixture("dining_naive")] {
+        let model = terminals(f);
+        for d in Discipline::ALL {
+            let recorded = (f.run)(d, &mut RandomSched::new(SEED));
+            let picks = recorded.run.trace.picks();
+            for cut in 0..=picks.len() {
+                let prefix: Vec<usize> = picks[..cut].to_vec();
+                let out = (f.run)(d, &mut ReplaySched::new(prefix));
+                assert!(
+                    !out.run.diverged,
+                    "{}/{}: truncated-at-{cut} replay diverged",
+                    f.name,
+                    d.label()
+                );
+                if out.run.deadlocked {
+                    assert!(
+                        f.can_deadlock && model.has_deadlock(),
+                        "{}/{}: truncated-at-{cut} replay deadlocked but the model forbids it",
+                        f.name,
+                        d.label()
+                    );
+                    continue;
+                }
+                let obs = out.obs.expect("completed run has an observation");
+                assert!(
+                    model.contains_output(&obs),
+                    "{}/{}: truncated-at-{cut} replay produced \"{obs}\", \
+                     not in the model's terminal set",
+                    f.name,
+                    d.label()
+                );
+                assert!(
+                    out.violation.is_none(),
+                    "{}/{}: truncated-at-{cut} replay violated invariants: {:?}",
+                    f.name,
+                    d.label(),
+                    out.violation
+                );
+            }
+        }
+    }
+}
+
+/// A deterministic real-runtime scenario: one worker thread takes real
+/// `concur_threads::Mutex` locks (each lock entry is a recorded chaos
+/// perturbation point) and additionally branches on explicit
+/// `chaos::choice` decisions. With a single worker, the chaos kernel's
+/// global arrival order is the program order, so records and replays
+/// are exact — this is the controlled-executor determinism guarantee
+/// carried over to real threads.
+fn real_single_worker_scenario() -> (Vec<usize>, concur_decide::DecisionTrace) {
+    use concur_threads::Mutex;
+    use std::sync::Arc;
+
+    let counter = Arc::new(Mutex::new(0u64));
+    let worker = {
+        let counter = Arc::clone(&counter);
+        std::thread::spawn(move || {
+            let mut observed = Vec::new();
+            for _ in 0..12 {
+                {
+                    let mut c = counter.lock(); // perturbation point
+                    *c += 1;
+                }
+                observed.push(concur_threads::chaos::choice(5));
+            }
+            observed
+        })
+    };
+    let observed = worker.join().expect("worker thread panicked");
+    let trace = concur_threads::chaos::uninstall();
+    (observed, trace)
+}
+
+#[test]
+fn real_runtime_chaos_replays_byte_identically_for_a_single_worker() {
+    use concur_decide::DecisionKind;
+
+    concur_threads::chaos::install(SEED);
+    let (obs_a, trace_a) = real_single_worker_scenario();
+    concur_threads::chaos::install(SEED);
+    let (obs_b, trace_b) = real_single_worker_scenario();
+    assert_eq!(obs_a, obs_b, "same chaos seed, different real-runtime observations");
+    assert_eq!(trace_a, trace_b, "same chaos seed, different chaos traces");
+
+    // The trace interleaves lock perturbations with explicit choices,
+    // all in the chaos vocabulary.
+    assert!(trace_a.decisions.iter().all(|d| d.kind == DecisionKind::Chaos));
+    assert!(trace_a.decisions.iter().any(|d| d.arity == 5), "explicit choices recorded");
+    assert!(obs_a.iter().any(|&p| p != 0), "a seeded source varies its answers");
+
+    concur_threads::chaos::install_replay(trace_a.picks());
+    let (obs_r, trace_r) = real_single_worker_scenario();
+    assert_eq!(obs_r, obs_a, "replayed chaos trace changed the observation");
+    assert_eq!(trace_r.picks(), trace_a.picks(), "replay re-recorded a different stream");
+}

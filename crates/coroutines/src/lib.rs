@@ -37,8 +37,8 @@ pub mod symmetric;
 
 pub use crate::core::{Coroutine, GenIter, Generator, Resume, Yielder};
 pub use sched::{
-    CoChannel, Deadlock, PickPolicy, RoundRobinPick, SchedStats, Scheduler, SeededPick, TaskCtx,
-    TaskId,
+    CoChannel, Deadlock, PickPolicy, ReplayPick, RoundRobinPick, SchedStats, Scheduler, SeededPick,
+    SourcePick, TaskCtx, TaskId,
 };
 pub use stackless::{Step, StepCoroutine, StepIter};
 pub use symmetric::{CoId, SymCtx, SymmetricSet};

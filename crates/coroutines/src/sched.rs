@@ -4,6 +4,7 @@
 //! therefore no data races between steps.
 
 use crate::core::{Coroutine, Resume, Yielder};
+use concur_decide::{ChoiceSource, DecisionKind, RandomSource, ReplaySource};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
@@ -157,6 +158,12 @@ impl<T> CoChannel<T> {
 /// `ready` lists the runnable task ids in queue order; the policy
 /// returns a *position* into that slice. Returning an out-of-range
 /// position is clamped to the last entry.
+///
+/// The canonical policies are thin adapters over the workspace
+/// decision kernel (`concur-decide`): [`SourcePick`] wraps any
+/// [`ChoiceSource`], so the real cooperative scheduler can be driven
+/// by a seed, a recorded trace, or a systematic enumerator — the same
+/// vocabulary every other layer uses.
 pub trait PickPolicy: Send {
     fn pick(&mut self, ready: &[usize]) -> usize;
 
@@ -166,8 +173,35 @@ pub trait PickPolicy: Send {
     }
 }
 
+/// Any kernel [`ChoiceSource`] as a pick policy: each consultation is
+/// a `DecisionKind::TaskPick` decision over the ready-queue snapshot,
+/// clamped centrally by the kernel. Wrap the source in
+/// [`concur_decide::Recording`]-style instrumentation *outside* the
+/// scheduler to capture a replayable [`concur_decide::DecisionTrace`].
+pub struct SourcePick<S> {
+    source: S,
+}
+
+impl<S: ChoiceSource + Send> SourcePick<S> {
+    pub fn new(source: S) -> Self {
+        SourcePick { source }
+    }
+}
+
+impl<S: ChoiceSource + Send> PickPolicy for SourcePick<S> {
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        self.source.decide(DecisionKind::TaskPick, ready.len(), None)
+    }
+
+    fn name(&self) -> &'static str {
+        self.source.name()
+    }
+}
+
 /// The default policy: always run the front of the ready queue —
-/// strict round-robin, the fairness baseline.
+/// strict round-robin, the fairness baseline (the ready queue itself
+/// rotates, so the kernel's `FixedSource(0)` is exactly round-robin
+/// here).
 #[derive(Debug, Default)]
 pub struct RoundRobinPick;
 
@@ -184,24 +218,45 @@ impl PickPolicy for RoundRobinPick {
 /// Seed-deterministic uniformly random pick — the schedule-fuzzing
 /// workhorse: every run with the same seed replays the same schedule.
 pub struct SeededPick {
-    rng: rand::rngs::StdRng,
+    inner: SourcePick<RandomSource>,
 }
 
 impl SeededPick {
     pub fn new(seed: u64) -> Self {
-        use rand::SeedableRng;
-        SeededPick { rng: rand::rngs::StdRng::seed_from_u64(seed) }
+        SeededPick { inner: SourcePick::new(RandomSource::new(seed)) }
     }
 }
 
 impl PickPolicy for SeededPick {
     fn pick(&mut self, ready: &[usize]) -> usize {
-        use rand::Rng;
-        self.rng.gen_range(0..ready.len())
+        self.inner.pick(ready)
     }
 
     fn name(&self) -> &'static str {
         "seeded"
+    }
+}
+
+/// Replays a recorded decision vector over the ready queue; entries
+/// past the end default to position 0 (round-robin), so any truncated
+/// trace is still a valid schedule.
+pub struct ReplayPick {
+    inner: SourcePick<ReplaySource>,
+}
+
+impl ReplayPick {
+    pub fn new(picks: Vec<usize>) -> Self {
+        ReplayPick { inner: SourcePick::new(ReplaySource::new(picks)) }
+    }
+}
+
+impl PickPolicy for ReplayPick {
+    fn pick(&mut self, ready: &[usize]) -> usize {
+        self.inner.pick(ready)
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
     }
 }
 

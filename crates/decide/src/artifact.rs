@@ -1,0 +1,175 @@
+//! The universal trace artifact format.
+//!
+//! Every layer that detects a scheduling failure — the conformance
+//! fuzzer, a property test, or a chaos-perturbed real-runtime spot
+//! check — dumps the same textual artifact, and any layer can parse
+//! one back into a replayable pick vector. The format is line
+//! oriented:
+//!
+//! ```text
+//! # concur-decide trace artifact v1
+//! problem: dining_naive
+//! context: threads
+//! failure: run deadlocked but the model admits no deadlock
+//! decisions: [1, 0, 2]
+//! kinds: task task delivery
+//!
+//! replay: feed `decisions` to concur_decide::ReplaySource::new(..)
+//! ```
+//!
+//! `kinds` is optional metadata (absent when the trace was
+//! reconstructed from a bare pick vector); everything after the blank
+//! line is free-form commentary and ignored by the parser.
+
+use crate::source::DecisionKind;
+use crate::trace::DecisionTrace;
+
+/// Header line identifying the format (and its version).
+pub const HEADER: &str = "# concur-decide trace artifact v1";
+
+/// One dumped (and parseable) schedule artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceArtifact {
+    /// Which problem/scenario the schedule drove.
+    pub problem: String,
+    /// Which runtime or discipline produced it (e.g. `threads`,
+    /// `actors`, `coroutines`, `real-chaos`).
+    pub context: String,
+    /// What went wrong.
+    pub failure: String,
+    /// The (shrunk) replayable pick vector.
+    pub decisions: Vec<usize>,
+    /// Per-decision kind labels, when the trace recorded them.
+    pub kinds: Vec<DecisionKind>,
+}
+
+impl TraceArtifact {
+    /// Artifact from a full trace (keeps kind metadata).
+    pub fn from_trace(problem: &str, context: &str, failure: &str, trace: &DecisionTrace) -> Self {
+        TraceArtifact {
+            problem: problem.to_string(),
+            context: context.to_string(),
+            failure: failure.to_string(),
+            decisions: trace.picks(),
+            kinds: trace.decisions.iter().map(|d| d.kind).collect(),
+        }
+    }
+
+    /// Artifact from a bare pick vector (e.g. after shrinking, which
+    /// discards kind metadata).
+    pub fn from_picks(problem: &str, context: &str, failure: &str, picks: &[usize]) -> Self {
+        TraceArtifact {
+            problem: problem.to_string(),
+            context: context.to_string(),
+            failure: failure.to_string(),
+            decisions: picks.to_vec(),
+            kinds: Vec::new(),
+        }
+    }
+
+    /// Render the textual artifact.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("problem: {}\n", self.problem));
+        out.push_str(&format!("context: {}\n", self.context));
+        out.push_str(&format!("failure: {}\n", self.failure));
+        out.push_str(&format!("decisions: {:?}\n", self.decisions));
+        if !self.kinds.is_empty() {
+            let labels: Vec<&str> = self.kinds.iter().map(|k| k.label()).collect();
+            out.push_str(&format!("kinds: {}\n", labels.join(" ")));
+        }
+        out.push_str(
+            "\nreplay: feed `decisions` to concur_decide::ReplaySource::new(..) \
+             (missing entries default to 0)\n",
+        );
+        out
+    }
+
+    /// Parse a rendered artifact back. Accepts any text containing the
+    /// `problem:`/`context:`/`failure:`/`decisions:` fields; `kinds:`
+    /// is optional.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let field = |name: &str| -> Option<String> {
+            text.lines().find_map(|l| l.strip_prefix(name).map(|rest| rest.trim().to_string()))
+        };
+        let problem = field("problem:").ok_or("missing `problem:` field")?;
+        let context = field("context:").ok_or("missing `context:` field")?;
+        let failure = field("failure:").ok_or("missing `failure:` field")?;
+        let raw = field("decisions:").ok_or("missing `decisions:` field")?;
+        let inner = raw
+            .trim()
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or_else(|| format!("decisions is not a [..] list: {raw}"))?;
+        let decisions = inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse::<usize>().map_err(|e| format!("bad decision entry {s:?}: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let kinds = match field("kinds:") {
+            None => Vec::new(),
+            Some(line) => line
+                .split_whitespace()
+                .map(|label| match label {
+                    "task" => Ok(DecisionKind::TaskPick),
+                    "choice" => Ok(DecisionKind::Choice),
+                    "delivery" => Ok(DecisionKind::Delivery),
+                    "chaos" => Ok(DecisionKind::Chaos),
+                    other => Err(format!("unknown decision kind label {other:?}")),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        if !kinds.is_empty() && kinds.len() != decisions.len() {
+            return Err(format!(
+                "kinds length {} does not match decisions length {}",
+                kinds.len(),
+                decisions.len()
+            ));
+        }
+        Ok(TraceArtifact { problem, context, failure, decisions, kinds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Decision;
+
+    #[test]
+    fn artifact_round_trips_through_text() {
+        let mut trace = DecisionTrace::new();
+        trace.push(Decision { kind: DecisionKind::TaskPick, arity: 3, picked: 1 });
+        trace.push(Decision { kind: DecisionKind::Chaos, arity: 7, picked: 0 });
+        let art = TraceArtifact::from_trace("dining_naive", "real-chaos", "deadlock", &trace);
+        let parsed = TraceArtifact::parse(&art.render()).expect("parses");
+        assert_eq!(parsed, art);
+        assert_eq!(parsed.decisions, vec![1, 0]);
+        assert_eq!(parsed.kinds, vec![DecisionKind::TaskPick, DecisionKind::Chaos]);
+    }
+
+    #[test]
+    fn artifact_without_kinds_round_trips() {
+        let art = TraceArtifact::from_picks("bridge", "coroutines", "bad output", &[2, 0, 1]);
+        let text = art.render();
+        assert!(!text.contains("kinds:"));
+        assert_eq!(TraceArtifact::parse(&text).expect("parses"), art);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_artifacts() {
+        assert!(TraceArtifact::parse("problem: x\ncontext: y\nfailure: z").is_err());
+        let bad_kinds = "problem: x\ncontext: y\nfailure: z\ndecisions: [1, 2]\nkinds: task\n";
+        assert!(TraceArtifact::parse(bad_kinds).is_err());
+        let bad_list = "problem: x\ncontext: y\nfailure: z\ndecisions: 1 2\n";
+        assert!(TraceArtifact::parse(bad_list).is_err());
+    }
+
+    #[test]
+    fn empty_decision_list_round_trips() {
+        let art = TraceArtifact::from_picks("p", "c", "f", &[]);
+        assert_eq!(TraceArtifact::parse(&art.render()).expect("parses").decisions, vec![]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # concur-decide
+//!
+//! The **decision kernel**: the one place in the workspace where "a
+//! schedule" is defined.
+//!
+//! Every layer of this repo answers the same question over and over —
+//! *which of the currently-possible alternatives fires next?* The
+//! explorer picks among enabled interpreter transitions, the
+//! conformance executor picks ready tasks and mailbox deliveries, the
+//! real runtimes perturb lock acquisition order and mailbox dequeue
+//! order. Before this crate existed each of those call sites carried
+//! its own RNG, its own clamping convention and (only in the
+//! conformance harness) its own record/replay/shrink machinery. Now
+//! they all share:
+//!
+//! * a [`DecisionKind`]/[`Decision`] vocabulary naming *what* is being
+//!   decided (task pick, internal choice, message delivery, chaos
+//!   perturbation);
+//! * the [`ChoiceSource`] trait with the canonical policies —
+//!   [`RandomSource`] (seeded), [`ReplaySource`] (recorded trace,
+//!   truncation defaults to 0), [`BoundedSource`] (systematic
+//!   preemption-bounded enumeration), [`FixedSource`] and
+//!   [`RoundRobinSource`];
+//! * centralized clamping: out-of-range picks are clamped exactly once,
+//!   in [`ChoiceSource::decide`] / [`ChoiceSource::decide_forced`],
+//!   never at call sites;
+//! * the [`DecisionTrace`] record/replay machinery plus the
+//!   [`shrink`] minimizer and the textual [`artifact`] format, so a
+//!   failing schedule found *anywhere* — fuzzer, property test, or a
+//!   chaos-perturbed real-thread run — is dumped and replayed the same
+//!   way.
+//!
+//! One `u64` seed or one decision vector names an entire schedule, in
+//! every layer.
+
+pub mod artifact;
+pub mod source;
+pub mod trace;
+
+pub use artifact::TraceArtifact;
+pub use source::{
+    BoundedSource, ChoiceSource, DecisionKind, FixedSource, RandomSource, Recording, ReplaySource,
+    RoundRobinSource,
+};
+pub use trace::{shrink, Decision, DecisionTrace};

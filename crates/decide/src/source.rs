@@ -1,0 +1,386 @@
+//! Choice sources: the policies that resolve scheduling decisions.
+//!
+//! A [`ChoiceSource`] is consulted through exactly two entry points —
+//! [`ChoiceSource::decide`] and [`ChoiceSource::decide_forced`] — and
+//! both clamp out-of-range picks centrally, so no consumer needs (or
+//! is allowed) its own clamping convention. The difference between the
+//! two entry points encodes the one historical divergence between the
+//! repo's schedulers:
+//!
+//! * the conformance executor consults its policy **only when more
+//!   than one alternative exists**, so a recorded vector is exactly
+//!   the run's nondeterminism ([`ChoiceSource::decide`]);
+//! * the explorer's drivers consult on **every** step, including
+//!   forced singleton transitions, so pre-kernel seeds and witness
+//!   scripts keep naming the same runs
+//!   ([`ChoiceSource::decide_forced`]).
+
+use crate::trace::{Decision, DecisionTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What kind of alternative a decision resolves. Purely descriptive —
+/// sources may ignore it — but recorded into [`DecisionTrace`]s so an
+/// artifact reads as a schedule, not a bare number list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionKind {
+    /// Which ready task/thread/transition runs next.
+    TaskPick,
+    /// An internal nondeterministic choice inside a running task.
+    Choice,
+    /// Which pending message a mailbox delivers next.
+    Delivery,
+    /// A chaos perturbation point in a real runtime (e.g. "yield the
+    /// time slice before taking this lock?").
+    Chaos,
+}
+
+impl DecisionKind {
+    /// Short label used by trace artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionKind::TaskPick => "task",
+            DecisionKind::Choice => "choice",
+            DecisionKind::Delivery => "delivery",
+            DecisionKind::Chaos => "chaos",
+        }
+    }
+}
+
+/// A policy resolving `n`-way decisions.
+///
+/// Implementations provide [`ChoiceSource::next_raw`], which may
+/// return any value; consumers call [`ChoiceSource::decide`] (or
+/// [`ChoiceSource::decide_forced`]), which clamp into `0..n`. Do not
+/// override the provided methods — they are the kernel's single
+/// clamping point.
+pub trait ChoiceSource {
+    /// Produce a raw (possibly out-of-range) pick for an `n`-way
+    /// decision. `hint` carries the position of the
+    /// previously-running task among the alternatives, when it is
+    /// still one of them, so preemption-bounded policies can prefer
+    /// to continue it.
+    fn next_raw(&mut self, kind: DecisionKind, n: usize, hint: Option<usize>) -> usize;
+
+    /// Name used in reports.
+    fn name(&self) -> &'static str {
+        "source"
+    }
+
+    /// Resolve an `n`-way decision, consulting the source **only when
+    /// a real alternative exists** (`n > 1`); degenerate decisions
+    /// resolve to `0` for free. The returned pick is always in
+    /// `0..n`. This is the conformance-executor convention: what the
+    /// source sees is exactly the run's nondeterminism.
+    fn decide(&mut self, kind: DecisionKind, n: usize, hint: Option<usize>) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            self.next_raw(kind, n, hint).min(n - 1)
+        }
+    }
+
+    /// Resolve an `n`-way decision, consulting the source even for
+    /// forced singleton steps (`n == 1` still consumes a draw or a
+    /// script entry). The explorer's drivers use this so seeds and
+    /// witness scripts recorded before the kernel existed keep naming
+    /// the same runs. The returned pick is always in `0..n`.
+    fn decide_forced(&mut self, kind: DecisionKind, n: usize, hint: Option<usize>) -> usize {
+        assert!(n > 0, "cannot decide among zero alternatives");
+        self.next_raw(kind, n, hint).min(n - 1)
+    }
+}
+
+/// Seeded uniformly random decisions — the fuzzing workhorse: one
+/// `u64` names an entire schedule.
+pub struct RandomSource {
+    rng: StdRng,
+}
+
+impl RandomSource {
+    /// Source seeded with `seed`; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        RandomSource { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl ChoiceSource for RandomSource {
+    fn next_raw(&mut self, _kind: DecisionKind, n: usize, _hint: Option<usize>) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Replays a recorded decision vector; entries past the end default to
+/// `0` (first alternative). That default is what makes **truncation a
+/// valid shrinking move**: any prefix of a valid schedule is itself a
+/// valid schedule, completed with first-alternative picks.
+pub struct ReplaySource {
+    picks: Vec<usize>,
+    pos: usize,
+}
+
+impl ReplaySource {
+    /// Replay `picks` in order, then pad with `0`.
+    pub fn new(picks: Vec<usize>) -> Self {
+        ReplaySource { picks, pos: 0 }
+    }
+
+    /// How many entries have been consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl ChoiceSource for ReplaySource {
+    fn next_raw(&mut self, _kind: DecisionKind, _n: usize, _hint: Option<usize>) -> usize {
+        let d = self.picks.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        d
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
+/// Systematic preemption-bounded enumeration: the schedule index is
+/// decoded digit-by-digit in the mixed radix of the decisions
+/// encountered, so consecutive indices enumerate distinct low-order
+/// schedule variations; once the preemption budget is spent, the
+/// previously-running task (the `hint`) is continued whenever it is
+/// still ready — the classic CHESS heuristic (most concurrency bugs
+/// need very few preemptions).
+pub struct BoundedSource {
+    digits: u64,
+    preemptions_left: usize,
+}
+
+impl BoundedSource {
+    /// Schedule number `index` under at most `preemption_bound`
+    /// preemptions.
+    pub fn new(index: u64, preemption_bound: usize) -> Self {
+        BoundedSource { digits: index, preemptions_left: preemption_bound }
+    }
+
+    fn decode(&mut self, n: usize) -> usize {
+        let d = (self.digits % n as u64) as usize;
+        self.digits /= n as u64;
+        d
+    }
+}
+
+impl ChoiceSource for BoundedSource {
+    fn next_raw(&mut self, _kind: DecisionKind, n: usize, hint: Option<usize>) -> usize {
+        if let Some(cur) = hint {
+            if self.preemptions_left == 0 {
+                return cur;
+            }
+            let d = self.decode(n);
+            if d != cur {
+                self.preemptions_left -= 1;
+            }
+            d
+        } else {
+            self.decode(n)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded"
+    }
+}
+
+/// Always picks the same index (clamped). `FixedSource::new(0)` is the
+/// "first alternative" baseline — on a rotating ready queue (the
+/// cooperative scheduler) that is exactly round-robin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedSource {
+    index: usize,
+}
+
+impl FixedSource {
+    /// Source that always answers `index`.
+    pub fn new(index: usize) -> Self {
+        FixedSource { index }
+    }
+}
+
+impl ChoiceSource for FixedSource {
+    fn next_raw(&mut self, _kind: DecisionKind, _n: usize, _hint: Option<usize>) -> usize {
+        self.index
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Rotates through positions `0, 1, 2, …` modulo the arity of each
+/// decision — a fair deterministic baseline for alternative lists
+/// that do *not* rotate themselves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinSource {
+    next: usize,
+}
+
+impl RoundRobinSource {
+    /// Rotation starting at position 0.
+    pub fn new() -> Self {
+        RoundRobinSource::default()
+    }
+}
+
+impl ChoiceSource for RoundRobinSource {
+    fn next_raw(&mut self, _kind: DecisionKind, n: usize, _hint: Option<usize>) -> usize {
+        let p = self.next % n;
+        self.next = p + 1;
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Wraps any source and records every pick it actually resolves into a
+/// [`DecisionTrace`]. Clamping happens *before* recording, so a
+/// recorded trace replays verbatim: feeding it to [`ReplaySource`]
+/// reproduces the identical run.
+pub struct Recording<'s> {
+    inner: &'s mut dyn ChoiceSource,
+    trace: DecisionTrace,
+}
+
+impl<'s> Recording<'s> {
+    /// Record every decision `inner` resolves.
+    pub fn new(inner: &'s mut dyn ChoiceSource) -> Self {
+        Recording { inner, trace: DecisionTrace::new() }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &DecisionTrace {
+        &self.trace
+    }
+
+    /// Finish recording and take the trace.
+    pub fn into_trace(self) -> DecisionTrace {
+        self.trace
+    }
+}
+
+impl ChoiceSource for Recording<'_> {
+    fn next_raw(&mut self, kind: DecisionKind, n: usize, hint: Option<usize>) -> usize {
+        // Clamp before recording so the trace replays verbatim even if
+        // the wrapped source misbehaves.
+        let picked = self.inner.next_raw(kind, n, hint).min(n.saturating_sub(1));
+        self.trace.push(Decision { kind, arity: n, picked });
+        picked
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite regression: before the kernel, `exec::schedule`
+    /// trusted scheduler impls to stay in range while the conformance
+    /// executor clamped at every call site. Both behaviors must now
+    /// map onto the kernel's two (centrally clamping) entry points.
+    #[test]
+    fn clamping_is_central_and_covers_both_historical_conventions() {
+        // Conformance convention (`decide`): out-of-range replay
+        // entries clamp, degenerate decisions are free.
+        let mut replay = ReplaySource::new(vec![99, 1, 7]);
+        assert_eq!(replay.decide(DecisionKind::TaskPick, 3, None), 2, "99 clamps to n-1");
+        assert_eq!(replay.decide(DecisionKind::TaskPick, 1, None), 0, "singleton is free");
+        assert_eq!(replay.consumed(), 1, "singleton decisions consume no script entry");
+        assert_eq!(replay.decide(DecisionKind::Choice, 4, None), 1, "in-range passes through");
+
+        // Explorer convention (`decide_forced`): singleton steps still
+        // consume an entry — exactly what `ReplayScheduler` always did
+        // (`script[pos].min(len - 1)`, pos advancing every step).
+        let mut replay = ReplaySource::new(vec![5, 5, 0]);
+        assert_eq!(replay.decide_forced(DecisionKind::TaskPick, 2, None), 1);
+        assert_eq!(replay.decide_forced(DecisionKind::TaskPick, 1, None), 0, "clamped to 0");
+        assert_eq!(replay.consumed(), 2, "forced decisions consume entries even for n == 1");
+    }
+
+    #[test]
+    fn replay_truncation_defaults_to_zero() {
+        let mut s = ReplaySource::new(vec![2]);
+        assert_eq!(s.decide(DecisionKind::TaskPick, 3, None), 2);
+        for _ in 0..5 {
+            assert_eq!(s.decide(DecisionKind::TaskPick, 3, None), 0, "past-the-end pads with 0");
+        }
+    }
+
+    #[test]
+    fn random_source_is_seed_deterministic() {
+        let stream = |seed| {
+            let mut s = RandomSource::new(seed);
+            (0..32).map(|_| s.decide(DecisionKind::TaskPick, 5, None)).collect::<Vec<_>>()
+        };
+        assert_eq!(stream(9), stream(9));
+        assert_ne!(stream(9), stream(10));
+        assert!(stream(9).iter().all(|&p| p < 5));
+    }
+
+    #[test]
+    fn bounded_source_decodes_mixed_radix_and_spends_the_preemption_budget() {
+        // index 5 = 1 + 2*2 in radix (2, 3): digits 1 then 2.
+        let mut s = BoundedSource::new(5, 9);
+        assert_eq!(s.decide(DecisionKind::TaskPick, 2, None), 1);
+        assert_eq!(s.decide(DecisionKind::Choice, 3, None), 2);
+        assert_eq!(s.decide(DecisionKind::TaskPick, 3, None), 0, "exhausted digits decode to 0");
+
+        // Zero budget: the hinted current task always continues.
+        let mut s = BoundedSource::new(u64::MAX, 0);
+        for cur in [0usize, 1, 2] {
+            assert_eq!(s.decide(DecisionKind::TaskPick, 3, Some(cur)), cur);
+        }
+
+        // A budget of one allows exactly one switch away from the hint.
+        let mut s = BoundedSource::new(u64::MAX, 1);
+        let first = s.decide(DecisionKind::TaskPick, 2, Some(0));
+        assert_eq!(first, 1, "all-ones digits pick the other task");
+        assert_eq!(s.decide(DecisionKind::TaskPick, 2, Some(0)), 0, "budget now spent");
+    }
+
+    #[test]
+    fn round_robin_rotates_and_fixed_stays_put() {
+        let mut rr = RoundRobinSource::new();
+        let picks: Vec<usize> =
+            (0..6).map(|_| rr.decide(DecisionKind::TaskPick, 3, None)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+
+        let mut fx = FixedSource::new(7);
+        assert_eq!(fx.decide(DecisionKind::TaskPick, 3, None), 2, "clamped");
+        assert_eq!(fx.decide(DecisionKind::TaskPick, 10, None), 7);
+    }
+
+    #[test]
+    fn recording_captures_exactly_the_consulted_decisions() {
+        let mut inner = ReplaySource::new(vec![4, 0, 1]);
+        let mut rec = Recording::new(&mut inner);
+        assert_eq!(rec.decide(DecisionKind::TaskPick, 3, None), 2);
+        assert_eq!(rec.decide(DecisionKind::Choice, 1, None), 0, "not recorded");
+        assert_eq!(rec.decide(DecisionKind::Delivery, 2, None), 0);
+        let trace = rec.into_trace();
+        assert_eq!(trace.picks(), vec![2, 0], "clamped values, singletons omitted");
+        assert_eq!(trace.decisions[0].kind, DecisionKind::TaskPick);
+        assert_eq!(trace.decisions[1].kind, DecisionKind::Delivery);
+
+        // A recorded trace replays verbatim.
+        let mut again = ReplaySource::new(trace.picks());
+        assert_eq!(again.decide(DecisionKind::TaskPick, 3, None), 2);
+        assert_eq!(again.decide(DecisionKind::Delivery, 2, None), 0);
+    }
+}

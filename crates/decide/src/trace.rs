@@ -1,0 +1,156 @@
+//! Decision traces: the recorded form of a schedule.
+//!
+//! A [`DecisionTrace`] is the sequence of decisions a run actually
+//! resolved, each with its [`DecisionKind`] and arity. The bare pick
+//! vector ([`DecisionTrace::picks`]) fed to a [`ReplaySource`]
+//! reproduces the run; the kind
+//! and arity metadata make dumped artifacts legible and let tools
+//! sanity-check a replay against the trace it came from.
+//!
+//! [`shrink`] minimizes a failing pick vector under the kernel's
+//! replay convention: entries past the end of a truncated vector
+//! default to `0`, so **any prefix of a valid schedule is a valid
+//! schedule** — truncation and entry-zeroing are the two shrinking
+//! moves, and both preserve replayability.
+
+use crate::source::{DecisionKind, ReplaySource};
+
+/// One resolved decision: what was decided, among how many
+/// alternatives, and which was picked (always `picked < arity`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// What kind of alternative this resolved.
+    pub kind: DecisionKind,
+    /// How many alternatives existed.
+    pub arity: usize,
+    /// The (clamped) pick.
+    pub picked: usize,
+}
+
+/// A recorded schedule: every decision a run resolved, in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecisionTrace {
+    /// The decisions, in resolution order.
+    pub decisions: Vec<Decision>,
+}
+
+impl DecisionTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        DecisionTrace::default()
+    }
+
+    /// Trace from a bare pick vector (kind/arity unknown — recorded
+    /// as degenerate [`DecisionKind::Choice`] entries). Used when
+    /// reconstructing a trace from a parsed artifact.
+    pub fn from_picks(picks: &[usize]) -> Self {
+        DecisionTrace {
+            decisions: picks
+                .iter()
+                .map(|&picked| Decision { kind: DecisionKind::Choice, arity: 0, picked })
+                .collect(),
+        }
+    }
+
+    /// Append one decision.
+    pub fn push(&mut self, d: Decision) {
+        self.decisions.push(d);
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The bare pick vector — the replayable essence of the trace.
+    pub fn picks(&self) -> Vec<usize> {
+        self.decisions.iter().map(|d| d.picked).collect()
+    }
+
+    /// A source replaying this trace (then padding with `0`).
+    pub fn replay(&self) -> ReplaySource {
+        ReplaySource::new(self.picks())
+    }
+}
+
+/// Shrink a failing pick vector: repeatedly try shorter prefixes
+/// (replay pads with 0, so truncation is always a valid schedule) and
+/// zeroed entries, keeping any candidate that still fails. Trailing
+/// zeros are dropped for free — padding makes them no-ops.
+pub fn shrink(picks: Vec<usize>, mut still_fails: impl FnMut(&[usize]) -> bool) -> Vec<usize> {
+    let trim = |mut v: Vec<usize>| {
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    };
+    let mut cur = trim(picks);
+    loop {
+        let mut improved = false;
+        let len = cur.len();
+        for keep in [0, len / 4, len / 2, (3 * len) / 4, len.saturating_sub(1)] {
+            if keep < len && still_fails(&cur[..keep]) {
+                cur = trim(cur[..keep].to_vec());
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            for i in 0..cur.len() {
+                if cur[i] != 0 {
+                    let mut cand = cur.clone();
+                    cand[i] = 0;
+                    if still_fails(&cand) {
+                        cur = trim(cand);
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::ChoiceSource;
+
+    #[test]
+    fn shrink_prefers_short_prefixes() {
+        // Fails whenever the vector contains a nonzero entry at or
+        // after index 2.
+        let fails = |d: &[usize]| d.iter().skip(2).any(|&x| x != 0);
+        let shrunk = shrink(vec![3, 1, 4, 1, 5, 9, 2, 6], fails);
+        // Minimal forms are three entries ending in a nonzero.
+        assert_eq!(shrunk.len(), 3, "shrunk to {shrunk:?}");
+        assert!(shrunk[2] != 0);
+    }
+
+    #[test]
+    fn shrink_zeroes_irrelevant_entries() {
+        // Fails iff index 1 is exactly 7; everything else is noise.
+        let fails = |d: &[usize]| d.get(1) == Some(&7);
+        let shrunk = shrink(vec![5, 7, 3, 2, 8], fails);
+        assert_eq!(shrunk, vec![0, 7]);
+    }
+
+    #[test]
+    fn trace_replays_its_own_picks() {
+        let mut trace = DecisionTrace::new();
+        trace.push(Decision { kind: DecisionKind::TaskPick, arity: 3, picked: 2 });
+        trace.push(Decision { kind: DecisionKind::Delivery, arity: 2, picked: 1 });
+        let mut replay = trace.replay();
+        assert_eq!(replay.decide(DecisionKind::TaskPick, 3, None), 2);
+        assert_eq!(replay.decide(DecisionKind::Delivery, 2, None), 1);
+        assert_eq!(replay.decide(DecisionKind::TaskPick, 4, None), 0, "padding");
+    }
+}

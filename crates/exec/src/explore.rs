@@ -10,8 +10,8 @@
 //!
 //! Two optimizations keep the search tractable:
 //!
-//! * **State interning** ([`crate::intern`]): DFS nodes hold a
-//!   [`StateSig`] (eight words) instead of a full [`State`], and the
+//! * **State interning** (the private `intern` module): DFS nodes hold
+//!   a `StateSig` (eight words) instead of a full [`State`], and the
 //!   visited set stores exact `(StateSig, progress)` pairs — no
 //!   reliance on 64-bit state hashes being collision-free.
 //! * **Partial-order reduction** ([`crate::footprint`]): at a state

@@ -47,7 +47,7 @@ pub use interp::{Choice, Interp, Outcome};
 pub use program::{compile, compile_source, Compiled};
 pub use schedule::{
     output_set, run, run_from, run_source, RandomScheduler, ReplayScheduler, RoundRobinScheduler,
-    RunResult, Scheduler,
+    RunResult, Scheduler, SourceScheduler,
 };
 pub use state::{State, TaskId};
 pub use value::{MessageVal, ObjId, RuntimeError, Value};

@@ -5,13 +5,20 @@
 //! semantics live entirely in [`crate::interp::Interp`], so every
 //! scheduler (and the exhaustive explorer) agrees on what each step
 //! does.
+//!
+//! The policies themselves live in the workspace-wide decision kernel
+//! (`concur-decide`); the schedulers here are thin adapters that
+//! translate interpreter [`Choice`] lists into kernel decisions. One
+//! convention matters: these drivers consult their source on **every**
+//! step — including forced singleton transitions — via
+//! [`ChoiceSource::decide_forced`], so seeds and witness scripts
+//! recorded before the kernel existed keep naming the same runs.
 
 use crate::event::Event;
 use crate::interp::{Choice, Interp, Outcome};
 use crate::state::State;
 use crate::value::RuntimeError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use concur_decide::{ChoiceSource, DecisionKind, RandomSource, ReplaySource};
 
 /// Picks the index of the next transition from a non-empty choice
 /// list.
@@ -24,22 +31,46 @@ pub trait Scheduler {
     }
 }
 
+/// Any decision source drives the interpreter directly: each enabled
+/// transition is a task-pick decision. This is the generic bridge from
+/// the kernel; [`RandomScheduler`] and [`ReplayScheduler`] are its
+/// canonical instances.
+pub struct SourceScheduler<S> {
+    source: S,
+}
+
+impl<S: ChoiceSource> SourceScheduler<S> {
+    pub fn new(source: S) -> Self {
+        SourceScheduler { source }
+    }
+}
+
+impl<S: ChoiceSource> Scheduler for SourceScheduler<S> {
+    fn pick(&mut self, choices: &[Choice], _state: &State) -> usize {
+        self.source.decide_forced(DecisionKind::TaskPick, choices.len(), None)
+    }
+
+    fn name(&self) -> &'static str {
+        self.source.name()
+    }
+}
+
 /// Uniformly random choice from a seeded generator — the workhorse for
 /// stress tests ("run the figure program 500 times and collect the set
 /// of outputs").
 pub struct RandomScheduler {
-    rng: StdRng,
+    inner: SourceScheduler<RandomSource>,
 }
 
 impl RandomScheduler {
     pub fn new(seed: u64) -> Self {
-        RandomScheduler { rng: StdRng::seed_from_u64(seed) }
+        RandomScheduler { inner: SourceScheduler::new(RandomSource::new(seed)) }
     }
 }
 
 impl Scheduler for RandomScheduler {
-    fn pick(&mut self, choices: &[Choice], _state: &State) -> usize {
-        self.rng.gen_range(0..choices.len())
+    fn pick(&mut self, choices: &[Choice], state: &State) -> usize {
+        self.inner.pick(choices, state)
     }
 
     fn name(&self) -> &'static str {
@@ -50,6 +81,10 @@ impl Scheduler for RandomScheduler {
 /// Round-robin over tasks: always advances the enabled choice with the
 /// smallest task id that is ≥ the last task stepped (wrapping).
 /// Deterministic; useful for smoke tests and as a "fair" baseline.
+///
+/// This is the one scheduler that is *not* a kernel adapter: its pick
+/// depends on the task ids inside the [`Choice`] list, which the
+/// position-only `ChoiceSource` vocabulary deliberately cannot see.
 pub struct RoundRobinScheduler {
     last: usize,
 }
@@ -90,23 +125,21 @@ impl Scheduler for RoundRobinScheduler {
 
 /// Replays a scripted list of choice indices, then falls back to index
 /// 0. Used to drive a run into a specific scenario (and by the
-/// explorer's witness replay).
+/// explorer's witness replay). Out-of-range entries are clamped by the
+/// kernel, one script entry per step (forced steps included).
 pub struct ReplayScheduler {
-    script: Vec<usize>,
-    pos: usize,
+    inner: SourceScheduler<ReplaySource>,
 }
 
 impl ReplayScheduler {
     pub fn new(script: Vec<usize>) -> Self {
-        ReplayScheduler { script, pos: 0 }
+        ReplayScheduler { inner: SourceScheduler::new(ReplaySource::new(script)) }
     }
 }
 
 impl Scheduler for ReplayScheduler {
-    fn pick(&mut self, choices: &[Choice], _state: &State) -> usize {
-        let idx = self.script.get(self.pos).copied().unwrap_or(0);
-        self.pos += 1;
-        idx.min(choices.len() - 1)
+    fn pick(&mut self, choices: &[Choice], state: &State) -> usize {
+        self.inner.pick(choices, state)
     }
 
     fn name(&self) -> &'static str {

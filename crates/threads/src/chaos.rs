@@ -1,57 +1,114 @@
-//! Seeded schedule perturbation for real-thread runs.
+//! Seeded, **recordable** schedule perturbation for real-thread runs.
 //!
 //! The OS scheduler on a quiet machine explores very few
 //! interleavings: the same thread tends to win every race. The
 //! conformance harness (`concur-conformance`) wants the *real*
-//! runtimes to visit diverse schedules, so this module plants a tiny
-//! deterministic-ish chaos source at the locking boundary:
-//! [`install`] arms a global splitmix64 stream, and
-//! [`perturb`] — called on every [`crate::raw::RawMutex::lock`]
-//! entry — occasionally yields the time slice, shuffling which thread
-//! reaches the lock first.
+//! runtimes to visit diverse schedules, so this module plants a
+//! deterministic chaos source at the locking boundary: [`install`]
+//! arms a global decision kernel, and [`perturb`] — called on every
+//! [`crate::raw::RawMutex::lock`] entry — occasionally yields the time
+//! slice, shuffling which thread reaches the lock first.
 //!
-//! The stream state is updated with relaxed atomics and no
-//! compare-exchange: lost updates under contention just add entropy,
-//! which is the point. When not installed (the default), `perturb` is
-//! a single relaxed load.
+//! Unlike the pre-kernel version (a racy splitmix64 stream whose lost
+//! updates were unreproducible by design), the armed state now draws
+//! every perturbation from a [`ChoiceSource`] and records it into a
+//! [`DecisionTrace`]: a failing real-runtime spot check can dump the
+//! trace as a replayable artifact — exactly like the controlled
+//! conformance executor — and [`install_replay`] re-applies it,
+//! decision by decision, in global arrival order. (With more than one
+//! thread racing to the perturbation points, arrival order is itself
+//! scheduled by the OS, so multi-threaded replay is best-effort; with
+//! one thread it is exact.)
+//!
+//! When not installed (the default), `perturb` is a single relaxed
+//! atomic load.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use concur_decide::{
+    ChoiceSource, Decision, DecisionKind, DecisionTrace, RandomSource, ReplaySource,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
-static CHAOS: AtomicU64 = AtomicU64::new(0);
+/// Fast-path flag: true iff a kernel is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+/// The armed decision kernel. A `std` mutex, not one of ours —
+/// `perturb` runs inside our own lock paths, and the chaos kernel must
+/// never re-enter them.
+static KERNEL: Mutex<Option<Kernel>> = Mutex::new(None);
+
+struct Kernel {
+    source: Box<dyn ChoiceSource + Send>,
+    trace: DecisionTrace,
 }
 
-/// Arm the perturbation stream. `seed` is forced odd so an armed
-/// stream is never mistaken for the disarmed zero state.
+/// Arity of each perturbation decision: pick 0 of [`YIELD_WAYS`] ⇒
+/// yield the time slice, anything else ⇒ continue. A uniform random
+/// source therefore yields roughly one call in seven, the historical
+/// perturbation rate.
+pub const YIELD_WAYS: usize = 7;
+
+fn arm(source: Box<dyn ChoiceSource + Send>) {
+    let mut kernel = KERNEL.lock().expect("chaos kernel lock");
+    *kernel = Some(Kernel { source, trace: DecisionTrace::new() });
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Arm the perturbation stream with a seeded random source.
 pub fn install(seed: u64) {
-    CHAOS.store(seed | 1, Ordering::Relaxed);
+    install_source(Box::new(RandomSource::new(seed)));
 }
 
-/// Disarm; `perturb` becomes (almost) free again.
-pub fn uninstall() {
-    CHAOS.store(0, Ordering::Relaxed);
+/// Arm the perturbation stream with a recorded decision vector
+/// (entries past the end default to 0 = yield; dumped traces replay
+/// their prefix exactly, in global arrival order).
+pub fn install_replay(picks: Vec<usize>) {
+    install_source(Box::new(ReplaySource::new(picks)));
 }
 
+/// Arm the perturbation stream with an arbitrary decision source —
+/// the fully general form of [`install`]/[`install_replay`].
+pub fn install_source(source: Box<dyn ChoiceSource + Send>) {
+    arm(source);
+}
+
+/// Disarm and return the trace of every decision the armed kernel
+/// resolved; `perturb` becomes (almost) free again. Returns an empty
+/// trace when nothing was armed.
+pub fn uninstall() -> DecisionTrace {
+    ARMED.store(false, Ordering::Relaxed);
+    let mut kernel = KERNEL.lock().expect("chaos kernel lock");
+    kernel.take().map(|k| k.trace).unwrap_or_default()
+}
+
+/// Whether a chaos kernel is currently armed.
 pub fn is_installed() -> bool {
-    CHAOS.load(Ordering::Relaxed) != 0
+    ARMED.load(Ordering::Relaxed)
 }
 
-/// One perturbation point: advance the stream and, roughly one call in
-/// seven, yield the current time slice.
+/// Resolve one `n`-way chaos decision against the armed kernel,
+/// recording it. Returns 0 when disarmed (or for degenerate `n`) —
+/// real runtimes can branch on chaos decisions directly, not just
+/// yield on them, and the decision still lands in the dumped trace.
+pub fn choice(n: usize) -> usize {
+    if !is_installed() || n <= 1 {
+        return 0;
+    }
+    let Ok(mut guard) = KERNEL.lock() else { return 0 };
+    let Some(kernel) = guard.as_mut() else { return 0 };
+    let picked = kernel.source.decide(DecisionKind::Chaos, n, None);
+    kernel.trace.push(Decision { kind: DecisionKind::Chaos, arity: n, picked });
+    picked
+}
+
+/// One perturbation point: resolve (and record) a yield decision and,
+/// roughly one call in [`YIELD_WAYS`], yield the current time slice.
 #[inline]
 pub fn perturb() {
-    let cur = CHAOS.load(Ordering::Relaxed);
-    if cur == 0 {
+    if !is_installed() {
         return;
     }
-    let next = splitmix64(cur);
-    CHAOS.store(next | 1, Ordering::Relaxed);
-    if next.is_multiple_of(7) {
+    if choice(YIELD_WAYS) == 0 {
         std::thread::yield_now();
     }
 }
@@ -60,14 +117,57 @@ pub fn perturb() {
 mod tests {
     use super::*;
 
+    // Chaos state is process-global; tests touching it must not run
+    // concurrently with each other.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
     #[test]
-    fn install_arms_and_uninstall_disarms() {
+    fn install_arms_and_uninstall_disarms_returning_the_trace() {
+        let _g = TEST_GUARD.lock().unwrap();
         assert!(!is_installed());
-        install(0); // even seed still arms (forced odd)
+        install(0);
         assert!(is_installed());
         perturb(); // must not panic or disarm
+        perturb();
         assert!(is_installed());
-        uninstall();
+        let trace = uninstall();
         assert!(!is_installed());
+        assert_eq!(trace.len(), 2, "every perturb decision is recorded");
+        assert!(trace.decisions.iter().all(|d| d.kind == DecisionKind::Chaos));
+        assert!(trace.decisions.iter().all(|d| d.picked < YIELD_WAYS));
+    }
+
+    #[test]
+    fn same_seed_yields_the_same_trace_and_replay_reproduces_it() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let run = || {
+            install(0xFEED);
+            for _ in 0..40 {
+                perturb();
+            }
+            uninstall()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "single-threaded chaos is seed-deterministic");
+
+        install_replay(a.picks());
+        for _ in 0..40 {
+            perturb();
+        }
+        let replayed = uninstall();
+        assert_eq!(replayed.picks(), a.picks(), "replay re-records the identical stream");
+    }
+
+    #[test]
+    fn choice_records_branch_decisions_and_is_zero_when_disarmed() {
+        let _g = TEST_GUARD.lock().unwrap();
+        assert_eq!(choice(5), 0, "disarmed chaos always answers 0");
+        install(7);
+        let picks: Vec<usize> = (0..16).map(|_| choice(3)).collect();
+        let trace = uninstall();
+        assert_eq!(trace.picks(), picks);
+        assert!(picks.iter().any(|&p| p != 0), "a seeded source varies its answers");
+        assert!(picks.iter().all(|&p| p < 3));
     }
 }

@@ -6,6 +6,7 @@
 
 pub use concur_actors as actors;
 pub use concur_coroutines as coroutines;
+pub use concur_decide as decide;
 pub use concur_exec as exec;
 pub use concur_problems as problems;
 pub use concur_pseudocode as pseudocode;
