@@ -1,0 +1,134 @@
+//! Parallel-explorer scaling: serial vs N-worker throughput on the
+//! two workloads the ISSUE calls out — the message-passing bridge's
+//! full reduced space (~64k states, the largest exhaustive run in the
+//! repo) and the naive dining philosophers deadlock hunt.
+//!
+//! Before the timed groups, a one-shot scaling report runs each
+//! configuration once, prints states/second and speedup, and asserts
+//! two things: (1) every parallel run reproduces the serial terminal
+//! set exactly (the bench doubles as one more differential), and
+//! (2) on a machine with at least 4 cores, 4 workers deliver at least
+//! a 2x wall-clock speedup on the bridge sweep. The speedup floor is
+//! skipped — loudly — on smaller machines, where workers time-slice a
+//! single core and no speedup is physically available.
+
+use concur_conformance::models::DINING_NAIVE;
+use concur_exec::explore::{Explorer, Limits};
+use concur_exec::par::ParExplorer;
+use concur_exec::Interp;
+use concur_study::bridge::BRIDGE_MESSAGE_PASSING;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+const WORKER_POINTS: [usize; 3] = [2, 4, 8];
+
+fn mp_limits() -> Limits {
+    Limits { max_states: 2_000_000, max_depth: 50_000, max_setup_states: 4096 }
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn states_per_sec(states: usize, wall: Duration) -> f64 {
+    states as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+/// One-shot scaling table; printed per run and mirrored in
+/// EXPERIMENTS.md.
+fn report_parallel_scaling() {
+    let interp = Interp::from_source(BRIDGE_MESSAGE_PASSING).unwrap();
+    let begin = Instant::now();
+    let serial = Explorer::with_limits(&interp, mp_limits()).with_threads(1).terminals().unwrap();
+    let serial_wall = begin.elapsed();
+    assert!(!serial.stats.truncated, "mp-bridge serial sweep should be complete");
+    println!(
+        "par-scaling/mp_bridge/serial: {} states in {serial_wall:?} ({:.0} states/s)",
+        serial.stats.states_visited,
+        states_per_sec(serial.stats.states_visited, serial_wall),
+    );
+
+    for workers in WORKER_POINTS {
+        let begin = Instant::now();
+        let par =
+            ParExplorer::with_limits(&interp, mp_limits()).workers(workers).terminals().unwrap();
+        let wall = begin.elapsed();
+        let speedup = serial_wall.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+        println!(
+            "par-scaling/mp_bridge/{workers}w: {} states in {wall:?} ({:.0} states/s, {speedup:.2}x)",
+            par.stats.states_visited,
+            states_per_sec(par.stats.states_visited, wall),
+        );
+        assert_eq!(
+            par.terminals, serial.terminals,
+            "{workers} workers: parallel terminal set diverged from serial"
+        );
+        if workers == 4 {
+            if cores() >= 4 {
+                assert!(
+                    speedup >= 2.0,
+                    "4 workers on a {}-core machine managed only {speedup:.2}x (need >= 2x)",
+                    cores(),
+                );
+            } else {
+                println!(
+                    "par-scaling: SKIPPING the 2x@4-workers floor: only {} core(s) available",
+                    cores(),
+                );
+            }
+        }
+    }
+}
+
+fn bench_explorer_par(c: &mut Criterion) {
+    report_parallel_scaling();
+
+    let mut group = c.benchmark_group("explorer_par");
+
+    // The full reduced mp-bridge space is seconds per sweep; two
+    // samples keep the walltime sane while still catching gross
+    // regressions.
+    group.sample_size(2);
+    let mp_bridge = Interp::from_source(BRIDGE_MESSAGE_PASSING).unwrap();
+    group.bench_function("mp_bridge_serial", |b| {
+        b.iter(|| {
+            let set =
+                Explorer::with_limits(&mp_bridge, mp_limits()).with_threads(1).terminals().unwrap();
+            assert!(!set.stats.truncated);
+        });
+    });
+    for workers in WORKER_POINTS {
+        group.bench_function(format!("mp_bridge_{workers}w"), |b| {
+            b.iter(|| {
+                let set = ParExplorer::with_limits(&mp_bridge, mp_limits())
+                    .workers(workers)
+                    .terminals()
+                    .unwrap();
+                assert!(!set.stats.truncated);
+            });
+        });
+    }
+
+    // Deadlock hunt: enumerate naive dining's terminals and demand the
+    // deadlock shows up — the classic "find the bad interleaving"
+    // workload, small enough for full criterion sampling.
+    group.sample_size(10);
+    let dining = Interp::from_source(DINING_NAIVE).unwrap();
+    group.bench_function("dining_naive_hunt_serial", |b| {
+        b.iter(|| {
+            let set = Explorer::new(&dining).with_threads(1).terminals().unwrap();
+            assert!(set.has_deadlock(), "naive dining must deadlock somewhere");
+        });
+    });
+    group.bench_function("dining_naive_hunt_4w", |b| {
+        b.iter(|| {
+            let set = ParExplorer::new(&dining).workers(4).terminals().unwrap();
+            assert!(set.has_deadlock(), "naive dining must deadlock somewhere");
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_explorer_par);
+criterion_main!(benches);

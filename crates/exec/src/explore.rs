@@ -62,6 +62,13 @@ const CORRIDOR_MAX: usize = 256;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Stats {
     pub states_visited: usize,
+    /// Edges that reached an already-visited `(state, progress)` node
+    /// (the visited-set hit count). For a fixed program explored
+    /// without POR, `states_visited + states_deduped` equals the
+    /// transition count plus the root count — conserved across any
+    /// exploration order, including across parallel worker counts; the
+    /// `par_differential` suite asserts this.
+    pub states_deduped: usize,
     pub transitions: usize,
     /// Whether any bound was hit (results are then lower bounds).
     pub truncated: bool,
@@ -170,33 +177,75 @@ type VisitFn<'f> = &'f mut dyn FnMut(&State, &[Event], &[Choice], usize) -> Visi
 /// What the active search can observe; transitions that could affect
 /// any of it are *visible* and are never pruned into an ample set.
 #[derive(Clone, Copy)]
-struct Visibility<'v> {
+pub(crate) struct Visibility<'v> {
     /// Event patterns the query can match. A transition is visible
     /// only if one of its predicted emits could match one of these
     /// (task label, function and message name/payload included — not
     /// just the event kind).
-    patterns: &'v [EventPattern],
+    pub(crate) patterns: &'v [EventPattern],
     /// State conditions the visit callback evaluates.
-    conds: &'v [StateCond],
+    pub(crate) conds: &'v [StateCond],
 }
 
 impl Visibility<'_> {
-    const NONE: Visibility<'static> = Visibility { patterns: &[], conds: &[] };
+    pub(crate) const NONE: Visibility<'static> = Visibility { patterns: &[], conds: &[] };
 }
 
 /// A precomputed successor edge: the interned signature of the state
 /// it reaches plus the events emitted along the way (one step for an
 /// ample edge, possibly many for a corridor-compressed one).
-type Succ = (StateSig, Vec<Event>);
+pub(crate) type Succ = (StateSig, Vec<Event>);
 
 /// How a node's successors are produced.
-enum Expansion {
+pub(crate) enum Expansion {
     /// All enabled choices; each is applied lazily (the parent state
     /// is re-materialized from its signature per child).
     Full { choices: Vec<Choice>, next: usize },
     /// An ample subset, already applied during selection (the cycle
     /// proviso needed the successor signatures anyway).
     Ample { succs: Vec<Succ>, next: usize },
+}
+
+/// What the expansion planner needs from an exploration's storage:
+/// interning, materialization, and visited-set membership. Two
+/// implementations share the POR/corridor machinery verbatim:
+/// [`SerialCtx`] (single-threaded `Rc` pools + a plain hash set) and
+/// the parallel frontier's context over [`crate::intern`]'s sharded
+/// tables. Keeping ample-set selection behind this trait is what makes
+/// the parallel explorer *exact*: both sides run the identical
+/// commutation and proviso checks, differing only in where membership
+/// answers come from.
+pub(crate) trait ExploreCtx {
+    fn intern(&mut self, state: &State) -> StateSig;
+    fn materialize(&self, sig: StateSig) -> State;
+    /// Whether `(sig, progress)` is already a claimed/visited node.
+    fn is_visited(&self, key: (StateSig, usize)) -> bool;
+}
+
+/// Storage for one serial exploration.
+pub(crate) struct SerialCtx {
+    pub(crate) pools: Pools,
+    pub(crate) visited: FxHashSet<(StateSig, usize)>,
+}
+
+impl SerialCtx {
+    pub(crate) fn new() -> Self {
+        SerialCtx { pools: Pools::new(), visited: FxHashSet::default() }
+    }
+}
+
+impl ExploreCtx for SerialCtx {
+    fn intern(&mut self, state: &State) -> StateSig {
+        self.pools.intern(state)
+    }
+
+    fn materialize(&self, sig: StateSig) -> State {
+        self.pools.materialize(sig)
+    }
+
+    fn is_visited(&self, key: (StateSig, usize)) -> bool {
+        self.visited.contains(&key)
+    }
 }
 
 /// One DFS node. `progress` is the query-match index (always 0 for
@@ -254,7 +303,30 @@ pub enum Visit {
     Stop,
 }
 
-/// The explorer: exhaustive DFS drivers over an [`Interp`].
+/// How many worker threads an [`Explorer`] call may use. Reads the
+/// `CONCUR_EXPLORE_THREADS` environment variable once per process
+/// (values `>= 1`; unset, `0` or garbage fall back to the machine's
+/// available parallelism).
+pub(crate) fn configured_threads() -> usize {
+    use std::sync::OnceLock;
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        std::env::var("CONCUR_EXPLORE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// The explorer: exhaustive search drivers over an [`Interp`].
+///
+/// With more than one thread (explicit [`Explorer::with_threads`], or
+/// the `CONCUR_EXPLORE_THREADS` environment knob, which defaults to
+/// the machine's available parallelism) the terminal enumeration and
+/// question answering delegate to the work-stealing
+/// [`crate::par::ParExplorer`]; the results are exact either way (the
+/// parallel differential suite holds the two byte-identical).
 pub struct Explorer<'i> {
     pub interp: &'i Interp,
     pub limits: Limits,
@@ -262,15 +334,17 @@ pub struct Explorer<'i> {
     /// enumeration and event-pattern queries). Setup discovery is
     /// always unreduced regardless of this flag.
     pub por: bool,
+    /// Worker-thread override; `None` consults the environment knob.
+    threads: Option<usize>,
 }
 
 impl<'i> Explorer<'i> {
     pub fn new(interp: &'i Interp) -> Self {
-        Explorer { interp, limits: Limits::default(), por: true }
+        Explorer { interp, limits: Limits::default(), por: true, threads: None }
     }
 
     pub fn with_limits(interp: &'i Interp, limits: Limits) -> Self {
-        Explorer { interp, limits, por: true }
+        Explorer { interp, limits, por: true, threads: None }
     }
 
     /// The same explorer with partial-order reduction disabled —
@@ -281,6 +355,26 @@ impl<'i> Explorer<'i> {
         self
     }
 
+    /// Pin the worker-thread count, overriding the
+    /// `CONCUR_EXPLORE_THREADS` environment knob. `1` forces the
+    /// serial DFS; `n > 1` forces the parallel frontier with `n`
+    /// workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The worker count this explorer will actually use.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(configured_threads).max(1)
+    }
+
+    fn as_parallel(&self) -> crate::par::ParExplorer<'i> {
+        crate::par::ParExplorer::with_limits(self.interp, self.limits)
+            .por(self.por)
+            .workers(self.effective_threads())
+    }
+
     /// Enumerate every reachable terminal state (distinct outputs +
     /// outcome kinds). This regenerates the figures' "possibility"
     /// lists exactly.
@@ -289,18 +383,25 @@ impl<'i> Explorer<'i> {
     /// every state with no enabled transitions — every terminal — is
     /// still reached.
     pub fn terminals(&self) -> Result<TerminalSet, RuntimeError> {
+        if self.effective_threads() > 1 {
+            return self.as_parallel().terminals();
+        }
+        self.terminals_serial()
+    }
+
+    /// The serial DFS terminal enumeration, regardless of the thread
+    /// knob.
+    pub(crate) fn terminals_serial(&self) -> Result<TerminalSet, RuntimeError> {
         let begin = Instant::now();
         let mut terminals = BTreeSet::new();
         let mut stats = Stats::default();
-        let mut pools = Pools::new();
-        let mut visited = FxHashSet::default();
+        let mut ctx = SerialCtx::new();
         self.dfs(
             self.interp.initial_state(),
             None,
             self.por,
             Visibility::NONE,
-            &mut pools,
-            &mut visited,
+            &mut ctx,
             &mut stats,
             &mut |state, _events, choices, _progress| {
                 if choices.is_empty() {
@@ -369,16 +470,14 @@ impl<'i> Explorer<'i> {
         let begin = Instant::now();
         let mut found: Vec<State> = Vec::new();
         let mut stats = Stats::default();
-        let mut pools = Pools::new();
-        let mut visited = FxHashSet::default();
+        let mut ctx = SerialCtx::new();
         let funcs = &self.interp.compiled.funcs;
         self.dfs(
             self.interp.initial_state(),
             None,
             use_por,
             visibility,
-            &mut pools,
-            &mut visited,
+            &mut ctx,
             &mut stats,
             &mut |state, _events, _choices, _progress| {
                 if setup.iter().all(|c| c.holds(state, funcs)) {
@@ -434,6 +533,19 @@ impl<'i> Explorer<'i> {
         setup: &[StateCond],
         query: &[EventPattern],
     ) -> Result<(Answer, Stats), RuntimeError> {
+        if self.effective_threads() > 1 {
+            return self.as_parallel().can_happen_with_stats(setup, query);
+        }
+        self.can_happen_with_stats_serial(setup, query)
+    }
+
+    /// The serial question-answering path, regardless of the thread
+    /// knob.
+    pub(crate) fn can_happen_with_stats_serial(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<(Answer, Stats), RuntimeError> {
         let begin = Instant::now();
         let (starts, setup_stats) =
             self.setup_frontier(setup, query, self.limits.max_setup_states)?;
@@ -455,8 +567,7 @@ impl<'i> Explorer<'i> {
         // Share pools and the visited set across start states: a
         // (state, progress) node explored from one start need not be
         // re-explored from another.
-        let mut pools = Pools::new();
-        let mut visited: FxHashSet<(StateSig, usize)> = FxHashSet::default();
+        let mut ctx = SerialCtx::new();
         for start in starts {
             let mut witness: Option<Vec<Event>> = None;
             self.dfs(
@@ -464,8 +575,7 @@ impl<'i> Explorer<'i> {
                 Some(query),
                 self.por,
                 Visibility { patterns: query, conds: &[] },
-                &mut pools,
-                &mut visited,
+                &mut ctx,
                 &mut stats,
                 &mut |_state, _events, _choices, progress| {
                     if progress == query.len() {
@@ -503,15 +613,15 @@ impl<'i> Explorer<'i> {
         query: Option<&[EventPattern]>,
         use_por: bool,
         visibility: Visibility<'_>,
-        pools: &mut Pools,
-        visited: &mut FxHashSet<(StateSig, usize)>,
+        ctx: &mut SerialCtx,
         stats: &mut Stats,
         visit: VisitFn<'_>,
     ) -> Result<Option<Vec<Event>>, RuntimeError> {
         let mut start = start;
         start.steps = 0;
-        let start_sig = pools.intern(&start);
-        if !visited.insert((start_sig, 0)) {
+        let start_sig = ctx.pools.intern(&start);
+        if !ctx.visited.insert((start_sig, 0)) {
+            stats.states_deduped += 1;
             return Ok(None);
         }
         stats.states_visited += 1;
@@ -520,8 +630,7 @@ impl<'i> Explorer<'i> {
             Visit::Stop | Visit::Prune => return Ok(None),
             Visit::Continue => {}
         }
-        let expansion =
-            self.plan_expansion(&start, choices, 0, use_por, visibility, pools, visited, stats)?;
+        let expansion = self.plan_expansion(&start, choices, 0, use_por, visibility, ctx, stats)?;
         let root = Node { sig: start_sig, progress: 0, edge_events: Vec::new(), expansion };
         let mut stack_bytes = root.bytes();
         stats.peak_stack_bytes = stats.peak_stack_bytes.max(stack_bytes);
@@ -570,17 +679,17 @@ impl<'i> Explorer<'i> {
                     continue;
                 }
                 StepAction::Apply { choice, parent_sig, progress } => {
-                    let mut next_state = pools.materialize(parent_sig);
+                    let mut next_state = ctx.pools.materialize(parent_sig);
                     let events = self.interp.apply(&mut next_state, &choice)?;
                     // Step counts are path-dependent; freeze them so
                     // they do not break state dedup.
                     next_state.steps = 0;
                     stats.transitions += 1;
-                    let sig = pools.intern(&next_state);
+                    let sig = ctx.pools.intern(&next_state);
                     (next_state, sig, events, progress)
                 }
                 StepAction::Cached { sig, events, progress } => {
-                    (pools.materialize(sig), sig, events, progress)
+                    (ctx.pools.materialize(sig), sig, events, progress)
                 }
             };
 
@@ -599,7 +708,8 @@ impl<'i> Explorer<'i> {
                 }
             }
 
-            if !visited.insert((sig, progress)) {
+            if !ctx.visited.insert((sig, progress)) {
+                stats.states_deduped += 1;
                 continue;
             }
             stats.states_visited += 1;
@@ -618,8 +728,7 @@ impl<'i> Explorer<'i> {
                         progress,
                         use_por,
                         visibility,
-                        pools,
-                        visited,
+                        ctx,
                         stats,
                     )?;
                     let node = Node { sig, progress, edge_events: events, expansion };
@@ -637,22 +746,26 @@ impl<'i> Explorer<'i> {
     /// invisible edge — whether a singleton ample set or the state's
     /// only enabled choice — is extended through its corridor (see
     /// [`Explorer::compress_corridor`]) before becoming an edge.
+    ///
+    /// Generic over [`ExploreCtx`]: the serial DFS and the parallel
+    /// frontier share this planner (and everything below it)
+    /// verbatim, so a node's ample set depends only on the state, the
+    /// visibility, and visited-set membership at planning time —
+    /// never on which engine asked.
     #[allow(clippy::too_many_arguments)]
-    fn plan_expansion(
+    pub(crate) fn plan_expansion<C: ExploreCtx>(
         &self,
         state: &State,
         choices: Vec<Choice>,
         progress: usize,
         use_por: bool,
         visibility: Visibility<'_>,
-        pools: &mut Pools,
-        visited: &FxHashSet<(StateSig, usize)>,
+        ctx: &mut C,
         stats: &mut Stats,
     ) -> Result<Expansion, RuntimeError> {
         if use_por {
             let first = if choices.len() > 1 {
-                let succs =
-                    self.try_ample(state, &choices, progress, visibility, pools, visited)?;
+                let succs = self.try_ample(state, &choices, progress, visibility, ctx)?;
                 if let Some(succs) = &succs {
                     stats.por_ample_states += 1;
                     stats.por_pruned_choices += choices.len() - succs.len();
@@ -666,16 +779,14 @@ impl<'i> Explorer<'i> {
                 let events = self.interp.apply(&mut next, &choices[0])?;
                 next.steps = 0;
                 stats.transitions += 1;
-                Some(vec![(pools.intern(&next), events)])
+                Some(vec![(ctx.intern(&next), events)])
             } else {
                 None
             };
             if let Some(mut succs) = first {
                 if succs.len() == 1 {
                     let seed = succs.pop().expect("singleton");
-                    succs.push(
-                        self.compress_corridor(seed, progress, visibility, pools, visited, stats)?,
-                    );
+                    succs.push(self.compress_corridor(seed, progress, visibility, ctx, stats)?);
                 }
                 return Ok(Expansion::Ample { succs, next: 0 });
             }
@@ -685,7 +796,12 @@ impl<'i> Explorer<'i> {
 
     /// Whether a choice's footprint is fully resolved and invisible to
     /// the active query and watched conditions.
-    fn invisible(&self, state: &State, choice: &Choice, visibility: Visibility<'_>) -> bool {
+    pub(crate) fn invisible(
+        &self,
+        state: &State,
+        choice: &Choice,
+        visibility: Visibility<'_>,
+    ) -> bool {
         let fp = self.interp.choice_footprint(state, choice);
         !(fp.unknown
             || fp.may_match_patterns(visibility.patterns)
@@ -715,22 +831,21 @@ impl<'i> Explorer<'i> {
     /// [`CORRIDOR_MAX`] hops — a bound on single-edge work for
     /// infinite-state programs; the end node just seeds the next
     /// corridor.
-    fn compress_corridor(
+    pub(crate) fn compress_corridor<C: ExploreCtx>(
         &self,
         seed: Succ,
         progress: usize,
         visibility: Visibility<'_>,
-        pools: &mut Pools,
-        visited: &FxHashSet<(StateSig, usize)>,
+        ctx: &mut C,
         stats: &mut Stats,
     ) -> Result<Succ, RuntimeError> {
         let (mut sig, mut events) = seed;
         let mut interior: FxHashSet<StateSig> = FxHashSet::default();
         for _ in 0..CORRIDOR_MAX {
-            if visited.contains(&(sig, progress)) || !interior.insert(sig) {
+            if ctx.is_visited((sig, progress)) || !interior.insert(sig) {
                 break;
             }
-            let state = pools.materialize(sig);
+            let state = ctx.materialize(sig);
             let choices = self.interp.choices(&state);
             let hop = match choices.len() {
                 0 => None,
@@ -740,13 +855,13 @@ impl<'i> Explorer<'i> {
                         let evs = self.interp.apply(&mut next, &choices[0])?;
                         next.steps = 0;
                         stats.transitions += 1;
-                        Some((pools.intern(&next), evs))
+                        Some((ctx.intern(&next), evs))
                     } else {
                         None
                     }
                 }
                 _ => {
-                    match self.try_ample(&state, &choices, progress, visibility, pools, visited)? {
+                    match self.try_ample(&state, &choices, progress, visibility, ctx)? {
                         Some(succs) if succs.len() == 1 => {
                             stats.por_ample_states += 1;
                             stats.por_pruned_choices += choices.len() - 1;
@@ -789,14 +904,13 @@ impl<'i> Explorer<'i> {
     /// Commits nothing to [`Stats`] — callers account for the ample
     /// states, pruned choices and transitions of the results they
     /// actually keep (a corridor probe may discard a branching set).
-    fn try_ample(
+    pub(crate) fn try_ample<C: ExploreCtx>(
         &self,
         state: &State,
         choices: &[Choice],
         progress: usize,
         visibility: Visibility<'_>,
-        pools: &mut Pools,
-        visited: &FxHashSet<(StateSig, usize)>,
+        ctx: &mut C,
     ) -> Result<Option<Vec<Succ>>, RuntimeError> {
         let mut by_task: BTreeMap<TaskId, Vec<usize>> = BTreeMap::new();
         for (i, choice) in choices.iter().enumerate() {
@@ -835,12 +949,12 @@ impl<'i> Explorer<'i> {
                 let mut next = state.clone();
                 let events = self.interp.apply(&mut next, &choices[i])?;
                 next.steps = 0;
-                let sig = pools.intern(&next);
+                let sig = ctx.intern(&next);
                 succs.push((sig, events));
             }
             // Invisible edges cannot advance query progress, so the
             // successors' node keys keep this node's progress.
-            if succs.iter().any(|(sig, _)| visited.contains(&(*sig, progress))) {
+            if succs.iter().any(|(sig, _)| ctx.is_visited((*sig, progress))) {
                 continue 'candidate;
             }
             return Ok(Some(succs));

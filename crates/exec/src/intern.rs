@@ -10,14 +10,28 @@
 //! *exactly* (the visited set no longer relies on 64-bit hashes being
 //! collision-free).
 //!
+//! Two interner variants share the [`StateSig`] layout:
+//!
+//! * [`Pools`] — single-threaded, `Rc`-backed, zero synchronization;
+//!   the serial DFS uses it.
+//! * [`ShardedInterner`] — the parallel frontier's table: every
+//!   component pool is split into lock-striped shards (an id encodes
+//!   `(shard, slot)`), and the visited set is a sharded *claim table*
+//!   whose insert-if-absent is the workers' arbitration point. The
+//!   membership protocol is merge-free: a worker that wins the claim
+//!   for a `(StateSig, progress)` node owns its expansion; losers
+//!   count a dedup and move on. Nothing is reconciled at quiesce —
+//!   the table was always globally consistent.
+//!
 //! Interning is per-exploration: signatures from different
-//! [`Pools`] are meaningless to compare.
+//! [`Pools`]/[`ShardedInterner`]s are meaningless to compare.
 
 use crate::state::{Cell, InFlight, Object, Output, State, Task, TaskId};
 use crate::value::Value;
 use std::collections::{BTreeMap, HashMap};
-use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// The rustc-style Fx hasher: multiplicative, not HashDoS-resistant —
 /// exactly right for hashing interpreter states, where speed dominates
@@ -79,6 +93,7 @@ impl Hasher for FxHasher {
 
 pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
 pub(crate) type FxHashSet<T> = std::collections::HashSet<T, FxBuild>;
+pub(crate) type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuild>;
 
 /// One hash-consing table. Interning an equal value twice returns the
 /// same id; `get` recovers a shared reference to the canonical copy.
@@ -202,6 +217,188 @@ impl Pools {
     }
 }
 
+// --- sharded (thread-safe) interning ------------------------------------
+
+/// Shard count per component pool. Power of two; the shard index
+/// occupies the low bits of an id, the slot index the high bits.
+const POOL_SHARDS: usize = 16;
+const POOL_SHARD_BITS: u32 = POOL_SHARDS.trailing_zeros();
+
+/// Shard count for the claim table (visited set). Claims are the
+/// hottest shared-write path — one per explored *edge* — so it is
+/// striped wider than the component pools.
+const CLAIM_SHARDS: usize = 64;
+
+fn fx_hash_of<T: Hash>(value: &T) -> u64 {
+    FxBuild::default().hash_one(value)
+}
+
+/// One lock-striped hash-consing table: the concurrent counterpart of
+/// [`Pool`]. A value hashes to a shard; interning locks only that
+/// shard. Ids are stable for the table's lifetime and encode
+/// `(slot << POOL_SHARD_BITS) | shard`, so lookup by id locks exactly
+/// one shard too. Canonical copies are `Arc`ed: `get` clones the
+/// handle out of the lock, never the payload.
+struct SharedPool<T> {
+    shards: Box<[Mutex<PoolShard<T>>]>,
+}
+
+struct PoolShard<T> {
+    map: HashMap<Arc<T>, u32, FxBuild>,
+    items: Vec<Arc<T>>,
+}
+
+impl<T: Eq + Hash + Clone> SharedPool<T> {
+    fn new() -> Self {
+        let shards = (0..POOL_SHARDS)
+            .map(|_| Mutex::new(PoolShard { map: HashMap::default(), items: Vec::new() }))
+            .collect();
+        SharedPool { shards }
+    }
+
+    fn lock(&self, i: usize) -> std::sync::MutexGuard<'_, PoolShard<T>> {
+        self.shards[i].lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn intern(&self, value: &T) -> u32 {
+        let shard_ix = (fx_hash_of(value) as usize) & (POOL_SHARDS - 1);
+        let mut shard = self.lock(shard_ix);
+        if let Some(&id) = shard.map.get(value) {
+            return id;
+        }
+        let slot = u32::try_from(shard.items.len()).expect("pool shard overflow");
+        let id = (slot << POOL_SHARD_BITS) | shard_ix as u32;
+        let rc = Arc::new(value.clone());
+        shard.items.push(Arc::clone(&rc));
+        shard.map.insert(rc, id);
+        id
+    }
+
+    fn get(&self, id: u32) -> Arc<T> {
+        let shard = self.lock((id as usize) & (POOL_SHARDS - 1));
+        Arc::clone(&shard.items[(id >> POOL_SHARD_BITS) as usize])
+    }
+}
+
+/// A sharded insert-if-absent map: the parallel frontier's visited set
+/// and witness parent-link store. [`ShardedMap::try_claim`] is the
+/// merge-free membership protocol: exactly one caller per key ever
+/// sees `true`, and that caller's value is the one all later readers
+/// observe.
+pub(crate) struct ShardedMap<K, V> {
+    shards: Box<[Mutex<FxHashMap<K, V>>]>,
+}
+
+impl<K: Eq + Hash, V: Clone> ShardedMap<K, V> {
+    pub fn new() -> Self {
+        let shards = (0..CLAIM_SHARDS).map(|_| Mutex::new(FxHashMap::default())).collect();
+        ShardedMap { shards }
+    }
+
+    fn lock(&self, key: &K) -> std::sync::MutexGuard<'_, FxHashMap<K, V>> {
+        let i = (fx_hash_of(key) as usize) & (CLAIM_SHARDS - 1);
+        self.shards[i].lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Insert `value` under `key` if absent. Returns whether this call
+    /// claimed the key (first insert wins; the losing value is
+    /// dropped).
+    pub fn try_claim(&self, key: K, value: V) -> bool {
+        let mut shard = self.lock(&key);
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(value);
+                true
+            }
+        }
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.lock(key).contains_key(key)
+    }
+
+    pub fn get_cloned(&self, key: &K) -> Option<V> {
+        self.lock(key).get(key).cloned()
+    }
+}
+
+/// The parallel explorer's interner: lock-striped component pools
+/// producing the same [`StateSig`] shape as the serial [`Pools`].
+/// Shared by reference across workers ([`std::thread::scope`]); no
+/// per-worker caches, no quiesce-time merge.
+pub(crate) struct ShardedInterner {
+    globals: SharedPool<BTreeMap<String, Value>>,
+    objects: SharedPool<Vec<Object>>,
+    task: SharedPool<Task>,
+    task_lists: SharedPool<Vec<u32>>,
+    locks: SharedPool<BTreeMap<Cell, (TaskId, u32)>>,
+    /// Shared by `inflight` and `dead_letters` (same element type,
+    /// heavy overlap) — mirrors [`Pools::msgs`].
+    msgs: SharedPool<Vec<InFlight>>,
+    output: SharedPool<Output>,
+}
+
+impl ShardedInterner {
+    pub fn new() -> Self {
+        ShardedInterner {
+            globals: SharedPool::new(),
+            objects: SharedPool::new(),
+            task: SharedPool::new(),
+            task_lists: SharedPool::new(),
+            locks: SharedPool::new(),
+            msgs: SharedPool::new(),
+            output: SharedPool::new(),
+        }
+    }
+
+    /// Intern a state. Must apply exactly the same canonicalization as
+    /// [`Pools::intern`] — the in-flight pool is sorted into its
+    /// multiset order — so that a serial and a parallel exploration of
+    /// the same program agree on state identity.
+    pub fn intern(&self, state: &State) -> StateSig {
+        let task_ids: Vec<u32> = state.tasks.iter().map(|t| self.task.intern(t)).collect();
+        let inflight = if state.inflight.len() > 1 {
+            let mut pool = state.inflight.clone();
+            pool.sort_by(|a, b| (a.to.0, &a.msg).cmp(&(b.to.0, &b.msg)));
+            self.msgs.intern(&pool)
+        } else {
+            self.msgs.intern(&state.inflight)
+        };
+        StateSig {
+            globals: self.globals.intern(&state.globals),
+            objects: self.objects.intern(&state.objects),
+            tasks: self.task_lists.intern(&task_ids),
+            locks: self.locks.intern(&state.locks),
+            inflight,
+            dead: self.msgs.intern(&state.dead_letters),
+            output: self.output.intern(&state.output),
+            next_seq: state.next_seq,
+        }
+    }
+
+    /// Reconstruct a full state (with `steps == 0`), cloning each
+    /// component out of its canonical `Arc`.
+    pub fn materialize(&self, sig: StateSig) -> State {
+        State {
+            globals: (*self.globals.get(sig.globals)).clone(),
+            objects: (*self.objects.get(sig.objects)).clone(),
+            tasks: self
+                .task_lists
+                .get(sig.tasks)
+                .iter()
+                .map(|&id| (*self.task.get(id)).clone())
+                .collect(),
+            locks: (*self.locks.get(sig.locks)).clone(),
+            inflight: (*self.msgs.get(sig.inflight)).clone(),
+            output: (*self.output.get(sig.output)).clone(),
+            next_seq: sig.next_seq,
+            steps: 0,
+            dead_letters: (*self.msgs.get(sig.dead)).clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +421,66 @@ mod tests {
         let sig1 = pools.intern(&s);
         assert_ne!(sig0, sig1, "different states get different signatures");
         assert_eq!(pools.materialize(sig1), s);
+    }
+
+    #[test]
+    fn sharded_intern_roundtrips_and_dedups() {
+        let interp =
+            Interp::from_source("x = 1\nPARA\n    x = x + 1\n    x = x + 2\nENDPARA\nPRINT x\n")
+                .unwrap();
+        let pools = ShardedInterner::new();
+        let mut s = interp.initial_state();
+        let sig0 = pools.intern(&s);
+        assert_eq!(pools.intern(&s), sig0, "interning is stable");
+        assert_eq!(pools.materialize(sig0), s, "materialize inverts intern");
+
+        interp.apply(&mut s, &Choice::Step(crate::state::TaskId(0))).unwrap();
+        s.steps = 0;
+        let sig1 = pools.intern(&s);
+        assert_ne!(sig0, sig1, "different states get different signatures");
+        assert_eq!(pools.materialize(sig1), s);
+    }
+
+    #[test]
+    fn sharded_intern_agrees_across_threads() {
+        // Interning the same states from several threads yields ids
+        // that materialize back to the same states, and equal states
+        // get equal signatures regardless of which thread interned
+        // them first.
+        let interp =
+            Interp::from_source("PARA\n    PRINT \"a \"\n    PRINT \"b \"\nENDPARA\n").unwrap();
+        let pools = ShardedInterner::new();
+        let s0 = interp.initial_state();
+        let sigs: Vec<StateSig> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let pools = &pools;
+                    let s0 = &s0;
+                    scope.spawn(move || pools.intern(s0))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        assert!(sigs.windows(2).all(|w| w[0] == w[1]), "equal states, equal signatures");
+        assert_eq!(pools.materialize(sigs[0]), s0);
+    }
+
+    #[test]
+    fn claim_table_grants_each_key_exactly_once() {
+        let table: ShardedMap<(u32, usize), u8> = ShardedMap::new();
+        let wins: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u8)
+                .map(|worker| {
+                    let table = &table;
+                    scope.spawn(move || {
+                        (0..100u32).filter(|&k| table.try_claim((k, 0), worker)).count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+        });
+        assert_eq!(wins, 100, "every key claimed exactly once across workers");
+        assert!(table.contains(&(0, 0)));
+        assert!(!table.contains(&(0, 1)));
     }
 }

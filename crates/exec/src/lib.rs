@@ -35,6 +35,7 @@ pub mod figures;
 pub mod footprint;
 pub(crate) mod intern;
 pub mod interp;
+pub mod par;
 pub mod program;
 pub mod schedule;
 pub mod state;
@@ -44,6 +45,7 @@ pub use event::{Event, EventKindPattern, EventPattern, StateCond};
 pub use explore::{Answer, Explorer, Limits, Stats, Terminal, TerminalKind, TerminalSet};
 pub use footprint::{EventMask, Footprint, Resource, StaticResource};
 pub use interp::{Choice, Interp, Outcome};
+pub use par::ParExplorer;
 pub use program::{compile, compile_source, Compiled};
 pub use schedule::{
     output_set, run, run_from, run_source, RandomScheduler, ReplayScheduler, RoundRobinScheduler,

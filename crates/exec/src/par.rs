@@ -1,0 +1,768 @@
+//! Work-stealing parallel state-space exploration.
+//!
+//! [`ParExplorer`] is the parallel counterpart of
+//! [`crate::explore::Explorer`]: the BFS/DFS frontier is partitioned
+//! across N workers over the lock-striped `ShardedInterner`, with
+//! per-worker [`Stats`] reduced at quiesce and [`Limits`] enforced
+//! through one shared atomic budget, so caps bind *globally* rather
+//! than per worker.
+//!
+//! # The exactness contract
+//!
+//! For every program, [`ParExplorer::terminals`] returns a
+//! [`TerminalSet`] identical to the serial explorer's — at any worker
+//! count, under any OS scheduling of the workers, with or without
+//! partial-order reduction. Three properties carry the argument:
+//!
+//! 1. **Claims are linearizable.** A `(StateSig, progress)` node is
+//!    claimed by exactly one worker through the sharded table's
+//!    insert-if-absent (`ShardedMap::try_claim`); every reachable
+//!    node is claimed exactly once, so the explored node set is the
+//!    reachable set regardless of arrival order.
+//! 2. **Ample-set selection is per-state.** The planner
+//!    (`Explorer::plan_expansion`, shared verbatim through
+//!    the `ExploreCtx` trait) consults only the state, the query visibility,
+//!    and visited-set membership — it is embarrassingly parallel. The
+//!    cycle proviso survives concurrency: a node is *inserted* into
+//!    the visited table strictly before its expansion is planned, so
+//!    around any cycle of ample-expanded nodes the insert times would
+//!    have to be strictly increasing — a contradiction; at least one
+//!    node of every cycle is fully expanded, exactly the ignoring-
+//!    problem guarantee the serial DFS has.
+//! 3. **POR soundness is selection-independent.** Workers racing on
+//!    the visited table can make *different* (still valid) ample
+//!    choices than the serial DFS — at worst falling back to full
+//!    expansion when a successor was concurrently claimed. Any valid
+//!    selection preserves the terminal set and event-subsequence
+//!    reachability, so results agree even though the explored
+//!    subgraphs may differ. The `par_differential` suite and the soak
+//!    test hold this to account.
+//!
+//! Witnesses returned by [`ParExplorer::can_happen`] realize the
+//! query but are not guaranteed byte-identical to the serial witness
+//! (both are existential artifacts); the yes/no verdict and its
+//! exhaustiveness flag are deterministic.
+
+use crate::event::{Event, EventPattern, StateCond};
+use crate::explore::{
+    Answer, Expansion, ExploreCtx, Explorer, Limits, Stats, Terminal, TerminalKind, TerminalSet,
+    Visibility,
+};
+use crate::intern::{ShardedInterner, ShardedMap, StateSig};
+use crate::interp::{Interp, Outcome};
+use crate::state::State;
+use crate::value::RuntimeError;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Nodes the caller thread expands before any workers are spawned.
+/// Small state spaces (the paper figures are tens of nodes) finish
+/// inside the warmup and never pay thread-spawn latency; large ones
+/// seed a frontier wide enough to be worth stealing from.
+const WARMUP_NODES: usize = 256;
+
+/// A claimed frontier node: interned signature, query progress, and
+/// its path depth in nodes (for the depth limit).
+#[derive(Clone, Copy)]
+struct Item {
+    sig: StateSig,
+    progress: usize,
+    depth: usize,
+}
+
+type Key = (StateSig, usize);
+
+/// Why a node is in the visited table. Parent links are recorded only
+/// by the witness search; plain sweeps store [`Link::Root`] for
+/// everything.
+#[derive(Clone)]
+enum Link {
+    Root,
+    Edge { parent: Key, events: Vec<Event> },
+}
+
+/// [`ExploreCtx`] over the sharded tables: what the shared POR
+/// machinery sees when the parallel frontier calls it.
+struct ParCtx<'a> {
+    pools: &'a ShardedInterner,
+    visited: &'a ShardedMap<Key, Link>,
+}
+
+impl ExploreCtx for ParCtx<'_> {
+    fn intern(&mut self, state: &State) -> StateSig {
+        self.pools.intern(state)
+    }
+
+    fn materialize(&self, sig: StateSig) -> State {
+        self.pools.materialize(sig)
+    }
+
+    fn is_visited(&self, key: Key) -> bool {
+        self.visited.contains(&key)
+    }
+}
+
+/// What a sweep is looking for.
+enum Mode<'m> {
+    /// Collect every terminal (no enabled choices) state.
+    Terminals { sink: &'m Mutex<BTreeSet<Terminal>> },
+    /// Collect up to `cap` distinct states satisfying `conds`;
+    /// exploration is pruned below each match (the frontier-only
+    /// discipline of the serial `setup_frontier`).
+    Frontier { conds: &'m [StateCond], cap: usize, found: &'m Mutex<Vec<State>> },
+    /// Find one path realizing the sweep's query as an event
+    /// subsequence.
+    Witness { winner: &'m Mutex<Option<(Key, Vec<Event>)>> },
+}
+
+/// The parallel explorer. Construction mirrors [`Explorer`]; the
+/// worker count is explicit ([`ParExplorer::workers`]) rather than
+/// env-derived — [`Explorer`] handles the `CONCUR_EXPLORE_THREADS`
+/// dispatch and calls in here.
+pub struct ParExplorer<'i> {
+    pub interp: &'i Interp,
+    pub limits: Limits,
+    pub por: bool,
+    workers: usize,
+    steal_seed: u64,
+}
+
+impl<'i> ParExplorer<'i> {
+    pub fn new(interp: &'i Interp) -> Self {
+        ParExplorer::with_limits(interp, Limits::default())
+    }
+
+    pub fn with_limits(interp: &'i Interp, limits: Limits) -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParExplorer { interp, limits, por: true, workers, steal_seed: 0 }
+    }
+
+    /// Set the worker count (at least 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Disable partial-order reduction (plain exhaustive search).
+    pub fn without_por(mut self) -> Self {
+        self.por = false;
+        self
+    }
+
+    /// Builder-style POR flag.
+    pub fn por(mut self, por: bool) -> Self {
+        self.por = por;
+        self
+    }
+
+    /// Seed the work-stealing victim rotation. Exactness holds for
+    /// *every* seed — the soak test draws seeds from the
+    /// `concur-decide` kernel precisely so a violation names a
+    /// replayable perturbation.
+    pub fn with_steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = seed;
+        self
+    }
+
+    /// Parallel terminal enumeration. See the module docs for why the
+    /// result is exact.
+    pub fn terminals(&self) -> Result<TerminalSet, RuntimeError> {
+        let begin = Instant::now();
+        let sink = Mutex::new(BTreeSet::new());
+        let sweep = Sweep::new(self, Visibility::NONE, None);
+        let mut stats = sweep.run(
+            vec![self.interp.initial_state()],
+            &Mode::Terminals { sink: &sink },
+            self.por,
+        )?;
+        stats.wall = begin.elapsed();
+        let terminals = sink.into_inner().unwrap_or_else(|p| p.into_inner());
+        Ok(TerminalSet { terminals, stats })
+    }
+
+    /// Trace-ingest membership query; parallel counterpart of
+    /// [`Explorer::admits_trace`].
+    pub fn admits_trace(&self, trace: &[EventPattern]) -> Result<Answer, RuntimeError> {
+        self.can_happen(&[], trace)
+    }
+
+    /// Parallel counterpart of [`Explorer::can_happen`].
+    pub fn can_happen(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<Answer, RuntimeError> {
+        self.can_happen_with_stats(setup, query).map(|(answer, _)| answer)
+    }
+
+    /// Parallel counterpart of [`Explorer::can_happen_with_stats`]:
+    /// a frontier sweep discovers setup states, then a witness sweep
+    /// runs from all of them at once (the serial loop over start
+    /// states collapses into one frontier seeded with every start).
+    pub fn can_happen_with_stats(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<(Answer, Stats), RuntimeError> {
+        let begin = Instant::now();
+        let (starts, setup_stats) = self.setup_frontier(setup, query)?;
+        let mut stats = Stats::default();
+        if starts.is_empty() {
+            stats.wall = begin.elapsed();
+            let answer = Answer::SetupUnreachable { exhaustive: !setup_stats.truncated };
+            return Ok((answer, stats));
+        }
+        if query.is_empty() {
+            stats.wall = begin.elapsed();
+            return Ok((Answer::Yes { witness: Vec::new() }, stats));
+        }
+        let winner = Mutex::new(None);
+        let sweep = Sweep::new(self, Visibility { patterns: query, conds: &[] }, Some(query));
+        let mut run_stats = sweep.run(starts, &Mode::Witness { winner: &winner }, self.por)?;
+        if let Some((key, last_events)) = winner.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            let mut witness = sweep.path_to(key);
+            witness.extend(last_events);
+            run_stats.wall = begin.elapsed();
+            return Ok((Answer::Yes { witness }, run_stats));
+        }
+        run_stats.truncated |= setup_stats.truncated;
+        run_stats.wall = begin.elapsed();
+        stats = run_stats;
+        let exhaustive = !stats.truncated;
+        Ok((Answer::No { exhaustive }, stats))
+    }
+
+    /// Parallel setup-state discovery (frontier-only, POR under a
+    /// visibility protecting the setup conditions and the scenario's
+    /// event patterns — the same contract as the serial
+    /// `setup_frontier`).
+    fn setup_frontier(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<(Vec<State>, Stats), RuntimeError> {
+        let cap = self.limits.max_setup_states;
+        let found = Mutex::new(Vec::new());
+        let visibility = Visibility { patterns: query, conds: setup };
+        let sweep = Sweep::new(self, visibility, None);
+        let mut stats = sweep.run(
+            vec![self.interp.initial_state()],
+            &Mode::Frontier { conds: setup, cap, found: &found },
+            self.por,
+        )?;
+        let found = found.into_inner().unwrap_or_else(|p| p.into_inner());
+        if found.len() >= cap {
+            stats.truncated = true;
+        }
+        Ok((found, stats))
+    }
+}
+
+/// One parallel sweep: the shared tables, the per-worker deques, and
+/// the global control words.
+struct Sweep<'s, 'i> {
+    par: &'s ParExplorer<'i>,
+    /// A serial explorer over the same interp/limits: the handle
+    /// through which the shared POR planner is invoked.
+    probe: Explorer<'i>,
+    visibility: Visibility<'s>,
+    query: Option<&'s [EventPattern]>,
+    pools: ShardedInterner,
+    visited: ShardedMap<Key, Link>,
+    queues: Vec<Mutex<VecDeque<Item>>>,
+    /// Items enqueued but not yet fully processed (children count
+    /// before their parent's decrement, so 0 ⇔ quiescent).
+    pending: AtomicUsize,
+    /// Global claim budget: every successful node claim increments
+    /// this, and `max_states` binds against it — workers overshoot by
+    /// at most one in-flight claim each.
+    claimed: AtomicUsize,
+    stop: AtomicBool,
+    truncated: AtomicBool,
+    error: Mutex<Option<RuntimeError>>,
+}
+
+impl<'s, 'i> Sweep<'s, 'i> {
+    fn new(
+        par: &'s ParExplorer<'i>,
+        visibility: Visibility<'s>,
+        query: Option<&'s [EventPattern]>,
+    ) -> Self {
+        let probe = Explorer::with_limits(par.interp, par.limits).with_threads(1);
+        Sweep {
+            par,
+            probe,
+            visibility,
+            query,
+            pools: ShardedInterner::new(),
+            visited: ShardedMap::new(),
+            queues: (0..par.workers.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            claimed: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            truncated: AtomicBool::new(false),
+            error: Mutex::new(None),
+        }
+    }
+
+    fn run(
+        &self,
+        roots: Vec<State>,
+        mode: &Mode<'_>,
+        use_por: bool,
+    ) -> Result<Stats, RuntimeError> {
+        let mut main_stats = Stats::default();
+        self.seed_roots(roots, mode, &mut main_stats);
+
+        // Warmup: expand inline on the calling thread. Small spaces
+        // finish here without spawning anything.
+        let mut warm = 0usize;
+        while warm < WARMUP_NODES && !self.stop.load(Ordering::SeqCst) {
+            let item = { self.queues[0].lock().unwrap_or_else(|p| p.into_inner()).pop_back() };
+            let Some(item) = item else { break };
+            let result = self.process(item, mode, use_por, 0, &mut main_stats);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            self.record_err(result);
+            warm += 1;
+        }
+
+        if self.pending.load(Ordering::SeqCst) > 0 && !self.stop.load(Ordering::SeqCst) {
+            if self.par.workers <= 1 {
+                // Single worker: just keep draining inline.
+                let stats = self.worker_loop(0, mode, use_por, self.worker_seed(0));
+                merge(&mut main_stats, &stats);
+            } else {
+                // Spread the warmed-up frontier across the deques so
+                // every worker starts with something local.
+                self.balance_initial();
+                let worker_stats: Vec<Stats> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..self.par.workers)
+                        .map(|wid| {
+                            let seed = self.worker_seed(wid);
+                            scope.spawn(move || self.worker_loop(wid, mode, use_por, seed))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                });
+                for stats in &worker_stats {
+                    merge(&mut main_stats, stats);
+                }
+            }
+        }
+
+        if let Some(err) = self.error.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            return Err(err);
+        }
+        main_stats.truncated = self.truncated.load(Ordering::SeqCst);
+        Ok(main_stats)
+    }
+
+    /// Claim and enqueue the sweep's start states (progress 0,
+    /// depth 1), round-robin across the worker deques.
+    fn seed_roots(&self, roots: Vec<State>, _mode: &Mode<'_>, stats: &mut Stats) {
+        for (i, mut root) in roots.into_iter().enumerate() {
+            root.steps = 0;
+            let sig = self.pools.intern(&root);
+            if !self.visited.try_claim((sig, 0), Link::Root) {
+                stats.states_deduped += 1;
+                continue;
+            }
+            stats.states_visited += 1;
+            if !self.budget_admits() {
+                return;
+            }
+            self.pending.fetch_add(1, Ordering::SeqCst);
+            let q = i % self.queues.len();
+            self.queues[q].lock().unwrap_or_else(|p| p.into_inner()).push_back(Item {
+                sig,
+                progress: 0,
+                depth: 1,
+            });
+        }
+    }
+
+    /// Move half the warmed-up frontier off deque 0 onto the others.
+    fn balance_initial(&self) {
+        let mut pool: Vec<Item> = {
+            let mut q0 = self.queues[0].lock().unwrap_or_else(|p| p.into_inner());
+            let keep = q0.len() / self.queues.len() + 1;
+            let take = q0.len().saturating_sub(keep);
+            (0..take).filter_map(|_| q0.pop_front()).collect()
+        };
+        let mut wid = 1;
+        while let Some(item) = pool.pop() {
+            self.queues[wid % self.queues.len()]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back(item);
+            wid += 1;
+        }
+    }
+
+    fn worker_seed(&self, wid: usize) -> u64 {
+        // splitmix64 of (steal_seed, wid): decorrelates victim
+        // rotations between workers for any base seed, including 0.
+        let mut z =
+            self.par.steal_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(wid as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) | 1
+    }
+
+    fn worker_loop(&self, wid: usize, mode: &Mode<'_>, use_por: bool, seed: u64) -> Stats {
+        let mut stats = Stats::default();
+        let mut rng = seed;
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.pop_or_steal(wid, &mut rng) {
+                Some(item) => {
+                    let result = self.process(item, mode, use_por, wid, &mut stats);
+                    self.pending.fetch_sub(1, Ordering::SeqCst);
+                    self.record_err(result);
+                }
+                None => {
+                    if self.pending.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        stats
+    }
+
+    fn record_err(&self, result: Result<(), RuntimeError>) {
+        if let Err(err) = result {
+            let mut slot = self.error.lock().unwrap_or_else(|p| p.into_inner());
+            slot.get_or_insert(err);
+            self.stop.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Pop from the local deque (LIFO: depth-first locally, keeping
+    /// the frontier memory-bounded) or steal the oldest half of a
+    /// victim's deque (the oldest items root the largest unexplored
+    /// subtrees). The victim rotation is seeded per worker.
+    fn pop_or_steal(&self, wid: usize, rng: &mut u64) -> Option<Item> {
+        if let Some(item) = self.queues[wid].lock().unwrap_or_else(|p| p.into_inner()).pop_back() {
+            return Some(item);
+        }
+        let n = self.queues.len();
+        if n == 1 {
+            return None;
+        }
+        // xorshift64* step for the rotation offset.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let offset = (*rng as usize) % n;
+        for k in 0..n {
+            let victim = (offset + k) % n;
+            if victim == wid {
+                continue;
+            }
+            let mut loot: Vec<Item> = {
+                let mut q = self.queues[victim].lock().unwrap_or_else(|p| p.into_inner());
+                let take = q.len().div_ceil(2);
+                (0..take).filter_map(|_| q.pop_front()).collect()
+            };
+            // Victim lock dropped before touching our own deque: no
+            // nested queue locks anywhere, hence no lock-order cycle.
+            if let Some(first) = loot.pop() {
+                if !loot.is_empty() {
+                    let mut mine = self.queues[wid].lock().unwrap_or_else(|p| p.into_inner());
+                    mine.extend(loot);
+                }
+                return Some(first);
+            }
+        }
+        None
+    }
+
+    /// Record a claim against the global state budget. Returns false
+    /// (and halts the sweep) when the cap is reached — the claim that
+    /// trips the cap is still counted as visited, mirroring the
+    /// serial DFS.
+    fn budget_admits(&self) -> bool {
+        let n = self.claimed.fetch_add(1, Ordering::SeqCst) + 1;
+        if n >= self.par.limits.max_states {
+            self.truncated.store(true, Ordering::SeqCst);
+            self.stop.store(true, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Expand one claimed node: mode bookkeeping, POR planning via
+    /// the shared machinery, claim-and-enqueue of the successors.
+    fn process(
+        &self,
+        item: Item,
+        mode: &Mode<'_>,
+        use_por: bool,
+        wid: usize,
+        stats: &mut Stats,
+    ) -> Result<(), RuntimeError> {
+        let state = self.pools.materialize(item.sig);
+        let choices = self.par.interp.choices(&state);
+
+        match mode {
+            Mode::Terminals { sink } => {
+                if choices.is_empty() {
+                    let outcome = match self.par.interp.classify_stuck(&state) {
+                        Outcome::AllDone => TerminalKind::AllDone,
+                        Outcome::Quiescent => TerminalKind::Quiescent,
+                        _ => TerminalKind::Deadlock,
+                    };
+                    sink.lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(Terminal { output: state.output.normalized(), outcome });
+                    return Ok(());
+                }
+            }
+            Mode::Frontier { conds, cap, found } => {
+                let funcs = &self.par.interp.compiled.funcs;
+                if conds.iter().all(|c| c.holds(&state, funcs)) {
+                    let mut found = found.lock().unwrap_or_else(|p| p.into_inner());
+                    if found.len() < *cap {
+                        found.push(state);
+                    }
+                    if found.len() >= *cap {
+                        self.stop.store(true, Ordering::SeqCst);
+                    }
+                    // Frontier-only: never expand below a match.
+                    return Ok(());
+                }
+            }
+            Mode::Witness { .. } => {}
+        }
+
+        if item.depth >= self.par.limits.max_depth {
+            self.truncated.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+
+        let mut ctx = ParCtx { pools: &self.pools, visited: &self.visited };
+        let expansion = self.probe.plan_expansion(
+            &state,
+            choices,
+            item.progress,
+            use_por,
+            self.visibility,
+            &mut ctx,
+            stats,
+        )?;
+
+        match expansion {
+            Expansion::Full { choices, .. } => {
+                for choice in &choices {
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let mut next = state.clone();
+                    let events = self.par.interp.apply(&mut next, choice)?;
+                    next.steps = 0;
+                    stats.transitions += 1;
+                    let sig = self.pools.intern(&next);
+                    self.admit(item, sig, events, Some(&next), mode, wid, stats);
+                }
+            }
+            Expansion::Ample { succs, .. } => {
+                for (sig, events) in succs {
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    self.admit(item, sig, events, None, mode, wid, stats);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Try to claim a successor node and enqueue it. `next` carries
+    /// the already-materialized successor when the caller has it (a
+    /// fully-expanded edge); ample/corridor edges materialize lazily
+    /// and only if the query needs to inspect the state.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        parent: Item,
+        sig: StateSig,
+        events: Vec<Event>,
+        next: Option<&State>,
+        mode: &Mode<'_>,
+        wid: usize,
+        stats: &mut Stats,
+    ) {
+        let mut progress = parent.progress;
+        if let Some(query) = self.query {
+            if progress < query.len() {
+                let owned;
+                let next_state = match next {
+                    Some(s) => s,
+                    None => {
+                        owned = self.pools.materialize(sig);
+                        &owned
+                    }
+                };
+                for event in &events {
+                    if progress < query.len() && query[progress].matches(event, next_state) {
+                        progress += 1;
+                    }
+                }
+            }
+            if progress == query.len() {
+                // Scenario realized along this edge — record the
+                // winning edge (the path is reconstructed from the
+                // parent links) and halt the sweep. Checked *before*
+                // the visited claim, like the serial DFS: a duplicate
+                // state reached with full progress still wins.
+                if let Mode::Witness { winner, .. } = mode {
+                    let mut slot = winner.lock().unwrap_or_else(|p| p.into_inner());
+                    slot.get_or_insert(((parent.sig, parent.progress), events));
+                }
+                self.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+
+        let link = match mode {
+            Mode::Witness { .. } => Link::Edge { parent: (parent.sig, parent.progress), events },
+            _ => Link::Root,
+        };
+        if !self.visited.try_claim((sig, progress), link) {
+            stats.states_deduped += 1;
+            return;
+        }
+        stats.states_visited += 1;
+        if !self.budget_admits() {
+            return;
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let mut queue = self.queues[wid].lock().unwrap_or_else(|p| p.into_inner());
+        queue.push_back(Item { sig, progress, depth: parent.depth + 1 });
+        let depth = queue.len();
+        drop(queue);
+        stats.peak_stack_depth = stats.peak_stack_depth.max(depth);
+        stats.peak_stack_bytes = stats.peak_stack_bytes.max(depth * std::mem::size_of::<Item>());
+    }
+
+    /// Reconstruct the event path from a sweep root to `key` by
+    /// walking the parent links recorded at claim time.
+    fn path_to(&self, key: Key) -> Vec<Event> {
+        let mut segments: Vec<Vec<Event>> = Vec::new();
+        let mut cursor = key;
+        while let Some(link) = self.visited.get_cloned(&cursor) {
+            match link {
+                Link::Root => break,
+                Link::Edge { parent, events } => {
+                    segments.push(events);
+                    cursor = parent;
+                }
+            }
+        }
+        segments.reverse();
+        segments.into_iter().flatten().collect()
+    }
+}
+
+/// Reduce one worker's statistics into the sweep total: counters add,
+/// peaks take the max. The shared claim budget — not these per-worker
+/// counters — is what enforces `max_states`, so the reduction has no
+/// bearing on limit enforcement (the "Stats race" a reviewer would
+/// look for first).
+fn merge(total: &mut Stats, part: &Stats) {
+    total.states_visited += part.states_visited;
+    total.states_deduped += part.states_deduped;
+    total.transitions += part.transitions;
+    total.por_ample_states += part.por_ample_states;
+    total.por_pruned_choices += part.por_pruned_choices;
+    total.peak_stack_depth = total.peak_stack_depth.max(part.peak_stack_depth);
+    total.peak_stack_bytes = total.peak_stack_bytes.max(part.peak_stack_bytes);
+    total.truncated |= part.truncated;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+
+    fn interp(src: &str) -> Interp {
+        Interp::from_source(src).expect("compiles")
+    }
+
+    #[test]
+    fn parallel_terminals_match_serial_on_a_figure() {
+        let interp = interp(figures::FIG3_INTERLEAVED);
+        let serial = Explorer::new(&interp).with_threads(1).terminals().unwrap();
+        for workers in [1, 2, 4] {
+            let par = ParExplorer::new(&interp).workers(workers).terminals().unwrap();
+            assert_eq!(par.terminals, serial.terminals, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn stats_conservation_across_worker_counts() {
+        // Without POR the transition structure of a fixed program is
+        // fixed, so every edge is exactly one claim attempt:
+        // visited + deduped == transitions + roots, independent of
+        // worker count or interleaving. This is the invariant that
+        // catches lost or double-counted per-worker stats.
+        let interp = interp(figures::FIG5_MESSAGE_PASSING);
+        let serial = Explorer::new(&interp).with_threads(1).without_por().terminals().unwrap();
+        let expected = serial.stats.states_visited + serial.stats.states_deduped;
+        assert_eq!(
+            expected,
+            serial.stats.transitions + 1,
+            "serial: every edge is one claim attempt, plus the root"
+        );
+        for workers in [1, 2, 4, 8] {
+            let par = ParExplorer::new(&interp).workers(workers).without_por().terminals().unwrap();
+            assert_eq!(
+                par.stats.states_visited + par.stats.states_deduped,
+                expected,
+                "conservation at {workers} workers"
+            );
+            assert_eq!(
+                par.stats.states_visited, serial.stats.states_visited,
+                "distinct-state count is worker-independent"
+            );
+            assert_eq!(par.stats.transitions, serial.stats.transitions);
+        }
+    }
+
+    #[test]
+    fn witnesses_realize_queries_in_parallel() {
+        use crate::event::{EventKindPattern, EventPattern};
+        let interp = interp(figures::FIG3_TWO_PRINTS);
+        let query = vec![
+            EventPattern::any(EventKindPattern::Printed { text: "world ".into() }),
+            EventPattern::any(EventKindPattern::Printed { text: "hello ".into() }),
+        ];
+        for workers in [1, 2, 4] {
+            let par = ParExplorer::new(&interp).workers(workers);
+            match par.admits_trace(&query).unwrap() {
+                Answer::Yes { witness } => {
+                    assert!(!witness.is_empty(), "{workers} workers: non-trivial witness");
+                }
+                other => panic!("{workers} workers: expected Yes, got {other:?}"),
+            }
+        }
+        let impossible = vec![
+            EventPattern::any(EventKindPattern::Printed { text: "hello ".into() }),
+            EventPattern::any(EventKindPattern::Printed { text: "hello ".into() }),
+        ];
+        for workers in [1, 4] {
+            let par = ParExplorer::new(&interp).workers(workers);
+            let answer = par.admits_trace(&impossible).unwrap();
+            assert!(
+                matches!(answer, Answer::No { exhaustive: true }),
+                "{workers} workers: expected definitive No, got {answer:?}"
+            );
+        }
+    }
+}

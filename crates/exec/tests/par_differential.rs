@@ -1,0 +1,223 @@
+//! Differential battery: the parallel explorer vs the serial one.
+//!
+//! The contract under test is *exactness* — for every program in the
+//! repo (paper figures, Test-1 questions, conformance problem models),
+//! [`ParExplorer`] at 1/2/4/8 workers must produce the same
+//! [`TerminalSet`] terminals and the same `can_happen` verdicts as the
+//! serial [`Explorer`], with POR and without. Witness traces are
+//! existential (both sides' are checked to realize the query, not to
+//! be identical); everything else must agree bit-for-bit.
+//!
+//! Worker counts above the machine's core count are still meaningful:
+//! oversubscription forces preemption mid-expansion, which is exactly
+//! the scheduling adversary the claim-table protocol has to survive.
+
+use concur_exec::explore::{Answer, Explorer, Limits, TerminalSet};
+use concur_exec::par::ParExplorer;
+use concur_exec::{figures, Interp};
+use std::collections::BTreeSet;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn interp(src: &str) -> Interp {
+    Interp::from_source(src).expect("model compiles")
+}
+
+/// Serial ground truth, explicitly pinned to one thread so the
+/// differential holds even under `CONCUR_EXPLORE_THREADS`.
+fn serial(interp: &Interp, por: bool) -> TerminalSet {
+    let mut explorer = Explorer::new(interp).with_threads(1);
+    explorer.por = por;
+    explorer.terminals().expect("serial explore")
+}
+
+fn assert_terminals_match(name: &str, src: &str, por: bool, workers: &[usize]) {
+    let interp = interp(src);
+    let truth = serial(&interp, por);
+    assert!(!truth.stats.truncated, "{name}: serial baseline truncated; differential is void");
+    for &n in workers {
+        let par = ParExplorer::new(&interp).workers(n).por(por).terminals().expect("par explore");
+        assert!(!par.stats.truncated, "{name}: parallel truncated at {n} workers");
+        assert_eq!(
+            par.terminals, truth.terminals,
+            "{name}: terminal set diverged at {n} workers (por={por})"
+        );
+    }
+}
+
+/// The comparable part of an [`Answer`]: variant plus exhaustiveness.
+/// Witness contents are existential and excluded on purpose.
+fn shape(answer: &Answer) -> (u8, bool) {
+    match answer {
+        Answer::Yes { .. } => (0, true),
+        Answer::No { exhaustive } => (1, *exhaustive),
+        Answer::SetupUnreachable { exhaustive } => (2, *exhaustive),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paper figures: every figure, every worker count, both POR settings.
+// ---------------------------------------------------------------------
+
+#[test]
+fn figures_terminals_differential_with_por() {
+    for (name, src, _) in figures::figure_expectations() {
+        assert_terminals_match(name, src, true, &WORKER_COUNTS);
+    }
+}
+
+#[test]
+fn figures_terminals_differential_without_por() {
+    for (name, src, _) in figures::figure_expectations() {
+        assert_terminals_match(name, src, false, &WORKER_COUNTS);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conformance problem models.
+// ---------------------------------------------------------------------
+
+use concur_conformance::models;
+
+/// Every conformance model, with its full-space POR size class. The
+/// no-POR spaces of the larger models are orders of magnitude bigger
+/// (that is the whole point of PR 1); models marked `por_only` skip
+/// the exhaustive no-POR differential to keep the suite inside CI
+/// budgets — the POR differential still covers their full space, and
+/// the figures above cover the no-POR code path on every topology.
+const MODELS: &[(&str, &str, bool)] = &[
+    ("dining-ordered", models::DINING_ORDERED, false),
+    ("dining-naive", models::DINING_NAIVE, false),
+    ("bounded-buffer", models::BOUNDED_BUFFER, false),
+    ("readers-writers", models::READERS_WRITERS, false),
+    ("sleeping-barber", models::SLEEPING_BARBER, false),
+    ("bridge", models::BRIDGE, false),
+    // ~100k states / 300k transitions without POR: the POR
+    // differential already sweeps its full 63k-state space at every
+    // worker count, which is plenty of coverage for ~50s less CI time.
+    ("party-matching", models::PARTY_MATCHING, true),
+    ("book-inventory", models::BOOK_INVENTORY, false),
+    ("sum-workers", models::SUM_WORKERS, false),
+    ("thread-pool", models::THREAD_POOL, false),
+];
+
+#[test]
+fn problem_models_terminals_differential_with_por() {
+    for &(name, src, _) in MODELS {
+        assert_terminals_match(name, src, true, &WORKER_COUNTS);
+    }
+}
+
+#[test]
+fn problem_models_terminals_differential_without_por() {
+    for &(name, src, por_only) in MODELS {
+        if por_only {
+            continue;
+        }
+        assert_terminals_match(name, src, false, &WORKER_COUNTS);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Test-1 question bank: verdict parity on both bridge programs.
+// ---------------------------------------------------------------------
+
+use concur_study::bridge::{BRIDGE_MESSAGE_PASSING, BRIDGE_SHARED_MEMORY};
+use concur_study::questions::{bank, Section};
+
+#[test]
+fn question_bank_verdicts_differential() {
+    let sm = interp(BRIDGE_SHARED_MEMORY);
+    let mp = interp(BRIDGE_MESSAGE_PASSING);
+    for question in bank() {
+        let program = match question.section {
+            Section::SharedMemory => &sm,
+            Section::MessagePassing => &mp,
+        };
+        let truth = Explorer::new(program)
+            .with_threads(1)
+            .can_happen(&question.setup, &question.scenario)
+            .expect("serial verdict");
+        assert_eq!(
+            truth.is_yes(),
+            question.expected,
+            "{}: serial ground truth disagrees with the bank",
+            question.id
+        );
+        for n in WORKER_COUNTS {
+            let par = ParExplorer::new(program)
+                .workers(n)
+                .can_happen(&question.setup, &question.scenario)
+                .expect("parallel verdict");
+            assert_eq!(
+                shape(&par),
+                shape(&truth),
+                "{}: verdict diverged at {n} workers (serial {truth:?}, parallel {par:?})",
+                question.id
+            );
+            if let Answer::Yes { witness } = &par {
+                assert!(
+                    !witness.is_empty(),
+                    "{}: empty witness for a non-trivial scenario at {n} workers",
+                    question.id
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The explorer dispatch knob itself.
+// ---------------------------------------------------------------------
+
+/// `Explorer::with_threads(n)` must route through the parallel
+/// frontier and still agree with the pinned serial result — this is
+/// the code path `CONCUR_EXPLORE_THREADS` exercises in CI.
+#[test]
+fn explorer_thread_dispatch_is_transparent() {
+    let interp = interp(models::BRIDGE);
+    let truth = serial(&interp, true);
+    for n in [2, 4] {
+        let routed = Explorer::new(&interp).with_threads(n).terminals().expect("dispatch");
+        assert_eq!(routed.terminals, truth.terminals, "dispatch at {n} threads diverged");
+    }
+}
+
+/// Outputs surfaced to the paper-facing API must be identical too
+/// (terminal_outputs is what the figure tests consume).
+#[test]
+fn figure_possibility_lists_are_worker_independent() {
+    for (name, src, expected) in figures::figure_expectations() {
+        let interp = interp(src);
+        for n in [2, 8] {
+            let set = ParExplorer::new(&interp).workers(n).terminals().expect("par explore");
+            let outputs: BTreeSet<String> =
+                set.terminals.iter().map(|t| t.output.clone()).collect();
+            let want: BTreeSet<String> = expected.iter().map(|s| s.to_string()).collect();
+            assert_eq!(outputs, want, "{name}: possibility list wrong at {n} workers");
+        }
+    }
+}
+
+/// One-off sizing probe (ignored): prints per-model serial costs so
+/// the `por_only` flags above stay honest as models grow.
+#[test]
+#[ignore]
+fn probe_model_costs() {
+    for &(name, src, _) in MODELS {
+        let interp = interp(src);
+        for por in [true, false] {
+            let start = std::time::Instant::now();
+            let mut explorer = Explorer::with_limits(&interp, Limits::default()).with_threads(1);
+            explorer.por = por;
+            let set = explorer.terminals().expect("explore");
+            println!(
+                "{name:16} por={por:5} states={:8} transitions={:9} truncated={} {:?}",
+                set.stats.states_visited,
+                set.stats.transitions,
+                set.stats.truncated,
+                start.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Soak and limit-enforcement tests for the parallel explorer.
+//!
+//! The soak hammers the three largest problem models with repeated
+//! parallel explorations whose perturbations — worker count, POR
+//! setting, work-stealing seed — are drawn through the `concur-decide`
+//! kernel. A divergence therefore panics with a rendered
+//! [`TraceArtifact`] naming the exact decision vector: feed those
+//! picks to a `ReplaySource` (or just re-run the test — the stream is
+//! seeded) and the failing configuration reproduces verbatim.
+//!
+//! The limit tests pin the global-budget semantics: a state cap below
+//! the full space must truncate the parallel search just like the
+//! serial one, overshooting by at most one in-flight claim per worker.
+
+use concur_conformance::models;
+use concur_decide::{ChoiceSource, DecisionKind, RandomSource, Recording, TraceArtifact};
+use concur_exec::explore::{Explorer, Limits, TerminalSet};
+use concur_exec::par::ParExplorer;
+use concur_exec::Interp;
+
+const SOAK_REPS: usize = 20;
+/// One fixed stream seed per model keeps the soak deterministic while
+/// still exercising 20 distinct (workers, por, steal-seed) triples.
+const SOAK_STREAM_SEED: u64 = 0x5EED_50A0 ^ 0xA5A5;
+
+fn serial(interp: &Interp, por: bool) -> TerminalSet {
+    let mut explorer = Explorer::new(interp).with_threads(1);
+    explorer.por = por;
+    explorer.terminals().expect("serial explore")
+}
+
+/// Run `SOAK_REPS` perturbed parallel explorations of `src` and demand
+/// each reproduces the serial terminal set exactly.
+fn soak(name: &str, src: &str) {
+    let interp = Interp::from_source(src).expect("model compiles");
+    let truth = [serial(&interp, true), serial(&interp, false)];
+    assert_eq!(
+        truth[0].terminals, truth[1].terminals,
+        "{name}: serial POR and serial naive disagree — fix that before soaking"
+    );
+
+    let mut stream = RandomSource::new(SOAK_STREAM_SEED);
+    for rep in 0..SOAK_REPS {
+        let mut rec = Recording::new(&mut stream);
+        // Perturbation triple, all drawn through the kernel so the
+        // trace is the complete description of this rep.
+        let workers = 2 + rec.decide(DecisionKind::Chaos, 7, None);
+        let por = rec.decide(DecisionKind::Chaos, 2, None) == 1;
+        let steal_seed = (rec.decide(DecisionKind::Chaos, 1 << 16, None) as u64) << 32
+            | (rec.decide(DecisionKind::Chaos, 1 << 16, None) as u64) << 16
+            | rec.decide(DecisionKind::Chaos, 1 << 16, None) as u64;
+
+        let result = ParExplorer::new(&interp)
+            .workers(workers)
+            .por(por)
+            .with_steal_seed(steal_seed)
+            .terminals();
+
+        let failure = match result {
+            Err(err) => Some(format!("runtime fault: {err}")),
+            Ok(set) if set.stats.truncated => Some("parallel search truncated".into()),
+            Ok(set) if set.terminals != truth[0].terminals => {
+                Some("parallel terminal set diverged from serial".into())
+            }
+            Ok(_) => None,
+        };
+        if let Some(failure) = failure {
+            let artifact = TraceArtifact::from_trace(
+                name,
+                &format!(
+                    "soak rep {rep}: workers={workers} por={por} steal_seed={steal_seed:#x} \
+                     (stream seed {SOAK_STREAM_SEED:#x})"
+                ),
+                &failure,
+                &rec.into_trace(),
+            );
+            panic!("\n{}", artifact.render());
+        }
+    }
+}
+
+// The three largest models by full (non-reduced) state-space size:
+// party-matching ~99k states, thread-pool ~40k, bounded-buffer ~28k.
+
+#[test]
+fn soak_party_matching() {
+    soak("party-matching", models::PARTY_MATCHING);
+}
+
+#[test]
+fn soak_thread_pool() {
+    soak("thread-pool", models::THREAD_POOL);
+}
+
+#[test]
+fn soak_bounded_buffer() {
+    soak("bounded-buffer", models::BOUNDED_BUFFER);
+}
+
+// ---------------------------------------------------------------------
+// Limits: the shared atomic budget.
+// ---------------------------------------------------------------------
+
+/// A state cap below the full space truncates the parallel search
+/// exactly like the serial one, and the global budget binds across
+/// workers: total claims overshoot the cap by at most one in-flight
+/// claim per worker (not by a per-worker quota).
+#[test]
+fn state_cap_binds_globally_across_workers() {
+    let interp = Interp::from_source(models::BRIDGE).expect("model compiles");
+    let full = serial(&interp, true);
+    let full_states = full.stats.states_visited;
+    let cap = full_states / 2;
+    let limits = Limits { max_states: cap, ..Limits::default() };
+
+    let serial_capped =
+        Explorer::with_limits(&interp, limits).with_threads(1).terminals().expect("serial");
+    assert!(serial_capped.stats.truncated, "serial must report truncation below the cap");
+    assert!(serial_capped.stats.states_visited <= cap, "serial never exceeds the cap");
+
+    for workers in [1, 2, 4, 8] {
+        let par = ParExplorer::with_limits(&interp, limits)
+            .workers(workers)
+            .terminals()
+            .expect("parallel");
+        assert!(
+            par.stats.truncated,
+            "{workers} workers: parallel must report truncation exactly like serial"
+        );
+        assert!(
+            par.stats.states_visited <= cap + workers,
+            "{workers} workers: budget overshoot {} exceeds one claim per worker (cap {cap})",
+            par.stats.states_visited
+        );
+    }
+}
+
+/// A cap above the full space truncates neither side and changes no
+/// results.
+#[test]
+fn generous_state_cap_is_invisible() {
+    let interp = Interp::from_source(models::DINING_NAIVE).expect("model compiles");
+    let full = serial(&interp, true);
+    let limits = Limits { max_states: full.stats.states_visited * 4, ..Limits::default() };
+    for workers in [1, 4] {
+        let par = ParExplorer::with_limits(&interp, limits)
+            .workers(workers)
+            .terminals()
+            .expect("parallel");
+        assert!(!par.stats.truncated, "{workers} workers: spurious truncation");
+        assert_eq!(par.terminals, full.terminals, "{workers} workers: terminals diverged");
+    }
+}
+
+/// The depth limit is also enforced in parallel: an absurdly small
+/// depth truncates both engines.
+#[test]
+fn depth_cap_truncates_in_parallel() {
+    let interp = Interp::from_source(models::DINING_ORDERED).expect("model compiles");
+    let limits = Limits { max_depth: 3, ..Limits::default() };
+    let serial_capped =
+        Explorer::with_limits(&interp, limits).with_threads(1).terminals().expect("serial");
+    assert!(serial_capped.stats.truncated);
+    for workers in [1, 4] {
+        let par = ParExplorer::with_limits(&interp, limits)
+            .workers(workers)
+            .terminals()
+            .expect("parallel");
+        assert!(par.stats.truncated, "{workers} workers: depth cap not reported");
+    }
+}
