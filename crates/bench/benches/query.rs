@@ -1,0 +1,270 @@
+//! Build-once-query-many: what the memoized query layer buys.
+//!
+//! Measures the Test-1 question bank and a fuzz-style admits_trace
+//! campaign three ways — legacy direct explorer (one exploration per
+//! query), cold session (first query per cache key builds a state
+//! graph), warm session (every query reads a cached graph) — and
+//! emits the numbers as machine-readable JSON for CI trending:
+//! build time, per-query time, and hit rate, written to
+//! `target/BENCH_query.json` (override with `BENCH_QUERY_JSON`).
+//!
+//! Pass `--quick` (or the smoke harness's `--test`) to shrink the
+//! campaign; the JSON is emitted in every mode.
+
+use concur_conformance::models;
+use concur_exec::explore::{Explorer, Limits};
+use concur_exec::{EventKindPattern, EventPattern, Interp, QueryCache, Session};
+use concur_study::questions::{bank, interp_for};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "--test")
+}
+
+fn json_path() -> std::path::PathBuf {
+    std::env::var_os("BENCH_QUERY_JSON").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_query.json")
+    })
+}
+
+struct CampaignNumbers {
+    queries: usize,
+    legacy_wall: Duration,
+    cold_wall: Duration,
+    warm_wall: Duration,
+    build_wall: Duration,
+    builds: usize,
+    warm_hit_rate: f64,
+}
+
+impl CampaignNumbers {
+    fn json(&self, name: &str) -> String {
+        format!(
+            "  \"{name}\": {{\n    \"queries\": {},\n    \"legacy_wall_s\": {:.6},\n    \
+             \"cold_wall_s\": {:.6},\n    \"warm_wall_s\": {:.6},\n    \"build_wall_s\": {:.6},\n    \
+             \"graph_builds\": {},\n    \"warm_per_query_s\": {:.9},\n    \
+             \"warm_hit_rate\": {:.4}\n  }}",
+            self.queries,
+            self.legacy_wall.as_secs_f64(),
+            self.cold_wall.as_secs_f64(),
+            self.warm_wall.as_secs_f64(),
+            self.build_wall.as_secs_f64(),
+            self.builds,
+            self.warm_wall.as_secs_f64() / self.queries.max(1) as f64,
+            self.warm_hit_rate,
+        )
+    }
+}
+
+/// The 16-question bank: legacy (16 direct explorations) vs session
+/// cold pass (one graph build per distinct cache key) vs warm pass
+/// (pure cache reads).
+fn measure_bank() -> CampaignNumbers {
+    let limits = Limits::default();
+    let questions = bank();
+
+    let begin = Instant::now();
+    for q in &questions {
+        let answer = Explorer::with_limits(interp_for(q.section), limits)
+            .can_happen(&q.setup, &q.scenario)
+            .expect("explores");
+        assert_eq!(answer.is_yes(), q.expected, "{}", q.id);
+    }
+    let legacy_wall = begin.elapsed();
+
+    let cache = Arc::new(QueryCache::new());
+    let ask = |q: &concur_study::questions::Question| {
+        Session::with_limits(interp_for(q.section), limits)
+            .with_cache(Arc::clone(&cache))
+            .can_happen(&q.setup, &q.scenario)
+            .expect("explores")
+    };
+    let begin = Instant::now();
+    let mut build_wall = Duration::ZERO;
+    for q in &questions {
+        let (answer, stats) = Session::with_limits(interp_for(q.section), limits)
+            .with_cache(Arc::clone(&cache))
+            .can_happen_with_stats(&q.setup, &q.scenario)
+            .expect("explores");
+        assert_eq!(answer.is_yes(), q.expected, "{}", q.id);
+        if stats.cache_misses > 0 {
+            build_wall += stats.build_wall;
+        }
+    }
+    let cold_wall = begin.elapsed();
+    let builds = cache.stats().builds;
+
+    let before_warm = cache.stats();
+    let begin = Instant::now();
+    for q in &questions {
+        ask(q);
+    }
+    let warm_wall = begin.elapsed();
+    let after_warm = cache.stats();
+    let warm_hits = after_warm.hits - before_warm.hits;
+    let warm_total = questions.len();
+
+    CampaignNumbers {
+        queries: questions.len(),
+        legacy_wall,
+        cold_wall,
+        warm_wall,
+        build_wall,
+        builds,
+        warm_hit_rate: warm_hits as f64 / warm_total as f64,
+    }
+}
+
+/// A fuzz-oracle-style campaign over one conformance model: every
+/// model output re-asked as an ordered Printed-token trace, several
+/// rounds — the conformance harness's admits_trace hot path. All
+/// trace queries share one graph (Printed text is coarsened out of
+/// the cache key).
+fn measure_campaign(rounds: usize) -> CampaignNumbers {
+    let interp = Interp::from_source(models::BOUNDED_BUFFER).expect("model compiles");
+    let outputs = {
+        let session = Session::new(&interp).with_cache(Arc::new(QueryCache::new()));
+        session.terminals().expect("explores").outputs()
+    };
+    let traces: Vec<Vec<EventPattern>> = outputs
+        .iter()
+        .map(|obs| {
+            obs.split_whitespace()
+                .map(|tok| EventPattern::any(EventKindPattern::Printed { text: tok.to_string() }))
+                .collect()
+        })
+        .collect();
+    let queries = traces.len() * rounds;
+
+    let explorer = Explorer::new(&interp);
+    let begin = Instant::now();
+    for _ in 0..rounds {
+        for trace in &traces {
+            assert!(explorer.admits_trace(trace).expect("explores").is_yes());
+        }
+    }
+    let legacy_wall = begin.elapsed();
+
+    let cache = Arc::new(QueryCache::new());
+    let session = Session::new(&interp).with_cache(Arc::clone(&cache));
+    let begin = Instant::now();
+    let mut build_wall = Duration::ZERO;
+    for trace in &traces {
+        let (answer, stats) = session.can_happen_with_stats(&[], trace).expect("explores");
+        assert!(answer.is_yes());
+        if stats.cache_misses > 0 {
+            build_wall += stats.build_wall;
+        }
+    }
+    let cold_wall = begin.elapsed();
+    let builds = cache.stats().builds;
+
+    // The cache is populated by the cold pass above, so a full
+    // `rounds` re-run is the steady-state (all-hits) cost of the same
+    // campaign the legacy loop paid exploration for.
+    let before_warm = cache.stats();
+    let begin = Instant::now();
+    for _ in 0..rounds {
+        for trace in &traces {
+            assert!(session.admits_trace(trace).expect("explores").is_yes());
+        }
+    }
+    let warm_wall = begin.elapsed();
+    let after_warm = cache.stats();
+    let warm_queries = traces.len() * rounds;
+    let warm_hits = after_warm.hits - before_warm.hits;
+
+    CampaignNumbers {
+        queries,
+        legacy_wall,
+        cold_wall,
+        warm_wall,
+        build_wall,
+        builds,
+        warm_hit_rate: warm_hits as f64 / warm_queries as f64,
+    }
+}
+
+fn emit_json(bank: &CampaignNumbers, campaign: &CampaignNumbers) {
+    let path = json_path();
+    let body =
+        format!("{{\n{},\n{}\n}}\n", bank.json("question_bank"), campaign.json("fuzz_campaign"));
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &body).expect("write BENCH_query.json");
+    println!("query/json: wrote {}", path.display());
+    print!("{body}");
+}
+
+fn bench_query(c: &mut Criterion) {
+    let rounds = if quick_mode() { 3 } else { 20 };
+    let bank_numbers = measure_bank();
+    let campaign_numbers = measure_campaign(rounds);
+    assert!(
+        bank_numbers.warm_hit_rate >= 1.0,
+        "warm bank pass must be pure hits (got {:.2})",
+        bank_numbers.warm_hit_rate
+    );
+    assert!(
+        campaign_numbers.warm_hit_rate >= 1.0,
+        "warm campaign must be pure hits (got {:.2})",
+        campaign_numbers.warm_hit_rate
+    );
+    emit_json(&bank_numbers, &campaign_numbers);
+
+    let mut group = c.benchmark_group("query");
+    group.sample_size(10);
+
+    // Warm bank pass: all 16 questions against an already-populated
+    // cache — the steady-state cost the study harness pays.
+    let warm_cache = Arc::new(QueryCache::new());
+    let limits = Limits::default();
+    for q in bank() {
+        Session::with_limits(interp_for(q.section), limits)
+            .with_cache(Arc::clone(&warm_cache))
+            .can_happen(&q.setup, &q.scenario)
+            .expect("explores");
+    }
+    group.bench_function("bank_warm_16_questions", |b| {
+        b.iter(|| {
+            for q in bank() {
+                let answer = Session::with_limits(interp_for(q.section), limits)
+                    .with_cache(Arc::clone(&warm_cache))
+                    .can_happen(&q.setup, &q.scenario)
+                    .expect("explores");
+                assert_eq!(answer.is_yes(), q.expected);
+            }
+        });
+    });
+
+    // Cold graph build for one conformance model (the per-key price).
+    let buffer = Interp::from_source(models::BOUNDED_BUFFER).expect("compiles");
+    group.bench_function("bounded_buffer_cold_build", |b| {
+        b.iter(|| {
+            let session = Session::new(&buffer).with_cache(Arc::new(QueryCache::new()));
+            assert!(!session.terminals().expect("explores").stats.truncated);
+        });
+    });
+
+    // Warm admits_trace (the fuzz oracle's steady-state re-query).
+    let warm = Session::new(&buffer).with_cache(Arc::new(QueryCache::new()));
+    let outputs = warm.terminals().expect("explores").outputs();
+    let trace: Vec<EventPattern> = outputs[0]
+        .split_whitespace()
+        .map(|tok| EventPattern::any(EventKindPattern::Printed { text: tok.to_string() }))
+        .collect();
+    warm.admits_trace(&trace).expect("explores");
+    group.bench_function("bounded_buffer_warm_admits_trace", |b| {
+        b.iter(|| {
+            assert!(warm.admits_trace(&trace).expect("explores").is_yes());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -31,13 +31,14 @@
 //! After all schedules pass, the observable-output sets of the three
 //! disciplines are compared with each other and with the model
 //! (*cross-model agreement*), and one passing trace per discipline is
-//! re-checked through [`Explorer::admits_trace`], exercising the
-//! event-level membership entry point.
+//! re-checked through [`Session::admits_trace`], exercising the
+//! event-level membership entry point against the memoized state
+//! graph.
 
 use crate::exec::{BoundedSched, RandomSched, ReplaySched};
 use crate::problems::{Discipline, Fixture, Outcome, FIXTURES};
 use concur_decide::{shrink, TraceArtifact};
-use concur_exec::{EventKindPattern, EventPattern, Explorer, Interp, TerminalSet};
+use concur_exec::{EventKindPattern, EventPattern, Interp, Session, TerminalSet};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::PathBuf;
@@ -270,9 +271,13 @@ pub fn fuzz_problem(
 
     let interp = Interp::from_source(fixture.model)
         .map_err(|e| model_err(format!("model does not parse: {e}")))?;
-    let explorer = Explorer::new(&interp);
+    // The memoized query layer: the terminal oracle and every
+    // admits_trace re-query below read one cached graph per model
+    // (Printed-pattern text is coarsened out of the cache key), and
+    // repeated campaigns over the same fixtures rebuild nothing.
+    let session = Session::new(&interp);
     let model =
-        explorer.terminals().map_err(|e| model_err(format!("model exploration failed: {e}")))?;
+        session.terminals().map_err(|e| model_err(format!("model exploration failed: {e}")))?;
     if model.stats.truncated {
         return Err(model_err("model exploration truncated; shrink the model config".into()));
     }
@@ -352,7 +357,7 @@ pub fn fuzz_problem(
                 .split_whitespace()
                 .map(|tok| EventPattern::any(EventKindPattern::Printed { text: tok.to_string() }))
                 .collect();
-            let answer = explorer
+            let answer = session
                 .admits_trace(&trace)
                 .map_err(|e| model_err(format!("admits_trace failed: {e}")))?;
             if !answer.is_yes() {

@@ -15,6 +15,24 @@
 //! enumerates every interleaving without truncation, large enough that
 //! each problem still has several genuinely different outcomes.
 
+use concur_exec::TerminalSet;
+
+/// Exhaustively explore one model's terminal set through the memoized
+/// query layer ([`concur_exec::OwnedSession`]): the first caller per
+/// source pays the graph build, every later caller — the fuzz oracle,
+/// the real-runtime spot checks, the model unit tests — reads the
+/// cached graph. Errors on parse failure, runtime fault, or a
+/// truncated exploration (models must be exhaustively explorable).
+pub fn explore_model(src: &str) -> Result<TerminalSet, String> {
+    let session =
+        concur_exec::OwnedSession::from_source(src).map_err(|e| format!("model parse: {e}"))?;
+    let set = session.terminals().map_err(|e| format!("model explore: {e}"))?;
+    if set.stats.truncated {
+        return Err("model exploration truncated".into());
+    }
+    Ok(set)
+}
+
 /// Dining philosophers with a global fork order (both take fork 0
 /// first). Tokens: philosopher id at the moment it eats, while holding
 /// both forks. Deadlock-free.
@@ -454,13 +472,10 @@ PRINTLN total
 #[cfg(test)]
 mod tests {
     use super::*;
-    use concur_exec::{Explorer, Interp};
     use std::collections::BTreeSet;
 
     fn outputs(src: &str) -> (BTreeSet<String>, bool) {
-        let interp = Interp::from_source(src).expect("model parses");
-        let set = Explorer::new(&interp).terminals().expect("model explores");
-        assert!(!set.stats.truncated, "model must be exhaustively explorable");
+        let set = explore_model(src).expect("model explores exhaustively");
         (set.output_set(), set.has_deadlock())
     }
 

@@ -24,7 +24,7 @@
 
 use crate::models;
 use concur_decide::TraceArtifact;
-use concur_exec::{Explorer, Interp, TerminalSet};
+use concur_exec::TerminalSet;
 use concur_problems::{
     book_inventory, bounded_buffer, bridge, dining, party_matching, readers_writers,
     sleeping_barber, sum_workers, thread_pool_arith, Paradigm,
@@ -41,12 +41,7 @@ pub struct SpotReport {
 }
 
 fn explore(src: &str) -> Result<TerminalSet, String> {
-    let interp = Interp::from_source(src).map_err(|e| format!("model parse: {e}"))?;
-    let set = Explorer::new(&interp).terminals().map_err(|e| format!("model explore: {e}"))?;
-    if set.stats.truncated {
-        return Err("model exploration truncated".into());
-    }
-    Ok(set)
+    models::explore_model(src)
 }
 
 fn render(tokens: &[i64]) -> String {

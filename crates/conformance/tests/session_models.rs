@@ -1,0 +1,97 @@
+//! Differential: the memoized query layer answers every conformance
+//! model identically to the direct serial explorer — terminal sets
+//! byte-for-byte, admits_trace verdicts included — at every build
+//! worker count.
+
+use concur_conformance::models;
+use concur_exec::{EventKindPattern, EventPattern, Explorer, Interp, QueryCache, Session};
+use std::sync::Arc;
+
+const MODELS: &[(&str, &str)] = &[
+    ("dining-ordered", models::DINING_ORDERED),
+    ("dining-naive", models::DINING_NAIVE),
+    ("bounded-buffer", models::BOUNDED_BUFFER),
+    ("readers-writers", models::READERS_WRITERS),
+    ("sleeping-barber", models::SLEEPING_BARBER),
+    ("bridge", models::BRIDGE),
+    ("party-matching", models::PARTY_MATCHING),
+    ("book-inventory", models::BOOK_INVENTORY),
+    ("sum-workers", models::SUM_WORKERS),
+    ("thread-pool", models::THREAD_POOL),
+];
+
+#[test]
+fn all_models_byte_identical_to_serial_at_all_worker_counts() {
+    for (name, src) in MODELS {
+        let interp = Interp::from_source(src).expect("model compiles");
+        let serial = Explorer::new(&interp).with_threads(1).terminals().expect("explores");
+        for workers in [1usize, 2, 4, 8] {
+            let cache = Arc::new(QueryCache::new());
+            let session = Session::new(&interp).with_threads(workers).with_cache(cache);
+            let fresh = session.terminals().expect("explores");
+            let cached = session.terminals().expect("explores");
+            assert_eq!(fresh.terminals, serial.terminals, "{name} @{workers}: fresh vs serial");
+            assert_eq!(cached.terminals, serial.terminals, "{name} @{workers}: cached vs serial");
+            assert_eq!(
+                fresh.stats.truncated, serial.stats.truncated,
+                "{name} @{workers}: truncation flag"
+            );
+        }
+    }
+}
+
+/// Every output the model admits is re-admitted as an ordered
+/// Printed-token trace by the session (the fuzz oracle's re-query
+/// path), and a nonsense trace is rejected — verdicts matching the
+/// direct serial explorer.
+#[test]
+fn admits_trace_verdicts_match_serial() {
+    let trace_of = |obs: &str| -> Vec<EventPattern> {
+        obs.split_whitespace()
+            .map(|tok| EventPattern::any(EventKindPattern::Printed { text: tok.to_string() }))
+            .collect()
+    };
+    for (name, src) in &MODELS[..4] {
+        let interp = Interp::from_source(src).expect("model compiles");
+        let explorer = Explorer::new(&interp).with_threads(1);
+        let session = Session::new(&interp).with_cache(Arc::new(QueryCache::new()));
+        let model = session.terminals().expect("explores");
+        for obs in model.outputs() {
+            let trace = trace_of(&obs);
+            let direct = explorer.admits_trace(&trace).expect("explores");
+            let cached = session.admits_trace(&trace).expect("explores");
+            assert_eq!(cached.is_yes(), direct.is_yes(), "{name}: {obs:?} verdict");
+            assert!(cached.is_yes(), "{name}: model output {obs:?} must be admitted");
+        }
+        let bogus = trace_of("999 999 999");
+        let direct = explorer.admits_trace(&bogus).expect("explores");
+        let cached = session.admits_trace(&bogus).expect("explores");
+        assert_eq!(cached.is_yes(), direct.is_yes(), "{name}: bogus trace verdict");
+        assert!(!cached.is_yes(), "{name}: bogus trace must be rejected");
+    }
+}
+
+/// All Printed-trace queries of one model share one graph (the
+/// signature coarsens Printed text away): N distinct traces cost one
+/// build.
+#[test]
+fn printed_trace_queries_share_one_graph() {
+    let cache = Arc::new(QueryCache::new());
+    let interp = Interp::from_source(models::BOUNDED_BUFFER).expect("model compiles");
+    let session = Session::new(&interp).with_cache(Arc::clone(&cache));
+    let model = session.terminals().expect("explores");
+    let outputs = model.outputs();
+    assert!(outputs.len() >= 2, "bounded buffer has several outcomes");
+    for obs in &outputs {
+        let trace: Vec<EventPattern> = obs
+            .split_whitespace()
+            .map(|tok| EventPattern::any(EventKindPattern::Printed { text: tok.to_string() }))
+            .collect();
+        assert!(session.admits_trace(&trace).expect("explores").is_yes());
+    }
+    let stats = cache.stats();
+    // One graph for the terminal query (no visible patterns) and one
+    // for the shared Printed signature.
+    assert_eq!(stats.builds, 2, "all Printed traces share one graph build");
+    assert_eq!(stats.hits, outputs.len() - 1, "every trace after the first is a hit");
+}

@@ -85,6 +85,21 @@ pub struct Stats {
     pub peak_stack_bytes: usize,
     /// Wall-clock time of the exploration.
     pub wall: Duration,
+    /// Queries served from a memoized state graph (see
+    /// [`crate::session::Session`]). Always zero for a direct
+    /// exploration — the explorer itself never consults the cache.
+    pub cache_hits: usize,
+    /// Queries that had to build (or rebuild) their state graph.
+    /// Direct explorations also leave this zero.
+    pub cache_misses: usize,
+    /// Time spent materializing the state graph this answer was read
+    /// from. On a cache hit this reports the *original* build cost —
+    /// the time the hit avoided — while [`Stats::wall`] reports what
+    /// the query actually took.
+    pub build_wall: Duration,
+    /// Time spent traversing the already-built graph (setup discovery
+    /// plus witness search, or the terminal-set read).
+    pub query_wall: Duration,
 }
 
 /// A terminal state of the program (no enabled transitions).
@@ -192,9 +207,13 @@ impl Visibility<'_> {
 }
 
 /// A precomputed successor edge: the interned signature of the state
-/// it reaches plus the events emitted along the way (one step for an
-/// ample edge, possibly many for a corridor-compressed one).
-pub(crate) type Succ = (StateSig, Vec<Event>);
+/// it reaches, the events emitted along the way (one step for an
+/// ample edge, possibly many for a corridor-compressed one), and the
+/// choice indices taken — one entry per atomic step, each an index
+/// into [`Interp::choices`] at that hop, so concatenating them along
+/// a path yields a decision vector [`crate::schedule::ReplayScheduler`]
+/// can replay.
+pub(crate) type Succ = (StateSig, Vec<Event>, Vec<usize>);
 
 /// How a node's successors are produced.
 pub(crate) enum Expansion {
@@ -264,10 +283,13 @@ impl Node {
         let heap = match &self.expansion {
             Expansion::Full { choices, .. } => choices.capacity() * std::mem::size_of::<Choice>(),
             Expansion::Ample { succs, .. } => {
-                succs.capacity() * std::mem::size_of::<(StateSig, Vec<Event>)>()
+                succs.capacity() * std::mem::size_of::<Succ>()
                     + succs
                         .iter()
-                        .map(|(_, ev)| ev.capacity() * std::mem::size_of::<Event>())
+                        .map(|(_, ev, picks)| {
+                            ev.capacity() * std::mem::size_of::<Event>()
+                                + picks.capacity() * std::mem::size_of::<usize>()
+                        })
                         .sum::<usize>()
             }
         };
@@ -665,7 +687,10 @@ impl<'i> Explorer<'i> {
                             }
                         }
                         Expansion::Ample { succs, next } => {
-                            let (sig, events) = succs[*next].clone();
+                            // Replay picks ride along for the graph
+                            // builder; the DFS itself has no use for
+                            // them.
+                            let (sig, events, _picks) = succs[*next].clone();
                             *next += 1;
                             StepAction::Cached { sig, events, progress: node.progress }
                         }
@@ -779,7 +804,7 @@ impl<'i> Explorer<'i> {
                 let events = self.interp.apply(&mut next, &choices[0])?;
                 next.steps = 0;
                 stats.transitions += 1;
-                Some(vec![(ctx.intern(&next), events)])
+                Some(vec![(ctx.intern(&next), events, vec![0])])
             } else {
                 None
             };
@@ -839,7 +864,7 @@ impl<'i> Explorer<'i> {
         ctx: &mut C,
         stats: &mut Stats,
     ) -> Result<Succ, RuntimeError> {
-        let (mut sig, mut events) = seed;
+        let (mut sig, mut events, mut picks) = seed;
         let mut interior: FxHashSet<StateSig> = FxHashSet::default();
         for _ in 0..CORRIDOR_MAX {
             if ctx.is_visited((sig, progress)) || !interior.insert(sig) {
@@ -855,7 +880,7 @@ impl<'i> Explorer<'i> {
                         let evs = self.interp.apply(&mut next, &choices[0])?;
                         next.steps = 0;
                         stats.transitions += 1;
-                        Some((ctx.intern(&next), evs))
+                        Some((ctx.intern(&next), evs, vec![0]))
                     } else {
                         None
                     }
@@ -876,14 +901,15 @@ impl<'i> Explorer<'i> {
                 }
             };
             match hop {
-                Some((next_sig, evs)) => {
+                Some((next_sig, evs, pk)) => {
                     sig = next_sig;
                     events.extend(evs);
+                    picks.extend(pk);
                 }
                 None => break,
             }
         }
-        Ok((sig, events))
+        Ok((sig, events, picks))
     }
 
     /// Ample-set selection. A task's enabled choices form an ample set
@@ -950,11 +976,11 @@ impl<'i> Explorer<'i> {
                 let events = self.interp.apply(&mut next, &choices[i])?;
                 next.steps = 0;
                 let sig = ctx.intern(&next);
-                succs.push((sig, events));
+                succs.push((sig, events, vec![i]));
             }
             // Invisible edges cannot advance query progress, so the
             // successors' node keys keep this node's progress.
-            if succs.iter().any(|(sig, _)| ctx.is_visited((*sig, progress))) {
+            if succs.iter().any(|(sig, _, _)| ctx.is_visited((*sig, progress))) {
                 continue 'candidate;
             }
             return Ok(Some(succs));

@@ -1,0 +1,656 @@
+//! The materialized state-graph store: build once, query many.
+//!
+//! [`StateGraph`] persists one exploration of a program — interned
+//! states, event-labelled transitions with replayable choice picks,
+//! BFS parent links, and terminal classification — so that every
+//! subsequent query (`StateGraph::terminal_set`,
+//! `StateGraph::can_happen`) is a read or a traversal of the store
+//! instead of a fresh sweep. [`crate::session::Session`] owns the
+//! memoization; this module owns the data structure and the two
+//! algorithms on it.
+//!
+//! # Deterministic level-synchronized construction
+//!
+//! The work-stealing frontier ([`crate::par`]) is exact but not
+//! *deterministic*: racing claims make POR's ample selection (and so
+//! the explored subgraph) differ run to run. A cached graph must not
+//! have that property — the whole point is that an answer computed
+//! today byte-matches the answer recomputed tomorrow, at any worker
+//! count. So the builder runs a level-synchronized BFS:
+//!
+//! 1. Every node of the current level is expanded against a *frozen*
+//!    visited snapshot (the table as of the end of the previous
+//!    level). Expansion planning — including ample-set selection and
+//!    corridor compression, shared verbatim with both explorers via
+//!    `ExploreCtx` — therefore depends only on the state and the
+//!    snapshot, never on scheduling. Levels are fanned out across
+//!    worker threads by contiguous chunks; results are indexed, so
+//!    thread timing cannot reorder them.
+//! 2. Successors are merged into the store sequentially, in (node id,
+//!    edge order) — a canonical order. New nodes take the next id.
+//!
+//! The cycle proviso survives the snapshot semantics: a level-`k` node
+//! was inserted at the end of level `k-1`, and an ample successor
+//! accepted at level `k` was absent from the level-`k-1` snapshot, so
+//! its insertion ends level `k` or later. Around a cycle of
+//! ample-expanded nodes the insertion levels would have to be strictly
+//! increasing — a contradiction, so at least one node of every cycle
+//! is fully expanded (the same ignoring-problem guarantee both
+//! explorers carry).
+//!
+//! Witness searches over the graph are plain FIFO BFS on the
+//! `(node, query-progress)` product, seeded in canonical order —
+//! witnesses are shortest and identical at every worker count, closing
+//! the serial/parallel witness divergence the direct explorers
+//! document.
+
+use crate::event::{Event, EventPattern, StateCond};
+use crate::explore::{
+    Answer, Expansion, ExploreCtx, Explorer, Limits, Stats, Succ, Terminal, TerminalKind,
+    TerminalSet, Visibility,
+};
+use crate::intern::{FxHashMap, FxHashSet, ShardedInterner, StateSig};
+use crate::interp::{Interp, Outcome};
+use crate::state::State;
+use crate::value::RuntimeError;
+use std::collections::{BTreeSet, VecDeque};
+use std::time::Instant;
+
+/// Frontier width below which a level is expanded inline: spawning
+/// scoped threads costs more than expanding a handful of nodes, and
+/// the narrow early/late levels of every space stay on one thread
+/// while the wide middle fans out.
+const PAR_LEVEL_MIN: usize = 48;
+
+/// One stored transition.
+pub(crate) struct GraphEdge {
+    pub(crate) target: u32,
+    /// Events emitted along the edge (several for a corridor).
+    pub(crate) events: Vec<Event>,
+    /// Choice indices (into [`Interp::choices`] at each hop) realizing
+    /// the edge; concatenated along a path they form a decision vector
+    /// replayable by [`crate::schedule::ReplayScheduler`].
+    pub(crate) picks: Vec<usize>,
+}
+
+struct NodeRec {
+    sig: StateSig,
+    /// Path depth in nodes (root = 1); mirrors the explorers' depth
+    /// accounting for `max_depth`.
+    depth: u32,
+    /// BFS-tree parent (self for the root) and the edge index within
+    /// the parent's list — the canonical shortest path back to the
+    /// root, used to prefix witness evidence with a replayable route
+    /// to the setup state.
+    parent: u32,
+    via: u32,
+    terminal: Option<TerminalKind>,
+}
+
+/// Replayable evidence for a [`Answer::Yes`] verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessEvidence {
+    /// Choice indices from the program's *initial state* through the
+    /// setup state to the scenario's completion — feed them to
+    /// [`crate::schedule::ReplayScheduler`] to re-execute the witness.
+    pub decisions: Vec<usize>,
+    /// How many leading entries of `decisions` reach the setup state;
+    /// the scenario's events occur in the remainder.
+    pub setup_len: usize,
+    /// The witness events from the setup state onward (identical to
+    /// the [`Answer::Yes`] witness).
+    pub events: Vec<Event>,
+}
+
+/// What one node contributed to its level: terminal classification or
+/// a successor list, plus the stats delta its expansion accrued.
+struct LevelOut {
+    terminal: Option<Terminal>,
+    succs: Vec<Succ>,
+    stats: Stats,
+}
+
+/// [`ExploreCtx`] over the store under construction: interning goes to
+/// the live sharded pools, visited membership to the frozen snapshot
+/// of the previous level. Progress is ignored — graphs are built
+/// query-agnostically at progress 0.
+struct FrozenCtx<'a> {
+    interner: &'a ShardedInterner,
+    visited: &'a FxHashMap<StateSig, u32>,
+}
+
+impl ExploreCtx for FrozenCtx<'_> {
+    fn intern(&mut self, state: &State) -> StateSig {
+        self.interner.intern(state)
+    }
+
+    fn materialize(&self, sig: StateSig) -> State {
+        self.interner.materialize(sig)
+    }
+
+    fn is_visited(&self, key: (StateSig, usize)) -> bool {
+        self.visited.contains_key(&key.0)
+    }
+}
+
+/// A persisted exploration of one program under one (limits, POR,
+/// visibility) configuration.
+pub struct StateGraph {
+    interner: ShardedInterner,
+    nodes: Vec<NodeRec>,
+    /// Out-edges per node, in canonical expansion order.
+    edges: Vec<Vec<GraphEdge>>,
+    terminals: BTreeSet<Terminal>,
+    /// Build statistics; `truncated` records whether any bound was hit
+    /// (all answers read from a truncated graph are non-exhaustive).
+    stats: Stats,
+}
+
+impl StateGraph {
+    /// Build the graph with `workers` threads. The result is
+    /// *byte-identical* for every `workers` value — see the module
+    /// docs for why.
+    pub(crate) fn build(
+        interp: &Interp,
+        limits: Limits,
+        por: bool,
+        visibility: Visibility<'_>,
+        workers: usize,
+    ) -> Result<StateGraph, RuntimeError> {
+        let begin = Instant::now();
+        let interner = ShardedInterner::new();
+        let probe = Explorer::with_limits(interp, limits).with_threads(1);
+        let mut visited: FxHashMap<StateSig, u32> = FxHashMap::default();
+        let mut nodes: Vec<NodeRec> = Vec::new();
+        let mut edges: Vec<Vec<GraphEdge>> = Vec::new();
+        let mut terminals = BTreeSet::new();
+        let mut stats = Stats::default();
+
+        let mut root = interp.initial_state();
+        root.steps = 0;
+        let root_sig = interner.intern(&root);
+        visited.insert(root_sig, 0);
+        nodes.push(NodeRec { sig: root_sig, depth: 1, parent: 0, via: 0, terminal: None });
+        edges.push(Vec::new());
+        stats.states_visited = 1;
+        let mut frontier: Vec<u32> = vec![0];
+
+        'levels: while !frontier.is_empty() {
+            let items: Vec<(StateSig, u32)> = frontier
+                .iter()
+                .map(|&id| (nodes[id as usize].sig, nodes[id as usize].depth))
+                .collect();
+            let outs = expand_level(&probe, &interner, &visited, &items, por, visibility, workers);
+
+            let mut next_frontier: Vec<u32> = Vec::new();
+            for (&id, out) in frontier.iter().zip(outs) {
+                let out = out?;
+                accrue(&mut stats, &out.stats);
+                if let Some(term) = out.terminal {
+                    nodes[id as usize].terminal = Some(term.outcome);
+                    terminals.insert(term);
+                    continue;
+                }
+                for (sig, events, picks) in out.succs {
+                    let via = edges[id as usize].len() as u32;
+                    let target = match visited.get(&sig) {
+                        Some(&t) => {
+                            stats.states_deduped += 1;
+                            t
+                        }
+                        None => {
+                            if nodes.len() >= limits.max_states {
+                                // Deterministic stop: the cap binds at
+                                // an exact point of the canonical merge
+                                // order, so a truncated graph is still
+                                // the same graph every time.
+                                stats.truncated = true;
+                                break 'levels;
+                            }
+                            let t = nodes.len() as u32;
+                            let depth = nodes[id as usize].depth + 1;
+                            visited.insert(sig, t);
+                            nodes.push(NodeRec { sig, depth, parent: id, via, terminal: None });
+                            edges.push(Vec::new());
+                            stats.states_visited += 1;
+                            next_frontier.push(t);
+                            t
+                        }
+                    };
+                    edges[id as usize].push(GraphEdge { target, events, picks });
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        stats.wall = begin.elapsed();
+        stats.build_wall = stats.wall;
+        Ok(StateGraph { interner, nodes, edges, terminals, stats })
+    }
+
+    /// Build statistics (the graph's cost card).
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Whether any build bound was hit.
+    pub fn truncated(&self) -> bool {
+        self.stats.truncated
+    }
+
+    /// The number of stored nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The terminal enumeration, as a store read.
+    pub(crate) fn terminal_set(&self) -> TerminalSet {
+        TerminalSet { terminals: self.terminals.clone(), stats: self.stats }
+    }
+
+    /// Frontier-only BFS collecting nodes where every `setup`
+    /// condition holds, capped at `cap` (the serial explorer's
+    /// `max_setup_states` discipline: exploration never descends below
+    /// a match, which loses nothing for existential continuation
+    /// queries). Returns the start nodes in canonical discovery order
+    /// plus whether the cap truncated discovery.
+    fn setup_nodes(&self, interp: &Interp, setup: &[StateCond], cap: usize) -> (Vec<u32>, bool) {
+        let funcs = &interp.compiled.funcs;
+        let mut starts = Vec::new();
+        let mut truncated = false;
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0);
+        while let Some(n) = queue.pop_front() {
+            let state = self.interner.materialize(self.nodes[n as usize].sig);
+            if setup.iter().all(|c| c.holds(&state, funcs)) {
+                starts.push(n);
+                if starts.len() >= cap {
+                    truncated = true;
+                    break;
+                }
+                continue;
+            }
+            for edge in &self.edges[n as usize] {
+                if !seen[edge.target as usize] {
+                    seen[edge.target as usize] = true;
+                    queue.push_back(edge.target);
+                }
+            }
+        }
+        (starts, truncated)
+    }
+
+    /// Answer a `can_happen` question as a graph traversal: setup
+    /// discovery, then FIFO BFS over the `(node, progress)` product —
+    /// the witness is a *shortest* realization and is identical for
+    /// every build worker count. Yes answers also carry
+    /// [`WitnessEvidence`] with a replayable decision vector from the
+    /// program's initial state.
+    pub(crate) fn can_happen(
+        &self,
+        interp: &Interp,
+        setup: &[StateCond],
+        query: &[EventPattern],
+        max_setup_states: usize,
+    ) -> (Answer, Option<WitnessEvidence>) {
+        let (starts, setup_trunc) = self.setup_nodes(interp, setup, max_setup_states);
+        let exhaustive = !(self.stats.truncated || setup_trunc);
+        if starts.is_empty() {
+            return (Answer::SetupUnreachable { exhaustive }, None);
+        }
+        if query.is_empty() {
+            let decisions = self.picks_to_root_path(starts[0]);
+            let setup_len = decisions.len();
+            let evidence = WitnessEvidence { decisions, setup_len, events: Vec::new() };
+            return (Answer::Yes { witness: Vec::new() }, Some(evidence));
+        }
+
+        // Progress matching consults the destination state only to
+        // resolve task labels; label-free queries (the conformance
+        // fuzzer's Printed traces) skip materialization entirely.
+        let needs_state = query.iter().any(|p| p.task_label.is_some());
+        let placeholder = self.interner.materialize(self.nodes[0].sig);
+
+        let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+        let mut parents: FxHashMap<(u32, u32), (u32, u32, u32)> = FxHashMap::default();
+        let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
+        for &s in &starts {
+            if seen.insert((s, 0)) {
+                queue.push_back((s, 0));
+            }
+        }
+        while let Some((n, p)) = queue.pop_front() {
+            for (ei, edge) in self.edges[n as usize].iter().enumerate() {
+                let target_state = if needs_state {
+                    self.interner.materialize(self.nodes[edge.target as usize].sig)
+                } else {
+                    placeholder.clone()
+                };
+                let mut p2 = p;
+                for event in &edge.events {
+                    if (p2 as usize) < query.len()
+                        && query[p2 as usize].matches(event, &target_state)
+                    {
+                        p2 += 1;
+                    }
+                }
+                if p2 as usize == query.len() {
+                    // Realized (possibly mid-edge): like the direct
+                    // explorers, the witness carries the full final
+                    // edge.
+                    let (witness, evidence) = self.assemble_witness(&parents, (n, p), ei as u32);
+                    return (Answer::Yes { witness }, Some(evidence));
+                }
+                if seen.insert((edge.target, p2)) {
+                    parents.insert((edge.target, p2), (n, p, ei as u32));
+                    queue.push_back((edge.target, p2));
+                }
+            }
+        }
+        (Answer::No { exhaustive }, None)
+    }
+
+    /// Picks along the BFS-tree path from the root to `node`.
+    fn picks_to_root_path(&self, node: u32) -> Vec<usize> {
+        let mut hops: Vec<(u32, u32)> = Vec::new();
+        let mut cursor = node;
+        while cursor != 0 {
+            let rec = &self.nodes[cursor as usize];
+            hops.push((rec.parent, rec.via));
+            cursor = rec.parent;
+        }
+        hops.reverse();
+        let mut picks = Vec::new();
+        for (parent, via) in hops {
+            picks.extend(&self.edges[parent as usize][via as usize].picks);
+        }
+        picks
+    }
+
+    /// Reconstruct the witness for an acceptance at product node
+    /// `(node, progress)` completed by that node's edge `final_edge`:
+    /// walk the product parent links back to a start node, then prefix
+    /// the root-to-start route for the replayable decision vector.
+    fn assemble_witness(
+        &self,
+        parents: &FxHashMap<(u32, u32), (u32, u32, u32)>,
+        mut at: (u32, u32),
+        final_edge: u32,
+    ) -> (Vec<Event>, WitnessEvidence) {
+        // (node, edge index) hops; the walk ends at a start node
+        // (seeded without a parent link).
+        let mut hops: Vec<(u32, u32)> = Vec::new();
+        while let Some(&(pn, pp, ei)) = parents.get(&at) {
+            hops.push((pn, ei));
+            at = (pn, pp);
+        }
+        hops.reverse();
+        let start = at.0;
+        let setup_picks = self.picks_to_root_path(start);
+        let setup_len = setup_picks.len();
+        let mut decisions = setup_picks;
+        let mut events = Vec::new();
+        for &(node, ei) in &hops {
+            let edge = &self.edges[node as usize][ei as usize];
+            events.extend(edge.events.iter().cloned());
+            decisions.extend(&edge.picks);
+        }
+        // hops ends at the accepting edge's source node.
+        let source = hops.last().map(|&(n, ei)| self.edges[n as usize][ei as usize].target);
+        let source = source.unwrap_or(start);
+        let last = &self.edges[source as usize][final_edge as usize];
+        events.extend(last.events.iter().cloned());
+        decisions.extend(&last.picks);
+        (events.clone(), WitnessEvidence { decisions, setup_len, events })
+    }
+}
+
+/// Merge one expansion's stats delta into the build total (sums and
+/// maxes; wall clocks are set by the caller at the end).
+fn accrue(total: &mut Stats, part: &Stats) {
+    total.transitions += part.transitions;
+    total.por_ample_states += part.por_ample_states;
+    total.por_pruned_choices += part.por_pruned_choices;
+    total.truncated |= part.truncated;
+    total.peak_stack_depth = total.peak_stack_depth.max(part.peak_stack_depth);
+    total.peak_stack_bytes = total.peak_stack_bytes.max(part.peak_stack_bytes);
+}
+
+/// Expand every node of one level against the frozen snapshot,
+/// fanning out across `workers` threads when the level is wide enough.
+/// Results are returned in frontier order regardless of scheduling.
+fn expand_level(
+    probe: &Explorer<'_>,
+    interner: &ShardedInterner,
+    visited: &FxHashMap<StateSig, u32>,
+    items: &[(StateSig, u32)],
+    por: bool,
+    visibility: Visibility<'_>,
+    workers: usize,
+) -> Vec<Result<LevelOut, RuntimeError>> {
+    if items.len() < PAR_LEVEL_MIN || workers <= 1 {
+        return items
+            .iter()
+            .map(|&(sig, depth)| expand_node(probe, interner, visited, sig, depth, por, visibility))
+            .collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|&(sig, depth)| {
+                            expand_node(probe, interner, visited, sig, depth, por, visibility)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut outs = Vec::with_capacity(items.len());
+        for handle in handles {
+            outs.extend(handle.join().expect("level worker panicked"));
+        }
+        outs
+    })
+}
+
+/// Expand a single node: classify terminals, honor the depth bound,
+/// otherwise plan through the shared POR machinery and apply full
+/// expansions eagerly (recording the choice index of every hop).
+fn expand_node(
+    probe: &Explorer<'_>,
+    interner: &ShardedInterner,
+    visited: &FxHashMap<StateSig, u32>,
+    sig: StateSig,
+    depth: u32,
+    por: bool,
+    visibility: Visibility<'_>,
+) -> Result<LevelOut, RuntimeError> {
+    let mut stats = Stats::default();
+    let state = interner.materialize(sig);
+    let choices = probe.interp.choices(&state);
+    if choices.is_empty() {
+        let outcome = match probe.interp.classify_stuck(&state) {
+            Outcome::AllDone => TerminalKind::AllDone,
+            Outcome::Quiescent => TerminalKind::Quiescent,
+            _ => TerminalKind::Deadlock,
+        };
+        let terminal = Terminal { output: state.output.normalized(), outcome };
+        return Ok(LevelOut { terminal: Some(terminal), succs: Vec::new(), stats });
+    }
+    if depth as usize >= probe.limits.max_depth {
+        stats.truncated = true;
+        return Ok(LevelOut { terminal: None, succs: Vec::new(), stats });
+    }
+    let mut ctx = FrozenCtx { interner, visited };
+    let expansion =
+        probe.plan_expansion(&state, choices, 0, por, visibility, &mut ctx, &mut stats)?;
+    let succs = match expansion {
+        Expansion::Full { choices, .. } => {
+            let mut out = Vec::with_capacity(choices.len());
+            for (i, choice) in choices.iter().enumerate() {
+                let mut next = state.clone();
+                let events = probe.interp.apply(&mut next, choice)?;
+                next.steps = 0;
+                stats.transitions += 1;
+                out.push((interner.intern(&next), events, vec![i]));
+            }
+            out
+        }
+        Expansion::Ample { succs, .. } => succs,
+    };
+    Ok(LevelOut { terminal: None, succs, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+
+    fn graph(src: &str, workers: usize) -> StateGraph {
+        let interp = Interp::from_source(src).expect("compiles");
+        StateGraph::build(&interp, Limits::default(), true, Visibility::NONE, workers)
+            .expect("builds")
+    }
+
+    #[test]
+    fn graph_terminals_match_direct_exploration() {
+        for src in [figures::FIG3_TWO_PRINTS, figures::FIG5_MESSAGE_PASSING] {
+            let interp = Interp::from_source(src).expect("compiles");
+            let direct = Explorer::new(&interp).with_threads(1).terminals().expect("explores");
+            let built = StateGraph::build(&interp, Limits::default(), true, Visibility::NONE, 1)
+                .expect("builds");
+            assert_eq!(built.terminal_set().terminals, direct.terminals);
+        }
+    }
+
+    #[test]
+    fn graph_is_byte_identical_across_worker_counts() {
+        let base = graph(figures::FIG5_MESSAGE_PASSING, 1);
+        for workers in [2, 4, 8] {
+            let other = graph(figures::FIG5_MESSAGE_PASSING, workers);
+            assert_eq!(other.nodes.len(), base.nodes.len(), "{workers} workers: node count");
+            assert_eq!(other.terminals, base.terminals, "{workers} workers: terminals");
+            for (a, b) in base.edges.iter().zip(&other.edges) {
+                assert_eq!(a.len(), b.len(), "{workers} workers: out-degree");
+                for (ea, eb) in a.iter().zip(b) {
+                    assert_eq!(ea.target, eb.target, "{workers} workers: edge target");
+                    assert_eq!(ea.events, eb.events, "{workers} workers: edge events");
+                    assert_eq!(ea.picks, eb.picks, "{workers} workers: edge picks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreduced_graph_conserves_claims() {
+        // Without POR every transition is exactly one edge and one
+        // dedup-or-insert, so the conservation law the par suite
+        // asserts holds for the store too.
+        let interp = Interp::from_source(figures::FIG5_MESSAGE_PASSING).expect("compiles");
+        let built = StateGraph::build(&interp, Limits::default(), false, Visibility::NONE, 4)
+            .expect("builds");
+        let s = built.stats();
+        assert_eq!(s.states_visited + s.states_deduped, s.transitions + 1);
+        let direct =
+            Explorer::new(&interp).with_threads(1).without_por().terminals().expect("explores");
+        assert_eq!(s.states_visited, direct.stats.states_visited);
+        assert_eq!(s.transitions, direct.stats.transitions);
+    }
+
+    /// Three concurrent senders racing six messages toward two sinks:
+    /// wide enough that mid-BFS levels exceed [`PAR_LEVEL_MIN`], so
+    /// the scoped-thread fan-out actually runs. The figure-based tests
+    /// above never reach that width, which once let a worker-count
+    /// nondeterminism slip through: `InFlight`'s Eq ignores its
+    /// `seq`/`from` correlation tags, so the sharded pools kept a
+    /// race-dependent representative and `Received` events recorded on
+    /// edges differed between builds (fixed by canonicalizing tags at
+    /// materialize time — see `intern::canonicalize_tags`).
+    const WIDE_FANOUT: &str = "\
+CLASS Sink
+    DEFINE serve()
+        ON_RECEIVING
+            MESSAGE.tag(k)
+                PRINT k
+    ENDDEF
+ENDCLASS
+CLASS Sender
+    DEFINE fire(target, k)
+        Send(MESSAGE.tag(k)).To(target)
+        Send(MESSAGE.tag(k + 1)).To(target)
+    ENDDEF
+ENDCLASS
+s1 = new Sink()
+s1.serve()
+s2 = new Sink()
+s2.serve()
+a = new Sender()
+b = new Sender()
+c = new Sender()
+PARA
+    a.fire(s1, 1)
+    b.fire(s1, 3)
+    c.fire(s2, 5)
+ENDPARA
+";
+
+    #[test]
+    fn wide_frontier_graph_is_byte_identical_across_worker_counts() {
+        let interp = Interp::from_source(WIDE_FANOUT).expect("compiles");
+        // The full space is ~150k states; a depth bound keeps the test
+        // to a few hundred nodes while the mid levels (60- and
+        // 108-wide) still cross the fan-out threshold. Depth
+        // truncation is deterministic, so byte-identity still holds.
+        let limits = Limits { max_depth: 16, ..Limits::default() };
+        let build = |workers| {
+            StateGraph::build(&interp, limits, false, Visibility::NONE, workers).expect("builds")
+        };
+        let base = build(1);
+        let mut width = FxHashMap::default();
+        for node in &base.nodes {
+            *width.entry(node.depth).or_insert(0usize) += 1;
+        }
+        let peak = width.values().copied().max().unwrap_or(0);
+        assert!(
+            peak >= PAR_LEVEL_MIN,
+            "peak level width {peak} must reach PAR_LEVEL_MIN={PAR_LEVEL_MIN} \
+             or the parallel expansion path is untested"
+        );
+        assert!(
+            base.edges
+                .iter()
+                .flatten()
+                .any(|e| { e.events.iter().any(|ev| matches!(ev, Event::Received { .. })) }),
+            "edges must record Received events (the tag-sensitive case)"
+        );
+        for workers in [2, 4, 8] {
+            let other = build(workers);
+            assert_eq!(other.nodes.len(), base.nodes.len(), "{workers} workers: node count");
+            assert_eq!(other.terminals, base.terminals, "{workers} workers: terminals");
+            for (a, b) in base.edges.iter().zip(&other.edges) {
+                assert_eq!(a.len(), b.len(), "{workers} workers: out-degree");
+                for (ea, eb) in a.iter().zip(b) {
+                    assert_eq!(ea.target, eb.target, "{workers} workers: edge target");
+                    assert_eq!(ea.events, eb.events, "{workers} workers: edge events");
+                    assert_eq!(ea.picks, eb.picks, "{workers} workers: edge picks");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_build_is_flagged_and_deterministic() {
+        let interp = Interp::from_source(figures::FIG5_MESSAGE_PASSING).expect("compiles");
+        let limits = Limits { max_states: 3, ..Limits::default() };
+        let a = StateGraph::build(&interp, limits, true, Visibility::NONE, 1).expect("builds");
+        let b = StateGraph::build(&interp, limits, true, Visibility::NONE, 4).expect("builds");
+        assert!(a.truncated());
+        assert_eq!(a.node_count(), b.node_count());
+        assert!(a.node_count() <= 3);
+    }
+}

@@ -95,6 +95,27 @@ pub(crate) type FxBuild = BuildHasherDefault<FxHasher>;
 pub(crate) type FxHashSet<T> = std::collections::HashSet<T, FxBuild>;
 pub(crate) type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuild>;
 
+/// Rewrite a message list's correlation tags into a pure function of
+/// its Eq-class. [`InFlight`]'s `Eq`/`Hash` deliberately ignore `seq`
+/// and `from`, so a hash-consing pool keeps whichever Eq-equal copy
+/// was interned *first* — deterministic under the serial [`Pools`],
+/// but a worker-scheduling race under [`ShardedInterner`]. Left
+/// alone, materialized states would carry run-dependent tags, and the
+/// `Received`/`DeadLettered` events the interpreter emits from those
+/// states (they copy `inflight.seq`) would differ between otherwise
+/// identical explorations — breaking the state-graph store's promise
+/// that a build is byte-identical at any worker count. Normalizing at
+/// materialize time (`seq` := position in the canonical multiset
+/// order, `from` := task 0) costs nothing extra — the clone out of
+/// the pool is already paid — and makes every materialized state a
+/// pure function of its [`StateSig`].
+fn canonicalize_tags(msgs: &mut [InFlight]) {
+    for (i, m) in msgs.iter_mut().enumerate() {
+        m.seq = i as u64;
+        m.from = TaskId(0);
+    }
+}
+
 /// One hash-consing table. Interning an equal value twice returns the
 /// same id; `get` recovers a shared reference to the canonical copy.
 struct Pool<T> {
@@ -197,7 +218,13 @@ impl Pools {
 
     /// Reconstruct a full state (with `steps == 0`; step counts are
     /// path-dependent and the explorer freezes them before interning).
+    /// Message correlation tags come back canonicalized — see
+    /// [`canonicalize_tags`].
     pub fn materialize(&self, sig: StateSig) -> State {
+        let mut inflight = self.msgs.get(sig.inflight).clone();
+        canonicalize_tags(&mut inflight);
+        let mut dead_letters = self.msgs.get(sig.dead).clone();
+        canonicalize_tags(&mut dead_letters);
         State {
             globals: self.globals.get(sig.globals).clone(),
             objects: self.objects.get(sig.objects).clone(),
@@ -208,11 +235,11 @@ impl Pools {
                 .map(|&id| self.task.get(id).clone())
                 .collect(),
             locks: self.locks.get(sig.locks).clone(),
-            inflight: self.msgs.get(sig.inflight).clone(),
+            inflight,
             output: self.output.get(sig.output).clone(),
             next_seq: sig.next_seq,
             steps: 0,
-            dead_letters: self.msgs.get(sig.dead).clone(),
+            dead_letters,
         }
     }
 }
@@ -229,7 +256,7 @@ const POOL_SHARD_BITS: u32 = POOL_SHARDS.trailing_zeros();
 /// striped wider than the component pools.
 const CLAIM_SHARDS: usize = 64;
 
-fn fx_hash_of<T: Hash>(value: &T) -> u64 {
+pub(crate) fn fx_hash_of<T: Hash>(value: &T) -> u64 {
     FxBuild::default().hash_one(value)
 }
 
@@ -378,8 +405,15 @@ impl ShardedInterner {
     }
 
     /// Reconstruct a full state (with `steps == 0`), cloning each
-    /// component out of its canonical `Arc`.
+    /// component out of its canonical `Arc`. Message correlation tags
+    /// come back canonicalized — see [`canonicalize_tags`]; under
+    /// concurrent interning this is what keeps materialization a pure
+    /// function of the signature rather than of pool insertion order.
     pub fn materialize(&self, sig: StateSig) -> State {
+        let mut inflight = (*self.msgs.get(sig.inflight)).clone();
+        canonicalize_tags(&mut inflight);
+        let mut dead_letters = (*self.msgs.get(sig.dead)).clone();
+        canonicalize_tags(&mut dead_letters);
         State {
             globals: (*self.globals.get(sig.globals)).clone(),
             objects: (*self.objects.get(sig.objects)).clone(),
@@ -390,11 +424,11 @@ impl ShardedInterner {
                 .map(|&id| (*self.task.get(id)).clone())
                 .collect(),
             locks: (*self.locks.get(sig.locks)).clone(),
-            inflight: (*self.msgs.get(sig.inflight)).clone(),
+            inflight,
             output: (*self.output.get(sig.output)).clone(),
             next_seq: sig.next_seq,
             steps: 0,
-            dead_letters: (*self.msgs.get(sig.dead)).clone(),
+            dead_letters,
         }
     }
 }

@@ -52,12 +52,25 @@ pub struct Interp {
     /// Per-code-unit static access summaries for partial-order
     /// reduction (computed once here; see [`crate::footprint`]).
     summaries: crate::footprint::Summaries,
+    /// Program identity for the query cache ([`crate::session`]).
+    /// [`Interp::from_source`] derives it from the source text, so two
+    /// interpreters compiled from identical sources share cached state
+    /// graphs; other constructors get a process-unique nonce, which
+    /// can never alias another program.
+    digest: u64,
 }
+
+/// High bit reserved for construction nonces so they can never collide
+/// with a source-derived digest.
+const NONCE_BIT: u64 = 1 << 63;
 
 impl Interp {
     pub fn new(compiled: Compiled) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_NONCE: AtomicU64 = AtomicU64::new(1);
         let summaries = crate::footprint::Summaries::compute(&compiled);
-        Interp { compiled, summaries }
+        let digest = NONCE_BIT | NEXT_NONCE.fetch_add(1, Ordering::Relaxed);
+        Interp { compiled, summaries, digest }
     }
 
     /// Static access summaries, one per compiled code unit.
@@ -65,9 +78,16 @@ impl Interp {
         &self.summaries
     }
 
+    /// The program identity used as the query-cache key component.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
     /// Parse, compile and wrap a source program.
     pub fn from_source(source: &str) -> Result<Self, String> {
-        Ok(Interp::new(crate::program::compile_source(source)?))
+        let mut interp = Interp::new(crate::program::compile_source(source)?);
+        interp.digest = crate::intern::fx_hash_of(&source) & !NONCE_BIT;
+        Ok(interp)
     }
 
     /// The initial state: a single `main` task about to execute the

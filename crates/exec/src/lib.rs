@@ -33,17 +33,20 @@ pub mod event;
 pub mod explore;
 pub mod figures;
 pub mod footprint;
+pub mod graph;
 pub(crate) mod intern;
 pub mod interp;
 pub mod par;
 pub mod program;
 pub mod schedule;
+pub mod session;
 pub mod state;
 pub mod value;
 
 pub use event::{Event, EventKindPattern, EventPattern, StateCond};
 pub use explore::{Answer, Explorer, Limits, Stats, Terminal, TerminalKind, TerminalSet};
 pub use footprint::{EventMask, Footprint, Resource, StaticResource};
+pub use graph::WitnessEvidence;
 pub use interp::{Choice, Interp, Outcome};
 pub use par::ParExplorer;
 pub use program::{compile, compile_source, Compiled};
@@ -51,5 +54,6 @@ pub use schedule::{
     output_set, run, run_from, run_source, RandomScheduler, ReplayScheduler, RoundRobinScheduler,
     RunResult, Scheduler, SourceScheduler,
 };
+pub use session::{CacheStats, OwnedSession, QueryCache, Session};
 pub use state::{State, TaskId};
 pub use value::{MessageVal, ObjId, RuntimeError, Value};

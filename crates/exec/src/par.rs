@@ -572,7 +572,7 @@ impl<'s, 'i> Sweep<'s, 'i> {
                 }
             }
             Expansion::Ample { succs, .. } => {
-                for (sig, events) in succs {
+                for (sig, events, _picks) in succs {
                     if self.stop.load(Ordering::SeqCst) {
                         break;
                     }
@@ -684,6 +684,10 @@ fn merge(total: &mut Stats, part: &Stats) {
     total.peak_stack_depth = total.peak_stack_depth.max(part.peak_stack_depth);
     total.peak_stack_bytes = total.peak_stack_bytes.max(part.peak_stack_bytes);
     total.truncated |= part.truncated;
+    total.cache_hits += part.cache_hits;
+    total.cache_misses += part.cache_misses;
+    total.build_wall += part.build_wall;
+    total.query_wall += part.query_wall;
 }
 
 #[cfg(test)]
@@ -732,6 +736,10 @@ mod tests {
                 "distinct-state count is worker-independent"
             );
             assert_eq!(par.stats.transitions, serial.stats.transitions);
+            // Direct explorations never touch the query cache, so the
+            // session counters stay zero at every worker count.
+            assert_eq!(par.stats.cache_hits, 0);
+            assert_eq!(par.stats.cache_misses, 0);
         }
     }
 

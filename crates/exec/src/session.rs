@@ -1,0 +1,573 @@
+//! Memoized query sessions: the build-once-query-many facade.
+//!
+//! A [`Session`] answers the same questions as
+//! [`Explorer`](crate::explore::Explorer) — terminal enumeration,
+//! `can_happen`, `admits_trace` — but routes every answer through a
+//! persistent [`StateGraph`] memoized in a
+//! [`QueryCache`]. The first question against a program pays one
+//! graph build; every later question with a compatible key is a
+//! traversal of the stored graph.
+//!
+//! # The cache key, and why visibility is in it
+//!
+//! Graphs are keyed by `GraphKey`: the program digest
+//! ([`Interp::digest`]), the exploration [`Limits`], the POR mode,
+//! and a *visibility signature*. Partial-order reduction is only
+//! sound relative to what a query can observe: the reduced graph may
+//! defer (and commute away) any transition that is *invisible* — one
+//! that cannot match a queried event pattern or flip a watched state
+//! condition. Two queries that observe different things may therefore
+//! require different reduced graphs, and serving one from the other's
+//! cache entry would be unsound.
+//!
+//! The signature (`vis_signature`) canonicalizes a query's patterns
+//! and conditions down to exactly the fields the footprint predicates
+//! ([`Footprint::may_match_patterns`](crate::footprint::Footprint::may_match_patterns) /
+//! [`Footprint::affects_conds`](crate::footprint::Footprint::affects_conds))
+//! can distinguish — pattern kind, task label, function name, message
+//! name and resolved payload; condition kind, task label, function,
+//! message and global names. Fields those predicates ignore (a
+//! `Printed` pattern's text, a `CalledTimes` threshold, a
+//! `GlobalEquals` value) are dropped: queries differing only there
+//! provably see identical visibility verdicts at every footprint, so
+//! they produce — and may share — the identical reduced graph. Equal
+//! signatures ⇒ identical predicate behavior ⇒ identical graph;
+//! different signatures fall back transparently to building (and
+//! caching) the graph for the new signature.
+//!
+//! With POR off the graph is the full state space — sound for any
+//! observation — so the signature is forced empty and every query of
+//! the program shares one unreduced graph.
+//!
+//! Set `CONCUR_QUERY_CACHE=0` to disable the process-global cache
+//! (every query rebuilds); per-[`Session`] caches injected with
+//! [`Session::with_cache`] are unaffected by the knob.
+
+use crate::event::{EventKindPattern, EventPattern, StateCond};
+use crate::explore::{configured_threads, Answer, Limits, Stats, TerminalSet, Visibility};
+use crate::graph::{StateGraph, WitnessEvidence};
+use crate::intern::FxHashMap;
+use crate::interp::Interp;
+use crate::value::RuntimeError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Identity of a memoized state graph. Worker count is deliberately
+/// absent: the level-synchronized builder ([`crate::graph`]) produces
+/// byte-identical graphs at every worker count, so parallelism is a
+/// build-speed knob, not part of the answer's identity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct GraphKey {
+    digest: u64,
+    max_states: usize,
+    max_depth: usize,
+    max_setup_states: usize,
+    por: bool,
+    /// Canonical visibility signature (empty when POR is off or the
+    /// query observes nothing).
+    vis: Vec<String>,
+}
+
+/// Counters describing a cache's lifetime behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from an already-built graph.
+    pub hits: usize,
+    /// Queries that found no graph under their key.
+    pub misses: usize,
+    /// Graph builds performed (== distinct keys seen, absent races).
+    pub builds: usize,
+    /// Graphs currently stored.
+    pub entries: usize,
+}
+
+/// A memoized store of state graphs keyed by `GraphKey` (program
+/// digest, limits, POR mode, visibility signature).
+///
+/// Shared across sessions via `Arc`; all methods take `&self`. Builds
+/// happen outside the map lock, so two threads racing on the same
+/// fresh key may both build — they produce identical graphs (the
+/// builder is deterministic) and the first insert wins, so the race
+/// costs time, never correctness.
+pub struct QueryCache {
+    enabled: bool,
+    map: Mutex<FxHashMap<GraphKey, Arc<StateGraph>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    builds: AtomicUsize,
+}
+
+impl QueryCache {
+    /// A fresh, enabled cache.
+    pub fn new() -> Self {
+        QueryCache::with_enabled(true)
+    }
+
+    /// A fresh cache with memoization explicitly on or off. A disabled
+    /// cache still counts misses and builds, but stores nothing and
+    /// never hits — every query pays a fresh build.
+    pub fn with_enabled(enabled: bool) -> Self {
+        QueryCache {
+            enabled,
+            map: Mutex::new(FxHashMap::default()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// The process-global cache every [`Session`] uses unless given
+    /// its own. Honors `CONCUR_QUERY_CACHE=0` (checked once).
+    pub fn global() -> &'static Arc<QueryCache> {
+        static GLOBAL: OnceLock<Arc<QueryCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let enabled = std::env::var("CONCUR_QUERY_CACHE").map_or(true, |v| v.trim() != "0");
+            Arc::new(QueryCache::with_enabled(enabled))
+        })
+    }
+
+    /// Whether memoization is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("query cache poisoned").len(),
+        }
+    }
+
+    /// Drop every stored graph (counters are kept).
+    pub fn clear(&self) {
+        self.map.lock().expect("query cache poisoned").clear();
+    }
+
+    /// The graph for `key`, building with `build` on a miss. Returns
+    /// the graph and whether this was a hit.
+    fn obtain(
+        &self,
+        key: GraphKey,
+        build: impl FnOnce() -> Result<StateGraph, RuntimeError>,
+    ) -> Result<(Arc<StateGraph>, bool), RuntimeError> {
+        if self.enabled {
+            if let Some(found) = self.map.lock().expect("query cache poisoned").get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(found), true));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build()?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        if !self.enabled {
+            return Ok((built, false));
+        }
+        let mut map = self.map.lock().expect("query cache poisoned");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+        Ok((Arc::clone(entry), false))
+    }
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache::new()
+    }
+}
+
+/// Canonical visibility signature of a query: one atom per
+/// distinguishable (by the footprint predicates) observation, sorted
+/// and deduplicated. See the module docs for the soundness argument.
+pub(crate) fn vis_signature(patterns: &[EventPattern], conds: &[StateCond]) -> Vec<String> {
+    let mut atoms: Vec<String> = Vec::with_capacity(patterns.len() + conds.len());
+    for p in patterns {
+        atoms.push(pattern_atom(p));
+    }
+    for c in conds {
+        atoms.push(cond_atom(c));
+    }
+    atoms.sort();
+    atoms.dedup();
+    atoms
+}
+
+/// The fields of one pattern that [`Emit::may_match`] consults:
+/// kind + task label always; function for `Called`/`Returned`;
+/// message name and resolved payload for `Sent`/`Received`.
+/// `Printed` text is *not* predicted (footprints know a step prints,
+/// not what), so all `Printed` patterns with one label coarsen to one
+/// atom — every print-trace query of a program shares one graph.
+fn pattern_atom(p: &EventPattern) -> String {
+    let label = p.task_label.as_deref().unwrap_or("*");
+    match &p.kind {
+        EventKindPattern::Called { func } => format!("p:called:{label}:{func}"),
+        EventKindPattern::Returned { func } => format!("p:returned:{label}:{func}"),
+        EventKindPattern::Sent { msg_name, args } => {
+            format!("p:sent:{label}:{msg_name}:{args:?}")
+        }
+        EventKindPattern::Received { msg_name, args } => {
+            format!("p:received:{label}:{msg_name}:{args:?}")
+        }
+        EventKindPattern::Printed { .. } => format!("p:printed:{label}"),
+        EventKindPattern::BlockedOnLocks => format!("p:blocked:{label}"),
+        EventKindPattern::Acquired => format!("p:acquired:{label}"),
+        EventKindPattern::WaitStart => format!("p:waitstart:{label}"),
+        EventKindPattern::WaitFinished => format!("p:waitfinished:{label}"),
+        EventKindPattern::Notified => format!("p:notified:{label}"),
+        EventKindPattern::Finished => format!("p:finished:{label}"),
+    }
+}
+
+/// The fields of one condition that [`Footprint::affects_conds`]
+/// consults. Count thresholds (`times`) and compared values are
+/// ignored there — a step either can or cannot move the counter/cell,
+/// regardless of the threshold — so they are dropped here too.
+fn cond_atom(c: &StateCond) -> String {
+    match c {
+        StateCond::InFunction { task_label, func } => format!("c:infn:{task_label}:{func}"),
+        StateCond::CalledTimes { task_label, func, .. } => {
+            format!("c:called:{task_label}:{func}")
+        }
+        StateCond::ReturnedTimes { task_label, func, .. } => {
+            format!("c:returned:{task_label}:{func}")
+        }
+        StateCond::HasSent { task_label, msg_name } => {
+            format!("c:hassent:{task_label}:{msg_name}")
+        }
+        StateCond::ReceivedTotal { task_label, .. } => format!("c:recvd:{task_label}"),
+        StateCond::GlobalEquals { name, .. } => format!("c:global:{name}"),
+        StateCond::TaskExists { task_label } => format!("c:taskexists:{task_label}"),
+        StateCond::HoldsLock { task_label } => format!("c:holdslock:{task_label}"),
+    }
+}
+
+/// A query session over one program: the memoizing counterpart of
+/// [`Explorer`](crate::explore::Explorer), with the same builder
+/// surface.
+pub struct Session<'i> {
+    interp: &'i Interp,
+    limits: Limits,
+    por: bool,
+    threads: Option<usize>,
+    cache: Arc<QueryCache>,
+}
+
+impl<'i> Session<'i> {
+    pub fn new(interp: &'i Interp) -> Self {
+        Session::with_limits(interp, Limits::default())
+    }
+
+    pub fn with_limits(interp: &'i Interp, limits: Limits) -> Self {
+        Session {
+            interp,
+            limits,
+            por: true,
+            threads: None,
+            cache: Arc::clone(QueryCache::global()),
+        }
+    }
+
+    /// Disable partial-order reduction: graphs hold the full state
+    /// space and all queries of the program share one cache entry.
+    pub fn without_por(mut self) -> Self {
+        self.por = false;
+        self
+    }
+
+    /// Build-parallelism hint (defaults to `CONCUR_EXPLORE_THREADS`
+    /// or the machine's parallelism). Never part of the cache key.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Use a private cache instead of the process-global one.
+    pub fn with_cache(mut self, cache: Arc<QueryCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache this session consults.
+    pub fn cache(&self) -> &Arc<QueryCache> {
+        &self.cache
+    }
+
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(configured_threads).max(1)
+    }
+
+    fn key(&self, vis: Vec<String>) -> GraphKey {
+        GraphKey {
+            digest: self.interp.digest(),
+            max_states: self.limits.max_states,
+            max_depth: self.limits.max_depth,
+            max_setup_states: self.limits.max_setup_states,
+            por: self.por,
+            vis,
+        }
+    }
+
+    /// The memoized graph for a query observing `patterns`/`conds`.
+    fn graph(
+        &self,
+        patterns: &[EventPattern],
+        conds: &[StateCond],
+    ) -> Result<(Arc<StateGraph>, bool), RuntimeError> {
+        // Without POR the graph is observation-independent; force one
+        // shared key instead of fragmenting the cache by signature.
+        let vis = if self.por { vis_signature(patterns, conds) } else { Vec::new() };
+        let key = self.key(vis);
+        let visibility = Visibility { patterns, conds };
+        self.cache.obtain(key, || {
+            StateGraph::build(
+                self.interp,
+                self.limits,
+                self.por,
+                visibility,
+                self.effective_threads(),
+            )
+        })
+    }
+
+    /// Fold cache accounting into a graph's build stats: `wall` is
+    /// what this call actually cost (query only on a hit, build +
+    /// query on a miss), `build_wall` is the build cost embodied in
+    /// the graph (the time a hit avoided), `query_wall` the traversal.
+    fn finish_stats(graph: &StateGraph, hit: bool, begin: Instant, query_begin: Instant) -> Stats {
+        let mut stats = graph.stats();
+        stats.cache_hits = hit as usize;
+        stats.cache_misses = !hit as usize;
+        stats.query_wall = query_begin.elapsed();
+        stats.wall = begin.elapsed();
+        stats
+    }
+
+    /// Enumerate every terminal — a store read after the first call.
+    pub fn terminals(&self) -> Result<TerminalSet, RuntimeError> {
+        let begin = Instant::now();
+        let (graph, hit) = self.graph(&[], &[])?;
+        let query_begin = Instant::now();
+        let mut set = graph.terminal_set();
+        set.stats = Session::finish_stats(&graph, hit, begin, query_begin);
+        Ok(set)
+    }
+
+    /// Could the `query` events happen (in order, as a subsequence)
+    /// from some reachable state satisfying `setup`?
+    pub fn can_happen(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<Answer, RuntimeError> {
+        self.can_happen_with_stats(setup, query).map(|(answer, _)| answer)
+    }
+
+    /// [`Session::can_happen`] with the query's stats card.
+    pub fn can_happen_with_stats(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<(Answer, Stats), RuntimeError> {
+        self.can_happen_with_evidence(setup, query).map(|(answer, _, stats)| (answer, stats))
+    }
+
+    /// [`Session::can_happen`] also returning replayable
+    /// [`WitnessEvidence`] for Yes verdicts: a decision vector from
+    /// the program's initial state that re-executes the witness under
+    /// [`crate::schedule::ReplayScheduler`].
+    pub fn can_happen_with_evidence(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<(Answer, Option<WitnessEvidence>, Stats), RuntimeError> {
+        let begin = Instant::now();
+        let (graph, hit) = self.graph(query, setup)?;
+        let query_begin = Instant::now();
+        let (answer, evidence) =
+            graph.can_happen(self.interp, setup, query, self.limits.max_setup_states);
+        let stats = Session::finish_stats(&graph, hit, begin, query_begin);
+        Ok((answer, evidence, stats))
+    }
+
+    /// Could this event trace occur (in order) from the start?
+    pub fn admits_trace(&self, trace: &[EventPattern]) -> Result<Answer, RuntimeError> {
+        self.can_happen(&[], trace)
+    }
+}
+
+/// A [`Session`] that owns its program — for call sites that compile
+/// from source and have no `Interp` to borrow (the conformance
+/// harness's model oracle, one-shot CLI queries).
+pub struct OwnedSession {
+    interp: Interp,
+    limits: Limits,
+    por: bool,
+    threads: Option<usize>,
+    cache: Arc<QueryCache>,
+}
+
+impl OwnedSession {
+    /// Compile `source` and open a session over it. The cache key is
+    /// the source digest, so two `OwnedSession`s over identical source
+    /// share graphs.
+    pub fn from_source(source: &str) -> Result<OwnedSession, String> {
+        let interp = Interp::from_source(source)?;
+        Ok(OwnedSession {
+            interp,
+            limits: Limits::default(),
+            por: true,
+            threads: None,
+            cache: Arc::clone(QueryCache::global()),
+        })
+    }
+
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    pub fn without_por(mut self) -> Self {
+        self.por = false;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    pub fn with_cache(mut self, cache: Arc<QueryCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    pub fn interp(&self) -> &Interp {
+        &self.interp
+    }
+
+    /// The borrowed session all queries delegate through.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            interp: &self.interp,
+            limits: self.limits,
+            por: self.por,
+            threads: self.threads,
+            cache: Arc::clone(&self.cache),
+        }
+    }
+
+    pub fn terminals(&self) -> Result<TerminalSet, RuntimeError> {
+        self.session().terminals()
+    }
+
+    pub fn can_happen(
+        &self,
+        setup: &[StateCond],
+        query: &[EventPattern],
+    ) -> Result<Answer, RuntimeError> {
+        self.session().can_happen(setup, query)
+    }
+
+    pub fn admits_trace(&self, trace: &[EventPattern]) -> Result<Answer, RuntimeError> {
+        self.session().admits_trace(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+
+    #[test]
+    fn signature_coarsens_printed_text_and_thresholds() {
+        let a = vis_signature(
+            &[EventPattern::any(EventKindPattern::Printed { text: "x = 1".into() })],
+            &[StateCond::CalledTimes { task_label: "T1".into(), func: "f".into(), times: 1 }],
+        );
+        let b = vis_signature(
+            &[EventPattern::any(EventKindPattern::Printed { text: "x = 2".into() })],
+            &[StateCond::CalledTimes { task_label: "T1".into(), func: "f".into(), times: 7 }],
+        );
+        assert_eq!(a, b, "fields the footprint predicates ignore must not split the key");
+
+        let c = vis_signature(
+            &[EventPattern::by("T2", EventKindPattern::Printed { text: "x = 1".into() })],
+            &[],
+        );
+        assert_ne!(a, c, "task labels are predicted and must split the key");
+    }
+
+    #[test]
+    fn signature_is_order_insensitive() {
+        let p1 = EventPattern::any(EventKindPattern::Called { func: "f".into() });
+        let p2 = EventPattern::any(EventKindPattern::Finished);
+        let a = vis_signature(&[p1.clone(), p2.clone()], &[]);
+        let b = vis_signature(&[p2, p1], &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let cache = Arc::new(QueryCache::new());
+        let interp = Interp::from_source(figures::FIG3_TWO_PRINTS).expect("compiles");
+        let session = Session::new(&interp).with_cache(Arc::clone(&cache));
+        let first = session.terminals().expect("explores");
+        let second = session.terminals().expect("explores");
+        assert_eq!(first.terminals, second.terminals);
+        assert_eq!(first.stats.cache_misses, 1);
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(second.stats.cache_misses, 0);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.builds, stats.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn disabled_cache_rebuilds_and_stays_correct() {
+        let cache = Arc::new(QueryCache::with_enabled(false));
+        let interp = Interp::from_source(figures::FIG3_TWO_PRINTS).expect("compiles");
+        let session = Session::new(&interp).with_cache(Arc::clone(&cache));
+        let first = session.terminals().expect("explores");
+        let second = session.terminals().expect("explores");
+        assert_eq!(first.terminals, second.terminals);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0, "a disabled cache never hits");
+        assert_eq!(stats.builds, 2, "every query pays a build");
+        assert_eq!(stats.entries, 0, "nothing is stored");
+    }
+
+    #[test]
+    fn identical_source_shares_graphs_across_owned_sessions() {
+        let cache = Arc::new(QueryCache::new());
+        let a = OwnedSession::from_source(figures::FIG1_ASSIGNMENTS)
+            .expect("compiles")
+            .with_cache(Arc::clone(&cache));
+        let b = OwnedSession::from_source(figures::FIG1_ASSIGNMENTS)
+            .expect("compiles")
+            .with_cache(Arc::clone(&cache));
+        let ta = a.terminals().expect("explores");
+        let tb = b.terminals().expect("explores");
+        assert_eq!(ta.terminals, tb.terminals);
+        assert_eq!(cache.stats().builds, 1, "same source digest, one build");
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn different_programs_never_share_entries() {
+        let cache = Arc::new(QueryCache::new());
+        let a = OwnedSession::from_source(figures::FIG3_TWO_PRINTS)
+            .expect("compiles")
+            .with_cache(Arc::clone(&cache));
+        let b = OwnedSession::from_source(figures::FIG3_SEQUENTIAL_FN)
+            .expect("compiles")
+            .with_cache(Arc::clone(&cache));
+        let ta = a.terminals().expect("explores");
+        let tb = b.terminals().expect("explores");
+        assert_ne!(ta.terminals, tb.terminals, "distinct programs, distinct answers");
+        assert_eq!(cache.stats().builds, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+}

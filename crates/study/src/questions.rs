@@ -11,8 +11,11 @@
 
 use crate::bridge::*;
 use crate::taxonomy::Misconception;
-use concur_exec::explore::{Answer, Explorer, Limits};
-use concur_exec::{EventKindPattern as EK, EventPattern, Interp, ObjId, StateCond, Value};
+use concur_exec::explore::{Answer, Limits};
+use concur_exec::{
+    EventKindPattern as EK, EventPattern, Interp, ObjId, Session, StateCond, Stats, Value,
+    WitnessEvidence,
+};
 use std::sync::OnceLock;
 
 /// Test-1 section.
@@ -369,22 +372,40 @@ pub fn answered_bank() -> &'static Vec<AnsweredQuestion> {
     })
 }
 
-/// Recompute one question's answer with the model checker (used by the
-/// verification test and the `explorer` bench).
-pub fn model_check(question: &Question, limits: Limits) -> Answer {
+/// The bridge program a section's questions are asked over, compiled
+/// once per process. Exposed so graders and benches query the same
+/// `Interp` (and therefore the same cache key) as the bank itself.
+pub fn interp_for(section: Section) -> &'static Interp {
     static SM: OnceLock<Interp> = OnceLock::new();
     static MP: OnceLock<Interp> = OnceLock::new();
-    let interp = match question.section {
+    match section {
         Section::SharedMemory => {
             SM.get_or_init(|| Interp::from_source(BRIDGE_SHARED_MEMORY).expect("compiles"))
         }
         Section::MessagePassing => {
             MP.get_or_init(|| Interp::from_source(BRIDGE_MESSAGE_PASSING).expect("compiles"))
         }
-    };
-    let explorer = Explorer::with_limits(interp, limits);
-    explorer
-        .can_happen(&question.setup, &question.scenario)
+    }
+}
+
+/// Recompute one question's answer with the model checker (used by the
+/// verification test and the `explorer` bench). Routed through the
+/// memoized [`Session`] layer: all questions of a section that observe
+/// the same visibility signature share one graph build.
+pub fn model_check(question: &Question, limits: Limits) -> Answer {
+    model_check_with_evidence(question, limits).0
+}
+
+/// [`model_check`], also returning replayable witness evidence for
+/// YES verdicts (rendered into grading reports as a `concur-decide`
+/// trace artifact) and the query's stats card.
+pub fn model_check_with_evidence(
+    question: &Question,
+    limits: Limits,
+) -> (Answer, Option<WitnessEvidence>, Stats) {
+    let session = Session::with_limits(interp_for(question.section), limits);
+    session
+        .can_happen_with_evidence(&question.setup, &question.scenario)
         .unwrap_or_else(|e| panic!("{}: runtime fault {e}", question.id))
 }
 

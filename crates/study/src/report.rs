@@ -4,13 +4,16 @@
 
 use crate::cohort::{paper_cohort, Cohort, Group};
 use crate::grading::{administer_test1, Test1Results, DEFAULT_LEARNING_DROP};
-use crate::questions::Section;
+use crate::questions::{bank, interp_for, model_check_with_evidence, Section};
 use crate::stats::{mean, welch_t_test};
 use crate::survey::{
     difficulty_poll, full_participation, lab_participation, post_test_participation,
     post_test_survey, DifficultyPoll, PostTestSurvey,
 };
 use crate::taxonomy::{Level, Misconception};
+use concur_decide::TraceArtifact;
+use concur_exec::explore::Limits;
+use concur_exec::{run, ReplayScheduler};
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
@@ -148,6 +151,54 @@ pub fn render_table3(table3: &BTreeMap<Misconception, usize>) -> String {
     out
 }
 
+/// Render every YES question of the bank as a replayable
+/// `concur-decide` trace artifact: the witness's decision vector (from
+/// the program's initial state, through the setup state, to the
+/// scenario's completion) in the standard artifact format, followed by
+/// a human-readable narration of the witness events. The decision
+/// vector replays under `ReplayScheduler` / `ReplaySource`, so a
+/// grading report's "yes, this can happen" ships its own evidence.
+pub fn render_witness_artifacts(limits: Limits) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("TEST-1 WITNESS ARTIFACTS (YES answers, replayable)\n");
+    for question in bank() {
+        let (answer, evidence, _) = model_check_with_evidence(&question, limits);
+        if !answer.is_yes() {
+            continue;
+        }
+        let evidence = evidence.expect("yes answers carry evidence");
+        let section = match question.section {
+            Section::SharedMemory => "bridge-shared-memory",
+            Section::MessagePassing => "bridge-message-passing",
+        };
+        let artifact = TraceArtifact::from_picks(
+            question.id,
+            section,
+            "scenario is reachable (Test-1 YES)",
+            &evidence.decisions,
+        );
+        out.push('\n');
+        out.push_str(&artifact.render());
+        // Everything after the artifact's blank line is free-form
+        // commentary `TraceArtifact::parse` ignores — narrate the
+        // witness there. Labels resolve against the replayed state.
+        let interp = interp_for(question.section);
+        let mut scheduler = ReplayScheduler::new(evidence.decisions.clone());
+        let replay = run(interp, &mut scheduler, evidence.decisions.len() as u64)
+            .expect("witness decisions replay cleanly");
+        let _ = writeln!(
+            out,
+            "witness: {} setup decisions, then {} scenario event(s):",
+            evidence.setup_len,
+            evidence.events.len()
+        );
+        for event in &evidence.events {
+            let _ = writeln!(out, "  - {}", event.describe(&replay.state));
+        }
+    }
+    out
+}
+
 /// Render the survey waves (§VI prose numbers).
 pub fn render_surveys(report: &StudyReport) -> String {
     let mut out = String::from("SECTION VI SURVEYS (simulated vs paper)\n");
@@ -254,6 +305,47 @@ mod tests {
         assert!(t3.contains("Conflate locking"));
         let sv = render_surveys(&r);
         assert!(sv.contains("post-test"));
+    }
+
+    #[test]
+    fn witness_artifacts_parse_and_replay() {
+        let rendered = render_witness_artifacts(Limits::default());
+        // Every YES question ships one parseable artifact whose
+        // decision vector replays: the scenario's events must actually
+        // occur, in order, after the setup prefix.
+        let yes: Vec<_> = bank()
+            .into_iter()
+            .filter(|q| model_check_with_evidence(q, Limits::default()).0.is_yes())
+            .collect();
+        assert!(!yes.is_empty(), "the bank has YES questions");
+        for q in &yes {
+            assert!(rendered.contains(&format!("problem: {}", q.id)), "{} missing", q.id);
+        }
+        let artifacts: Vec<TraceArtifact> = rendered
+            .split(concur_decide::artifact::HEADER)
+            .skip(1)
+            .map(|chunk| TraceArtifact::parse(chunk).expect("artifact parses"))
+            .collect();
+        assert_eq!(artifacts.len(), yes.len());
+        for (q, artifact) in yes.iter().zip(&artifacts) {
+            let (_, evidence, _) = model_check_with_evidence(q, Limits::default());
+            let evidence = evidence.expect("yes carries evidence");
+            assert_eq!(artifact.decisions, evidence.decisions, "{}", q.id);
+            let interp = interp_for(q.section);
+            let mut scheduler = ReplayScheduler::new(evidence.decisions.clone());
+            let replay = run(interp, &mut scheduler, evidence.decisions.len() as u64)
+                .expect("replays cleanly");
+            // The scenario must be realized by the replayed events, in
+            // order — the decision vector is self-contained evidence.
+            let mut progress = 0;
+            for event in &replay.events {
+                if progress < q.scenario.len() && q.scenario[progress].matches(event, &replay.state)
+                {
+                    progress += 1;
+                }
+            }
+            assert_eq!(progress, q.scenario.len(), "{}: replay realizes the scenario", q.id);
+        }
     }
 
     #[test]

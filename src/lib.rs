@@ -12,3 +12,7 @@ pub use concur_problems as problems;
 pub use concur_pseudocode as pseudocode;
 pub use concur_study as study;
 pub use concur_threads as threads;
+
+/// The build-once-query-many entry points: memoized query sessions
+/// over persistent state graphs (see `concur_exec::session`).
+pub use concur_exec::{OwnedSession, QueryCache, Session};
