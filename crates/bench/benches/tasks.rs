@@ -1,0 +1,107 @@
+//! Task-runtime microbenchmarks: what one cooperative await point
+//! costs through the `concur-tasks` executor, with every poll-order
+//! choice routed through the decision kernel.
+//!
+//! Three shapes bound the runtime's overhead in the conformance
+//! campaign: a yield-storm (pure scheduler traffic), a park/wake
+//! pipeline (`wait_until` predicates), and channel send/recv streams
+//! (the actor-flavoured idiom on the task runtime).
+
+use concur_decide::RandomSource;
+use concur_tasks::{channel, Ctx, Executor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// N tasks, each yielding `rounds` times: measures pure poll-decide
+/// loop cost (one kernel decision per resumption).
+fn yield_storm(tasks: usize, rounds: usize) -> usize {
+    let exec = Executor::new();
+    for _ in 0..tasks {
+        exec.spawn("spinner", move |ctx: Ctx| async move {
+            for _ in 0..rounds {
+                ctx.yield_now().await;
+            }
+        });
+    }
+    let report = exec.run(&mut RandomSource::new(7));
+    assert!(!report.deadlocked && !report.diverged);
+    report.steps
+}
+
+/// A chain of tasks each parked on its predecessor's counter: every
+/// step is a park, a cross-task write, and a predicate wake.
+fn wait_chain(depth: usize) -> usize {
+    let exec = Executor::new();
+    let cells: Vec<Rc<RefCell<usize>>> = (0..=depth).map(|_| Rc::new(RefCell::new(0))).collect();
+    *cells[0].borrow_mut() = 1;
+    for i in 1..=depth {
+        let prev = Rc::clone(&cells[i - 1]);
+        let mine = Rc::clone(&cells[i]);
+        exec.spawn("link", move |ctx: Ctx| async move {
+            let p = Rc::clone(&prev);
+            ctx.wait_until(move || *p.borrow() > 0).await;
+            *mine.borrow_mut() = *prev.borrow() + 1;
+        });
+    }
+    let report = exec.run(&mut RandomSource::new(11));
+    assert!(!report.deadlocked && !report.diverged);
+    let v = *cells[depth].borrow();
+    v
+}
+
+/// One producer streaming `n` messages to one consumer over the
+/// unbounded FIFO channel.
+fn channel_stream(n: usize) -> i64 {
+    let exec = Executor::new();
+    let (tx, rx) = channel::<i64>();
+    let total = Rc::new(RefCell::new(0i64));
+    {
+        let total = Rc::clone(&total);
+        exec.spawn("consumer", move |_ctx: Ctx| async move {
+            while let Some(v) = rx.recv().await {
+                *total.borrow_mut() += v;
+            }
+        });
+    }
+    exec.spawn("producer", move |ctx: Ctx| async move {
+        for i in 0..n as i64 {
+            tx.send(i);
+            ctx.yield_now().await;
+        }
+        drop(tx);
+    });
+    let report = exec.run(&mut RandomSource::new(13));
+    assert!(!report.deadlocked && !report.diverged);
+    let out = *total.borrow();
+    out
+}
+
+fn bench_tasks_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tasks_runtime");
+
+    for tasks in [2usize, 8] {
+        group.bench_function(format!("yield_storm/{tasks}"), |b| b.iter(|| yield_storm(tasks, 64)));
+    }
+
+    group.bench_function("wait_chain_depth32", |b| {
+        b.iter(|| {
+            let v = wait_chain(32);
+            assert_eq!(v, 33);
+            v
+        })
+    });
+
+    group.bench_function("channel_stream_256", |b| {
+        b.iter(|| {
+            let sum = channel_stream(256);
+            assert_eq!(sum, 255 * 256 / 2);
+            sum
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tasks_runtime);
+criterion_main!(benches);

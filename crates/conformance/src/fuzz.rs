@@ -28,7 +28,7 @@
 //! universal trace-artifact format ([`concur_decide::artifact`]) under
 //! `$CONFORMANCE_ARTIFACT_DIR` (default `target/conformance/`).
 //!
-//! After all schedules pass, the observable-output sets of the three
+//! After all schedules pass, the observable-output sets of the four
 //! disciplines are compared with each other and with the model
 //! (*cross-model agreement*), and one passing trace per discipline is
 //! re-checked through [`Session::admits_trace`], exercising the
@@ -77,7 +77,12 @@ impl Default for FuzzConfig {
 }
 
 impl FuzzConfig {
-    /// Default config with `FUZZ_SEED` / `FUZZ_ITERS` applied.
+    /// Default config with `FUZZ_SEED` / `FUZZ_ITERS` / `FUZZ_FAMILY`
+    /// applied. `FUZZ_FAMILY=systematic` drops the random phase and
+    /// `FUZZ_FAMILY=random` drops the systematic one (any other value,
+    /// including `combined`, keeps both); a single family cannot
+    /// saturate the output sets, so it also disables the agreement
+    /// check — membership is still enforced on every run.
     pub fn from_env() -> Self {
         let mut cfg = FuzzConfig::default();
         if let Some(seed) = std::env::var("FUZZ_SEED").ok().and_then(|s| s.parse().ok()) {
@@ -85,6 +90,17 @@ impl FuzzConfig {
         }
         if let Some(iters) = std::env::var("FUZZ_ITERS").ok().and_then(|s| s.parse().ok()) {
             cfg.iters = iters;
+        }
+        match std::env::var("FUZZ_FAMILY").as_deref() {
+            Ok("systematic") => {
+                cfg.iters = 0;
+                cfg.check_agreement = false;
+            }
+            Ok("random") => {
+                cfg.systematic = 0;
+                cfg.check_agreement = false;
+            }
+            _ => {}
         }
         cfg
     }

@@ -1,21 +1,22 @@
 //! # concur-conformance
 //!
-//! Cross-model conformance harness: the three runtimes' behaviours,
+//! Cross-model conformance harness: the four runtimes' behaviours,
 //! checked against the explorer's exhaustive possibility sets.
 //!
 //! The paper's evaluation instrument asks *what could happen* — each
 //! figure lists a program's possible outputs, and the explorer in
 //! `concur-exec` computes those lists mechanically. This crate closes
 //! the loop in the other direction: it **runs** the classical problems
-//! under all three programming models on a controlled, deterministic
-//! scheduler, fuzzes the schedule space, and asserts that
+//! under all four programming models — threads, actors, coroutines,
+//! and async tasks (`concur-tasks`) — on controlled, deterministic
+//! schedulers, fuzzes the schedule space, and asserts that
 //!
 //! 1. every observed terminal state is a member of the explorer's
 //!    exhaustively computed terminal set for the matching pseudocode
 //!    model (*membership*),
 //! 2. a run deadlocks only if the model provably can (*deadlock
 //!    conformance*), and
-//! 3. the observable-output sets of the three models agree with each
+//! 3. the observable-output sets of the four models agree with each
 //!    other (*cross-model agreement*).
 //!
 //! Every fuzzed schedule is a recorded decision vector, so a failing
@@ -27,8 +28,8 @@
 //! | [`exec`] | deterministic serial executor + schedulers |
 //! | [`sync`] | modelled shared-memory primitives (per-discipline granularity) |
 //! | [`sim`] | modelled actor mailboxes with chosen delivery order |
-//! | [`models`] | pseudocode models of the classical problems |
-//! | [`problems`] | the problems on the controlled executor, ×3 disciplines |
+//! | [`models`] | pseudocode models of the classical problems (incl. `TASKS_*` AWAIT renditions) |
+//! | [`problems`] | the problems on the controlled executors, ×4 disciplines |
 //! | [`fuzz`] | schedule fuzzing, membership oracle, shrinking |
 //! | [`real`] | spot-checks of the *real* runtimes against the same models |
 

@@ -469,6 +469,239 @@ ENDFOR
 PRINTLN total
 "#;
 
+// --- task-discipline (AWAIT) renditions -------------------------------------
+//
+// The `TASKS_*` models re-express a representative subset of the
+// problems in the await-point style of `concur-tasks`: instead of
+// WAIT/NOTIFY inside a critical section, a task `AWAIT`s a call-free
+// condition *outside* any `EXC_ACC` and then atomically re-checks it
+// before acting (the condition may have been falsified between the
+// await firing and the task being scheduled — exactly the recheck a
+// real async runtime needs after `wait_until` resumes). Each model is
+// pinned below to the same output set (and deadlock verdict) as its
+// monitor-style counterpart, which is what makes AWAIT a fourth
+// equivalent phrasing rather than a new semantics.
+
+/// [`DINING_ORDERED`] in the await discipline. Forks are claimed by
+/// awaiting `forks[i] == FALSE` and re-checking under the lock.
+pub const TASKS_DINING_ORDERED: &str = r#"
+forks = [FALSE, FALSE]
+obs = []
+
+DEFINE take(i)
+    got = FALSE
+    WHILE got == FALSE
+        AWAIT forks[i] == FALSE
+        EXC_ACC
+            IF forks[i] == FALSE THEN
+                forks[i] = TRUE
+                got = TRUE
+            ENDIF
+        END_EXC_ACC
+    ENDWHILE
+ENDDEF
+
+DEFINE put(i)
+    EXC_ACC
+        forks[i] = FALSE
+    END_EXC_ACC
+ENDDEF
+
+DEFINE philosopher(id, first, second)
+    take(first)
+    take(second)
+    EXC_ACC
+        obs = APPEND(obs, id)
+    END_EXC_ACC
+    put(second)
+    put(first)
+ENDDEF
+
+PARA
+    philosopher(1, 0, 1)
+    philosopher(2, 0, 1)
+ENDPARA
+
+FOR i = 1 TO LEN(obs)
+    PRINTLN obs[i - 1]
+ENDFOR
+"#;
+
+/// [`DINING_NAIVE`] in the await discipline: crossed fork orders make
+/// the circular wait reachable as two tasks parked on each other's
+/// fork conditions — the explorer must classify that as a deadlock
+/// (no enabled await), matching the WAIT-based model.
+pub const TASKS_DINING_NAIVE: &str = r#"
+forks = [FALSE, FALSE]
+obs = []
+
+DEFINE take(i)
+    got = FALSE
+    WHILE got == FALSE
+        AWAIT forks[i] == FALSE
+        EXC_ACC
+            IF forks[i] == FALSE THEN
+                forks[i] = TRUE
+                got = TRUE
+            ENDIF
+        END_EXC_ACC
+    ENDWHILE
+ENDDEF
+
+DEFINE put(i)
+    EXC_ACC
+        forks[i] = FALSE
+    END_EXC_ACC
+ENDDEF
+
+DEFINE philosopher(id, first, second)
+    take(first)
+    take(second)
+    EXC_ACC
+        obs = APPEND(obs, id)
+    END_EXC_ACC
+    put(second)
+    put(first)
+ENDDEF
+
+PARA
+    philosopher(1, 0, 1)
+    philosopher(2, 1, 0)
+ENDPARA
+
+FOR i = 1 TO LEN(obs)
+    PRINTLN obs[i - 1]
+ENDFOR
+"#;
+
+/// [`BOUNDED_BUFFER`] in the await discipline. AWAIT conditions must
+/// be call-free, so the buffer occupancy lives in a scalar `count`
+/// mirrored alongside the list.
+pub const TASKS_BOUNDED_BUFFER: &str = r#"
+buffer = []
+count = 0
+capacity = 1
+obs = []
+
+DEFINE produce(item)
+    sent = FALSE
+    WHILE sent == FALSE
+        AWAIT count < capacity
+        EXC_ACC
+            IF count < capacity THEN
+                buffer = APPEND(buffer, item)
+                count = count + 1
+                sent = TRUE
+            ENDIF
+        END_EXC_ACC
+    ENDWHILE
+ENDDEF
+
+DEFINE producer(base)
+    FOR i = 1 TO 2
+        produce(base + i)
+    ENDFOR
+ENDDEF
+
+DEFINE consumer()
+    FOR i = 1 TO 4
+        item = 0
+        got = FALSE
+        WHILE got == FALSE
+            AWAIT count > 0
+            EXC_ACC
+                IF count > 0 THEN
+                    item = buffer[0]
+                    buffer = TAIL(buffer)
+                    count = count - 1
+                    got = TRUE
+                ENDIF
+            END_EXC_ACC
+        ENDWHILE
+        obs = APPEND(obs, item)
+    ENDFOR
+ENDDEF
+
+PARA
+    producer(10)
+    producer(20)
+    consumer()
+ENDPARA
+
+FOR i = 1 TO LEN(obs)
+    PRINTLN obs[i - 1]
+ENDFOR
+"#;
+
+/// [`BRIDGE`] in the await discipline: a car awaits the bridge being
+/// free or flowing its way, then re-checks atomically on entry.
+pub const TASKS_BRIDGE: &str = r#"
+carsOn = 0
+dir = 0
+obs = []
+
+DEFINE cross(d)
+    entered = FALSE
+    WHILE entered == FALSE
+        AWAIT carsOn == 0 OR dir == d
+        EXC_ACC
+            IF carsOn == 0 OR dir == d THEN
+                dir = d
+                carsOn = carsOn + 1
+                obs = APPEND(obs, d)
+                entered = TRUE
+            ENDIF
+        END_EXC_ACC
+    ENDWHILE
+    EXC_ACC
+        carsOn = carsOn - 1
+    END_EXC_ACC
+ENDDEF
+
+PARA
+    cross(1)
+    cross(1)
+    cross(2)
+ENDPARA
+
+FOR i = 1 TO LEN(obs)
+    PRINTLN obs[i - 1]
+ENDFOR
+"#;
+
+/// [`BOOK_INVENTORY`] in the await discipline: restock atomically,
+/// then await stock and re-check before taking a copy.
+pub const TASKS_BOOK_INVENTORY: &str = r#"
+stock = 1
+obs = []
+
+DEFINE client(id)
+    EXC_ACC
+        stock = stock + 1
+    END_EXC_ACC
+    bought = FALSE
+    WHILE bought == FALSE
+        AWAIT stock > 0
+        EXC_ACC
+            IF stock > 0 THEN
+                stock = stock - 1
+                obs = APPEND(obs, id)
+                bought = TRUE
+            ENDIF
+        END_EXC_ACC
+    ENDWHILE
+ENDDEF
+
+PARA
+    client(1)
+    client(2)
+ENDPARA
+
+FOR i = 1 TO LEN(obs)
+    PRINTLN obs[i - 1]
+ENDFOR
+"#;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +787,32 @@ mod tests {
         let (out, deadlock) = outputs(SUM_WORKERS);
         assert_eq!(out, set(&["30"]));
         assert!(!deadlock);
+    }
+
+    #[test]
+    fn await_rendition_agrees_with_its_monitor_counterpart() {
+        // The same problem phrased with AWAIT + atomic recheck must
+        // reach exactly the monitor model's terminal set — including
+        // the deadlock verdict. This is the model-level half of the
+        // "fourth paradigm is equivalent" claim.
+        for (name, tasks_src, base_src) in [
+            ("dining_ordered", TASKS_DINING_ORDERED, DINING_ORDERED),
+            ("dining_naive", TASKS_DINING_NAIVE, DINING_NAIVE),
+            ("bounded_buffer", TASKS_BOUNDED_BUFFER, BOUNDED_BUFFER),
+            ("bridge", TASKS_BRIDGE, BRIDGE),
+            ("book_inventory", TASKS_BOOK_INVENTORY, BOOK_INVENTORY),
+        ] {
+            let (tasks_out, tasks_deadlock) = outputs(tasks_src);
+            let (base_out, base_deadlock) = outputs(base_src);
+            assert_eq!(tasks_out, base_out, "{name}: AWAIT model output set differs");
+            assert_eq!(tasks_deadlock, base_deadlock, "{name}: AWAIT model deadlock differs");
+        }
+    }
+
+    #[test]
+    fn await_naive_dining_deadlock_is_reachable() {
+        let (_, deadlock) = outputs(TASKS_DINING_NAIVE);
+        assert!(deadlock, "crossed awaits must deadlock somewhere in the state graph");
     }
 
     #[test]

@@ -1,9 +1,9 @@
-//! The classical problems on the controlled executor, in all three
+//! The classical problems on the controlled executor, in all four
 //! programming models.
 //!
 //! Every fixture pairs a pseudocode model from [`crate::models`] with a
 //! `run` function that executes the same problem under a
-//! scheduler-controlled [`Harness`] in one of three disciplines:
+//! scheduler-controlled [`Harness`] in one of four disciplines:
 //!
 //! * **Threads** — fine-grained preemption: a modelled lock
 //!   ([`Mon`] with [`Disc::Fine`]) serializes critical sections, and
@@ -12,7 +12,12 @@
 //!   only at explicit yield/block points ([`Disc::Coop`]);
 //! * **Actors** — message passing: shared state lives inside an actor
 //!   task, and the scheduler picks mailbox delivery order through
-//!   [`SimBox`].
+//!   [`SimBox`];
+//! * **Tasks** — async/await on the `concur-tasks` executor: the same
+//!   cooperative granularity as coroutines (suspension only at
+//!   explicit `.await` points), but scheduled by polling futures, with
+//!   every poll-order choice a [`concur_decide::DecisionKind::Poll`]
+//!   decision from the same kernel.
 //!
 //! Each run produces an [`Outcome`]: the recorded decision vector (for
 //! replay), the observation string (same token vocabulary as the
@@ -28,6 +33,7 @@ use concur_problems::{
     book_inventory, bounded_buffer, bridge, dining, party_matching, readers_writers,
     sleeping_barber, thread_pool_arith,
 };
+use concur_tasks as tasks;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Which programming model a controlled run uses.
@@ -36,17 +42,19 @@ pub enum Discipline {
     Threads,
     Actors,
     Coroutines,
+    Tasks,
 }
 
 impl Discipline {
-    pub const ALL: [Discipline; 3] =
-        [Discipline::Threads, Discipline::Actors, Discipline::Coroutines];
+    pub const ALL: [Discipline; 4] =
+        [Discipline::Threads, Discipline::Actors, Discipline::Coroutines, Discipline::Tasks];
 
     pub fn label(self) -> &'static str {
         match self {
             Discipline::Threads => "threads",
             Discipline::Actors => "actors",
             Discipline::Coroutines => "coroutines",
+            Discipline::Tasks => "tasks",
         }
     }
 }
@@ -56,6 +64,21 @@ fn disc(d: Discipline) -> Disc {
         Discipline::Threads => Disc::Fine,
         Discipline::Coroutines => Disc::Coop,
         Discipline::Actors => unreachable!("actors use mailboxes, not monitors"),
+        Discipline::Tasks => unreachable!("tasks use the async executor, not monitors"),
+    }
+}
+
+/// Drive a fully-spawned task executor and adapt its report to the
+/// harness's [`Run`] shape (field-for-field identical, so the fuzz
+/// oracle treats all four disciplines uniformly).
+fn tasks_run(exec: tasks::Executor, sched: &mut dyn Sched) -> Run {
+    let r = exec.run(sched);
+    Run {
+        deadlocked: r.deadlocked,
+        diverged: r.diverged,
+        decisions: r.decisions,
+        trace: r.trace,
+        steps: r.steps,
     }
 }
 
@@ -204,6 +227,35 @@ fn dining_fixture(d: Discipline, sched: &mut dyn Sched, naive: bool) -> Outcome 
             }
             h.run(sched)
         }
+        Discipline::Tasks => {
+            // Same shape as the cooperative arm: a yield before every
+            // atomic section, a park while a wanted fork is taken.
+            let exec = tasks::Executor::new();
+            let forks: Shared<Vec<bool>> = Shared::new(vec![false, false]);
+            for (token, seat, first, second) in seats {
+                let forks = forks.clone();
+                let rec = rec.clone();
+                let events = events.clone();
+                exec.spawn("philosopher", move |ctx: tasks::Ctx| async move {
+                    for i in [first, second] {
+                        let pf = forks.clone();
+                        ctx.yield_now().await;
+                        ctx.wait_until(move || !pf.with(|v| v[i])).await;
+                        forks.with(|v| v[i] = true);
+                    }
+                    ctx.yield_now().await;
+                    events.with(|e| e.push(dining::Event::StartedEating(seat)));
+                    rec.push(token);
+                    ctx.yield_now().await;
+                    events.with(|e| e.push(dining::Event::FinishedEating(seat)));
+                    for i in [second, first] {
+                        ctx.yield_now().await;
+                        forks.with(|v| v[i] = false);
+                    }
+                });
+            }
+            tasks_run(exec, sched)
+        }
         _ => {
             let mon = Mon::new(disc(d));
             let forks: Shared<Vec<bool>> = Shared::new(vec![false, false]);
@@ -330,6 +382,41 @@ fn run_bounded_buffer(d: Discipline, sched: &mut dyn Sched) -> Outcome {
             }
             h.run(sched)
         }
+        Discipline::Tasks => {
+            let exec = tasks::Executor::new();
+            let buf: Shared<VecDeque<(i64, bounded_buffer::Item)>> = Shared::new(VecDeque::new());
+            for p in 0..2usize {
+                let buf = buf.clone();
+                let events = events.clone();
+                exec.spawn("producer", move |ctx: tasks::Ctx| async move {
+                    for s in 0..2usize {
+                        let token = (10 * (p + 1) + s + 1) as i64;
+                        let item = bounded_buffer::Item { producer: p, seq: s };
+                        let pb = buf.clone();
+                        ctx.yield_now().await;
+                        ctx.wait_until(move || pb.with(|b| b.len() < CAP)).await;
+                        buf.with(|b| b.push_back((token, item)));
+                        events.with(|e| e.push(bounded_buffer::Event::Produced(item)));
+                    }
+                });
+            }
+            {
+                let buf = buf.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                exec.spawn("consumer", move |ctx: tasks::Ctx| async move {
+                    for _ in 0..4 {
+                        let pb = buf.clone();
+                        ctx.yield_now().await;
+                        ctx.wait_until(move || pb.with(|b| !b.is_empty())).await;
+                        let (tok, item) = buf.with(|b| b.pop_front().expect("non-empty"));
+                        events.with(|e| e.push(bounded_buffer::Event::Consumed(item)));
+                        rec.push(tok);
+                    }
+                });
+            }
+            tasks_run(exec, sched)
+        }
         _ => {
             let mon = Mon::new(disc(d));
             let buf: Shared<VecDeque<(i64, bounded_buffer::Item)>> = Shared::new(VecDeque::new());
@@ -454,6 +541,40 @@ fn run_readers_writers(d: Discipline, sched: &mut dyn Sched) -> Outcome {
             }
             h.run(sched)
         }
+        Discipline::Tasks => {
+            let exec = tasks::Executor::new();
+            let version: Shared<u64> = Shared::new(0);
+            for task in 0..2usize {
+                let version = version.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                exec.spawn("reader", move |ctx: tasks::Ctx| async move {
+                    ctx.yield_now().await;
+                    events.with(|e| e.push(readers_writers::Event::ReadStart { task }));
+                    let seen = version.with(|v| *v);
+                    ctx.yield_now().await;
+                    events
+                        .with(|e| e.push(readers_writers::Event::ReadEnd { task, version: seen }));
+                    rec.push(seen as i64);
+                });
+            }
+            {
+                let version = version.clone();
+                let events = events.clone();
+                exec.spawn("writer", move |ctx: tasks::Ctx| async move {
+                    ctx.yield_now().await;
+                    events.with(|e| e.push(readers_writers::Event::WriteStart { task: 2 }));
+                    let nv = version.with(|v| {
+                        *v += 1;
+                        *v
+                    });
+                    events.with(|e| {
+                        e.push(readers_writers::Event::WriteEnd { task: 2, version: nv })
+                    });
+                });
+            }
+            tasks_run(exec, sched)
+        }
         _ => {
             let mon = Mon::new(disc(d));
             let version: Shared<u64> = Shared::new(0);
@@ -571,6 +692,67 @@ fn run_sleeping_barber(d: Discipline, sched: &mut dyn Sched) -> Outcome {
                 });
             }
             h.run(sched)
+        }
+        Discipline::Tasks => {
+            let exec = tasks::Executor::new();
+            let waiting: Shared<VecDeque<usize>> = Shared::new(VecDeque::new());
+            let done: Shared<Vec<bool>> = Shared::new(vec![false, false]);
+            let handled: Shared<i64> = Shared::new(0);
+            {
+                let waiting = waiting.clone();
+                let done = done.clone();
+                let handled = handled.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                exec.spawn("barber", move |ctx: tasks::Ctx| async move {
+                    loop {
+                        let wp = waiting.clone();
+                        let hp = handled.clone();
+                        ctx.yield_now().await;
+                        ctx.wait_until(move || {
+                            wp.with(|w| !w.is_empty()) || hp.with(|h| *h >= CUSTOMERS)
+                        })
+                        .await;
+                        let Some(c) = waiting.with(|w| w.pop_front()) else { break };
+                        handled.with(|h| *h += 1);
+                        events.with(|e| {
+                            e.push(sleeping_barber::Event::CutStarted { customer: c, barber: 0 })
+                        });
+                        rec.push(10 + c as i64);
+                        events.with(|e| {
+                            e.push(sleeping_barber::Event::CutFinished { customer: c, barber: 0 })
+                        });
+                        done.with(|d| d[c] = true);
+                    }
+                });
+            }
+            for id in 0..2usize {
+                let waiting = waiting.clone();
+                let done = done.clone();
+                let handled = handled.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                exec.spawn("customer", move |ctx: tasks::Ctx| async move {
+                    ctx.yield_now().await;
+                    events.with(|e| e.push(sleeping_barber::Event::Arrived(id)));
+                    let seated = if waiting.with(|w| w.len()) < 1 {
+                        waiting.with(|w| w.push_back(id));
+                        events.with(|e| e.push(sleeping_barber::Event::SatDown(id)));
+                        true
+                    } else {
+                        handled.with(|h| *h += 1);
+                        events.with(|e| e.push(sleeping_barber::Event::TurnedAway(id)));
+                        rec.push(20 + id as i64);
+                        false
+                    };
+                    if seated {
+                        let dn = done.clone();
+                        ctx.yield_now().await;
+                        ctx.wait_until(move || dn.with(|d| d[id])).await;
+                    }
+                });
+            }
+            tasks_run(exec, sched)
         }
         _ => {
             let mon = Mon::new(disc(d));
@@ -747,6 +929,31 @@ fn run_bridge(d: Discipline, sched: &mut dyn Sched) -> Outcome {
             }
             h.run(sched)
         }
+        Discipline::Tasks => {
+            let exec = tasks::Executor::new();
+            let cars_on: Shared<i64> = Shared::new(0);
+            let dir: Shared<i64> = Shared::new(0);
+            for (car, dtok) in cars {
+                let cars_on = cars_on.clone();
+                let dir = dir.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                exec.spawn("car", move |ctx: tasks::Ctx| async move {
+                    let cp = cars_on.clone();
+                    let dp = dir.clone();
+                    ctx.yield_now().await;
+                    ctx.wait_until(move || cp.with(|c| *c == 0) || dp.with(|v| *v == dtok)).await;
+                    dir.with(|v| *v = dtok);
+                    cars_on.with(|c| *c += 1);
+                    events.with(|e| e.push(bridge::Event::Entered { car, dir: to_dir(dtok) }));
+                    rec.push(dtok);
+                    ctx.yield_now().await;
+                    cars_on.with(|c| *c -= 1);
+                    events.with(|e| e.push(bridge::Event::Exited { car, dir: to_dir(dtok) }));
+                });
+            }
+            tasks_run(exec, sched)
+        }
         _ => {
             let mon = Mon::new(disc(d));
             let cars_on: Shared<i64> = Shared::new(0);
@@ -868,6 +1075,53 @@ fn run_party_matching(d: Discipline, sched: &mut dyn Sched) -> Outcome {
                     });
                 }
                 h.run(sched)
+            }
+            Discipline::Tasks => {
+                let exec = tasks::Executor::new();
+                let wait_b: Shared<Vec<usize>> = Shared::new(Vec::new());
+                let wait_g: Shared<Vec<usize>> = Shared::new(Vec::new());
+                let left_b: Shared<Vec<bool>> = Shared::new(vec![false, false]);
+                let left_g: Shared<Vec<bool>> = Shared::new(vec![false, false]);
+                for (sex, id) in guests {
+                    let wait_b = wait_b.clone();
+                    let wait_g = wait_g.clone();
+                    let left_b = left_b.clone();
+                    let left_g = left_g.clone();
+                    let events = events.clone();
+                    let rec = rec.clone();
+                    exec.spawn("guest", move |ctx: tasks::Ctx| async move {
+                        let (own_wait, other_wait, own_left, other_left) = match sex {
+                            Sex::Boy => {
+                                (wait_b.clone(), wait_g.clone(), left_b.clone(), left_g.clone())
+                            }
+                            Sex::Girl => {
+                                (wait_g.clone(), wait_b.clone(), left_g.clone(), left_b.clone())
+                            }
+                        };
+                        ctx.yield_now().await;
+                        events.with(|e| e.push(Event::Arrived(Guest { sex, id })));
+                        let partner =
+                            other_wait
+                                .with(|w| if w.is_empty() { None } else { Some(w.remove(0)) });
+                        match partner {
+                            Some(p) => {
+                                other_left.with(|l| l[p] = true);
+                                own_left.with(|l| l[id] = true);
+                                let (b, g) = match sex {
+                                    Sex::Boy => (id, p),
+                                    Sex::Girl => (p, id),
+                                };
+                                events.with(|e| e.push(Event::LeftTogether { boy: b, girl: g }));
+                                rec.push(token(b, g));
+                            }
+                            None => own_wait.with(|w| w.push(id)),
+                        }
+                        let ol = own_left.clone();
+                        ctx.yield_now().await;
+                        ctx.wait_until(move || ol.with(|l| l[id])).await;
+                    });
+                }
+                tasks_run(exec, sched)
             }
             _ => {
                 let mon = Mon::new(disc(d));
@@ -998,6 +1252,30 @@ fn run_book_inventory(d: Discipline, sched: &mut dyn Sched) -> Outcome {
             }
             h.run(sched)
         }
+        Discipline::Tasks => {
+            let exec = tasks::Executor::new();
+            let stock: Shared<i64> = Shared::new(1);
+            for client in 0..2usize {
+                let stock = stock.clone();
+                let events = events.clone();
+                let rec = rec.clone();
+                exec.spawn("client", move |ctx: tasks::Ctx| async move {
+                    let token = (client + 1) as i64;
+                    ctx.yield_now().await;
+                    stock.with(|s| *s += 1);
+                    events.with(|e| e.push(Event::Restocked { title: 0, client }));
+                    let sp = stock.clone();
+                    ctx.yield_now().await;
+                    ctx.wait_until(move || sp.with(|s| *s > 0)).await;
+                    stock.with(|s| *s -= 1);
+                    events.with(|e| e.push(Event::Sold { title: 0, client }));
+                    rec.push(token);
+                });
+            }
+            let run = tasks_run(exec, sched);
+            final_stock.with(|fs| *fs = stock.with(|s| *s));
+            run
+        }
         _ => {
             let mon = Mon::new(disc(d));
             let stock: Shared<i64> = Shared::new(1);
@@ -1087,6 +1365,34 @@ fn run_sum_workers(d: Discipline, sched: &mut dyn Sched) -> Outcome {
             }
             h.run(sched)
         }
+        Discipline::Tasks => {
+            // The tasks rendition mirrors the actor one: workers stream
+            // contributions over a channel and a single aggregator folds
+            // them, so the channel primitive gets conformance coverage.
+            let exec = tasks::Executor::new();
+            let (tx, rx) = tasks::channel::<i64>();
+            {
+                let sum = sum.clone();
+                exec.spawn("aggregator", move |_ctx: tasks::Ctx| async move {
+                    let mut acc = 0i64;
+                    for _ in 0..4 {
+                        acc += rx.recv().await.expect("workers send exactly four values");
+                    }
+                    sum.with(|s| *s = acc);
+                });
+            }
+            for k in [5i64, 10] {
+                let tx = tx.clone();
+                exec.spawn("worker", move |ctx: tasks::Ctx| async move {
+                    for _ in 0..2 {
+                        ctx.yield_now().await;
+                        tx.send(k);
+                    }
+                });
+            }
+            drop(tx);
+            tasks_run(exec, sched)
+        }
         _ => {
             let mon = Mon::new(disc(d));
             let mut h = Harness::new();
@@ -1157,6 +1463,27 @@ fn run_thread_pool(d: Discipline, sched: &mut dyn Sched) -> Outcome {
                 });
             }
             h.run(sched)
+        }
+        Discipline::Tasks => {
+            let exec = tasks::Executor::new();
+            let queue: Shared<VecDeque<i64>> = Shared::new(VecDeque::from([1, 2, 3]));
+            for _ in 0..2 {
+                let queue = queue.clone();
+                let rec = rec.clone();
+                let total = total.clone();
+                exec.spawn("worker", move |ctx: tasks::Ctx| async move {
+                    loop {
+                        ctx.yield_now().await;
+                        let t = queue.with(|q| q.pop_front());
+                        let Some(t) = t else { break };
+                        let r = evaluate(t);
+                        ctx.yield_now().await;
+                        total.with(|s| *s += r);
+                        rec.push(r);
+                    }
+                });
+            }
+            tasks_run(exec, sched)
         }
         _ => {
             let mon = Mon::new(disc(d));

@@ -2,8 +2,9 @@
 //! paradigm discipline, ≥1000 fuzzed schedules each, differentially
 //! checked against the explorer's exhaustive terminal sets.
 //!
-//! Honours `FUZZ_SEED` / `FUZZ_ITERS` (see README). A failure prints
-//! the shrunk minimal schedule and the path of the replay artifact.
+//! Honours `FUZZ_SEED` / `FUZZ_ITERS` / `FUZZ_FAMILY` (see README). A
+//! failure prints the shrunk minimal schedule and the path of the
+//! replay artifact.
 
 use concur_conformance::{fuzz_all, FuzzConfig, FIXTURES};
 
@@ -31,23 +32,29 @@ fn all_problems_conform_to_their_models() {
             r.total_schedules(),
             per.join(" ")
         );
+        // Single-family runs (FUZZ_FAMILY) drive fewer schedules and
+        // cannot saturate the output sets, so the budget floor and the
+        // agreement double-check only bind for combined campaigns.
+        let floor = if config.check_agreement { 1000 } else { 1 };
         for d in &r.per_discipline {
             assert!(
-                d.schedules >= 1000,
-                "{}/{}: only {} schedules, budget floor is 1000",
+                d.schedules >= floor,
+                "{}/{}: only {} schedules, budget floor is {floor}",
                 r.name,
                 d.discipline.label(),
                 d.schedules
             );
             // Memberships are enforced inside the fuzzer; agreement is
             // double-checked here so the table above is trustworthy.
-            assert_eq!(
-                d.outputs,
-                r.model_outputs,
-                "{}/{}: output set disagrees with the model",
-                r.name,
-                d.discipline.label()
-            );
+            if config.check_agreement {
+                assert_eq!(
+                    d.outputs,
+                    r.model_outputs,
+                    "{}/{}: output set disagrees with the model",
+                    r.name,
+                    d.discipline.label()
+                );
+            }
         }
     }
 }

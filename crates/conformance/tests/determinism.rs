@@ -121,6 +121,31 @@ fn truncating_a_valid_trace_yields_a_valid_schedule_in_every_discipline() {
     }
 }
 
+#[test]
+fn task_discipline_traces_speak_the_poll_vocabulary() {
+    // The async executor routes every poll-order choice through the
+    // kernel as `Poll` (internal `ctx.choose` points stay `Choice`);
+    // no other decision kind may appear in a tasks trace.
+    use concur_decide::DecisionKind;
+    for f in FIXTURES {
+        let out = (f.run)(Discipline::Tasks, &mut RandomSched::new(SEED));
+        let trace = &out.run.trace;
+        assert!(
+            trace.decisions.iter().any(|d| d.kind == DecisionKind::Poll),
+            "{}: tasks run recorded no Poll decisions",
+            f.name
+        );
+        assert!(
+            trace
+                .decisions
+                .iter()
+                .all(|d| matches!(d.kind, DecisionKind::Poll | DecisionKind::Choice)),
+            "{}: tasks trace contains a non-Poll, non-Choice decision",
+            f.name
+        );
+    }
+}
+
 /// A deterministic real-runtime scenario: one worker thread takes real
 /// `concur_threads::Mutex` locks (each lock entry is a recorded chaos
 /// perturbation point) and additionally branches on explicit

@@ -2,7 +2,7 @@
 //! invariants under the controlled scheduler, one test per classical
 //! problem so a regression names its problem directly.
 //!
-//! Each test drives the fixture's three disciplines over a batch of
+//! Each test drives the fixture's four disciplines over a batch of
 //! random seeds and asserts the problem's own validator found no
 //! violation, no run diverged, and deadlock only ever appeared where
 //! the model proves it reachable. This is narrower than the full

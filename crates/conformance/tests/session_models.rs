@@ -18,6 +18,11 @@ const MODELS: &[(&str, &str)] = &[
     ("book-inventory", models::BOOK_INVENTORY),
     ("sum-workers", models::SUM_WORKERS),
     ("thread-pool", models::THREAD_POOL),
+    ("tasks-dining-ordered", models::TASKS_DINING_ORDERED),
+    ("tasks-dining-naive", models::TASKS_DINING_NAIVE),
+    ("tasks-bounded-buffer", models::TASKS_BOUNDED_BUFFER),
+    ("tasks-bridge", models::TASKS_BRIDGE),
+    ("tasks-book-inventory", models::TASKS_BOOK_INVENTORY),
 ];
 
 #[test]

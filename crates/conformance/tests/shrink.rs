@@ -90,6 +90,69 @@ fn planted_bug_is_caught_shrunk_and_replayable() {
     assert!(body.contains(&format!("{:?}", err.decisions)));
 }
 
+// --- golden shrinker regressions --------------------------------------------
+//
+// The shrinker (prefix truncation + entry zeroing) is deterministic,
+// so a known-bad schedule always reduces to the same minimal decision
+// vector. Pinning those vectors turns any behavioural drift in the
+// shrinker, the schedule sources, or the runtimes under test into a
+// loud diff instead of a silent change of artifact quality.
+
+/// Find a schedule (by seed scan) that drives the fixture into the
+/// given failure, then shrink it against that predicate.
+fn shrink_first_failure(
+    fixture: &Fixture,
+    discipline: Discipline,
+    fails: impl Fn(&Outcome) -> bool,
+) -> Vec<usize> {
+    use concur_conformance::RandomSched;
+    let found = (0..2000u64).find_map(|seed| {
+        let out = (fixture.run)(discipline, &mut RandomSched::new(0x60_1D ^ seed));
+        fails(&out).then_some(out.run.decisions)
+    });
+    let picks = found.expect("failure reachable within the seed budget");
+    let minimal = concur_decide::shrink(picks, |p| {
+        let out = (fixture.run)(discipline, &mut ReplaySched::new(p.to_vec()));
+        fails(&out)
+    });
+    // The minimum must still fail — shrink's contract.
+    let replayed = (fixture.run)(discipline, &mut ReplaySched::new(minimal.clone()));
+    assert!(fails(&replayed), "shrunk vector no longer reproduces the failure");
+    minimal
+}
+
+#[test]
+fn planted_bug_shrinks_to_the_pinned_minimal_vector() {
+    let minimal =
+        shrink_first_failure(&BUGGY, Discipline::Threads, |out| out.obs.as_deref() == Some("1"));
+    // One decision: schedule the second thread's read before the first
+    // write lands — the smallest schedule that loses an update.
+    assert_eq!(minimal, vec![1], "planted lost-update minimal schedule drifted");
+}
+
+#[test]
+fn dining_deadlock_shrinks_to_the_pinned_minimal_vector_per_discipline() {
+    let fixture = concur_conformance::FIXTURES
+        .iter()
+        .find(|f| f.name == "dining_naive")
+        .expect("dining_naive fixture");
+    for (discipline, expected) in [
+        // Both runtimes bottom out in the same three-decision shape:
+        // hand each philosopher its first fork, then let the crossed
+        // second takes starve each other.
+        (Discipline::Coroutines, vec![1, 0, 1]),
+        (Discipline::Tasks, vec![1, 0, 1]),
+    ] {
+        let minimal = shrink_first_failure(fixture, discipline, |out| out.run.deadlocked);
+        assert_eq!(
+            minimal,
+            expected,
+            "{}: minimal deadlocking schedule drifted",
+            discipline.label()
+        );
+    }
+}
+
 #[test]
 fn correct_version_of_the_same_fixture_passes() {
     fn correct_run(_discipline: Discipline, sched: &mut dyn Sched) -> Outcome {

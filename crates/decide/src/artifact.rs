@@ -113,12 +113,11 @@ impl TraceArtifact {
             None => Vec::new(),
             Some(line) => line
                 .split_whitespace()
-                .map(|label| match label {
-                    "task" => Ok(DecisionKind::TaskPick),
-                    "choice" => Ok(DecisionKind::Choice),
-                    "delivery" => Ok(DecisionKind::Delivery),
-                    "chaos" => Ok(DecisionKind::Chaos),
-                    other => Err(format!("unknown decision kind label {other:?}")),
+                .map(|label| {
+                    DecisionKind::ALL
+                        .into_iter()
+                        .find(|k| k.label() == label)
+                        .ok_or_else(|| format!("unknown decision kind label {label:?}"))
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };

@@ -33,6 +33,9 @@ pub enum DecisionKind {
     /// A chaos perturbation point in a real runtime (e.g. "yield the
     /// time slice before taking this lock?").
     Chaos,
+    /// Which ready task a single-threaded async executor polls next
+    /// (the `concur-tasks` runtime's scheduling point).
+    Poll,
 }
 
 impl DecisionKind {
@@ -43,8 +46,20 @@ impl DecisionKind {
             DecisionKind::Choice => "choice",
             DecisionKind::Delivery => "delivery",
             DecisionKind::Chaos => "chaos",
+            DecisionKind::Poll => "poll",
         }
     }
+
+    /// Every kind, in declaration order — the artifact parser and the
+    /// seed-stability pins iterate this so a new kind cannot be added
+    /// without updating both.
+    pub const ALL: [DecisionKind; 5] = [
+        DecisionKind::TaskPick,
+        DecisionKind::Choice,
+        DecisionKind::Delivery,
+        DecisionKind::Chaos,
+        DecisionKind::Poll,
+    ];
 }
 
 /// A policy resolving `n`-way decisions.

@@ -553,6 +553,9 @@ fn summarize_instr(
         }
         Instr::Jump { .. } | Instr::ArmEnd { .. } => {}
         Instr::JumpIfFalse { cond, .. } => static_expr_reads(cond, summary),
+        // The await condition is re-read on every enabledness check,
+        // so any writer of its cells conflicts with this instruction.
+        Instr::Await { cond, .. } => static_expr_reads(cond, summary),
         Instr::Print { value, .. } => {
             static_expr_reads(value, summary);
             summary.writes.insert(StaticResource::Output);
@@ -792,6 +795,21 @@ impl Interp {
                 fp.emit(Emit::kind(EventMask::WAIT_FINISHED, actor));
                 return;
             }
+            TaskStatus::Blocked(BlockReason::AwaitCond) => {
+                // Resuming from an AWAIT re-reads the condition; any
+                // writer of those cells conflicts with (and can
+                // enable) this step.
+                if let Some(frame) = task.top_frame() {
+                    if let Some(Instr::Await { cond, .. }) =
+                        self.compiled.code(frame.code).get(frame.pc)
+                    {
+                        self.expr_reads(state, frame, cond, fp);
+                        return;
+                    }
+                }
+                fp.unknown = true;
+                return;
+            }
             TaskStatus::Runnable => {}
             _ => {
                 fp.unknown = true;
@@ -843,6 +861,7 @@ impl Interp {
             }
             Instr::Jump { .. } | Instr::ArmEnd { .. } => {}
             Instr::JumpIfFalse { cond, .. } => self.expr_reads(state, frame, cond, fp),
+            Instr::Await { cond, .. } => self.expr_reads(state, frame, cond, fp),
             Instr::Print { value, .. } => {
                 self.expr_reads(state, frame, value, fp);
                 fp.write(Resource::Output);

@@ -169,12 +169,31 @@ impl Interp {
                         }
                     }
                 }
+                TaskStatus::Blocked(BlockReason::AwaitCond) => {
+                    if self.await_cond_holds(state, task.id) {
+                        out.push(Choice::Step(task.id));
+                    }
+                }
                 TaskStatus::Blocked(BlockReason::Waiting)
                 | TaskStatus::Blocked(BlockReason::Join { .. })
                 | TaskStatus::Done => {}
             }
         }
         out
+    }
+
+    /// Does the AWAIT condition a task is parked on currently hold?
+    /// Conditions are call-free (enforced at validation), so this
+    /// re-evaluation cannot mutate state. Evaluation faults count as
+    /// "holds" so the subsequent step surfaces the runtime error.
+    fn await_cond_holds(&self, state: &State, tid: TaskId) -> bool {
+        let Some(Instr::Await { cond, .. }) = self.current_instr(state, tid) else {
+            return true;
+        };
+        match self.eval(state, tid, cond).map(|v| v.as_bool()) {
+            Ok(Ok(b)) => b,
+            Ok(Err(_)) | Err(_) => true,
+        }
     }
 
     /// Classify a state with no enabled transitions.
@@ -241,6 +260,27 @@ impl Interp {
                 task.status = TaskStatus::Runnable;
                 events.push(Event::WaitFinished { task: tid });
                 self.advance(state, tid);
+                return Ok(());
+            }
+            TaskStatus::Blocked(BlockReason::AwaitCond) => {
+                let (cond, span) = match self.current_instr(state, tid) {
+                    Some(Instr::Await { cond, span }) => (cond.clone(), *span),
+                    other => {
+                        return Err(RuntimeError::new(
+                            format!("AwaitCond-blocked task not at an AWAIT: {other:?}"),
+                            Span::SYNTH,
+                        ));
+                    }
+                };
+                let v = self.eval(state, tid, &cond)?;
+                let b = v.as_bool().map_err(|m| RuntimeError::new(m, span))?;
+                // Enabled only when the condition holds; a stale pick
+                // (e.g. from an arbitrary replay vector) leaves the
+                // task parked rather than resuming it spuriously.
+                if b {
+                    state.task_mut(tid).status = TaskStatus::Runnable;
+                    self.advance(state, tid);
+                }
                 return Ok(());
             }
             TaskStatus::Runnable => {}
@@ -374,6 +414,17 @@ impl Interp {
                 }
                 events.push(Event::Notified { task: tid, woken });
                 self.advance(state, tid);
+            }
+            Instr::Await { cond, span } => {
+                let v = self.eval(state, tid, &cond)?;
+                let b = v.as_bool().map_err(|m| RuntimeError::new(m, span))?;
+                if b {
+                    self.advance(state, tid);
+                } else {
+                    // pc stays at AWAIT; the AwaitCond resume path
+                    // advances past it once the condition holds.
+                    state.task_mut(tid).status = TaskStatus::Blocked(BlockReason::AwaitCond);
+                }
             }
             Instr::Send { msg, to, span } => {
                 let msg_val = match self.eval(state, tid, &msg)? {

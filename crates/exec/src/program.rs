@@ -171,6 +171,15 @@ pub enum Instr {
     Notify {
         span: Span,
     },
+    /// `AWAIT cond`: the task-discipline suspension point. If `cond`
+    /// evaluates FALSE the task parks as `Blocked(AwaitCond)` without
+    /// advancing; it becomes enabled again whenever `cond` (re-checked
+    /// against shared state, no NOTIFY involved) holds. `cond` is
+    /// call-free by validation, so re-evaluation is side-effect-free.
+    Await {
+        cond: Expr,
+        span: Span,
+    },
     Send {
         msg: Expr,
         to: Expr,
@@ -215,6 +224,7 @@ impl Instr {
             | Instr::ExcExit { span }
             | Instr::Wait { span }
             | Instr::Notify { span }
+            | Instr::Await { span, .. }
             | Instr::Send { span, .. }
             | Instr::Receive { span, .. }
             | Instr::Spawn { span, .. }
@@ -550,6 +560,7 @@ impl Compiler {
             }
             StmtKind::Wait => code.push(Instr::Wait { span }),
             StmtKind::Notify => code.push(Instr::Notify { span }),
+            StmtKind::Await { cond } => code.push(Instr::Await { cond: cond.clone(), span }),
             StmtKind::Print { value, newline } => {
                 code.push(Instr::Print { value: value.clone(), newline: *newline, span })
             }

@@ -52,6 +52,11 @@ pub enum BlockReason {
     Receive,
     /// Spawned a `PARA` block; waiting for `remaining` children.
     Join { remaining: usize },
+    /// At an `AWAIT` whose condition evaluated FALSE. The condition is
+    /// recoverable from the instruction at the frame's pc (which does
+    /// not advance while blocked) and is re-evaluated on every
+    /// enabledness check.
+    AwaitCond,
 }
 
 /// Task lifecycle.

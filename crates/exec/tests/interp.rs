@@ -420,3 +420,87 @@ fn step_limit_reports_runaway_programs() {
     let result = run_source("x = 0\nWHILE TRUE\n    x = x + 1\nENDWHILE\n", 0, 500).unwrap();
     assert_eq!(result.outcome, Outcome::StepLimit);
 }
+
+// --- AWAIT: the task-discipline choice point --------------------------------
+
+#[test]
+fn await_true_is_a_no_op_and_await_blocks_until_the_condition_holds() {
+    let source = "
+flag = FALSE
+
+DEFINE waiter()
+    AWAIT
+    AWAIT flag
+    PRINTLN 1
+ENDDEF
+
+DEFINE setter()
+    flag = TRUE
+ENDDEF
+
+PARA
+    waiter()
+    setter()
+ENDPARA
+";
+    let outputs = terminal_outputs(source).unwrap();
+    assert_eq!(outputs, vec!["1"], "the waiter must resume once the flag is set");
+}
+
+#[test]
+fn unsatisfiable_await_is_classified_as_deadlock() {
+    let interp = Interp::from_source("AWAIT FALSE\n").unwrap();
+    let set = concur_exec::Explorer::new(&interp).terminals().unwrap();
+    assert!(set.has_deadlock(), "AWAIT FALSE can never fire");
+    assert!(set.outputs().is_empty());
+}
+
+#[test]
+fn crossed_awaits_reach_both_success_and_deadlock() {
+    // A tiny dining-naive: each task claims the two flags in opposite
+    // orders, awaiting each to be free. Serial interleavings complete;
+    // the crossed claim parks both tasks forever.
+    let source = "
+a = FALSE
+b = FALSE
+
+DEFINE left()
+    AWAIT a == FALSE
+    a = TRUE
+    AWAIT b == FALSE
+    b = TRUE
+    PRINTLN 1
+    b = FALSE
+    a = FALSE
+ENDDEF
+
+DEFINE right()
+    AWAIT b == FALSE
+    b = TRUE
+    AWAIT a == FALSE
+    a = TRUE
+    PRINTLN 2
+    a = FALSE
+    b = FALSE
+ENDDEF
+
+PARA
+    left()
+    right()
+ENDPARA
+";
+    let interp = Interp::from_source(source).unwrap();
+    let set = concur_exec::Explorer::new(&interp).terminals().unwrap();
+    assert!(set.has_deadlock(), "the crossed claim must park both tasks");
+    let outputs = set.output_set();
+    assert!(outputs.contains("1 2"), "left-then-right completes: {outputs:?}");
+    assert!(outputs.contains("2 1"), "right-then-left completes: {outputs:?}");
+}
+
+#[test]
+fn await_condition_faults_surface_as_runtime_errors() {
+    // Indexing past the end inside an AWAIT condition is a programming
+    // error; the run must report it, not park the task silently.
+    let err = run_source("xs = [1]\nAWAIT xs[5] == 0\n", 0, 1000).unwrap_err();
+    assert!(err.contains("out of range"), "expected an index fault, got {err:?}");
+}

@@ -99,6 +99,15 @@ const MODELS: &[(&str, &str, bool)] = &[
     ("book-inventory", models::BOOK_INVENTORY, false),
     ("sum-workers", models::SUM_WORKERS, false),
     ("thread-pool", models::THREAD_POOL, false),
+    // Await-discipline renditions: their Blocked(AwaitCond) tasks give
+    // the POR layer condition-read footprints to reduce over, so the
+    // POR-vs-no-POR differential here is the soundness check for the
+    // Await choice-point semantics.
+    ("tasks-dining-ordered", models::TASKS_DINING_ORDERED, false),
+    ("tasks-dining-naive", models::TASKS_DINING_NAIVE, false),
+    ("tasks-bounded-buffer", models::TASKS_BOUNDED_BUFFER, false),
+    ("tasks-bridge", models::TASKS_BRIDGE, false),
+    ("tasks-book-inventory", models::TASKS_BOOK_INVENTORY, false),
 ];
 
 #[test]

@@ -97,6 +97,7 @@ fn stmt_refs(stmt: &Stmt, out: &mut BTreeSet<FootRef>) {
                 stmt_refs(s, out);
             }
         }
+        StmtKind::Await { cond } => expr_refs(cond, out),
         StmtKind::Return(None)
         | StmtKind::Wait
         | StmtKind::Notify
@@ -370,6 +371,29 @@ impl Validator {
                 }
             }
             StmtKind::Seq(block) => self.block(block, ctx),
+            StmtKind::Await { cond } => {
+                self.check_expr(cond, ctx.in_method);
+                // The runtime re-evaluates an AWAIT condition every
+                // time the task could be resumed, so it must be free
+                // of side effects — same rule as field initializers.
+                if cond.contains_call() {
+                    self.out.push(
+                        Diagnostic::new("AWAIT condition may not contain calls", cond.span)
+                            .with_help(
+                                "assign the call result to a variable and AWAIT on the variable",
+                            ),
+                    );
+                }
+                // Awaiting while holding the global EXC_ACC lock
+                // would block every task that could make the
+                // condition true: a guaranteed deadlock.
+                if ctx.in_exc_acc {
+                    self.out.push(
+                        Diagnostic::new("AWAIT may not appear inside an EXC_ACC block", stmt.span)
+                            .with_help("use WAIT()/NOTIFY() inside EXC_ACC, AWAIT outside it"),
+                    );
+                }
+            }
         }
     }
 
@@ -466,6 +490,30 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn await_condition_may_not_contain_calls() {
+        let err = parse("DEFINE f()\n    AWAIT g() == 1\nENDDEF\n").unwrap_err();
+        assert!(err.to_string().contains("AWAIT condition"), "{err}");
+        assert!(parse("AWAIT flag == 1\n").is_ok());
+        assert!(parse("AWAIT\n").is_ok());
+    }
+
+    #[test]
+    fn await_inside_exc_acc_is_rejected() {
+        let err = parse("DEFINE f()\n    EXC_ACC\n        AWAIT x == 0\n    END_EXC_ACC\nENDDEF\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("EXC_ACC"), "{err}");
+    }
+
+    #[test]
+    fn await_condition_reads_are_in_footprints() {
+        let program = parse("AWAIT x == 0 AND done\n").unwrap();
+        let body: Vec<Stmt> = program.main_body().into_iter().cloned().collect();
+        let refs = exc_footprint(&body);
+        assert!(refs.contains(&FootRef::Var("x".into())));
+        assert!(refs.contains(&FootRef::Var("done".into())));
     }
 
     #[test]

@@ -194,6 +194,12 @@ pub enum StmtKind {
     Wait,
     /// `NOTIFY()` — wake **all** waiters.
     Notify,
+    /// `AWAIT cond` — the task-discipline suspension point: block until
+    /// `cond` holds (re-evaluated whenever the task could be resumed;
+    /// no `NOTIFY` involved). `cond` must be call-free so the runtime
+    /// can re-check it without side effects. A bare `AWAIT` is parsed
+    /// as `AWAIT TRUE`, a pure yield point.
+    Await { cond: Expr },
     /// `PRINT expr` / `PRINTLN expr`.
     Print { value: Expr, newline: bool },
     /// An expression evaluated for its effect — in practice always a

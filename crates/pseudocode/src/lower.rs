@@ -229,6 +229,13 @@ fn lower_stmt(stmt: Stmt, out: &mut Block, gen: &mut TempGen) {
         StmtKind::Seq(block) => {
             out.push(Stmt::new(StmtKind::Seq(lower_block(block, gen)), span));
         }
+        StmtKind::Await { .. } => {
+            // Validation rejects call-bearing AWAIT conditions (the
+            // runtime re-evaluates them on every resumption attempt,
+            // so purifying into a temporary would freeze the value),
+            // leaving nothing to lower here.
+            out.push(stmt);
+        }
         StmtKind::Wait | StmtKind::Notify | StmtKind::Break | StmtKind::Continue => {
             out.push(stmt);
         }

@@ -285,6 +285,16 @@ impl<'t> Parser<'t> {
                 }
                 Ok(Stmt::new(StmtKind::Spawn { call }, span))
             }
+            TokenKind::Await => {
+                self.bump();
+                // A bare `AWAIT` is a pure yield point: `AWAIT TRUE`.
+                let cond = if matches!(self.peek(), TokenKind::Newline | TokenKind::Eof) {
+                    Expr::new(ExprKind::Bool(true), span)
+                } else {
+                    self.expr()?
+                };
+                Ok(Stmt::new(StmtKind::Await { cond }, span))
+            }
             TokenKind::Return => {
                 self.bump();
                 let value = if matches!(self.peek(), TokenKind::Newline | TokenKind::Eof) {
@@ -677,6 +687,22 @@ mod tests {
                 assert_eq!(name, "height");
                 assert_eq!(value.kind, ExprKind::Float(3.3));
             }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn await_with_and_without_condition() {
+        let program = parse("AWAIT x == 0\nAWAIT\n").unwrap();
+        let main = program.main_body();
+        match &main[0].kind {
+            StmtKind::Await { cond } => {
+                assert!(matches!(cond.kind, ExprKind::Binary(..)), "cond is a comparison")
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+        match &main[1].kind {
+            StmtKind::Await { cond } => assert_eq!(cond.kind, ExprKind::Bool(true)),
             other => panic!("unexpected stmt {other:?}"),
         }
     }

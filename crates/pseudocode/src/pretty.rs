@@ -155,6 +155,14 @@ fn stmt(s: &Stmt, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("NOTIFY()\n");
         }
+        StmtKind::Await { cond } => {
+            // A bare `AWAIT` parses as `AWAIT TRUE`, so always
+            // printing the condition keeps round-trips stable.
+            indent(level, out);
+            out.push_str("AWAIT ");
+            expr(cond, out);
+            out.push('\n');
+        }
         StmtKind::Print { value, newline } => {
             indent(level, out);
             out.push_str(if *newline { "PRINTLN " } else { "PRINT " });

@@ -52,6 +52,7 @@ pub enum TokenKind {
     Wait,
     Notify,
     Spawn,
+    Await,
 
     // Message passing.
     Message,
@@ -132,6 +133,7 @@ impl TokenKind {
             "WAIT" => Wait,
             "NOTIFY" => Notify,
             "SPAWN" => Spawn,
+            "AWAIT" => Await,
             "MESSAGE" => Message,
             "Send" | "SEND" => Send,
             "ON_RECEIVING" => OnReceiving,
@@ -195,6 +197,7 @@ impl TokenKind {
             Wait => "WAIT",
             Notify => "NOTIFY",
             Spawn => "SPAWN",
+            Await => "AWAIT",
             Message => "MESSAGE",
             Send => "Send",
             OnReceiving => "ON_RECEIVING",
@@ -264,6 +267,7 @@ mod tests {
             "WAIT",
             "NOTIFY",
             "SPAWN",
+            "AWAIT",
             "MESSAGE",
             "ON_RECEIVING",
             "END_RECEIVING",

@@ -88,8 +88,10 @@ fn unop() -> impl Strategy<Value = UnOp> {
 }
 
 /// Statements legal anywhere (top level and inside functions).
-fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
-    let simple = prop_oneof![
+/// Statements legal in an EXC_ACC body: everything simple *except*
+/// AWAIT (validation rejects awaiting while holding the global lock).
+fn exc_simple_stmt() -> BoxedStrategy<Stmt> {
+    prop_oneof![
         (ident(), expr(2))
             .prop_map(|(n, v)| s(StmtKind::Assign { target: LValue::Name(n), value: v })),
         (ident(), ident(), expr(1)).prop_map(|(b, f, v)| s(StmtKind::Assign {
@@ -102,6 +104,19 @@ fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
         )),
         (expr(1), ident())
             .prop_map(|(m, r)| s(StmtKind::Send { msg: m, to: e(ExprKind::Name(r)) })),
+    ]
+    .boxed()
+}
+
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let simple = prop_oneof![
+        4 => exc_simple_stmt(),
+        // AWAIT conditions must be call-free (validation rejects the
+        // rest), so draw from the leaf expression pool only.
+        1 => (expr(0), expr(0), binop())
+            .prop_map(|(l, r, op)| s(StmtKind::Await {
+                cond: e(ExprKind::Binary(op, Box::new(l), Box::new(r)))
+            })),
     ];
     if depth == 0 {
         return simple.boxed();
@@ -139,7 +154,7 @@ fn func_stmt() -> impl Strategy<Value = Stmt> {
         1 => prop::option::of(expr(1)).prop_map(|v| s(StmtKind::Return(v))),
         2 => prop::collection::vec(
             prop_oneof![
-                3 => stmt(0),
+                3 => exc_simple_stmt(),
                 1 => Just(s(StmtKind::Wait)),
                 1 => Just(s(StmtKind::Notify)),
             ],

@@ -1,0 +1,115 @@
+//! An unbounded FIFO channel for the task runtime.
+//!
+//! Sends are synchronous (they never suspend); receives are futures
+//! that park the receiving task until a message or channel closure
+//! arrives. FIFO order is deterministic by construction — *which*
+//! receiver wins a race for the head of the queue is decided by the
+//! executor's `Poll` decisions, so all channel nondeterminism still
+//! routes through the kernel.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    waiters: Vec<Waker>,
+    senders: usize,
+}
+
+/// Create an unbounded FIFO channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(ChannelState {
+        queue: VecDeque::new(),
+        waiters: Vec::new(),
+        senders: 1,
+    }));
+    (Sender { state: Rc::clone(&state) }, Receiver { state })
+}
+
+/// Sending half. Cloning registers another sender; the channel closes
+/// when the last sender drops.
+pub struct Sender<T> {
+    state: Rc<RefCell<ChannelState<T>>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value and wake every parked receiver. Never blocks.
+    pub fn send(&self, value: T) {
+        let waiters = {
+            let mut st = self.state.borrow_mut();
+            st.queue.push_back(value);
+            std::mem::take(&mut st.waiters)
+        };
+        for w in waiters {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender { state: Rc::clone(&self.state) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let waiters = {
+            let mut st = self.state.borrow_mut();
+            st.senders -= 1;
+            if st.senders == 0 {
+                std::mem::take(&mut st.waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        // Last sender gone: wake receivers so they observe closure.
+        for w in waiters {
+            w.wake();
+        }
+    }
+}
+
+/// Receiving half. Cloneable: clones compete for the same queue.
+pub struct Receiver<T> {
+    state: Rc<RefCell<ChannelState<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { state: Rc::clone(&self.state) }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next value, suspending while the queue is empty.
+    /// Resolves to `None` once the channel is empty *and* closed.
+    pub fn recv(&self) -> impl Future<Output = Option<T>> {
+        RecvFut { state: Rc::clone(&self.state) }
+    }
+}
+
+struct RecvFut<T> {
+    state: Rc<RefCell<ChannelState<T>>>,
+}
+
+impl<T> Future for RecvFut<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.queue.pop_front() {
+            return Poll::Ready(Some(v));
+        }
+        if st.senders == 0 {
+            return Poll::Ready(None);
+        }
+        st.waiters.push(cx.waker().clone());
+        Poll::Pending
+    }
+}

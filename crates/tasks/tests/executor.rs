@@ -1,0 +1,212 @@
+//! Behavioral tests for the task runtime: scheduling goes through the
+//! kernel, runs replay byte-identically, parking beats spinning, and
+//! deadlock/divergence are reported (not panicked).
+
+use concur_decide::{
+    BoundedSource, ChoiceSource, DecisionKind, RandomSource, ReplaySource, RoundRobinSource,
+};
+use concur_tasks::{channel, Ctx, Executor};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+type Log = Rc<RefCell<Vec<String>>>;
+
+fn log() -> Log {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// Two yield-happy tasks, one interleaving per schedule.
+fn interleave_run(source: &mut dyn ChoiceSource) -> (Vec<String>, Vec<usize>) {
+    let exec = Executor::new();
+    let out = log();
+    for name in ["a", "b"] {
+        let out = Rc::clone(&out);
+        exec.spawn(name, move |ctx: Ctx| async move {
+            for i in 0..3 {
+                ctx.yield_now().await;
+                out.borrow_mut().push(format!("{name}{i}"));
+            }
+        });
+    }
+    let report = exec.run(source);
+    assert!(!report.deadlocked && !report.diverged);
+    (Rc::try_unwrap(out).unwrap().into_inner(), report.decisions)
+}
+
+#[test]
+fn same_seed_same_run_different_seeds_differ() {
+    let (out1, dec1) = interleave_run(&mut RandomSource::new(7));
+    let (out2, dec2) = interleave_run(&mut RandomSource::new(7));
+    assert_eq!(out1, out2);
+    assert_eq!(dec1, dec2);
+
+    let distinct: std::collections::BTreeSet<Vec<String>> =
+        (0..20).map(|seed| interleave_run(&mut RandomSource::new(seed)).0).collect();
+    assert!(distinct.len() > 1, "20 seeds explored only one interleaving");
+}
+
+#[test]
+fn recorded_trace_replays_byte_identically() {
+    let (out, decisions) = interleave_run(&mut RandomSource::new(0xBEEF));
+    let (replayed, redecisions) = interleave_run(&mut ReplaySource::new(decisions.clone()));
+    assert_eq!(out, replayed);
+    assert_eq!(decisions, redecisions);
+}
+
+#[test]
+fn poll_decisions_carry_the_poll_kind() {
+    let exec = Executor::new();
+    for name in ["x", "y"] {
+        exec.spawn(name, move |ctx: Ctx| async move {
+            ctx.yield_now().await;
+        });
+    }
+    let report = exec.run(&mut RandomSource::new(1));
+    assert!(!report.trace.decisions.is_empty());
+    assert!(report.trace.decisions.iter().all(|d| d.kind == DecisionKind::Poll));
+}
+
+#[test]
+fn choose_routes_through_the_kernel() {
+    let exec = Executor::new();
+    let out = log();
+    let out2 = Rc::clone(&out);
+    exec.spawn("chooser", move |ctx: Ctx| async move {
+        let pick = ctx.choose(4).await;
+        out2.borrow_mut().push(format!("picked {pick}"));
+        // Arity <= 1 must not consume a decision.
+        assert_eq!(ctx.choose(1).await, 0);
+        assert_eq!(ctx.choose(0).await, 0);
+    });
+    let report = exec.run(&mut RandomSource::new(3));
+    assert!(!report.deadlocked && !report.diverged);
+    let kinds: Vec<DecisionKind> = report.trace.decisions.iter().map(|d| d.kind).collect();
+    assert!(kinds.contains(&DecisionKind::Choice));
+    assert_eq!(kinds.iter().filter(|k| **k == DecisionKind::Choice).count(), 1);
+    let picked = &out.borrow()[0];
+    assert!(picked.starts_with("picked "), "{picked}");
+}
+
+#[test]
+fn wait_until_parks_instead_of_spinning() {
+    // Under a preemption budget of zero a spinning waiter could never
+    // hand control to the producer; a parking waiter must.
+    let exec = Executor::new();
+    let flag = Rc::new(RefCell::new(false));
+    let out = log();
+    {
+        let (flag, out) = (Rc::clone(&flag), Rc::clone(&out));
+        exec.spawn("waiter", move |ctx: Ctx| async move {
+            let flag = Rc::clone(&flag);
+            ctx.wait_until(move || *flag.borrow()).await;
+            out.borrow_mut().push("resumed".into());
+        });
+    }
+    {
+        let flag = Rc::clone(&flag);
+        exec.spawn("setter", move |ctx: Ctx| async move {
+            ctx.yield_now().await;
+            *flag.borrow_mut() = true;
+        });
+    }
+    let report = exec.run(&mut BoundedSource::new(0, 0));
+    assert!(!report.deadlocked, "parked waiter deadlocked");
+    assert!(!report.diverged, "parked waiter burned the step budget");
+    assert_eq!(*out.borrow(), ["resumed"]);
+}
+
+#[test]
+fn wait_until_true_completes_without_suspending() {
+    let exec = Executor::new();
+    let out = log();
+    let out2 = Rc::clone(&out);
+    exec.spawn("solo", move |ctx: Ctx| async move {
+        ctx.wait_until(|| true).await;
+        out2.borrow_mut().push("through".into());
+    });
+    let report = exec.run(&mut RoundRobinSource::default());
+    assert!(!report.deadlocked && !report.diverged);
+    assert_eq!(*out.borrow(), ["through"]);
+}
+
+#[test]
+fn unsatisfiable_wait_reports_deadlock() {
+    let exec = Executor::new();
+    exec.spawn("stuck", move |ctx: Ctx| async move {
+        ctx.wait_until(|| false).await;
+    });
+    let report = exec.run(&mut RoundRobinSource::default());
+    assert!(report.deadlocked);
+    assert!(!report.diverged);
+}
+
+#[test]
+fn endless_yielding_reports_divergence() {
+    let exec = Executor::new().with_max_steps(64);
+    exec.spawn("spin", move |ctx: Ctx| async move {
+        loop {
+            ctx.yield_now().await;
+        }
+    });
+    let report = exec.run(&mut RoundRobinSource::default());
+    assert!(report.diverged);
+    assert!(!report.deadlocked);
+    assert!(report.steps >= 64);
+}
+
+#[test]
+fn channels_are_fifo_and_close_on_sender_drop() {
+    let exec = Executor::new();
+    let out = log();
+    let (tx, rx) = channel::<i32>();
+    {
+        let out = Rc::clone(&out);
+        exec.spawn("consumer", move |_ctx: Ctx| async move {
+            while let Some(v) = rx.recv().await {
+                out.borrow_mut().push(format!("got {v}"));
+            }
+            out.borrow_mut().push("closed".into());
+        });
+    }
+    exec.spawn("producer", move |ctx: Ctx| async move {
+        for v in [10, 20, 30] {
+            tx.send(v);
+            ctx.yield_now().await;
+        }
+        drop(tx);
+    });
+    let report = exec.run(&mut RandomSource::new(99));
+    assert!(!report.deadlocked && !report.diverged);
+    assert_eq!(*out.borrow(), ["got 10", "got 20", "got 30", "closed"]);
+}
+
+#[test]
+fn join_handles_deliver_results_across_tasks() {
+    let exec = Executor::new();
+    let out = log();
+    let worker = exec.spawn("worker", move |ctx: Ctx| async move {
+        ctx.yield_now().await;
+        41 + 1
+    });
+    {
+        let out = Rc::clone(&out);
+        exec.spawn("joiner", move |_ctx: Ctx| async move {
+            let v = worker.join().await;
+            out.borrow_mut().push(format!("joined {v}"));
+        });
+    }
+    let report = exec.run(&mut RandomSource::new(5));
+    assert!(!report.deadlocked && !report.diverged);
+    assert_eq!(*out.borrow(), ["joined 42"]);
+}
+
+#[test]
+fn every_trace_prefix_is_a_valid_replay() {
+    // Truncated decision vectors pad with 0 (ReplaySource semantics);
+    // the run must complete without panicking for every prefix.
+    let (_, decisions) = interleave_run(&mut RandomSource::new(0xCAFE));
+    for cut in 0..=decisions.len() {
+        let (prefix_out, _) = interleave_run(&mut ReplaySource::new(decisions[..cut].to_vec()));
+        assert_eq!(prefix_out.len(), 6, "prefix {cut} lost steps");
+    }
+}
